@@ -1,0 +1,111 @@
+// Shared benchmark scaffolding.
+//
+// Benchmarks report the *simulated device time* of the measured region as
+// google-benchmark manual time (deterministic: a function of launches, bytes
+// and compiles — see gpusim/cost_model.h), plus device work counters. Wall
+// clock on the host CPU is meaningless for a simulated GPU and is not
+// reported.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "backends/backends.h"
+#include "core/backend.h"
+#include "core/registry.h"
+#include "storage/device_column.h"
+
+namespace bench {
+
+/// The four backends in the paper's comparison order.
+inline const std::vector<std::string>& AllBackendNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      backends::kArrayFire, backends::kBoostCompute, backends::kThrust,
+      backends::kHandwritten};
+  return *names;
+}
+
+/// Measures one region on the backend's stream and feeds google-benchmark.
+class Region {
+ public:
+  explicit Region(core::Backend& backend)
+      : stream_(backend.stream()),
+        start_ns_(stream_.now_ns()),
+        start_(stream_.device().Snapshot()) {}
+
+  explicit Region(gpusim::Stream& stream)
+      : stream_(stream),
+        start_ns_(stream.now_ns()),
+        start_(stream.device().Snapshot()) {}
+
+  /// Ends the region: records simulated seconds as the iteration's manual
+  /// time and accumulates counters on the benchmark state.
+  void Stop(benchmark::State& state) {
+    const double seconds = (stream_.now_ns() - start_ns_) / 1e9;
+    state.SetIterationTime(seconds);
+    const auto delta = stream_.device().Snapshot().Delta(start_);
+    state.counters["kernels"] += static_cast<double>(delta.kernels_launched);
+    state.counters["MiB_moved"] +=
+        static_cast<double>(delta.bytes_read + delta.bytes_written +
+                            delta.bytes_h2d + delta.bytes_d2h +
+                            delta.bytes_d2d) /
+        (1024.0 * 1024.0);
+    state.counters["programs"] +=
+        static_cast<double>(delta.programs_compiled);
+  }
+
+ private:
+  gpusim::Stream& stream_;
+  uint64_t start_ns_;
+  gpusim::CounterSnapshot start_;
+};
+
+/// Uniform random int32 column in [0, domain).
+inline std::vector<int32_t> UniformInts(size_t n, int32_t domain,
+                                        uint32_t seed = 1234) {
+  std::mt19937 rng(seed);
+  std::vector<int32_t> out(n);
+  for (auto& v : out) v = static_cast<int32_t>(rng() % domain);
+  return out;
+}
+
+/// Uniform random doubles in [0, hi).
+inline std::vector<double> UniformDoubles(size_t n, double hi,
+                                          uint32_t seed = 1234) {
+  std::mt19937 rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = hi * (rng() >> 8) / static_cast<double>(1 << 24);
+  return out;
+}
+
+inline storage::DeviceColumn Upload(core::Backend& backend,
+                                    const std::vector<int32_t>& v) {
+  return storage::UploadColumn(backend.stream(), storage::Column(v));
+}
+
+inline storage::DeviceColumn Upload(core::Backend& backend,
+                                    const std::vector<double>& v) {
+  return storage::UploadColumn(backend.stream(), storage::Column(v));
+}
+
+/// Standard main: register built-ins, then run.
+#define BENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                    \
+    core::RegisterBuiltinBackends();                    \
+    bench::RegisterBenchmarks();                        \
+    benchmark::Initialize(&argc, argv);                 \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                \
+    benchmark::Shutdown();                              \
+    return 0;                                           \
+  }
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_COMMON_H_

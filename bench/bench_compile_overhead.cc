@@ -1,0 +1,56 @@
+// R-F8: Boost.Compute run-time kernel compilation overhead.
+//
+// OpenCL programs are compiled on first use and cached per context. This
+// bench runs the same operator (a) on a fresh backend instance — cold cache,
+// every kernel source pays clBuildProgram — and (b) on a warmed instance.
+// Expected shape: cold calls are dominated by compilation (tens of ms per
+// program), two to three orders of magnitude above the warm operator cost
+// at small sizes; CUDA-based libraries have no such cliff.
+#include "bench_common.h"
+
+namespace bench {
+
+void ColdBench(benchmark::State& state, const std::string& name) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto data = UniformInts(n, 100);
+  for (auto _ : state) {
+    // Fresh backend per iteration: for Boost.Compute this is a fresh OpenCL
+    // context whose program cache is empty.
+    auto backend = core::BackendRegistry::Instance().Create(name);
+    const auto col = Upload(*backend, data);
+    Region region(*backend);
+    benchmark::DoNotOptimize(backend->Select(
+        col, core::Predicate::Make("x", core::CompareOp::kLt, 50.0)));
+    region.Stop(state);
+  }
+}
+
+void WarmBench(benchmark::State& state, const std::string& name) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto backend = core::BackendRegistry::Instance().Create(name);
+  const auto col = Upload(*backend, UniformInts(n, 100));
+  const auto pred = core::Predicate::Make("x", core::CompareOp::kLt, 50.0);
+  backend->Select(col, pred);  // warm the cache
+  for (auto _ : state) {
+    Region region(*backend);
+    benchmark::DoNotOptimize(backend->Select(col, pred));
+    region.Stop(state);
+  }
+}
+
+void RegisterBenchmarks() {
+  for (const auto& name : AllBackendNames()) {
+    auto* cold = benchmark::RegisterBenchmark(
+        ("SelectFirstCall/" + name).c_str(),
+        [name](benchmark::State& s) { ColdBench(s, name); });
+    cold->UseManualTime()->Iterations(3)->Arg(1 << 18);
+    auto* warm = benchmark::RegisterBenchmark(
+        ("SelectCachedCall/" + name).c_str(),
+        [name](benchmark::State& s) { WarmBench(s, name); });
+    warm->UseManualTime()->Iterations(3)->Arg(1 << 18);
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

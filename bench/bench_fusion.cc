@@ -1,0 +1,82 @@
+// R-F9: ArrayFire lazy-evaluation fusion ablation.
+//
+// An element-wise chain of length k over one column is evaluated (a) lazily
+// — ArrayFire's JIT fuses the whole chain into ONE kernel and one pass over
+// memory — and (b) with eval() forced after every op, which is exactly the
+// eager execution model of Thrust/Boost.Compute (k kernels, k passes). The
+// same chain is also run through thrustsim for a direct comparison.
+// Expected shape: fused time is flat-ish in k (one pass + growing ALU work);
+// eager time grows linearly in k.
+#include "afsim/afsim.h"
+#include "bench_common.h"
+#include "thrustsim/thrustsim.h"
+
+namespace bench {
+
+void FusedBench(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  const int chain = static_cast<int>(state.range(0));
+  afsim::array a = afsim::from_vector(UniformDoubles(n, 10.0));
+  for (auto _ : state) {
+    Region region(afsim::default_stream());
+    afsim::array x = a;
+    for (int i = 0; i < chain; ++i) x = x * 1.01 + 0.5;
+    x.eval();
+    region.Stop(state);
+  }
+  state.counters["chain"] = chain;
+}
+
+void ForcedEvalBench(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  const int chain = static_cast<int>(state.range(0));
+  afsim::array a = afsim::from_vector(UniformDoubles(n, 10.0));
+  for (auto _ : state) {
+    Region region(afsim::default_stream());
+    afsim::array x = a;
+    for (int i = 0; i < chain; ++i) {
+      x = x * 1.01 + 0.5;
+      x.eval();  // defeat the JIT: materialize after every op
+    }
+    region.Stop(state);
+  }
+  state.counters["chain"] = chain;
+}
+
+void ThrustChainBench(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  const int chain = static_cast<int>(state.range(0));
+  thrustsim::device_vector<double> a(UniformDoubles(n, 10.0));
+  thrustsim::device_vector<double> tmp(n);
+  for (auto _ : state) {
+    Region region(thrustsim::default_stream());
+    const double* src = a.data();
+    for (int i = 0; i < chain; ++i) {
+      thrustsim::transform(src, src + n, tmp.data(),
+                           [](double v) { return v * 1.01 + 0.5; });
+      src = tmp.data();
+    }
+    region.Stop(state);
+  }
+  state.counters["chain"] = chain;
+}
+
+void RegisterBenchmarks() {
+  auto* fused = benchmark::RegisterBenchmark(
+      "ElementwiseChain/ArrayFire-fused",
+      [](benchmark::State& s) { FusedBench(s); });
+  auto* forced = benchmark::RegisterBenchmark(
+      "ElementwiseChain/ArrayFire-forced-eval",
+      [](benchmark::State& s) { ForcedEvalBench(s); });
+  auto* thrust = benchmark::RegisterBenchmark(
+      "ElementwiseChain/Thrust-eager",
+      [](benchmark::State& s) { ThrustChainBench(s); });
+  for (auto* b : {fused, forced, thrust}) {
+    b->UseManualTime()->Iterations(2);
+    for (const int64_t k : {1, 2, 4, 8, 16}) b->Arg(k);
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

@@ -1,0 +1,75 @@
+// R-F6: PK-FK equi-join: the libraries' nested-loops realizations vs. the
+// handwritten hash join.
+//
+// Table II: no library supports hash (or merge) joins. Thrust/Boost realize
+// the join as for_each_n with an O(|R|*|S|) scan; ArrayFire has no direct
+// realization at all and pays one where() round-trip per build row. The
+// handwritten hash join is O(|R|+|S|). Expected shape: hash join wins by
+// orders of magnitude and the gap widens with |R|.
+#include "bench_common.h"
+
+namespace bench {
+
+void JoinBench(benchmark::State& state, const std::string& name,
+               bool use_hash) {
+  const size_t n_build = static_cast<size_t>(state.range(0));
+  const size_t n_probe = 4 * n_build;
+  auto backend = core::BackendRegistry::Instance().Create(name);
+
+  // Unique build keys 0..n-1 shuffled; probe keys drawn from 2x the domain
+  // (so ~50% of probes match).
+  std::vector<int32_t> build(n_build);
+  for (size_t i = 0; i < n_build; ++i) build[i] = static_cast<int32_t>(i);
+  std::mt19937 rng(7);
+  std::shuffle(build.begin(), build.end(), rng);
+  const auto probe = UniformInts(n_probe, static_cast<int32_t>(2 * n_build));
+
+  const auto left = Upload(*backend, build);
+  const auto right = Upload(*backend, probe);
+
+  // Warm the program cache on a tiny join so Boost.Compute's one-off kernel
+  // compilation does not masquerade as join cost.
+  {
+    std::vector<int32_t> tiny{1, 2, 3, 4};
+    const auto tl = Upload(*backend, tiny);
+    const auto tr = Upload(*backend, tiny);
+    if (use_hash) {
+      backend->HashJoin(tl, tr);
+    } else {
+      backend->NestedLoopsJoin(tl, tr);
+    }
+  }
+
+  size_t matches = 0;
+  for (auto _ : state) {
+    Region region(*backend);
+    const auto join = use_hash ? backend->HashJoin(left, right)
+                               : backend->NestedLoopsJoin(left, right);
+    region.Stop(state);
+    matches = join.count;
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["build_rows"] = static_cast<double>(n_build);
+}
+
+void RegisterBenchmarks() {
+  for (const auto& name : AllBackendNames()) {
+    auto* b = benchmark::RegisterBenchmark(
+        ("NestedLoopsJoin/" + name).c_str(),
+        [name](benchmark::State& s) { JoinBench(s, name, false); });
+    b->UseManualTime()->Iterations(1);
+    for (const int64_t n : {1 << 10, 1 << 12, 1 << 14}) b->Arg(n);
+  }
+  auto* h = benchmark::RegisterBenchmark(
+      "HashJoin/Handwritten", [](benchmark::State& s) {
+        JoinBench(s, backends::kHandwritten, true);
+      });
+  h->UseManualTime()->Iterations(1);
+  for (const int64_t n : {1 << 10, 1 << 12, 1 << 14, 1 << 18, 1 << 20}) {
+    h->Arg(n);
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

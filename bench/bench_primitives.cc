@@ -1,0 +1,79 @@
+// R-F7: Parallel primitives used for materialization: prefix sum, gather,
+// scatter, reduction, product (Table II bottom rows).
+#include "bench_common.h"
+
+namespace bench {
+
+enum class Primitive { kPrefixSum, kGather, kScatter, kReduction, kProduct };
+
+const char* PrimitiveName(Primitive p) {
+  switch (p) {
+    case Primitive::kPrefixSum: return "PrefixSum";
+    case Primitive::kGather: return "Gather";
+    case Primitive::kScatter: return "Scatter";
+    case Primitive::kReduction: return "Reduction";
+    case Primitive::kProduct: return "Product";
+  }
+  return "?";
+}
+
+void PrimitiveBench(benchmark::State& state, const std::string& name,
+                    Primitive prim) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto backend = core::BackendRegistry::Instance().Create(name);
+  const auto ints = Upload(*backend, UniformInts(n, 1000));
+  const auto a = Upload(*backend, UniformDoubles(n, 10.0));
+  const auto b = Upload(*backend, UniformDoubles(n, 10.0, 77));
+  // A random permutation for gather/scatter.
+  std::vector<int32_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<int32_t>(i);
+  std::mt19937 rng(5);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  const auto idx = Upload(*backend, perm);
+
+  auto run = [&] {
+    switch (prim) {
+      case Primitive::kPrefixSum:
+        benchmark::DoNotOptimize(backend->PrefixSum(ints));
+        break;
+      case Primitive::kGather:
+        benchmark::DoNotOptimize(backend->Gather(a, idx));
+        break;
+      case Primitive::kScatter:
+        benchmark::DoNotOptimize(backend->Scatter(a, idx, n));
+        break;
+      case Primitive::kReduction:
+        benchmark::DoNotOptimize(backend->ReduceColumn(a, core::AggOp::kSum));
+        break;
+      case Primitive::kProduct:
+        benchmark::DoNotOptimize(backend->Product(a, b));
+        break;
+    }
+  };
+  run();  // warm program cache
+
+  for (auto _ : state) {
+    Region region(*backend);
+    run();
+    region.Stop(state);
+  }
+  state.counters["rows"] = static_cast<double>(n);
+}
+
+void RegisterBenchmarks() {
+  for (const Primitive prim :
+       {Primitive::kPrefixSum, Primitive::kGather, Primitive::kScatter,
+        Primitive::kReduction, Primitive::kProduct}) {
+    for (const auto& name : AllBackendNames()) {
+      auto* b = benchmark::RegisterBenchmark(
+          (std::string(PrimitiveName(prim)) + "/" + name).c_str(),
+          [name, prim](benchmark::State& s) { PrimitiveBench(s, name, prim); });
+      b->UseManualTime()->Iterations(3);
+      for (const int64_t n : {1 << 18, 1 << 22}) b->Arg(n);
+    }
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

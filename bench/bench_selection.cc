@@ -1,0 +1,52 @@
+// R-F2: Selection runtime vs. rows per library, across selectivities.
+//
+// Pipelines under test (Table II):
+//   Thrust / Boost.Compute: transform -> exclusive_scan -> scatter_if
+//   ArrayFire:              where(fused predicate) (+ JIT graph overhead)
+//   Handwritten:            one fused kernel with atomic ticketing
+// Expected shape: handwritten < Thrust < ArrayFire ~ Thrust < Boost.Compute
+// (OpenCL launch overhead; first-call compile excluded here by warmup).
+#include "bench_common.h"
+
+namespace bench {
+
+void SelectionBench(benchmark::State& state, const std::string& name) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int32_t selectivity_pct = static_cast<int32_t>(state.range(1));
+  auto backend = core::BackendRegistry::Instance().Create(name);
+  const auto data = UniformInts(n, 100);
+  const auto col = Upload(*backend, data);
+  const auto pred = core::Predicate::Make("x", core::CompareOp::kLt,
+                                          static_cast<double>(selectivity_pct));
+  // Warm the program cache (Boost.Compute) so this experiment isolates the
+  // steady-state operator cost; bench_compile_overhead measures cold calls.
+  backend->Select(col, pred);
+
+  size_t selected = 0;
+  for (auto _ : state) {
+    Region region(*backend);
+    const auto sel = backend->Select(col, pred);
+    region.Stop(state);
+    selected = sel.count;
+  }
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["rows"] = static_cast<double>(n);
+}
+
+void RegisterBenchmarks() {
+  for (const auto& name : AllBackendNames()) {
+    auto* b = benchmark::RegisterBenchmark(
+        ("Selection/" + name).c_str(),
+        [name](benchmark::State& s) { SelectionBench(s, name); });
+    b->UseManualTime()->Iterations(3);
+    for (const int64_t n : {1 << 16, 1 << 18, 1 << 20, 1 << 22}) {
+      for (const int64_t sel : {1, 10, 50, 90}) {
+        b->Args({n, sel});
+      }
+    }
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

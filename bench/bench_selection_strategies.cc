@@ -1,0 +1,114 @@
+// Ablation (DESIGN.md §5.4): compaction strategies for the selection
+// operator, all inside one library (thrustsim), plus the handwritten fused
+// kernel as the floor.
+//
+//   pipeline   — transform -> exclusive_scan -> scatter_if (Table II's
+//                3-call realization; materializes flags and positions)
+//   copy_if    — the library's fused-ish single-call compaction (still
+//                flags+scan+scatter internally, but no user intermediates)
+//   stencil    — copy_if(stencil) after a separate predicate transform
+//   fused      — handwritten one-kernel atomic-ticket selection
+#include "bench_common.h"
+#include "gpusim/atomic_ops.h"
+#include "thrustsim/thrustsim.h"
+
+namespace bench {
+
+void PipelineStrategy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  thrustsim::device_vector<int32_t> col(UniformInts(n, 100));
+  thrustsim::device_vector<uint32_t> flags(n);
+  thrustsim::device_vector<uint32_t> positions(n);
+  thrustsim::device_vector<int32_t> out(n);
+  for (auto _ : state) {
+    Region region(thrustsim::default_stream());
+    thrustsim::transform(col.begin(), col.end(), flags.begin(),
+                         [](int32_t v) { return v < 50 ? 1u : 0u; });
+    thrustsim::exclusive_scan(flags.begin(), flags.end(), positions.begin());
+    thrustsim::scatter_if(thrustsim::make_counting_iterator<int32_t>(0),
+                          thrustsim::make_counting_iterator<int32_t>(
+                              static_cast<int32_t>(n)),
+                          positions.begin(), flags.begin(), out.begin());
+    region.Stop(state);
+  }
+}
+
+void CopyIfStrategy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  thrustsim::device_vector<int32_t> col(UniformInts(n, 100));
+  thrustsim::device_vector<int32_t> out(n);
+  for (auto _ : state) {
+    Region region(thrustsim::default_stream());
+    benchmark::DoNotOptimize(thrustsim::copy_if(
+        col.begin(), col.end(), out.begin(),
+        [](int32_t v) { return v < 50; }));
+    region.Stop(state);
+  }
+}
+
+void StencilStrategy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  thrustsim::device_vector<int32_t> col(UniformInts(n, 100));
+  thrustsim::device_vector<uint32_t> stencil(n);
+  thrustsim::device_vector<int32_t> out(n);
+  for (auto _ : state) {
+    Region region(thrustsim::default_stream());
+    thrustsim::transform(col.begin(), col.end(), stencil.begin(),
+                         [](int32_t v) { return v < 50 ? 1u : 0u; });
+    benchmark::DoNotOptimize(thrustsim::copy_if(
+        thrustsim::make_counting_iterator<int32_t>(0),
+        thrustsim::make_counting_iterator<int32_t>(static_cast<int32_t>(n)),
+        stencil.begin(), out.begin(),
+        [](uint32_t s) { return s != 0; }));
+    region.Stop(state);
+  }
+}
+
+void FusedStrategy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  auto col = gpusim::ToDevice(stream, UniformInts(n, 100));
+  gpusim::DeviceArray<uint32_t> out(n, stream.device());
+  for (auto _ : state) {
+    Region region(stream);
+    gpusim::DeviceArray<uint32_t> counter(1, stream.device());
+    gpusim::MemsetDevice(stream, counter.data(), 0, sizeof(uint32_t));
+    const int32_t* data = col.data();
+    uint32_t* c = counter.data();
+    uint32_t* o = out.data();
+    gpusim::KernelStats stats;
+    stats.name = "fused_select";
+    stats.bytes_read = n * sizeof(int32_t);
+    stats.bytes_written = n * sizeof(uint32_t);
+    gpusim::ParallelFor(stream, n, stats, [=](size_t i) {
+      if (data[i] < 50) o[gpusim::AtomicAdd(c, uint32_t{1})] = i;
+    });
+    uint32_t count = 0;
+    gpusim::CopyDeviceToHost(stream, &count, counter.data(),
+                             sizeof(uint32_t));
+    benchmark::DoNotOptimize(count);
+    region.Stop(state);
+  }
+}
+
+void RegisterBenchmarks() {
+  const struct {
+    const char* name;
+    void (*fn)(benchmark::State&);
+  } strategies[] = {
+      {"SelectionStrategy/pipeline", PipelineStrategy},
+      {"SelectionStrategy/copy_if", CopyIfStrategy},
+      {"SelectionStrategy/stencil", StencilStrategy},
+      {"SelectionStrategy/fused", FusedStrategy},
+  };
+  for (const auto& s : strategies) {
+    auto* b = benchmark::RegisterBenchmark(s.name, s.fn);
+    b->UseManualTime()->Iterations(3);
+    for (const int64_t n : {1 << 18, 1 << 22}) b->Arg(n);
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

@@ -1,0 +1,49 @@
+// R-F4: Sort and sort-by-key vs. row count.
+//
+// All libraries map to an LSD radix sort (Table II: sort()/sort_by_key());
+// the differences are per-call API overhead and, for Boost.Compute, kernel
+// compilation (warmed away here) plus lower effective throughput.
+#include "bench_common.h"
+
+namespace bench {
+
+void SortBench(benchmark::State& state, const std::string& name,
+               bool by_key) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto backend = core::BackendRegistry::Instance().Create(name);
+  const auto keys = Upload(*backend, UniformInts(n, 1 << 30));
+  const auto vals = Upload(*backend, UniformDoubles(n, 1000.0));
+  if (by_key) {
+    backend->SortByKey(keys, vals);  // warm
+  } else {
+    backend->Sort(keys);  // warm
+  }
+
+  for (auto _ : state) {
+    Region region(*backend);
+    if (by_key) {
+      benchmark::DoNotOptimize(backend->SortByKey(keys, vals));
+    } else {
+      benchmark::DoNotOptimize(backend->Sort(keys));
+    }
+    region.Stop(state);
+  }
+  state.counters["rows"] = static_cast<double>(n);
+}
+
+void RegisterBenchmarks() {
+  for (const bool by_key : {false, true}) {
+    const char* kind = by_key ? "SortByKey" : "Sort";
+    for (const auto& name : AllBackendNames()) {
+      auto* b = benchmark::RegisterBenchmark(
+          (std::string(kind) + "/" + name).c_str(),
+          [name, by_key](benchmark::State& s) { SortBench(s, name, by_key); });
+      b->UseManualTime()->Iterations(2);
+      for (const int64_t n : {1 << 16, 1 << 18, 1 << 20, 1 << 22}) b->Arg(n);
+    }
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

@@ -1,0 +1,46 @@
+// R-T3: TPC-H Q1 end-to-end per library, at two scale factors.
+//
+// Q1 = low-selectivity date filter + 5 gathers + projection arithmetic + six
+// grouped aggregations. The libraries' sort-based reduce_by_key re-sorts for
+// every aggregate; the handwritten backend hashes. This is the heaviest
+// operator-chaining workload in the study.
+#include "bench_common.h"
+#include "tpch/queries.h"
+
+namespace bench {
+
+void Q1Bench(benchmark::State& state, const std::string& name) {
+  const double sf = state.range(0) / 1000.0;
+  tpch::Config config;
+  config.scale_factor = sf;
+  const storage::Table lineitem = tpch::GenerateLineitem(config);
+  auto backend = core::BackendRegistry::Instance().Create(name);
+  const storage::DeviceTable dev =
+      storage::UploadTable(backend->stream(), lineitem);
+
+  tpch::RunQ1(*backend, dev);  // warm program cache
+  size_t groups = 0;
+  for (auto _ : state) {
+    Region region(*backend);
+    const auto rows = tpch::RunQ1(*backend, dev);
+    region.Stop(state);
+    groups = rows.size();
+  }
+  state.counters["rows"] = static_cast<double>(lineitem.num_rows());
+  state.counters["result_groups"] = static_cast<double>(groups);
+}
+
+void RegisterBenchmarks() {
+  for (const auto& name : AllBackendNames()) {
+    auto* b = benchmark::RegisterBenchmark(
+        ("TpchQ1/" + name).c_str(),
+        [name](benchmark::State& s) { Q1Bench(s, name); });
+    b->UseManualTime()->Iterations(2);
+    b->Arg(10);   // SF 0.01
+    b->Arg(100);  // SF 0.1
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

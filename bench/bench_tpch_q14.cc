@@ -1,0 +1,48 @@
+// R-T8 (extension): TPC-H Q14 end-to-end — part-lineitem join with a
+// conditional (CASE WHEN) aggregate realized as a second selection.
+#include "bench_common.h"
+#include "tpch/queries.h"
+
+namespace bench {
+
+void Q14Bench(benchmark::State& state, const std::string& name,
+              tpch::JoinStrategy strategy) {
+  tpch::Config config;
+  config.scale_factor = state.range(0) / 1000.0;
+  const storage::Table lineitem = tpch::GenerateLineitem(config);
+  const storage::Table part = tpch::GeneratePart(config);
+  auto backend = core::BackendRegistry::Instance().Create(name);
+  const auto dev_li = storage::UploadTable(backend->stream(), lineitem);
+  const auto dev_part = storage::UploadTable(backend->stream(), part);
+
+  tpch::RunQ14(*backend, dev_part, dev_li, tpch::Q14Params(),
+               strategy);  // warm
+  double pct = 0;
+  for (auto _ : state) {
+    Region region(*backend);
+    pct = tpch::RunQ14(*backend, dev_part, dev_li, tpch::Q14Params(),
+                       strategy);
+    region.Stop(state);
+  }
+  state.counters["promo_pct"] = pct;
+  state.counters["lineitem_rows"] = static_cast<double>(lineitem.num_rows());
+}
+
+void RegisterBenchmarks() {
+  for (const auto& name : AllBackendNames()) {
+    auto* b = benchmark::RegisterBenchmark(
+        ("TpchQ14/" + name).c_str(), [name](benchmark::State& s) {
+          Q14Bench(s, name, tpch::JoinStrategy::kAuto);
+        });
+    b->UseManualTime()->Iterations(1)->Arg(10);  // SF 0.01
+  }
+  auto* nlj = benchmark::RegisterBenchmark(
+      "TpchQ14/Handwritten-nlj", [](benchmark::State& s) {
+        Q14Bench(s, backends::kHandwritten, tpch::JoinStrategy::kNestedLoops);
+      });
+  nlj->UseManualTime()->Iterations(1)->Arg(10);
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

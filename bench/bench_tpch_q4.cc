@@ -1,0 +1,47 @@
+// R-T7 (extension): TPC-H Q4 end-to-end — the semi-join (EXISTS) query.
+//
+// Pipeline: column-column selection, gather, Unique (sort+unique in every
+// library), semi-join against the filtered orders, grouped count.
+#include "bench_common.h"
+#include "tpch/queries.h"
+
+namespace bench {
+
+void Q4Bench(benchmark::State& state, const std::string& name,
+             tpch::JoinStrategy strategy) {
+  tpch::Config config;
+  config.scale_factor = state.range(0) / 1000.0;
+  const storage::Table lineitem = tpch::GenerateLineitem(config);
+  const storage::Table orders = tpch::GenerateOrders(config);
+  auto backend = core::BackendRegistry::Instance().Create(name);
+  const auto dev_li = storage::UploadTable(backend->stream(), lineitem);
+  const auto dev_ord = storage::UploadTable(backend->stream(), orders);
+
+  tpch::RunQ4(*backend, dev_ord, dev_li, tpch::Q4Params(), strategy);  // warm
+  for (auto _ : state) {
+    Region region(*backend);
+    benchmark::DoNotOptimize(
+        tpch::RunQ4(*backend, dev_ord, dev_li, tpch::Q4Params(), strategy));
+    region.Stop(state);
+  }
+  state.counters["lineitem_rows"] = static_cast<double>(lineitem.num_rows());
+}
+
+void RegisterBenchmarks() {
+  for (const auto& name : AllBackendNames()) {
+    auto* b = benchmark::RegisterBenchmark(
+        ("TpchQ4/" + name).c_str(), [name](benchmark::State& s) {
+          Q4Bench(s, name, tpch::JoinStrategy::kAuto);
+        });
+    b->UseManualTime()->Iterations(1)->Arg(10);  // SF 0.01
+  }
+  auto* nlj = benchmark::RegisterBenchmark(
+      "TpchQ4/Handwritten-nlj", [](benchmark::State& s) {
+        Q4Bench(s, backends::kHandwritten, tpch::JoinStrategy::kNestedLoops);
+      });
+  nlj->UseManualTime()->Iterations(1)->Arg(10);
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

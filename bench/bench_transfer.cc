@@ -1,0 +1,61 @@
+// R-T5: Host<->device transfer overhead vs. payload size.
+//
+// The interconnect is the tax every library pays identically; the paper's
+// framework keeps intermediates on the device precisely to avoid it. This
+// bench quantifies the PCIe cost model component: latency-bound for small
+// payloads, bandwidth-bound (~12 GB/s) for large ones, vs. on-device copies
+// at memory bandwidth (~420 GB/s).
+#include "bench_common.h"
+#include "gpusim/memory.h"
+
+namespace bench {
+
+enum class Kind { kH2D, kD2H, kD2D };
+
+void TransferBench(benchmark::State& state, Kind kind) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  std::vector<uint8_t> host(bytes, 1);
+  gpusim::DeviceArray<uint8_t> a(bytes, stream.device());
+  gpusim::DeviceArray<uint8_t> b(bytes, stream.device());
+
+  for (auto _ : state) {
+    Region region(stream);
+    switch (kind) {
+      case Kind::kH2D:
+        gpusim::CopyHostToDevice(stream, a.data(), host.data(), bytes);
+        break;
+      case Kind::kD2H:
+        gpusim::CopyDeviceToHost(stream, host.data(), a.data(), bytes);
+        break;
+      case Kind::kD2D:
+        gpusim::CopyDeviceToDevice(stream, b.data(), a.data(), bytes);
+        break;
+    }
+    region.Stop(state);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+
+void RegisterBenchmarks() {
+  const struct {
+    Kind kind;
+    const char* name;
+  } kinds[] = {{Kind::kH2D, "HostToDevice"},
+               {Kind::kD2H, "DeviceToHost"},
+               {Kind::kD2D, "DeviceToDevice"}};
+  for (const auto& k : kinds) {
+    auto* b = benchmark::RegisterBenchmark(
+        (std::string("Transfer/") + k.name).c_str(),
+        [kind = k.kind](benchmark::State& s) { TransferBench(s, kind); });
+    b->UseManualTime()->Iterations(3);
+    for (const int64_t bytes : {1 << 10, 1 << 16, 1 << 22, 1 << 28}) {
+      b->Arg(bytes);
+    }
+  }
+}
+
+}  // namespace bench
+
+BENCH_MAIN()

@@ -1,0 +1,89 @@
+// Compares one database operator across all library backends and prints a
+// side-by-side table of simulated device time, kernel launches, and memory
+// traffic — a miniature, human-readable version of the benchmark harness.
+//
+//   build/examples/operator_comparison [rows]     (default 1<<20)
+#include <iomanip>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/registry.h"
+#include "storage/device_column.h"
+
+namespace {
+
+std::vector<int32_t> RandomInts(size_t n, int32_t domain) {
+  std::mt19937 rng(21);
+  std::vector<int32_t> out(n);
+  for (auto& v : out) v = static_cast<int32_t>(rng() % domain);
+  return out;
+}
+
+void PrintHeader(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  std::cout << std::left << std::setw(16) << "backend" << std::right
+            << std::setw(12) << "time [ms]" << std::setw(10) << "kernels"
+            << std::setw(12) << "MiB moved" << std::setw(10) << "compiles"
+            << "\n";
+}
+
+void PrintRow(const std::string& name, const core::Measurement& m) {
+  std::cout << std::left << std::setw(16) << name << std::right << std::fixed
+            << std::setprecision(3) << std::setw(12) << m.simulated_ms()
+            << std::setw(10) << m.kernels << std::setw(12)
+            << std::setprecision(1)
+            << (m.bytes_read + m.bytes_written) / (1024.0 * 1024.0)
+            << std::setw(10) << m.programs_compiled << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::RegisterBuiltinBackends();
+  const size_t n = argc > 1 ? std::stoull(argv[1]) : (1 << 20);
+  const auto data = RandomInts(n, 1000);
+  const auto keys = RandomInts(n, 64);
+
+  PrintHeader("Selection (10% selectivity), " + std::to_string(n) + " rows");
+  for (const auto& name : core::BackendRegistry::Instance().Names()) {
+    auto backend = core::BackendRegistry::Instance().Create(name);
+    const auto col =
+        storage::UploadColumn(backend->stream(), storage::Column(data));
+    backend->Select(col, core::Predicate::Make("x", core::CompareOp::kLt,
+                                               100.0));  // warm
+    core::ScopedMeasurement scope(backend->stream(), name);
+    backend->Select(col,
+                    core::Predicate::Make("x", core::CompareOp::kLt, 100.0));
+    PrintRow(name, scope.Stop());
+  }
+
+  PrintHeader("Grouped sum (64 groups), " + std::to_string(n) + " rows");
+  for (const auto& name : core::BackendRegistry::Instance().Names()) {
+    auto backend = core::BackendRegistry::Instance().Create(name);
+    const auto k =
+        storage::UploadColumn(backend->stream(), storage::Column(keys));
+    const auto v =
+        storage::UploadColumn(backend->stream(), storage::Column(data));
+    backend->GroupByAggregate(k, v, core::AggOp::kSum);  // warm
+    core::ScopedMeasurement scope(backend->stream(), name);
+    backend->GroupByAggregate(k, v, core::AggOp::kSum);
+    PrintRow(name, scope.Stop());
+  }
+
+  PrintHeader("Sort, " + std::to_string(n) + " rows");
+  for (const auto& name : core::BackendRegistry::Instance().Names()) {
+    auto backend = core::BackendRegistry::Instance().Create(name);
+    const auto col =
+        storage::UploadColumn(backend->stream(), storage::Column(data));
+    backend->Sort(col);  // warm
+    core::ScopedMeasurement scope(backend->stream(), name);
+    backend->Sort(col);
+    PrintRow(name, scope.Stop());
+  }
+
+  std::cout << "\n(Deterministic simulated device time; see DESIGN.md for "
+               "the cost model.)\n";
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Umbrella header for the ArrayFire-like library simulation.
+#ifndef AFSIM_AFSIM_H_
+#define AFSIM_AFSIM_H_
+
+#include "afsim/array.h"
+#include "afsim/node.h"
+
+#endif  // AFSIM_AFSIM_H_

@@ -1,0 +1,255 @@
+// JIT evaluation: fuses an element-wise expression tree into a single kernel.
+#include <unordered_set>
+
+#include "afsim/array.h"
+#include "gpusim/algorithms.h"
+
+namespace afsim {
+
+gpusim::Stream& default_stream() {
+  static gpusim::Stream* stream =
+      new gpusim::Stream(gpusim::Device::Default(), gpusim::ApiProfile::Cuda());
+  return *stream;
+}
+
+namespace detail {
+
+node_ptr make_data_node(dtype t, size_t n) {
+  auto nd = std::make_shared<node>();
+  nd->k = node::kind::data;
+  nd->type = t;
+  nd->n = n;
+  nd->buffer = std::make_shared<gpusim::DeviceBuffer>(
+      n * dtype_size(t), default_stream().device());
+  return nd;
+}
+
+namespace {
+
+/// Typed load from a data node's buffer into an evaluation cell.
+inline cell load_cell(const node* nd, size_t i) {
+  cell c;
+  const void* p = nd->buffer->data();
+  switch (nd->type) {
+    case dtype::b8: c.i = static_cast<const uint8_t*>(p)[i]; break;
+    case dtype::s32: c.i = static_cast<const int32_t*>(p)[i]; break;
+    case dtype::s64: c.i = static_cast<const int64_t*>(p)[i]; break;
+    case dtype::u32: c.i = static_cast<const uint32_t*>(p)[i]; break;
+    case dtype::f32: c.f = static_cast<const float*>(p)[i]; break;
+    case dtype::f64: c.f = static_cast<const double*>(p)[i]; break;
+  }
+  return c;
+}
+
+inline double to_f(const cell& c, dtype t) {
+  return is_floating(t) ? c.f : static_cast<double>(c.i);
+}
+
+inline int64_t to_i(const cell& c, dtype t) {
+  return is_floating(t) ? static_cast<int64_t>(c.f) : c.i;
+}
+
+inline bool truthy(const cell& c, dtype t) {
+  return is_floating(t) ? c.f != 0.0 : c.i != 0;
+}
+
+/// Recursive per-element interpretation of the fused subtree — the stand-in
+/// for the code ArrayFire's JIT would have generated for this tree.
+cell eval_cell(const node* nd, size_t i) {
+  switch (nd->k) {
+    case node::kind::data:
+      return load_cell(nd, i);
+    case node::kind::scalar: {
+      cell c;
+      if (is_floating(nd->type)) {
+        c.f = nd->value.f;
+      } else {
+        c.i = nd->value.i;
+      }
+      return c;
+    }
+    case node::kind::unary: {
+      const cell a = eval_cell(nd->lhs.get(), i);
+      cell c;
+      switch (nd->uop) {
+        case unary_op::neg:
+          if (is_floating(nd->type)) {
+            c.f = -to_f(a, nd->lhs->type);
+          } else {
+            c.i = -to_i(a, nd->lhs->type);
+          }
+          break;
+        case unary_op::logical_not:
+          c.i = truthy(a, nd->lhs->type) ? 0 : 1;
+          break;
+        case unary_op::cast:
+          if (is_floating(nd->type)) {
+            c.f = to_f(a, nd->lhs->type);
+          } else if (nd->type == dtype::b8) {
+            c.i = truthy(a, nd->lhs->type) ? 1 : 0;
+          } else {
+            c.i = to_i(a, nd->lhs->type);
+          }
+          break;
+      }
+      return c;
+    }
+    case node::kind::binary: {
+      const cell a = eval_cell(nd->lhs.get(), i);
+      const cell b = eval_cell(nd->rhs.get(), i);
+      const dtype lt = nd->lhs->type;
+      const dtype rt = nd->rhs->type;
+      const bool float_args = is_floating(lt) || is_floating(rt);
+      cell c;
+      switch (nd->bop) {
+        case binary_op::add:
+        case binary_op::sub:
+        case binary_op::mul:
+        case binary_op::div:
+        case binary_op::min:
+        case binary_op::max:
+          if (is_floating(nd->type)) {
+            const double x = to_f(a, lt), y = to_f(b, rt);
+            switch (nd->bop) {
+              case binary_op::add: c.f = x + y; break;
+              case binary_op::sub: c.f = x - y; break;
+              case binary_op::mul: c.f = x * y; break;
+              case binary_op::div: c.f = x / y; break;
+              case binary_op::min: c.f = y < x ? y : x; break;
+              case binary_op::max: c.f = x < y ? y : x; break;
+              default: break;
+            }
+          } else {
+            const int64_t x = to_i(a, lt), y = to_i(b, rt);
+            switch (nd->bop) {
+              case binary_op::add: c.i = x + y; break;
+              case binary_op::sub: c.i = x - y; break;
+              case binary_op::mul: c.i = x * y; break;
+              case binary_op::div: c.i = y == 0 ? 0 : x / y; break;
+              case binary_op::min: c.i = y < x ? y : x; break;
+              case binary_op::max: c.i = x < y ? y : x; break;
+              default: break;
+            }
+          }
+          break;
+        case binary_op::gt:
+        case binary_op::lt:
+        case binary_op::ge:
+        case binary_op::le:
+        case binary_op::eq:
+        case binary_op::ne:
+          if (float_args) {
+            const double x = to_f(a, lt), y = to_f(b, rt);
+            switch (nd->bop) {
+              case binary_op::gt: c.i = x > y; break;
+              case binary_op::lt: c.i = x < y; break;
+              case binary_op::ge: c.i = x >= y; break;
+              case binary_op::le: c.i = x <= y; break;
+              case binary_op::eq: c.i = x == y; break;
+              case binary_op::ne: c.i = x != y; break;
+              default: break;
+            }
+          } else {
+            const int64_t x = to_i(a, lt), y = to_i(b, rt);
+            switch (nd->bop) {
+              case binary_op::gt: c.i = x > y; break;
+              case binary_op::lt: c.i = x < y; break;
+              case binary_op::ge: c.i = x >= y; break;
+              case binary_op::le: c.i = x <= y; break;
+              case binary_op::eq: c.i = x == y; break;
+              case binary_op::ne: c.i = x != y; break;
+              default: break;
+            }
+          }
+          break;
+        case binary_op::logical_and:
+          c.i = truthy(a, lt) && truthy(b, rt);
+          break;
+        case binary_op::logical_or:
+          c.i = truthy(a, lt) || truthy(b, rt);
+          break;
+      }
+      return c;
+    }
+  }
+  return cell{};
+}
+
+/// Typed store of a cell into the output buffer.
+inline void store_cell(void* p, dtype t, size_t i, const cell& c) {
+  switch (t) {
+    case dtype::b8:
+      static_cast<uint8_t*>(p)[i] = static_cast<uint8_t>(c.i != 0);
+      break;
+    case dtype::s32:
+      static_cast<int32_t*>(p)[i] = static_cast<int32_t>(c.i);
+      break;
+    case dtype::s64: static_cast<int64_t*>(p)[i] = c.i; break;
+    case dtype::u32:
+      static_cast<uint32_t*>(p)[i] = static_cast<uint32_t>(c.i);
+      break;
+    case dtype::f32:
+      static_cast<float*>(p)[i] = static_cast<float>(c.f);
+      break;
+    case dtype::f64: static_cast<double*>(p)[i] = c.f; break;
+  }
+}
+
+/// Collects the distinct data leaves of the subtree for byte accounting.
+void collect_leaves(const node* nd, std::unordered_set<const node*>* leaves) {
+  if (nd->k == node::kind::data) {
+    leaves->insert(nd);
+    return;
+  }
+  if (nd->lhs) collect_leaves(nd->lhs.get(), leaves);
+  if (nd->rhs) collect_leaves(nd->rhs.get(), leaves);
+}
+
+}  // namespace
+}  // namespace detail
+
+array from_buffer(std::shared_ptr<gpusim::DeviceBuffer> buffer, dtype t,
+                  size_t n) {
+  auto nd = std::make_shared<detail::node>();
+  nd->k = detail::node::kind::data;
+  nd->type = t;
+  nd->n = n;
+  nd->buffer = std::move(buffer);
+  return array(std::move(nd));
+}
+
+const array& array::eval() const {
+  using detail::node;
+  if (!node_ || node_->k == node::kind::data) return *this;
+  const size_t n = node_->n;
+  auto buffer = std::make_shared<gpusim::DeviceBuffer>(
+      n * dtype_size(node_->type), default_stream().device());
+
+  std::unordered_set<const node*> leaves;
+  detail::collect_leaves(node_.get(), &leaves);
+  uint64_t bytes_read = 0;
+  for (const node* leaf : leaves) bytes_read += leaf->n * dtype_size(leaf->type);
+
+  gpusim::KernelStats stats;
+  stats.name = "af::jit_fused";
+  stats.bytes_read = bytes_read;
+  stats.bytes_written = n * dtype_size(node_->type);
+  stats.ops = static_cast<uint64_t>(n) * node_->tree_size;
+  void* out = buffer->data();
+  const node* root = node_.get();
+  const dtype t = node_->type;
+  gpusim::ParallelFor(default_stream(), n, stats, [=](size_t i) {
+    detail::store_cell(out, t, i, detail::eval_cell(root, i));
+  });
+
+  // Mutate the shared node into a data node so every aliasing handle sees
+  // the materialized result (af semantics).
+  node_->k = node::kind::data;
+  node_->buffer = std::move(buffer);
+  node_->lhs.reset();
+  node_->rhs.reset();
+  node_->tree_size = 1;
+  return *this;
+}
+
+}  // namespace afsim

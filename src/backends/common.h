@@ -1,0 +1,48 @@
+// Shared helpers for backend implementations.
+#ifndef BACKENDS_COMMON_H_
+#define BACKENDS_COMMON_H_
+
+#include <cstdint>
+
+#include "core/backend.h"
+#include "storage/device_column.h"
+
+namespace backends {
+
+/// The predicate literal as the column's element type.
+template <typename T>
+T PredLiteral(const core::Predicate& p) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(p.value_f);
+  } else {
+    return static_cast<T>(p.value_i);
+  }
+}
+
+/// Evaluates `value <op> literal`.
+template <typename T>
+inline bool ApplyCompare(core::CompareOp op, T value, T literal) {
+  switch (op) {
+    case core::CompareOp::kLt: return value < literal;
+    case core::CompareOp::kLe: return value <= literal;
+    case core::CompareOp::kGt: return value > literal;
+    case core::CompareOp::kGe: return value >= literal;
+    case core::CompareOp::kEq: return value == literal;
+    case core::CompareOp::kNe: return value != literal;
+  }
+  return false;
+}
+
+/// Dispatches the statement block with `T` bound to the element type of a
+/// column type. Variadic so commas in the block need no extra parentheses.
+#define BACKENDS_DISPATCH(DT, ...)                                           \
+  switch (DT) {                                                              \
+    case storage::DataType::kInt32: { using T = int32_t; __VA_ARGS__; break; }  \
+    case storage::DataType::kInt64: { using T = int64_t; __VA_ARGS__; break; }  \
+    case storage::DataType::kFloat64: { using T = double; __VA_ARGS__; break; } \
+    case storage::DataType::kFloat32: { using T = float; __VA_ARGS__; break; }  \
+  }
+
+}  // namespace backends
+
+#endif  // BACKENDS_COMMON_H_

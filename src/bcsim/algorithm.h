@@ -1,0 +1,427 @@
+// Boost.Compute-style algorithms.
+//
+// Every algorithm (1) assembles the source keys of the OpenCL kernels it
+// would generate — one per internal kernel, parameterized by value types and
+// functor names — and ensures they are built in the queue's context (first
+// use pays the JIT compile), then (2) executes the same GPU pass structure
+// as the other libraries, but on the queue's OpenCL-profile stream.
+#ifndef BCSIM_ALGORITHM_H_
+#define BCSIM_ALGORITHM_H_
+
+#include <iterator>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "bcsim/core.h"
+#include "bcsim/functional.h"
+#include "bcsim/vector.h"
+#include "gpusim/algorithms.h"
+
+namespace bcsim {
+
+namespace detail {
+template <typename It>
+using value_type_of = typename std::iterator_traits<It>::value_type;
+}  // namespace detail
+
+/// boost::compute::counting_iterator equivalent.
+template <typename T>
+struct counting_iterator {
+  using value_type = T;
+  using difference_type = std::ptrdiff_t;
+  using pointer = const T*;
+  using reference = T;
+  using iterator_category = std::random_access_iterator_tag;
+
+  T base{};
+
+  T operator[](size_t i) const { return base + static_cast<T>(i); }
+  T operator*() const { return base; }
+  counting_iterator operator+(std::ptrdiff_t d) const {
+    return counting_iterator{static_cast<T>(base + d)};
+  }
+  std::ptrdiff_t operator-(const counting_iterator& o) const {
+    return static_cast<std::ptrdiff_t>(base - o.base);
+  }
+};
+
+template <typename T>
+counting_iterator<T> make_counting_iterator(T base) {
+  return counting_iterator<T>{base};
+}
+
+// --------------------------------------------------------------------------
+// transform / fill / iota / for_each
+// --------------------------------------------------------------------------
+
+/// Unary transform: out[i] = op(in[i]).
+template <typename InIt, typename OutIt, typename UnaryOp>
+OutIt transform(InIt first, InIt last, OutIt out, UnaryOp op,
+                command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  using U = detail::value_type_of<OutIt>;
+  queue.ensure_program("bcsim.transform." + detail::type_tag<T>() + "." +
+                       detail::type_tag<U>() + "." + detail::functor_name(op));
+  const size_t n = static_cast<size_t>(last - first);
+  gpusim::KernelStats stats;
+  stats.name = "compute::transform";
+  stats.bytes_read = n * sizeof(T);
+  stats.bytes_written = n * sizeof(U);
+  gpusim::ParallelFor(queue.stream(), n, stats,
+                      [=](size_t i) { out[i] = op(first[i]); });
+  return out + n;
+}
+
+/// Binary transform: out[i] = op(a[i], b[i]).
+template <typename InIt1, typename InIt2, typename OutIt, typename BinaryOp>
+OutIt transform(InIt1 first1, InIt1 last1, InIt2 first2, OutIt out,
+                BinaryOp op, command_queue& queue) {
+  using T1 = detail::value_type_of<InIt1>;
+  using T2 = detail::value_type_of<InIt2>;
+  using U = detail::value_type_of<OutIt>;
+  queue.ensure_program("bcsim.transform2." + detail::type_tag<T1>() + "." +
+                       detail::type_tag<T2>() + "." + detail::type_tag<U>() +
+                       "." + detail::functor_name(op));
+  const size_t n = static_cast<size_t>(last1 - first1);
+  gpusim::KernelStats stats;
+  stats.name = "compute::transform2";
+  stats.bytes_read = n * (sizeof(T1) + sizeof(T2));
+  stats.bytes_written = n * sizeof(U);
+  gpusim::ParallelFor(queue.stream(), n, stats,
+                      [=](size_t i) { out[i] = op(first1[i], first2[i]); });
+  return out + n;
+}
+
+template <typename It, typename T>
+void fill(It first, It last, T value, command_queue& queue) {
+  using U = detail::value_type_of<It>;
+  queue.ensure_program("bcsim.fill." + detail::type_tag<U>());
+  gpusim::Fill(queue.stream(), &*first, static_cast<size_t>(last - first),
+               U(value));
+}
+
+template <typename It>
+void iota(It first, It last, detail::value_type_of<It> start,
+          command_queue& queue) {
+  using U = detail::value_type_of<It>;
+  queue.ensure_program("bcsim.iota." + detail::type_tag<U>());
+  gpusim::Sequence(queue.stream(), &*first, static_cast<size_t>(last - first),
+                   start, U{1});
+}
+
+/// for_each_n, Table II's building block for the nested-loops join.
+template <typename It, typename F>
+It for_each_n(It first, size_t n, F f, command_queue& queue) {
+  using T = detail::value_type_of<It>;
+  queue.ensure_program("bcsim.for_each." + detail::type_tag<T>() + "." +
+                       detail::functor_name(f));
+  gpusim::KernelStats stats;
+  stats.name = "compute::for_each_n";
+  stats.bytes_read = n * sizeof(T);
+  gpusim::ParallelFor(queue.stream(), n, stats, [=](size_t i) { f(first[i]); });
+  return first + n;
+}
+
+// --------------------------------------------------------------------------
+// gather / scatter / copy
+// --------------------------------------------------------------------------
+
+template <typename MapIt, typename InIt, typename OutIt>
+OutIt gather(MapIt map_first, MapIt map_last, InIt input, OutIt result,
+             command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  queue.ensure_program("bcsim.gather." + detail::type_tag<T>());
+  const size_t n = static_cast<size_t>(map_last - map_first);
+  gpusim::Gather(queue.stream(), &*map_first, n, &*input, &*result);
+  return result + n;
+}
+
+template <typename InIt, typename MapIt, typename OutIt>
+void scatter(InIt first, InIt last, MapIt map, OutIt result,
+             command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  queue.ensure_program("bcsim.scatter." + detail::type_tag<T>());
+  const size_t n = static_cast<size_t>(last - first);
+  gpusim::Scatter(queue.stream(), &*first, &*map, n, &*result);
+}
+
+/// result[map[i]] = first[i] where stencil[i] is truthy (scatter_if).
+template <typename InIt, typename MapIt, typename StencilIt, typename OutIt>
+void scatter_if(InIt first, InIt last, MapIt map, StencilIt stencil,
+                OutIt result, command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  using M = detail::value_type_of<MapIt>;
+  using S = detail::value_type_of<StencilIt>;
+  queue.ensure_program("bcsim.scatter_if." + detail::type_tag<T>());
+  const size_t n = static_cast<size_t>(last - first);
+  gpusim::KernelStats stats;
+  stats.name = "compute::scatter_if";
+  stats.bytes_read = n * (sizeof(M) + sizeof(S));
+  stats.bytes_written = n * sizeof(T);
+  gpusim::ParallelFor(queue.stream(), n, stats, [=](size_t i) {
+    if (stencil[i]) result[static_cast<size_t>(map[i])] = first[i];
+  });
+}
+
+template <typename InIt, typename OutIt>
+OutIt copy(InIt first, InIt last, OutIt out, command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  const size_t n = static_cast<size_t>(last - first);
+  if (n > 0) {
+    gpusim::CopyDeviceToDevice(queue.stream(), &*out, &*first, n * sizeof(T));
+  }
+  return out + n;
+}
+
+// --------------------------------------------------------------------------
+// reduce / count
+// --------------------------------------------------------------------------
+
+template <typename It, typename T, typename BinOp>
+T reduce(It first, It last, T init, BinOp op, command_queue& queue) {
+  queue.ensure_program("bcsim.reduce." + detail::type_tag<T>() + "." +
+                       detail::functor_name(op));
+  return gpusim::Reduce(queue.stream(), &*first,
+                        static_cast<size_t>(last - first), init, op,
+                        "compute::reduce");
+}
+
+template <typename It>
+detail::value_type_of<It> reduce(It first, It last, command_queue& queue) {
+  using T = detail::value_type_of<It>;
+  return reduce(first, last, T{}, plus<T>(), queue);
+}
+
+template <typename It, typename Pred>
+size_t count_if(It first, It last, Pred pred, command_queue& queue) {
+  using T = detail::value_type_of<It>;
+  queue.ensure_program("bcsim.count_if." + detail::type_tag<T>() + "." +
+                       detail::functor_name(pred));
+  queue.ensure_program("bcsim.reduce.u32.plus");
+  return gpusim::CountIf(queue.stream(), &*first,
+                         static_cast<size_t>(last - first), pred);
+}
+
+// --------------------------------------------------------------------------
+// scans
+// --------------------------------------------------------------------------
+
+template <typename InIt, typename OutIt, typename T, typename BinOp>
+OutIt exclusive_scan(InIt first, InIt last, OutIt out, T init, BinOp op,
+                     command_queue& queue) {
+  queue.ensure_program("bcsim.scan.local." + detail::type_tag<T>() + "." +
+                       detail::functor_name(op));
+  queue.ensure_program("bcsim.scan.add." + detail::type_tag<T>() + "." +
+                       detail::functor_name(op));
+  const size_t n = static_cast<size_t>(last - first);
+  gpusim::ExclusiveScan(queue.stream(), &*first, &*out, n, init, op);
+  return out + n;
+}
+
+template <typename InIt, typename OutIt>
+OutIt exclusive_scan(InIt first, InIt last, OutIt out, command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  return exclusive_scan(first, last, out, T{}, plus<T>(), queue);
+}
+
+template <typename InIt, typename OutIt, typename BinOp>
+OutIt inclusive_scan(InIt first, InIt last, OutIt out, BinOp op,
+                     command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  queue.ensure_program("bcsim.scan.local." + detail::type_tag<T>() + "." +
+                       detail::functor_name(op));
+  queue.ensure_program("bcsim.scan.add." + detail::type_tag<T>() + "." +
+                       detail::functor_name(op));
+  const size_t n = static_cast<size_t>(last - first);
+  gpusim::InclusiveScan(queue.stream(), &*first, &*out, n, op);
+  return out + n;
+}
+
+template <typename InIt, typename OutIt>
+OutIt inclusive_scan(InIt first, InIt last, OutIt out, command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  return inclusive_scan(first, last, out, plus<T>(), queue);
+}
+
+// --------------------------------------------------------------------------
+// compaction
+// --------------------------------------------------------------------------
+
+template <typename InIt, typename OutIt, typename Pred>
+OutIt copy_if(InIt first, InIt last, OutIt out, Pred pred,
+              command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  queue.ensure_program("bcsim.copy_if.flags." + detail::type_tag<T>() + "." +
+                       detail::functor_name(pred));
+  queue.ensure_program("bcsim.scan.local.u32.plus");
+  queue.ensure_program("bcsim.scan.add.u32.plus");
+  queue.ensure_program("bcsim.copy_if.scatter." + detail::type_tag<T>());
+  const size_t n = static_cast<size_t>(last - first);
+  const size_t count = gpusim::CopyIf(queue.stream(), &*first, n, &*out, pred);
+  return out + count;
+}
+
+// --------------------------------------------------------------------------
+// sort / grouping
+// --------------------------------------------------------------------------
+
+template <typename It>
+void sort(It first, It last, command_queue& queue) {
+  using K = detail::value_type_of<It>;
+  queue.ensure_program("bcsim.radix.histogram." + detail::type_tag<K>());
+  queue.ensure_program("bcsim.scan.local.u32.plus");
+  queue.ensure_program("bcsim.scan.add.u32.plus");
+  queue.ensure_program("bcsim.radix.scatter." + detail::type_tag<K>());
+  gpusim::RadixSortKeys(queue.stream(), &*first,
+                        static_cast<size_t>(last - first));
+}
+
+template <typename KeyIt, typename ValIt>
+void sort_by_key(KeyIt keys_first, KeyIt keys_last, ValIt values_first,
+                 command_queue& queue) {
+  using K = detail::value_type_of<KeyIt>;
+  using V = detail::value_type_of<ValIt>;
+  queue.ensure_program("bcsim.radix.histogram." + detail::type_tag<K>());
+  queue.ensure_program("bcsim.scan.local.u32.plus");
+  queue.ensure_program("bcsim.scan.add.u32.plus");
+  queue.ensure_program("bcsim.radix.scatter_kv." + detail::type_tag<K>() +
+                       "." + detail::type_tag<V>());
+  gpusim::RadixSortPairs(queue.stream(), &*keys_first, &*values_first,
+                         static_cast<size_t>(keys_last - keys_first));
+}
+
+template <typename KeyIt, typename ValIt, typename KeyOutIt, typename ValOutIt,
+          typename BinOp>
+std::pair<KeyOutIt, ValOutIt> reduce_by_key(KeyIt keys_first, KeyIt keys_last,
+                                            ValIt values_first,
+                                            KeyOutIt keys_out,
+                                            ValOutIt values_out, BinOp op,
+                                            command_queue& queue) {
+  using K = detail::value_type_of<KeyIt>;
+  using V = detail::value_type_of<ValIt>;
+  queue.ensure_program("bcsim.rbk.flags." + detail::type_tag<K>());
+  queue.ensure_program("bcsim.scan.local.u32.plus");
+  queue.ensure_program("bcsim.scan.add.u32.plus");
+  queue.ensure_program("bcsim.rbk.combine." + detail::type_tag<K>() + "." +
+                       detail::type_tag<V>() + "." + detail::functor_name(op));
+  const size_t n = static_cast<size_t>(keys_last - keys_first);
+  const size_t groups =
+      gpusim::ReduceByKey(queue.stream(), &*keys_first, &*values_first, n,
+                          &*keys_out, &*values_out, op);
+  return {keys_out + groups, values_out + groups};
+}
+
+/// boost::compute::accumulate (serial semantics, parallel realization —
+/// requires an associative op like compute::accumulate's fast path).
+template <typename It, typename T, typename BinOp>
+T accumulate(It first, It last, T init, BinOp op, command_queue& queue) {
+  return reduce(first, last, init, op, queue);
+}
+
+template <typename It, typename T>
+T accumulate(It first, It last, T init, command_queue& queue) {
+  return reduce(first, last, init, plus<T>(), queue);
+}
+
+/// boost::compute::find: iterator to the first occurrence of value (or
+/// last). Realized as a flag kernel + index min-reduction.
+template <typename It, typename T>
+It find(It first, It last, T value, command_queue& queue) {
+  using U = detail::value_type_of<It>;
+  queue.ensure_program("bcsim.find.flags." + detail::type_tag<U>());
+  queue.ensure_program("bcsim.reduce.u64.min");
+  const size_t n = static_cast<size_t>(last - first);
+  if (n == 0) return last;
+  gpusim::DeviceArray<uint64_t> idx(n, queue.get_context().get_device());
+  gpusim::KernelStats stats;
+  stats.name = "compute::find(flags)";
+  stats.bytes_read = n * sizeof(U);
+  stats.bytes_written = n * sizeof(uint64_t);
+  uint64_t* ix = idx.data();
+  gpusim::ParallelFor(queue.stream(), n, stats, [=](size_t i) {
+    ix[i] = first[i] == value ? static_cast<uint64_t>(i)
+                              : std::numeric_limits<uint64_t>::max();
+  });
+  const uint64_t best = gpusim::Reduce(
+      queue.stream(), idx.data(), n, std::numeric_limits<uint64_t>::max(),
+      [](uint64_t a, uint64_t b) { return a < b ? a : b; },
+      "compute::find(reduce)");
+  return best == std::numeric_limits<uint64_t>::max()
+             ? last
+             : first + static_cast<std::ptrdiff_t>(best);
+}
+
+/// boost::compute::equal.
+template <typename It1, typename It2>
+bool equal(It1 first1, It1 last1, It2 first2, command_queue& queue) {
+  using A = detail::value_type_of<It1>;
+  queue.ensure_program("bcsim.equal." + detail::type_tag<A>());
+  queue.ensure_program("bcsim.reduce.u32.plus");
+  const size_t n = static_cast<size_t>(last1 - first1);
+  gpusim::DeviceArray<uint32_t> flags(n, queue.get_context().get_device());
+  gpusim::KernelStats stats;
+  stats.name = "compute::equal(flags)";
+  stats.bytes_read = 2 * n * sizeof(A);
+  stats.bytes_written = n * sizeof(uint32_t);
+  uint32_t* f = flags.data();
+  gpusim::ParallelFor(queue.stream(), n, stats, [=](size_t i) {
+    f[i] = first1[i] == first2[i] ? 1u : 0u;
+  });
+  const uint32_t matches = gpusim::Reduce(
+      queue.stream(), flags.data(), n, uint32_t{0},
+      [](uint32_t a, uint32_t b) { return a + b; }, "compute::equal(reduce)");
+  return matches == n;
+}
+
+/// boost::compute::adjacent_difference.
+template <typename InIt, typename OutIt, typename BinOp>
+OutIt adjacent_difference(InIt first, InIt last, OutIt out, BinOp op,
+                          command_queue& queue) {
+  using T = detail::value_type_of<InIt>;
+  queue.ensure_program("bcsim.adjacent_difference." + detail::type_tag<T>() +
+                       "." + detail::functor_name(op));
+  const size_t n = static_cast<size_t>(last - first);
+  gpusim::KernelStats stats;
+  stats.name = "compute::adjacent_difference";
+  stats.bytes_read = 2 * n * sizeof(T);
+  stats.bytes_written = n * sizeof(T);
+  gpusim::ParallelFor(queue.stream(), n, stats, [=](size_t i) {
+    out[i] = i == 0 ? first[0] : op(first[i], first[i - 1]);
+  });
+  return out + n;
+}
+
+/// unique over a sorted range; returns one past the last unique element.
+template <typename It>
+It unique(It first, It last, command_queue& queue) {
+  using T = detail::value_type_of<It>;
+  queue.ensure_program("bcsim.unique.flags." + detail::type_tag<T>());
+  queue.ensure_program("bcsim.scan.local.u32.plus");
+  queue.ensure_program("bcsim.scan.add.u32.plus");
+  queue.ensure_program("bcsim.unique.scatter." + detail::type_tag<T>());
+  const size_t n = static_cast<size_t>(last - first);
+  gpusim::DeviceArray<T> tmp(n, queue.get_context().get_device());
+  const size_t count =
+      gpusim::UniqueSorted(queue.stream(), &*first, n, tmp.data());
+  if (count > 0) {
+    gpusim::CopyDeviceToDevice(queue.stream(), &*first, tmp.data(),
+                               count * sizeof(T));
+  }
+  return first + count;
+}
+
+template <typename KeyIt, typename ValIt, typename KeyOutIt, typename ValOutIt>
+std::pair<KeyOutIt, ValOutIt> reduce_by_key(KeyIt keys_first, KeyIt keys_last,
+                                            ValIt values_first,
+                                            KeyOutIt keys_out,
+                                            ValOutIt values_out,
+                                            command_queue& queue) {
+  using V = detail::value_type_of<ValIt>;
+  return reduce_by_key(keys_first, keys_last, values_first, keys_out,
+                       values_out, plus<V>(), queue);
+}
+
+}  // namespace bcsim
+
+#endif  // BCSIM_ALGORITHM_H_

@@ -1,0 +1,10 @@
+// Umbrella header for the Boost.Compute-like library simulation.
+#ifndef BCSIM_BCSIM_H_
+#define BCSIM_BCSIM_H_
+
+#include "bcsim/algorithm.h"
+#include "bcsim/core.h"
+#include "bcsim/functional.h"
+#include "bcsim/vector.h"
+
+#endif  // BCSIM_BCSIM_H_

@@ -1,0 +1,120 @@
+// bcsim: a Boost.Compute-compatible API surface over the gpusim device.
+//
+// Boost.Compute generates OpenCL C kernel source from C++ expressions and
+// compiles it at run time through the OpenCL driver, caching built programs
+// per context. bcsim reproduces that behaviour: every algorithm assembles a
+// source key (algorithm x value types x functor name); the first use of a key
+// in a context charges the OpenCL JIT compile cost from the API profile,
+// subsequent uses hit the program cache. Kernel launches use the OpenCL
+// profile (higher launch latency than CUDA, slightly lower effective
+// throughput — cf. gpusim::ApiProfile::OpenCl()).
+#ifndef BCSIM_CORE_H_
+#define BCSIM_CORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeinfo>
+#include <unordered_set>
+
+#include "gpusim/algorithms.h"
+#include "gpusim/stream.h"
+
+namespace bcsim {
+
+/// An OpenCL device (boost::compute::device).
+class device {
+ public:
+  explicit device(gpusim::Device& d = gpusim::Device::Default()) : dev_(&d) {}
+  gpusim::Device& get() const { return *dev_; }
+  std::string name() const { return dev_->properties().name; }
+
+ private:
+  gpusim::Device* dev_;
+};
+
+/// Returns the default OpenCL device (boost::compute::system::default_device).
+inline device default_device() { return device(); }
+
+/// An OpenCL context owning the per-context program cache
+/// (boost::compute::context).
+class context {
+ public:
+  explicit context(const device& dev = default_device())
+      : state_(std::make_shared<State>(dev)) {}
+
+  gpusim::Device& get_device() const { return state_->dev.get(); }
+
+  /// Returns true (and records the key) if `source_key` was not yet built in
+  /// this context; the caller must then charge the compile.
+  bool register_program(const std::string& source_key) const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->built.insert(source_key).second;
+  }
+
+  size_t num_programs_built() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->built.size();
+  }
+
+ private:
+  struct State {
+    explicit State(const device& d) : dev(d) {}
+    device dev;
+    mutable std::mutex mu;
+    std::unordered_set<std::string> built;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// An in-order OpenCL command queue (boost::compute::command_queue).
+class command_queue {
+ public:
+  explicit command_queue(const context& ctx = default_context())
+      : ctx_(ctx),
+        stream_(std::make_shared<gpusim::Stream>(ctx.get_device(),
+                                                 gpusim::ApiProfile::OpenCl())) {
+  }
+
+  gpusim::Stream& stream() const { return *stream_; }
+  const context& get_context() const { return ctx_; }
+
+  /// Looks up `source_key` in the context's program cache; on a miss the
+  /// simulated clBuildProgram cost is charged to this queue.
+  void ensure_program(const std::string& source_key) const {
+    if (ctx_.register_program(source_key)) {
+      stream_->ChargeProgramCompile();
+    }
+  }
+
+  void finish() const { stream_->Synchronize(); }
+
+  static context& default_context() {
+    static context* ctx = new context();
+    return *ctx;
+  }
+
+ private:
+  context ctx_;
+  std::shared_ptr<gpusim::Stream> stream_;
+};
+
+/// The process-wide default queue (boost::compute::system::default_queue).
+inline command_queue& default_queue() {
+  static command_queue* q = new command_queue(command_queue::default_context());
+  return *q;
+}
+
+namespace detail {
+
+/// Short, stable type tag used in program source keys.
+template <typename T>
+std::string type_tag() {
+  return typeid(T).name();
+}
+
+}  // namespace detail
+
+}  // namespace bcsim
+
+#endif  // BCSIM_CORE_H_

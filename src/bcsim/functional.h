@@ -1,0 +1,111 @@
+// Named functors (boost/compute/functional.hpp).
+//
+// Boost.Compute functors carry the OpenCL source they expand to; here each
+// functor carries a stable name that participates in the program-cache key,
+// so two algorithm calls with different functors compile different programs —
+// exactly the Boost.Compute behaviour.
+#ifndef BCSIM_FUNCTIONAL_H_
+#define BCSIM_FUNCTIONAL_H_
+
+#include <concepts>
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+namespace bcsim {
+
+template <typename T>
+struct plus {
+  static constexpr const char* kName = "plus";
+  T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+template <typename T>
+struct minus {
+  static constexpr const char* kName = "minus";
+  T operator()(const T& a, const T& b) const { return a - b; }
+};
+
+template <typename T>
+struct multiplies {
+  static constexpr const char* kName = "multiplies";
+  T operator()(const T& a, const T& b) const { return a * b; }
+};
+
+template <typename T>
+struct bit_and {
+  static constexpr const char* kName = "bit_and";
+  T operator()(const T& a, const T& b) const { return a & b; }
+};
+
+template <typename T>
+struct bit_or {
+  static constexpr const char* kName = "bit_or";
+  T operator()(const T& a, const T& b) const { return a | b; }
+};
+
+template <typename T>
+struct min_op {
+  static constexpr const char* kName = "min";
+  T operator()(const T& a, const T& b) const { return b < a ? b : a; }
+};
+
+template <typename T>
+struct max_op {
+  static constexpr const char* kName = "max";
+  T operator()(const T& a, const T& b) const { return a < b ? b : a; }
+};
+
+template <typename T>
+struct identity {
+  static constexpr const char* kName = "identity";
+  const T& operator()(const T& a) const { return a; }
+};
+
+/// User-defined function with explicit source name, the analogue of
+/// BOOST_COMPUTE_FUNCTION(...) which carries its own OpenCL source string.
+template <typename F>
+struct function {
+  std::string name;
+  F fn;
+  template <typename... Args>
+  auto operator()(Args&&... args) const {
+    return fn(std::forward<Args>(args)...);
+  }
+};
+
+/// Wraps a host callable as a named Boost.Compute-style function. The name
+/// stands in for the function's OpenCL source in the program-cache key.
+template <typename F>
+function<F> make_function(std::string name, F f) {
+  return function<F>{std::move(name), std::move(f)};
+}
+
+namespace detail {
+
+template <typename F>
+concept has_static_name = requires { F::kName; };
+
+template <typename F>
+concept has_member_name = requires(const F& f) {
+  { f.name } -> std::convertible_to<std::string>;
+};
+
+/// Name of a functor for program-cache keys: built-in functors expose kName,
+/// bcsim::function exposes .name, anything else keys on its C++ type.
+template <typename F>
+std::string functor_name(const F& f) {
+  if constexpr (has_static_name<F>) {
+    return F::kName;
+  } else if constexpr (has_member_name<F>) {
+    return f.name;
+  } else {
+    return typeid(F).name();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace bcsim
+
+#endif  // BCSIM_FUNCTIONAL_H_

@@ -1,0 +1,85 @@
+// boost::compute::vector analogue: device-resident vector bound to a context.
+#ifndef BCSIM_VECTOR_H_
+#define BCSIM_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "bcsim/core.h"
+#include "gpusim/memory.h"
+
+namespace bcsim {
+
+/// Device vector of trivially copyable T (boost::compute::vector<T>).
+/// Unlike thrust, construction from host data is done with bcsim::copy()
+/// through a queue, mirroring Boost.Compute's explicit-queue style; a
+/// convenience constructor taking a queue is also provided.
+template <typename T>
+class vector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  vector() = default;
+
+  explicit vector(size_t n, const context& ctx = command_queue::default_context())
+      : array_(n, ctx.get_device()) {}
+
+  vector(size_t n, T value, command_queue& queue)
+      : array_(n, queue.get_context().get_device()) {
+    queue.ensure_program("bcsim.fill." + detail::type_tag<T>());
+    gpusim::Fill(queue.stream(), array_.data(), n, value);
+  }
+
+  /// Uploads host data through the queue (clEnqueueWriteBuffer).
+  vector(const std::vector<T>& host, command_queue& queue)
+      : array_(host.size(), queue.get_context().get_device()) {
+    if (!host.empty()) {
+      gpusim::CopyHostToDevice(queue.stream(), array_.data(), host.data(),
+                               host.size() * sizeof(T));
+    }
+  }
+
+  vector(vector&&) noexcept = default;
+  vector& operator=(vector&&) noexcept = default;
+  vector(const vector&) = delete;
+  vector& operator=(const vector&) = delete;
+
+  iterator begin() { return array_.data(); }
+  iterator end() { return array_.data() + array_.size(); }
+  const_iterator begin() const { return array_.data(); }
+  const_iterator end() const { return array_.data() + array_.size(); }
+  T* data() { return array_.data(); }
+  const T* data() const { return array_.data(); }
+  size_t size() const { return array_.size(); }
+  bool empty() const { return array_.size() == 0; }
+
+  /// Downloads to host through the queue (clEnqueueReadBuffer).
+  std::vector<T> to_host(command_queue& queue) const {
+    std::vector<T> out(array_.size());
+    if (!out.empty()) {
+      gpusim::CopyDeviceToHost(queue.stream(), out.data(), array_.data(),
+                               out.size() * sizeof(T));
+    }
+    return out;
+  }
+
+ private:
+  gpusim::DeviceArray<T> array_;
+};
+
+/// bcsim::copy for host->device upload (subset of boost::compute::copy).
+template <typename T>
+void copy(const T* host_first, const T* host_last, typename vector<T>::iterator
+          device_first, command_queue& queue) {
+  const size_t n = static_cast<size_t>(host_last - host_first);
+  if (n > 0) {
+    gpusim::CopyHostToDevice(queue.stream(), device_first, host_first,
+                             n * sizeof(T));
+  }
+}
+
+}  // namespace bcsim
+
+#endif  // BCSIM_VECTOR_H_

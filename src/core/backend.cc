@@ -1,0 +1,37 @@
+#include "core/backend.h"
+
+namespace core {
+
+const std::vector<DbOperator>& AllDbOperators() {
+  static const std::vector<DbOperator>* ops = new std::vector<DbOperator>{
+      DbOperator::kSelection,      DbOperator::kConjunction,
+      DbOperator::kDisjunction,    DbOperator::kNestedLoopsJoin,
+      DbOperator::kMergeJoin,      DbOperator::kHashJoin,
+      DbOperator::kGroupedAggregation, DbOperator::kReduction,
+      DbOperator::kSortByKey,      DbOperator::kSort,
+      DbOperator::kPrefixSum,      DbOperator::kScatterGather,
+      DbOperator::kProduct,
+  };
+  return *ops;
+}
+
+const char* DbOperatorName(DbOperator op) {
+  switch (op) {
+    case DbOperator::kSelection: return "Selection";
+    case DbOperator::kConjunction: return "Conjunction";
+    case DbOperator::kDisjunction: return "Disjunction";
+    case DbOperator::kNestedLoopsJoin: return "Nested-Loops Join";
+    case DbOperator::kMergeJoin: return "Merge Join";
+    case DbOperator::kHashJoin: return "Hash Join";
+    case DbOperator::kGroupedAggregation: return "Grouped Aggregation";
+    case DbOperator::kReduction: return "Reduction";
+    case DbOperator::kSortByKey: return "Sort by Key";
+    case DbOperator::kSort: return "Sort";
+    case DbOperator::kPrefixSum: return "Prefix Sum";
+    case DbOperator::kScatterGather: return "Scatter & Gather";
+    case DbOperator::kProduct: return "Product";
+  }
+  return "?";
+}
+
+}  // namespace core

@@ -1,0 +1,244 @@
+// The operator framework — the paper's contribution.
+//
+// A Backend realizes the column-oriented database operators of Table II
+// (selection, conjunctive/disjunctive selection, joins, grouped aggregation,
+// reduction, sort, sort-by-key, prefix sum, scatter/gather, product) using
+// exactly the library functions the paper maps them to. New libraries plug
+// in by implementing this interface and registering a factory
+// (core/registry.h), which is the framework capability the paper describes:
+// "a framework ... that allows a user to plug-in new libraries and
+// custom-written code".
+#ifndef CORE_BACKEND_H_
+#define CORE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/stream.h"
+#include "storage/device_column.h"
+
+namespace core {
+
+/// Database operators studied by the paper (rows of Table II).
+enum class DbOperator {
+  kSelection,
+  kConjunction,
+  kDisjunction,
+  kNestedLoopsJoin,
+  kMergeJoin,
+  kHashJoin,
+  kGroupedAggregation,
+  kReduction,
+  kSortByKey,
+  kSort,
+  kPrefixSum,
+  kScatterGather,
+  kProduct,
+};
+
+/// All operators in Table II row order.
+const std::vector<DbOperator>& AllDbOperators();
+
+/// Human-readable operator name ("Selection", "Hash Join", ...).
+const char* DbOperatorName(DbOperator op);
+
+/// Support levels from Table II: + full, ~ partial, – none.
+enum class SupportLevel { kFull, kPartial, kNone };
+
+inline const char* SupportLevelSymbol(SupportLevel s) {
+  switch (s) {
+    case SupportLevel::kFull: return "+";
+    case SupportLevel::kPartial: return "~";
+    case SupportLevel::kNone: return "-";
+  }
+  return "?";
+}
+
+/// How a backend realizes one operator: support level plus the library
+/// functions used (the Function column of Table II).
+struct OperatorRealization {
+  SupportLevel level = SupportLevel::kNone;
+  std::string functions;  ///< e.g. "transform() & exclusive_scan() & gather()"
+};
+
+/// Comparison operators for selection predicates.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Aggregation functions for reductions and grouped aggregation.
+enum class AggOp { kSum, kCount, kMin, kMax };
+
+/// A predicate `column <op> value` on a named column. The literal carries
+/// both integral and floating representations; backends pick per column type.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kLt;
+  double value_f = 0.0;
+  int64_t value_i = 0;
+
+  static Predicate LessThan(std::string col, double v) {
+    return Make(std::move(col), CompareOp::kLt, v);
+  }
+  static Predicate Make(std::string col, CompareOp op, double v) {
+    Predicate p;
+    p.column = std::move(col);
+    p.op = op;
+    p.value_f = v;
+    p.value_i = static_cast<int64_t>(v);
+    return p;
+  }
+};
+
+/// Result of a selection: matching row ids (int32, device-resident).
+struct SelectionResult {
+  storage::DeviceColumn row_ids;  ///< DataType::kInt32
+  size_t count = 0;
+};
+
+/// Result of a join: matching row-id pairs.
+struct JoinResult {
+  storage::DeviceColumn left_rows;   ///< kInt32
+  storage::DeviceColumn right_rows;  ///< kInt32
+  size_t count = 0;
+};
+
+/// Result of grouped aggregation: group keys plus one aggregate column.
+struct GroupByResult {
+  storage::DeviceColumn keys;       ///< same type as input keys
+  storage::DeviceColumn aggregate;  ///< kFloat64 for sum/min/max, kInt64 count
+  size_t num_groups = 0;
+};
+
+/// Thrown when an operator has no realization in a library (Table II "-"),
+/// e.g. hash join in all three libraries.
+class UnsupportedOperator : public std::runtime_error {
+ public:
+  UnsupportedOperator(const std::string& backend, DbOperator op)
+      : std::runtime_error("operator '" + std::string(DbOperatorName(op)) +
+                           "' is not supported by backend '" + backend + "'") {
+  }
+};
+
+/// A pluggable library binding realizing the Table II operator set.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Library name as in the paper ("Thrust", "Boost.Compute", "ArrayFire",
+  /// "Handwritten").
+  virtual std::string name() const = 0;
+
+  /// The stream all of this backend's work is charged to.
+  virtual gpusim::Stream& stream() = 0;
+
+  /// Table II entry for `op`.
+  virtual OperatorRealization Realization(DbOperator op) const = 0;
+
+  // -- Selection ----------------------------------------------------------
+
+  /// Single-predicate selection; returns matching row ids.
+  virtual SelectionResult Select(const storage::DeviceColumn& column,
+                                 const Predicate& pred) = 0;
+
+  /// Conjunctive selection over per-column predicates (pred[i] applies to
+  /// columns[i]); all must hold.
+  virtual SelectionResult SelectConjunctive(
+      const std::vector<const storage::DeviceColumn*>& columns,
+      const std::vector<Predicate>& preds) = 0;
+
+  /// Disjunctive selection; any predicate may hold.
+  virtual SelectionResult SelectDisjunctive(
+      const std::vector<const storage::DeviceColumn*>& columns,
+      const std::vector<Predicate>& preds) = 0;
+
+  /// Column-vs-column selection: row ids where `a[i] <op> b[i]` (same-typed
+  /// columns). Used for e.g. TPC-H Q4's l_commitdate < l_receiptdate.
+  virtual SelectionResult SelectCompareColumns(const storage::DeviceColumn& a,
+                                               CompareOp op,
+                                               const storage::DeviceColumn& b) = 0;
+
+  // -- Joins ---------------------------------------------------------------
+
+  /// Equi-join via nested loops (the only join all libraries can express).
+  /// Keys must be kInt32.
+  virtual JoinResult NestedLoopsJoin(const storage::DeviceColumn& left_keys,
+                                     const storage::DeviceColumn& right_keys) = 0;
+
+  /// Hash equi-join (left side unique keys). Libraries lack hashing; only
+  /// the handwritten backend overrides this.
+  virtual JoinResult HashJoin(const storage::DeviceColumn& left_keys,
+                              const storage::DeviceColumn& right_keys) {
+    (void)right_keys;
+    (void)left_keys;
+    throw UnsupportedOperator(name(), DbOperator::kHashJoin);
+  }
+
+  /// Sort-merge join; unsupported everywhere (Table II).
+  virtual JoinResult MergeJoin(const storage::DeviceColumn& left_keys,
+                               const storage::DeviceColumn& right_keys) {
+    (void)right_keys;
+    (void)left_keys;
+    throw UnsupportedOperator(name(), DbOperator::kMergeJoin);
+  }
+
+  // -- Aggregation ---------------------------------------------------------
+
+  /// Grouped aggregation of `values` by kInt32 `keys` (arbitrary key order;
+  /// backends sort or hash as their library dictates). kCount ignores
+  /// `values`' contents.
+  virtual GroupByResult GroupByAggregate(const storage::DeviceColumn& keys,
+                                         const storage::DeviceColumn& values,
+                                         AggOp op) = 0;
+
+  /// Full-column reduction; result as double (count as exact integer value).
+  virtual double ReduceColumn(const storage::DeviceColumn& values,
+                              AggOp op) = 0;
+
+  // -- Sorting -------------------------------------------------------------
+
+  /// Ascending sort; returns a new sorted column.
+  virtual storage::DeviceColumn Sort(const storage::DeviceColumn& column) = 0;
+
+  /// Key-value sort; returns (sorted keys, reordered values).
+  virtual std::pair<storage::DeviceColumn, storage::DeviceColumn> SortByKey(
+      const storage::DeviceColumn& keys,
+      const storage::DeviceColumn& values) = 0;
+
+  /// Distinct values, ascending (duplicate elimination; sorts internally).
+  /// Used to realize semi-joins (e.g. TPC-H Q4's EXISTS).
+  virtual storage::DeviceColumn Unique(const storage::DeviceColumn& column) = 0;
+
+  // -- Parallel primitives (materialization) --------------------------------
+
+  /// Exclusive prefix sum.
+  virtual storage::DeviceColumn PrefixSum(
+      const storage::DeviceColumn& column) = 0;
+
+  /// out[i] = src[indices[i]]; indices kInt32.
+  virtual storage::DeviceColumn Gather(const storage::DeviceColumn& src,
+                                       const storage::DeviceColumn& indices) = 0;
+
+  /// out[indices[i]] = src[i]; out has out_size rows (zero-initialized).
+  virtual storage::DeviceColumn Scatter(const storage::DeviceColumn& src,
+                                        const storage::DeviceColumn& indices,
+                                        size_t out_size) = 0;
+
+  /// Element-wise product (projection arithmetic), same-typed columns.
+  virtual storage::DeviceColumn Product(const storage::DeviceColumn& a,
+                                        const storage::DeviceColumn& b) = 0;
+
+  /// out[i] = a[i] + alpha (projection arithmetic, e.g. 1 + l_tax).
+  virtual storage::DeviceColumn AddScalar(const storage::DeviceColumn& a,
+                                          double alpha) = 0;
+
+  /// out[i] = alpha - a[i] (projection arithmetic, e.g. 1 - l_discount).
+  virtual storage::DeviceColumn SubtractFromScalar(
+      double alpha, const storage::DeviceColumn& a) = 0;
+};
+
+}  // namespace core
+
+#endif  // CORE_BACKEND_H_

@@ -1,0 +1,20 @@
+#include "core/metrics.h"
+
+#include <iomanip>
+
+namespace core {
+
+void PrintMeasurement(std::ostream& os, const Measurement& m) {
+  os << std::left << std::setw(32) << m.label << std::right << std::fixed
+     << std::setprecision(3) << std::setw(12) << m.simulated_ms() << " ms  "
+     << std::setw(6) << m.kernels << " kernels  " << std::setprecision(2)
+     << std::setw(9) << m.bytes_read / (1024.0 * 1024.0) << " MiB read  "
+     << std::setw(9) << m.bytes_written / (1024.0 * 1024.0) << " MiB written";
+  if (m.programs_compiled > 0) {
+    os << "  " << m.programs_compiled << " programs compiled ("
+       << std::setprecision(1) << m.compile_ns / 1e6 << " ms)";
+  }
+  os << "\n";
+}
+
+}  // namespace core

@@ -1,0 +1,68 @@
+// Measurement helpers: snapshot device counters and a stream timeline around
+// a region and report simulated time plus work counters.
+#ifndef CORE_METRICS_H_
+#define CORE_METRICS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "gpusim/stream.h"
+
+namespace core {
+
+/// Deterministic measurement of one region on one stream.
+struct Measurement {
+  std::string label;
+  uint64_t simulated_ns = 0;       ///< stream timeline advance
+  uint64_t kernels = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_h2d = 0;
+  uint64_t bytes_d2h = 0;
+  uint64_t bytes_d2d = 0;
+  uint64_t programs_compiled = 0;
+  uint64_t compile_ns = 0;
+
+  double simulated_ms() const { return simulated_ns / 1e6; }
+};
+
+/// RAII-style region timer over a gpusim stream.
+class ScopedMeasurement {
+ public:
+  explicit ScopedMeasurement(gpusim::Stream& stream, std::string label = "")
+      : stream_(stream),
+        label_(std::move(label)),
+        start_ns_(stream.now_ns()),
+        start_counters_(stream.device().Snapshot()) {}
+
+  /// Finishes the region and returns the measurement (callable once).
+  Measurement Stop() const {
+    Measurement m;
+    m.label = label_;
+    m.simulated_ns = stream_.now_ns() - start_ns_;
+    const auto delta = stream_.device().Snapshot().Delta(start_counters_);
+    m.kernels = delta.kernels_launched;
+    m.bytes_read = delta.bytes_read;
+    m.bytes_written = delta.bytes_written;
+    m.bytes_h2d = delta.bytes_h2d;
+    m.bytes_d2h = delta.bytes_d2h;
+    m.bytes_d2d = delta.bytes_d2d;
+    m.programs_compiled = delta.programs_compiled;
+    m.compile_ns = delta.compile_ns;
+    return m;
+  }
+
+ private:
+  gpusim::Stream& stream_;
+  std::string label_;
+  uint64_t start_ns_;
+  gpusim::CounterSnapshot start_counters_;
+};
+
+/// Prints "label: X.XXX ms  (K kernels, R MiB read, W MiB written)".
+void PrintMeasurement(std::ostream& os, const Measurement& m);
+
+}  // namespace core
+
+#endif  // CORE_METRICS_H_

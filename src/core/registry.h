@@ -1,0 +1,48 @@
+// Backend registry: the plug-in point of the framework.
+//
+// Library bindings register a named factory at static-initialization time
+// (or tests/examples register custom ones at run time); benchmarks, the
+// support-matrix tool, and queries instantiate backends by name.
+#ifndef CORE_REGISTRY_H_
+#define CORE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+
+namespace core {
+
+using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+/// Global name -> factory map. Thread-compatible (registration happens
+/// before concurrent use).
+class BackendRegistry {
+ public:
+  static BackendRegistry& Instance();
+
+  /// Registers a factory; returns false (and ignores the call) if the name
+  /// is taken.
+  bool Register(const std::string& name, BackendFactory factory);
+
+  /// Instantiates a backend; throws std::out_of_range for unknown names.
+  std::unique_ptr<Backend> Create(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names in registration order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, BackendFactory>> factories_;
+};
+
+/// Registers the four built-in backends (Thrust, Boost.Compute, ArrayFire,
+/// Handwritten). Idempotent. Called by tools/benches/tests on startup.
+void RegisterBuiltinBackends();
+
+}  // namespace core
+
+#endif  // CORE_REGISTRY_H_

@@ -1,0 +1,57 @@
+#include "core/support_matrix.h"
+
+#include <iomanip>
+
+#include "core/registry.h"
+
+namespace core {
+
+std::vector<SupportEntry> BuildSupportMatrix(
+    const std::vector<std::string>& backend_names) {
+  std::vector<SupportEntry> out;
+  for (const std::string& name : backend_names) {
+    auto backend = BackendRegistry::Instance().Create(name);
+    for (DbOperator op : AllDbOperators()) {
+      out.push_back(SupportEntry{op, name, backend->Realization(op)});
+    }
+  }
+  return out;
+}
+
+void PrintSupportMatrix(std::ostream& os,
+                        const std::vector<std::string>& backend_names) {
+  const auto entries = BuildSupportMatrix(backend_names);
+  const size_t op_width = 22;
+  const size_t cell_width = 44;
+
+  os << std::left << std::setw(op_width) << "Database operator";
+  for (const auto& name : backend_names) {
+    os << "| " << std::setw(cell_width) << name;
+  }
+  os << "\n" << std::string(op_width + backend_names.size() * (cell_width + 2),
+                            '-')
+     << "\n";
+
+  for (DbOperator op : AllDbOperators()) {
+    os << std::left << std::setw(op_width) << DbOperatorName(op);
+    for (const auto& name : backend_names) {
+      for (const auto& e : entries) {
+        if (e.op == op && e.backend == name) {
+          std::string cell = std::string(SupportLevelSymbol(e.realization.level));
+          if (!e.realization.functions.empty()) {
+            cell += " " + e.realization.functions;
+          }
+          if (cell.size() > cell_width - 1) {
+            cell = cell.substr(0, cell_width - 4) + "...";
+          }
+          os << "| " << std::setw(cell_width) << cell;
+          break;
+        }
+      }
+    }
+    os << "\n";
+  }
+  os << "\n+ full support;  ~ partial support;  - no support\n";
+}
+
+}  // namespace core

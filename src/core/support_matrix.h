@@ -1,0 +1,31 @@
+// Regenerates Table II: mapping of library functions to database operators.
+#ifndef CORE_SUPPORT_MATRIX_H_
+#define CORE_SUPPORT_MATRIX_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+
+namespace core {
+
+/// One row of Table II for one backend.
+struct SupportEntry {
+  DbOperator op;
+  std::string backend;
+  OperatorRealization realization;
+};
+
+/// Queries each named backend for its realization of every operator.
+std::vector<SupportEntry> BuildSupportMatrix(
+    const std::vector<std::string>& backend_names);
+
+/// Prints the matrix in the paper's Table II layout: one row per operator,
+/// one (support, function) column pair per backend.
+void PrintSupportMatrix(std::ostream& os,
+                        const std::vector<std::string>& backend_names);
+
+}  // namespace core
+
+#endif  // CORE_SUPPORT_MATRIX_H_

@@ -1,0 +1,89 @@
+#include "core/survey.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+
+namespace core {
+
+const std::vector<SurveyedLibrary>& LibrarySurvey() {
+  static const std::vector<SurveyedLibrary>* rows =
+      new std::vector<SurveyedLibrary>{
+          {"AmgX", "CUDA", "Math", "developer.nvidia.com/amgx"},
+          {"ArrayFire", "CUDA & OpenCL", "Database operators",
+           "developer.nvidia.com/arrayfire"},
+          {"Boost.Compute", "OpenCL", "Database operators", "[26]"},
+          {"CHOLMOD", "CUDA", "Math", "developer.nvidia.com/CHOLMOD"},
+          {"cuBLAS", "CUDA", "Math", "developer.nvidia.com/cublas"},
+          {"CUDA math lib", "CUDA", "Math",
+           "developer.nvidia.com/cuda-math-library"},
+          {"cuDNN", "CUDA", "Deep learning", "developer.nvidia.com/cudnn"},
+          {"cuFFT", "CUDA", "Math", "developer.nvidia.com/cuFFT"},
+          {"cuRAND", "CUDA", "Math", "developer.nvidia.com/cuRAND"},
+          {"cuSOLVER", "CUDA", "Math", "developer.nvidia.com/cuSOLVER"},
+          {"cuSPARSE", "CUDA", "Math", "developer.nvidia.com/cuSPARSE"},
+          {"cuTENSOR", "CUDA", "Math", "developer.nvidia.com/cuTENSOR"},
+          {"DALI", "CUDA", "Deep learning", "developer.nvidia.com/DALI"},
+          {"DeepStream SDK", "CUDA", "Deep learning",
+           "developer.nvidia.com/deepstream-sdk"},
+          {"EPGPU", "OpenCL", "Parallel algorithms", "[27]"},
+          {"IMSL Fortran Numerical Library", "CUDA", "Math",
+           "developer.nvidia.com/imsl-fortran-numerical-library"},
+          {"Jarvis", "CUDA", "Deep learning",
+           "developer.nvidia.com/nvidia-jarvis"},
+          {"MAGMA", "CUDA & OpenCL", "Math", "developer.nvidia.com/MAGMA"},
+          {"NCCL", "CUDA", "Communication libraries",
+           "developer.nvidia.com/nccl"},
+          {"nvGRAPH", "CUDA", "Parallel algorithms",
+           "developer.nvidia.com/nvgraph"},
+          {"NVIDIA Codec SDK", "CUDA", "Image and video",
+           "developer.nvidia.com/nvidia-video-codec-sdk"},
+          {"NVIDIA Optical Flow SDK", "CUDA", "Image and video",
+           "developer.nvidia.com/opticalflow-sdk"},
+          {"NVIDIA Performance Primitives", "CUDA", "Image and video",
+           "developer.nvidia.com/npp"},
+          {"nvJPEG", "CUDA", "Image and video", "developer.nvidia.com/nvjpeg"},
+          {"NVSHMEM", "CUDA", "Communication libraries",
+           "developer.nvidia.com/nvshmem"},
+          {"OCL-Library", "OpenCL", "Database operators",
+           "github.com/lochotzke/OCL-Library"},
+          {"OpenCLHelper", "OpenCL", "Others - wrapper",
+           "github.com/matze/oclkit"},
+          {"OpenCV", "CUDA", "Image and video", "[28]"},
+          {"SkelCL", "OpenCL", "Database operators & Parallel algorithms",
+           "skelcl.github.io"},
+          {"TensorRT", "CUDA", "Deep learning",
+           "developer.nvidia.com/tensorrt"},
+          {"Thrust", "CUDA", "Database operators", "[13]"},
+          {"Triton Ocean SDK", "CUDA", "Image and video",
+           "developer.nvidia.com/triton-ocean-sdk"},
+          {"VexCL", "OpenCL", "Others - vector processing",
+           "github.com/ddemidov/vexcl"},
+          {"ViennaCL", "OpenCL", "Math", "viennacl.sourceforge.net"},
+      };
+  return *rows;
+}
+
+std::vector<std::pair<std::string, int>> SurveyUseCaseHistogram() {
+  std::map<std::string, int> hist;
+  for (const auto& row : LibrarySurvey()) ++hist[row.use_case];
+  return {hist.begin(), hist.end()};
+}
+
+void PrintSurvey(std::ostream& os) {
+  os << std::left << std::setw(34) << "Library" << std::setw(16)
+     << "Wrapper/Language" << "  " << std::setw(42) << "Use case"
+     << "Reference\n";
+  os << std::string(110, '-') << "\n";
+  for (const auto& row : LibrarySurvey()) {
+    os << std::left << std::setw(34) << row.name << std::setw(16)
+       << row.wrapper_or_language << "  " << std::setw(42) << row.use_case
+       << row.reference << "\n";
+  }
+  os << "\nUse-case histogram:\n";
+  for (const auto& [use_case, count] : SurveyUseCaseHistogram()) {
+    os << "  " << std::left << std::setw(44) << use_case << count << "\n";
+  }
+}
+
+}  // namespace core

@@ -1,0 +1,33 @@
+// Regenerates Table I: the survey of GPU libraries and their properties.
+#ifndef CORE_SURVEY_H_
+#define CORE_SURVEY_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace core {
+
+/// One surveyed library (row of Table I).
+struct SurveyedLibrary {
+  std::string name;
+  std::string wrapper_or_language;  ///< "CUDA", "OpenCL", "CUDA & OpenCL"
+  std::string use_case;  ///< "Math", "Database operators", "Deep learning", ...
+  std::string reference;
+};
+
+/// The survey data as printed in the paper's Table I. The paper reports 43
+/// libraries in total; this is the subset its table enumerates (the source
+/// text of the paper lists these rows).
+const std::vector<SurveyedLibrary>& LibrarySurvey();
+
+/// Count of surveyed libraries per use case (the paper's "7 image
+/// processing, 13 math, only 5 database operators" discussion).
+std::vector<std::pair<std::string, int>> SurveyUseCaseHistogram();
+
+/// Prints Table I.
+void PrintSurvey(std::ostream& os);
+
+}  // namespace core
+
+#endif  // CORE_SURVEY_H_

@@ -1,0 +1,58 @@
+// Device atomics.
+//
+// Kernels that build histograms or hash tables use these helpers, which map
+// CUDA's atomic intrinsics onto std::atomic_ref so the same kernel code is
+// correct when the simulated grid runs on multiple host threads.
+#ifndef GPUSIM_ATOMIC_OPS_H_
+#define GPUSIM_ATOMIC_OPS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gpusim {
+
+/// atomicAdd(address, val): returns the old value.
+template <typename T>
+inline T AtomicAdd(T* address, T val) {
+  return std::atomic_ref<T>(*address).fetch_add(val,
+                                                std::memory_order_relaxed);
+}
+
+/// atomicCAS(address, compare, val): returns the old value.
+template <typename T>
+inline T AtomicCas(T* address, T compare, T val) {
+  std::atomic_ref<T> ref(*address);
+  ref.compare_exchange_strong(compare, val, std::memory_order_acq_rel);
+  return compare;  // compare_exchange updates `compare` to the old value
+}
+
+/// atomicExch(address, val): returns the old value.
+template <typename T>
+inline T AtomicExchange(T* address, T val) {
+  return std::atomic_ref<T>(*address).exchange(val, std::memory_order_acq_rel);
+}
+
+/// atomicMin / atomicMax.
+template <typename T>
+inline T AtomicMin(T* address, T val) {
+  std::atomic_ref<T> ref(*address);
+  T old = ref.load(std::memory_order_relaxed);
+  while (val < old &&
+         !ref.compare_exchange_weak(old, val, std::memory_order_acq_rel)) {
+  }
+  return old;
+}
+
+template <typename T>
+inline T AtomicMax(T* address, T val) {
+  std::atomic_ref<T> ref(*address);
+  T old = ref.load(std::memory_order_relaxed);
+  while (old < val &&
+         !ref.compare_exchange_weak(old, val, std::memory_order_acq_rel)) {
+  }
+  return old;
+}
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_ATOMIC_OPS_H_

@@ -1,0 +1,105 @@
+// Analytic timing model for the simulated device.
+//
+// The simulator executes real algorithms functionally on the host; this model
+// converts the *counted* work of each device operation (bytes touched,
+// arithmetic operations, launches, transfers, compiles) into simulated device
+// time. The parameters approximate a mid-range discrete GPU of the paper's
+// era (GTX-1080-Ti class) attached over PCIe 3.0 x16.
+#ifndef GPUSIM_COST_MODEL_H_
+#define GPUSIM_COST_MODEL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gpusim {
+
+/// Per-API-runtime overheads. CUDA-style runtimes (Thrust, ArrayFire's CUDA
+/// backend) have lower launch latency than OpenCL-style ones (Boost.Compute);
+/// OpenCL additionally compiles kernels from source at run time.
+struct ApiProfile {
+  const char* name = "cuda";
+  uint64_t launch_overhead_ns = 5'000;    ///< per kernel launch
+  uint64_t transfer_latency_ns = 10'000;  ///< per explicit host<->device copy
+  double throughput_scale = 1.0;          ///< <1.0 models less tuned codegen
+  uint64_t program_compile_ns = 0;        ///< per unique program (OpenCL JIT)
+
+  static ApiProfile Cuda() { return ApiProfile{}; }
+
+  static ApiProfile OpenCl() {
+    ApiProfile p;
+    p.name = "opencl";
+    p.launch_overhead_ns = 12'000;
+    p.transfer_latency_ns = 14'000;
+    p.throughput_scale = 0.85;
+    p.program_compile_ns = 38'000'000;  // ~38 ms per program build
+    return p;
+  }
+};
+
+/// Hardware parameters of the simulated device.
+struct DeviceProperties {
+  const char* name = "SimGPU-1080";
+  int sm_count = 28;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  uint64_t global_memory_bytes = 11ull << 30;
+  /// Effective global-memory bandwidth (bytes/second).
+  double memory_bandwidth_bps = 420.0e9;
+  /// Effective simple-op throughput (operations/second) across the device.
+  double compute_throughput_ops = 9.0e12;
+  /// Host<->device interconnect bandwidth (bytes/second), PCIe 3.0 x16.
+  double pcie_bandwidth_bps = 12.0e9;
+};
+
+/// Work declared by one kernel launch; the cost model prices it.
+struct KernelStats {
+  const char* name = "kernel";
+  uint64_t bytes_read = 0;     ///< global memory read by the whole grid
+  uint64_t bytes_written = 0;  ///< global memory written by the whole grid
+  uint64_t ops = 0;            ///< arithmetic/compare ops by the whole grid
+  /// For latency-bound kernels (e.g. nested loops with divergent trip
+  /// counts) the model uses max(memory, compute, serial_ns).
+  uint64_t serial_ns = 0;
+};
+
+/// Prices device operations in simulated nanoseconds.
+class CostModel {
+ public:
+  explicit CostModel(const DeviceProperties& props) : props_(props) {}
+
+  /// Simulated duration of a kernel launch under the given API profile.
+  uint64_t KernelTime(const KernelStats& s, const ApiProfile& api) const {
+    const double scale = api.throughput_scale > 0 ? api.throughput_scale : 1.0;
+    const double mem_ns = static_cast<double>(s.bytes_read + s.bytes_written) /
+                          (props_.memory_bandwidth_bps * scale) * 1e9;
+    const double compute_ns = static_cast<double>(s.ops) /
+                              (props_.compute_throughput_ops * scale) * 1e9;
+    const double body =
+        std::max({mem_ns, compute_ns, static_cast<double>(s.serial_ns)});
+    return api.launch_overhead_ns + static_cast<uint64_t>(body);
+  }
+
+  /// Simulated duration of an explicit host<->device transfer.
+  uint64_t TransferTime(uint64_t bytes, const ApiProfile& api) const {
+    const double body =
+        static_cast<double>(bytes) / props_.pcie_bandwidth_bps * 1e9;
+    return api.transfer_latency_ns + static_cast<uint64_t>(body);
+  }
+
+  /// Device-to-device copy: through global memory, both read and write.
+  uint64_t DeviceCopyTime(uint64_t bytes, const ApiProfile& api) const {
+    KernelStats s;
+    s.bytes_read = bytes;
+    s.bytes_written = bytes;
+    return KernelTime(s, api);
+  }
+
+  const DeviceProperties& properties() const { return props_; }
+
+ private:
+  DeviceProperties props_;
+};
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_COST_MODEL_H_

@@ -1,0 +1,85 @@
+// Work counters maintained by the simulated device.
+//
+// Every kernel launch, memory transfer, allocation, and (for OpenCL-style
+// libraries) program compilation is recorded here. Benchmarks snapshot the
+// counters around a measured region and report the difference, which makes
+// the measured quantities deterministic and independent of the host CPU.
+#ifndef GPUSIM_COUNTERS_H_
+#define GPUSIM_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gpusim {
+
+/// Aggregate work counters for a device. All members are monotonically
+/// increasing; use Snapshot() and Delta() to measure a region.
+struct Counters {
+  std::atomic<uint64_t> kernels_launched{0};
+  std::atomic<uint64_t> bytes_read{0};        ///< device memory read by kernels
+  std::atomic<uint64_t> bytes_written{0};     ///< device memory written by kernels
+  std::atomic<uint64_t> bytes_h2d{0};         ///< host -> device transfers
+  std::atomic<uint64_t> bytes_d2h{0};         ///< device -> host transfers
+  std::atomic<uint64_t> bytes_d2d{0};         ///< device -> device copies
+  std::atomic<uint64_t> transfers{0};         ///< number of explicit transfers
+  std::atomic<uint64_t> allocations{0};
+  std::atomic<uint64_t> bytes_allocated{0};
+  std::atomic<uint64_t> programs_compiled{0}; ///< OpenCL-style JIT compiles
+  std::atomic<uint64_t> compile_ns{0};        ///< simulated time spent compiling
+  std::atomic<uint64_t> simulated_ns{0};      ///< total simulated device time
+};
+
+/// Plain-value copy of Counters taken at one instant.
+struct CounterSnapshot {
+  uint64_t kernels_launched = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_h2d = 0;
+  uint64_t bytes_d2h = 0;
+  uint64_t bytes_d2d = 0;
+  uint64_t transfers = 0;
+  uint64_t allocations = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t programs_compiled = 0;
+  uint64_t compile_ns = 0;
+  uint64_t simulated_ns = 0;
+
+  static CounterSnapshot Take(const Counters& c) {
+    CounterSnapshot s;
+    s.kernels_launched = c.kernels_launched.load(std::memory_order_relaxed);
+    s.bytes_read = c.bytes_read.load(std::memory_order_relaxed);
+    s.bytes_written = c.bytes_written.load(std::memory_order_relaxed);
+    s.bytes_h2d = c.bytes_h2d.load(std::memory_order_relaxed);
+    s.bytes_d2h = c.bytes_d2h.load(std::memory_order_relaxed);
+    s.bytes_d2d = c.bytes_d2d.load(std::memory_order_relaxed);
+    s.transfers = c.transfers.load(std::memory_order_relaxed);
+    s.allocations = c.allocations.load(std::memory_order_relaxed);
+    s.bytes_allocated = c.bytes_allocated.load(std::memory_order_relaxed);
+    s.programs_compiled = c.programs_compiled.load(std::memory_order_relaxed);
+    s.compile_ns = c.compile_ns.load(std::memory_order_relaxed);
+    s.simulated_ns = c.simulated_ns.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Component-wise difference (*this - earlier).
+  CounterSnapshot Delta(const CounterSnapshot& earlier) const {
+    CounterSnapshot d;
+    d.kernels_launched = kernels_launched - earlier.kernels_launched;
+    d.bytes_read = bytes_read - earlier.bytes_read;
+    d.bytes_written = bytes_written - earlier.bytes_written;
+    d.bytes_h2d = bytes_h2d - earlier.bytes_h2d;
+    d.bytes_d2h = bytes_d2h - earlier.bytes_d2h;
+    d.bytes_d2d = bytes_d2d - earlier.bytes_d2d;
+    d.transfers = transfers - earlier.transfers;
+    d.allocations = allocations - earlier.allocations;
+    d.bytes_allocated = bytes_allocated - earlier.bytes_allocated;
+    d.programs_compiled = programs_compiled - earlier.programs_compiled;
+    d.compile_ns = compile_ns - earlier.compile_ns;
+    d.simulated_ns = simulated_ns - earlier.simulated_ns;
+    return d;
+  }
+};
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_COUNTERS_H_

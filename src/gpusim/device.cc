@@ -1,0 +1,65 @@
+#include "gpusim/device.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace gpusim {
+
+Device::Device(const DeviceProperties& props, unsigned host_threads)
+    : cost_model_(props), pool_(host_threads) {}
+
+Device::~Device() {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  for (auto& [ptr, size] : allocations_) {
+    (void)size;
+    std::free(const_cast<void*>(ptr));
+  }
+}
+
+Device& Device::Default() {
+  static Device* device = new Device();
+  return *device;
+}
+
+void* Device::Allocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;  // keep pointers unique, mirrors cudaMalloc(0)
+  const size_t in_use = bytes_in_use_.load(std::memory_order_relaxed);
+  if (in_use + bytes > properties().global_memory_bytes) {
+    throw OutOfDeviceMemory("device allocation of " + std::to_string(bytes) +
+                            " bytes exceeds simulated global memory (" +
+                            std::to_string(in_use) + " bytes in use)");
+  }
+  void* ptr = std::malloc(bytes);
+  if (ptr == nullptr) throw std::bad_alloc();
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    allocations_.emplace(ptr, bytes);
+  }
+  bytes_in_use_.fetch_add(bytes, std::memory_order_relaxed);
+  counters_.allocations.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+  return ptr;
+}
+
+void Device::Free(void* ptr) {
+  if (ptr == nullptr) return;
+  size_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    auto it = allocations_.find(ptr);
+    if (it == allocations_.end()) {
+      throw std::invalid_argument("Device::Free of unknown pointer");
+    }
+    size = it->second;
+    allocations_.erase(it);
+  }
+  bytes_in_use_.fetch_sub(size, std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+bool Device::OwnsPointer(const void* ptr) const {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  return allocations_.count(ptr) > 0;
+}
+
+}  // namespace gpusim

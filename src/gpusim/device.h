@@ -1,0 +1,92 @@
+// The simulated GPU device.
+//
+// A Device owns: a device-memory allocator (host heap, but tracked and
+// capacity-checked against the simulated global memory size), a cost model,
+// aggregate work counters, and the thread pool used to execute kernel grids.
+// Streams (gpusim/stream.h) carry per-API-profile timelines on top of a
+// device.
+#ifndef GPUSIM_DEVICE_H_
+#define GPUSIM_DEVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/counters.h"
+#include "gpusim/thread_pool.h"
+#include "gpusim/trace.h"
+
+namespace gpusim {
+
+/// Thrown when a simulated allocation exceeds the device's global memory.
+class OutOfDeviceMemory : public std::runtime_error {
+ public:
+  explicit OutOfDeviceMemory(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A simulated GPU. Thread-safe.
+class Device {
+ public:
+  explicit Device(const DeviceProperties& props = DeviceProperties(),
+                  unsigned host_threads = 0);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Process-wide default device (created on first use).
+  static Device& Default();
+
+  /// Allocates `bytes` of simulated device memory. Throws OutOfDeviceMemory
+  /// if the simulated capacity would be exceeded. The returned pointer is a
+  /// host pointer usable only inside kernels / transfer APIs by convention.
+  void* Allocate(size_t bytes);
+
+  /// Frees memory returned by Allocate(). nullptr is a no-op.
+  void Free(void* ptr);
+
+  /// True if `ptr` was returned by Allocate() on this device and not freed.
+  bool OwnsPointer(const void* ptr) const;
+
+  size_t bytes_in_use() const { return bytes_in_use_.load(std::memory_order_relaxed); }
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const DeviceProperties& properties() const { return cost_model_.properties(); }
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  ThreadPool& pool() { return pool_; }
+
+  CounterSnapshot Snapshot() const { return CounterSnapshot::Take(counters_); }
+
+  /// Attaches (or detaches with nullptr) a tracer; not owned. All streams on
+  /// this device record their commands into it.
+  void set_tracer(Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  Tracer* tracer() const { return tracer_.load(std::memory_order_acquire); }
+
+  /// Issues a unique id for a new stream (for trace attribution).
+  uint64_t NextStreamId() {
+    return next_stream_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  CostModel cost_model_;
+  Counters counters_;
+  ThreadPool pool_;
+  mutable std::mutex alloc_mu_;
+  std::unordered_map<const void*, size_t> allocations_;
+  std::atomic<size_t> bytes_in_use_{0};
+  std::atomic<Tracer*> tracer_{nullptr};
+  std::atomic<uint64_t> next_stream_id_{0};
+};
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_DEVICE_H_

@@ -1,0 +1,69 @@
+// Kernel launch API of the simulated device.
+//
+// Two launch shapes cover the algorithms in this repository:
+//  * ParallelFor   — a grid of independent threads, f(i) per global index.
+//  * LaunchBlocks  — a grid of cooperative thread *blocks*; the body runs
+//                    once per block and may loop over the block's threads,
+//                    modelling shared-memory algorithms (tile reduce, block
+//                    scan, histogram) whose intra-block execution is
+//                    sequentialized, which preserves semantics.
+//
+// Both charge the owning stream with the declared KernelStats. Grids are
+// distributed over the device's host thread pool.
+#ifndef GPUSIM_KERNEL_H_
+#define GPUSIM_KERNEL_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "gpusim/stream.h"
+
+namespace gpusim {
+
+/// Number of simulated threads per block used by ParallelFor chunking.
+inline constexpr size_t kDefaultBlockSize = 256;
+
+/// Launches `n` independent simulated threads; body(i) for i in [0, n).
+/// The body must be safe to run concurrently for distinct i.
+template <typename Body>
+void ParallelFor(Stream& stream, size_t n, KernelStats stats, Body&& body) {
+  stats.ops = std::max<uint64_t>(stats.ops, n);  // at least one op per thread
+  stream.ChargeKernel(stats);
+  if (n == 0) return;
+  // Use coarse host-side chunks: each chunk covers many simulated blocks to
+  // amortize scheduling on the host.
+  const size_t chunk = std::max<size_t>(kDefaultBlockSize * 16, n / (stream.device().pool().num_threads() * 8 + 1));
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  stream.device().pool().ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(begin + chunk, n);
+    for (size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+/// Context passed to a block kernel body.
+struct BlockContext {
+  size_t block_id = 0;
+  size_t num_blocks = 0;
+  size_t block_size = 0;
+};
+
+/// Launches `num_blocks` cooperative blocks; body(ctx) once per block.
+template <typename Body>
+void LaunchBlocks(Stream& stream, size_t num_blocks, size_t block_size,
+                  KernelStats stats, Body&& body) {
+  stats.ops = std::max<uint64_t>(stats.ops, num_blocks * block_size);
+  stream.ChargeKernel(stats);
+  if (num_blocks == 0) return;
+  stream.device().pool().ParallelFor(num_blocks, [&](size_t b) {
+    BlockContext ctx;
+    ctx.block_id = b;
+    ctx.num_blocks = num_blocks;
+    ctx.block_size = block_size;
+    body(ctx);
+  });
+}
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_KERNEL_H_

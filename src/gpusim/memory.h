@@ -1,0 +1,136 @@
+// Device memory: RAII buffers and explicit transfers.
+//
+// Mirrors the CUDA/OpenCL discipline the paper's libraries sit on: device
+// allocations are distinct from host memory, and all host<->device movement
+// goes through explicit, priced copy calls.
+#ifndef GPUSIM_MEMORY_H_
+#define GPUSIM_MEMORY_H_
+
+#include <cstddef>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "gpusim/stream.h"
+
+namespace gpusim {
+
+/// Untyped RAII device allocation.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  explicit DeviceBuffer(size_t bytes, Device& device = Device::Default())
+      : device_(&device), bytes_(bytes) {
+    ptr_ = device.Allocate(bytes);
+  }
+  ~DeviceBuffer() { Reset(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      device_ = other.device_;
+      ptr_ = other.ptr_;
+      bytes_ = other.bytes_;
+      other.ptr_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  void Reset() {
+    if (ptr_ != nullptr) device_->Free(ptr_);
+    ptr_ = nullptr;
+    bytes_ = 0;
+  }
+
+  void* data() { return ptr_; }
+  const void* data() const { return ptr_; }
+  size_t size_bytes() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+  Device* device() const { return device_; }
+
+ private:
+  Device* device_ = nullptr;
+  void* ptr_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+/// Typed RAII device array of trivially-copyable T.
+template <typename T>
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+  explicit DeviceArray(size_t n, Device& device = Device::Default())
+      : buffer_(n * sizeof(T), device), size_(n) {}
+
+  T* data() { return static_cast<T*>(buffer_.data()); }
+  const T* data() const { return static_cast<const T*>(buffer_.data()); }
+  size_t size() const { return size_; }
+  size_t size_bytes() const { return size_ * sizeof(T); }
+  bool empty() const { return size_ == 0; }
+
+  DeviceBuffer& buffer() { return buffer_; }
+
+ private:
+  DeviceBuffer buffer_;
+  size_t size_ = 0;
+};
+
+/// Copies host memory into device memory, charging the stream.
+inline void CopyHostToDevice(Stream& stream, void* dst, const void* src,
+                             size_t bytes) {
+  std::memcpy(dst, src, bytes);
+  stream.ChargeTransfer(Stream::TransferKind::kHostToDevice, bytes);
+}
+
+/// Copies device memory back to host memory, charging the stream.
+inline void CopyDeviceToHost(Stream& stream, void* dst, const void* src,
+                             size_t bytes) {
+  std::memcpy(dst, src, bytes);
+  stream.ChargeTransfer(Stream::TransferKind::kDeviceToHost, bytes);
+}
+
+/// Device-to-device copy (priced as a read+write kernel over global memory).
+inline void CopyDeviceToDevice(Stream& stream, void* dst, const void* src,
+                               size_t bytes) {
+  std::memmove(dst, src, bytes);
+  stream.ChargeTransfer(Stream::TransferKind::kDeviceToDevice, bytes);
+}
+
+/// cudaMemset equivalent: fills device memory with a byte value.
+inline void MemsetDevice(Stream& stream, void* dst, int value, size_t bytes) {
+  std::memset(dst, value, bytes);
+  KernelStats stats;
+  stats.name = "memset";
+  stats.bytes_written = bytes;
+  stream.ChargeKernel(stats);
+}
+
+/// Convenience: upload a host vector into a new typed device array.
+template <typename T>
+DeviceArray<T> ToDevice(Stream& stream, const std::vector<T>& host,
+                        Device& device = Device::Default()) {
+  DeviceArray<T> out(host.size(), device);
+  if (!host.empty()) {
+    CopyHostToDevice(stream, out.data(), host.data(), host.size() * sizeof(T));
+  }
+  return out;
+}
+
+/// Convenience: download a typed device array into a host vector.
+template <typename T>
+std::vector<T> ToHost(Stream& stream, const DeviceArray<T>& dev) {
+  std::vector<T> out(dev.size());
+  if (!out.empty()) {
+    CopyDeviceToHost(stream, out.data(), dev.data(), dev.size() * sizeof(T));
+  }
+  return out;
+}
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_MEMORY_H_

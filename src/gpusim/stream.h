@@ -1,0 +1,125 @@
+// Streams and events.
+//
+// A Stream is an ordered command queue on a Device, tagged with the API
+// profile of the library that owns it (CUDA-style or OpenCL-style). Since the
+// simulator executes commands synchronously on the host, a stream's job is
+// timeline accounting: every launch/transfer/compile advances the stream's
+// simulated clock by the cost model's price for that command.
+#ifndef GPUSIM_STREAM_H_
+#define GPUSIM_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "gpusim/device.h"
+
+namespace gpusim {
+
+/// A point on a stream's simulated timeline.
+struct Event {
+  uint64_t timestamp_ns = 0;
+};
+
+/// Ordered command queue with a simulated clock.
+class Stream {
+ public:
+  explicit Stream(Device& device = Device::Default(),
+                  ApiProfile profile = ApiProfile::Cuda())
+      : device_(device), profile_(profile), id_(device.NextStreamId()) {}
+
+  /// Unique id of this stream on its device (trace attribution).
+  uint64_t id() const { return id_; }
+
+  Device& device() { return device_; }
+  const ApiProfile& profile() const { return profile_; }
+
+  /// Simulated time elapsed on this stream since construction.
+  uint64_t now_ns() const { return timeline_ns_; }
+
+  /// Charges a kernel launch to the stream and device counters.
+  void ChargeKernel(const KernelStats& stats) {
+    const uint64_t t = device_.cost_model().KernelTime(stats, profile_);
+    Trace(stats.name, "kernel", t);
+    Advance(t);
+    auto& c = device_.counters();
+    c.kernels_launched.fetch_add(1, std::memory_order_relaxed);
+    c.bytes_read.fetch_add(stats.bytes_read, std::memory_order_relaxed);
+    c.bytes_written.fetch_add(stats.bytes_written, std::memory_order_relaxed);
+  }
+
+  /// Charges an explicit host<->device transfer.
+  enum class TransferKind { kHostToDevice, kDeviceToHost, kDeviceToDevice };
+  void ChargeTransfer(TransferKind kind, uint64_t bytes) {
+    auto& c = device_.counters();
+    uint64_t t = 0;
+    switch (kind) {
+      case TransferKind::kHostToDevice:
+        c.bytes_h2d.fetch_add(bytes, std::memory_order_relaxed);
+        t = device_.cost_model().TransferTime(bytes, profile_);
+        break;
+      case TransferKind::kDeviceToHost:
+        c.bytes_d2h.fetch_add(bytes, std::memory_order_relaxed);
+        t = device_.cost_model().TransferTime(bytes, profile_);
+        break;
+      case TransferKind::kDeviceToDevice:
+        c.bytes_d2d.fetch_add(bytes, std::memory_order_relaxed);
+        t = device_.cost_model().DeviceCopyTime(bytes, profile_);
+        break;
+    }
+    c.transfers.fetch_add(1, std::memory_order_relaxed);
+    Trace(kind == TransferKind::kHostToDevice   ? "memcpy_h2d"
+          : kind == TransferKind::kDeviceToHost ? "memcpy_d2h"
+                                                : "memcpy_d2d",
+          "transfer", t);
+    Advance(t);
+  }
+
+  /// Charges a run-time program compilation (OpenCL-style JIT). The caller
+  /// is responsible for caching; every call to this function pays.
+  void ChargeProgramCompile() {
+    auto& c = device_.counters();
+    c.programs_compiled.fetch_add(1, std::memory_order_relaxed);
+    c.compile_ns.fetch_add(profile_.program_compile_ns,
+                           std::memory_order_relaxed);
+    Trace("clBuildProgram", "compile", profile_.program_compile_ns);
+    Advance(profile_.program_compile_ns);
+  }
+
+  /// Charges host-side API/framework overhead (e.g. lazy-graph bookkeeping).
+  void ChargeOverhead(uint64_t ns) { Advance(ns); }
+
+  /// Records the current position of the stream's timeline.
+  Event Record() const { return Event{timeline_ns_}; }
+
+  /// Makes this stream wait for an event (timeline jumps forward if needed).
+  void Wait(const Event& e) {
+    if (e.timestamp_ns > timeline_ns_) timeline_ns_ = e.timestamp_ns;
+  }
+
+  /// Blocks until all queued work completed. Functionally a no-op (the
+  /// simulator is synchronous); kept for API fidelity.
+  void Synchronize() {}
+
+ private:
+  void Advance(uint64_t ns) {
+    timeline_ns_ += ns;
+    device_.counters().simulated_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  void Trace(const char* name, const char* category, uint64_t duration_ns) {
+    if (Tracer* tracer = device_.tracer()) {
+      tracer->Record(TraceEvent{name, category, timeline_ns_, duration_ns,
+                                id_});
+    }
+  }
+
+  Device& device_;
+  ApiProfile profile_;
+  uint64_t id_ = 0;
+  uint64_t timeline_ns_ = 0;
+};
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_STREAM_H_

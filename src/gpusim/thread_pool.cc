@@ -1,0 +1,85 @@
+#include "gpusim/thread_pool.h"
+
+#include <exception>
+
+namespace gpusim {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned n = num_threads == 0 ? std::thread::hardware_concurrency() : num_threads;
+  if (n == 0) n = 1;
+  // The calling thread participates in every job, so spawn n-1 workers.
+  for (unsigned i = 1; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(Job* job) {
+  while (true) {
+    const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->num_chunks) break;
+    try {
+      (*job->body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->error_mu);
+      if (!job->error) job->error = std::current_exception();
+    }
+    job->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || current_job_ != nullptr; });
+      if (shutdown_) return;
+      job = current_job_;
+    }
+    RunChunks(job);
+    done_cv_.notify_all();
+    // Wait until the job is retired before looking for the next one, so we
+    // never run chunks of a stale job pointer.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this, job] { return current_job_ != job || shutdown_; });
+  }
+}
+
+void ThreadPool::ParallelFor(size_t num_chunks,
+                             const std::function<void(size_t)>& body) {
+  if (num_chunks == 0) return;
+  if (workers_.empty() || num_chunks == 1) {
+    // Inline fast path (single-core hosts and tiny grids).
+    for (size_t i = 0; i < num_chunks; ++i) body(i);
+    return;
+  }
+  Job job;
+  job.body = &body;
+  job.num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_job_ = &job;
+  }
+  cv_.notify_all();
+  RunChunks(&job);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&job] {
+      return job.done.load(std::memory_order_acquire) >= job.num_chunks;
+    });
+    current_job_ = nullptr;
+  }
+  done_cv_.notify_all();
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace gpusim

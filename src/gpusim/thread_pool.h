@@ -1,0 +1,61 @@
+// Minimal work-sharing thread pool used to execute simulated kernel grids.
+//
+// The pool maps thread blocks of a launch onto host worker threads. On a
+// single-core host it degenerates to inline execution, which is still a
+// faithful *functional* simulation; timing comes from the cost model, not
+// from wall clock.
+#ifndef GPUSIM_THREAD_POOL_H_
+#define GPUSIM_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpusim {
+
+/// Fixed-size pool executing chunked parallel-for jobs.
+class ThreadPool {
+ public:
+  /// @param num_threads 0 means hardware concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs body(chunk_index) for chunk_index in [0, num_chunks), distributing
+  /// chunks across the pool's workers plus the calling thread. Blocks until
+  /// all chunks are done. Exceptions thrown by the body are rethrown on the
+  /// calling thread (first one wins).
+  void ParallelFor(size_t num_chunks, const std::function<void(size_t)>& body);
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* body = nullptr;
+    std::atomic<size_t> next{0};
+    size_t num_chunks = 0;
+    std::atomic<size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void WorkerLoop();
+  static void RunChunks(Job* job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* current_job_ = nullptr;
+  bool shutdown_ = false;
+};
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_THREAD_POOL_H_

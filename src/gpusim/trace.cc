@@ -1,0 +1,35 @@
+#include "gpusim/trace.h"
+
+namespace gpusim {
+namespace {
+
+/// JSON string escaping for event names (quotes and backslashes only; names
+/// are programmatic identifiers).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::ExportChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << Escape(e.name) << "\",\"cat\":\"" << e.category
+       << "\",\"ph\":\"X\",\"ts\":" << e.start_ns / 1e3
+       << ",\"dur\":" << e.duration_ns / 1e3
+       << ",\"pid\":1,\"tid\":" << e.stream_id << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+}  // namespace gpusim

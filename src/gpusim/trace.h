@@ -1,0 +1,62 @@
+// Kernel/transfer tracing for the simulated device.
+//
+// When a Tracer is attached to a Device, every kernel launch, transfer, and
+// program compilation is recorded with its simulated start time and
+// duration, per stream. Traces export to the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto), giving the same operator-timeline view an
+// nvprof/nsys capture of the real libraries would.
+#ifndef GPUSIM_TRACE_H_
+#define GPUSIM_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpusim {
+
+/// One traced device command.
+struct TraceEvent {
+  std::string name;
+  const char* category = "kernel";  ///< "kernel" | "transfer" | "compile"
+  uint64_t start_ns = 0;            ///< stream-relative simulated time
+  uint64_t duration_ns = 0;
+  uint64_t stream_id = 0;
+};
+
+/// Collects TraceEvents; thread-safe.
+class Tracer {
+ public:
+  void Record(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(event));
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+  /// Writes the Chrome trace-event JSON array ("traceEvents" format).
+  /// Timestamps are microseconds as the format requires.
+  void ExportChromeTrace(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gpusim
+
+#endif  // GPUSIM_TRACE_H_

@@ -1,0 +1,60 @@
+#include "storage/device_column.h"
+
+namespace storage {
+
+Column DeviceColumn::ToHost(gpusim::Stream& stream) const {
+  switch (type_) {
+    case DataType::kInt32: {
+      std::vector<int32_t> out(size_);
+      if (size_ > 0) {
+        gpusim::CopyDeviceToHost(stream, out.data(), buffer_->data(),
+                                 byte_size());
+      }
+      return Column(std::move(out));
+    }
+    case DataType::kInt64: {
+      std::vector<int64_t> out(size_);
+      if (size_ > 0) {
+        gpusim::CopyDeviceToHost(stream, out.data(), buffer_->data(),
+                                 byte_size());
+      }
+      return Column(std::move(out));
+    }
+    case DataType::kFloat64: {
+      std::vector<double> out(size_);
+      if (size_ > 0) {
+        gpusim::CopyDeviceToHost(stream, out.data(), buffer_->data(),
+                                 byte_size());
+      }
+      return Column(std::move(out));
+    }
+    case DataType::kFloat32: {
+      std::vector<float> out(size_);
+      if (size_ > 0) {
+        gpusim::CopyDeviceToHost(stream, out.data(), buffer_->data(),
+                                 byte_size());
+      }
+      return Column(std::move(out));
+    }
+  }
+  return Column();
+}
+
+DeviceColumn UploadColumn(gpusim::Stream& stream, const Column& column) {
+  DeviceColumn out(column.type(), column.size(), stream.device());
+  if (column.size() > 0) {
+    gpusim::CopyHostToDevice(stream, out.raw_data(), column.raw_data(),
+                             column.byte_size());
+  }
+  return out;
+}
+
+DeviceTable UploadTable(gpusim::Stream& stream, const Table& table) {
+  DeviceTable out;
+  for (const std::string& name : table.column_names()) {
+    out.AddColumn(name, UploadColumn(stream, table.column(name)));
+  }
+  return out;
+}
+
+}  // namespace storage

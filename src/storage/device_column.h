@@ -1,0 +1,105 @@
+// Device-resident columns and tables.
+//
+// Uploading a table to the device is an explicit, priced step — the paper's
+// measurements distinguish operator time from transfer time, and
+// bench_transfer quantifies the transfer side.
+#ifndef STORAGE_DEVICE_COLUMN_H_
+#define STORAGE_DEVICE_COLUMN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/memory.h"
+#include "storage/table.h"
+
+namespace storage {
+
+/// A device-resident typed column.
+class DeviceColumn {
+ public:
+  DeviceColumn() = default;
+
+  /// Allocates an uninitialized device column.
+  DeviceColumn(DataType type, size_t n, gpusim::Device& device)
+      : type_(type),
+        size_(n),
+        buffer_(std::make_shared<gpusim::DeviceBuffer>(n * DataTypeSize(type),
+                                                       device)) {}
+
+  /// Wraps an existing device buffer without copying (zero-copy interop
+  /// between backends' library containers and the storage layer).
+  DeviceColumn(DataType type, size_t n,
+               std::shared_ptr<gpusim::DeviceBuffer> buffer)
+      : type_(type), size_(n), buffer_(std::move(buffer)) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return size_; }
+  size_t byte_size() const { return size_ * DataTypeSize(type_); }
+
+  /// Typed device pointer; throws on type mismatch.
+  template <typename T>
+  T* data() const {
+    if (DataTypeOf<T>() != type_) {
+      throw std::invalid_argument(
+          std::string("DeviceColumn::data<T>: column holds ") +
+          DataTypeName(type_));
+    }
+    return static_cast<T*>(buffer_->data());
+  }
+
+  void* raw_data() const { return buffer_ ? buffer_->data() : nullptr; }
+
+  /// Shared handle to the underlying buffer (zero-copy interop).
+  const std::shared_ptr<gpusim::DeviceBuffer>& buffer_ptr() const {
+    return buffer_;
+  }
+
+  /// Downloads to a host column (priced D2H).
+  Column ToHost(gpusim::Stream& stream) const;
+
+ private:
+  DataType type_ = DataType::kInt32;
+  size_t size_ = 0;
+  std::shared_ptr<gpusim::DeviceBuffer> buffer_;
+};
+
+/// Uploads a host column (priced H2D).
+DeviceColumn UploadColumn(gpusim::Stream& stream, const Column& column);
+
+/// A device-resident relation.
+class DeviceTable {
+ public:
+  DeviceTable() = default;
+
+  void AddColumn(const std::string& name, DeviceColumn column) {
+    columns_.emplace(name, std::move(column));
+  }
+
+  bool HasColumn(const std::string& name) const {
+    return columns_.count(name) > 0;
+  }
+
+  const DeviceColumn& column(const std::string& name) const {
+    auto it = columns_.find(name);
+    if (it == columns_.end()) {
+      throw std::out_of_range("DeviceTable::column: no column named " + name);
+    }
+    return it->second;
+  }
+
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.begin()->second.size();
+  }
+
+ private:
+  std::unordered_map<std::string, DeviceColumn> columns_;
+};
+
+/// Uploads every column of a host table.
+DeviceTable UploadTable(gpusim::Stream& stream, const Table& table);
+
+}  // namespace storage
+
+#endif  // STORAGE_DEVICE_COLUMN_H_

@@ -1,0 +1,32 @@
+#include "storage/table.h"
+
+#include <stdexcept>
+
+namespace storage {
+
+void Table::AddColumn(const std::string& column_name, Column column) {
+  if (columns_.count(column_name) > 0) {
+    throw std::invalid_argument("Table::AddColumn: duplicate column " +
+                                column_name);
+  }
+  if (!order_.empty() && column.size() != num_rows_) {
+    throw std::invalid_argument(
+        "Table::AddColumn: column " + column_name + " has " +
+        std::to_string(column.size()) + " rows, table has " +
+        std::to_string(num_rows_));
+  }
+  num_rows_ = column.size();
+  order_.push_back(column_name);
+  columns_.emplace(column_name, std::move(column));
+}
+
+const Column& Table::column(const std::string& column_name) const {
+  auto it = columns_.find(column_name);
+  if (it == columns_.end()) {
+    throw std::out_of_range("Table::column: no column named " + column_name +
+                            " in table " + name_);
+  }
+  return it->second;
+}
+
+}  // namespace storage

@@ -1,0 +1,44 @@
+// Host tables: named columns with a shared row count.
+#ifndef STORAGE_TABLE_H_
+#define STORAGE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace storage {
+
+/// A host-resident relation in columnar layout.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return order_.size(); }
+
+  /// Adds a column; all columns must have equal length.
+  void AddColumn(const std::string& column_name, Column column);
+
+  bool HasColumn(const std::string& column_name) const {
+    return columns_.count(column_name) > 0;
+  }
+
+  const Column& column(const std::string& column_name) const;
+
+  /// Column names in insertion order.
+  const std::vector<std::string>& column_names() const { return order_; }
+
+ private:
+  std::string name_;
+  size_t num_rows_ = 0;
+  std::vector<std::string> order_;
+  std::unordered_map<std::string, Column> columns_;
+};
+
+}  // namespace storage
+
+#endif  // STORAGE_TABLE_H_

@@ -1,0 +1,108 @@
+// thrustsim: a Thrust-compatible API surface over the gpusim device.
+//
+// Mirrors thrust::device_vector: a device-resident, contiguously allocated
+// vector whose construction from host data performs an explicit (priced)
+// host-to-device transfer. Iterators are raw device pointers, as in Thrust's
+// pointer-based algorithm entry points.
+#ifndef THRUSTSIM_DEVICE_VECTOR_H_
+#define THRUSTSIM_DEVICE_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "gpusim/memory.h"
+#include "thrustsim/execution_policy.h"
+
+namespace thrustsim {
+
+/// Device-resident vector of trivially copyable T (thrust::device_vector).
+template <typename T>
+class device_vector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  device_vector() = default;
+
+  explicit device_vector(size_t n) : array_(n, device()) {}
+
+  device_vector(size_t n, T value) : array_(n, device()) {
+    gpusim::Fill(stream(), array_.data(), n, value);
+  }
+
+  /// Uploads a host vector (priced H2D transfer), like
+  /// thrust::device_vector's host-container constructor.
+  explicit device_vector(const std::vector<T>& host)
+      : array_(host.size(), device()) {
+    if (!host.empty()) {
+      gpusim::CopyHostToDevice(stream(), array_.data(), host.data(),
+                               host.size() * sizeof(T));
+    }
+  }
+
+  device_vector(std::initializer_list<T> init)
+      : device_vector(std::vector<T>(init)) {}
+
+  device_vector(device_vector&&) noexcept = default;
+  device_vector& operator=(device_vector&&) noexcept = default;
+
+  /// Copy construction performs a priced device-to-device copy.
+  device_vector(const device_vector& other) : array_(other.size(), device()) {
+    if (other.size() > 0) {
+      gpusim::CopyDeviceToDevice(stream(), array_.data(), other.data(),
+                                 other.size() * sizeof(T));
+    }
+  }
+  device_vector& operator=(const device_vector& other) {
+    if (this != &other) {
+      array_ = gpusim::DeviceArray<T>(other.size(), device());
+      if (other.size() > 0) {
+        gpusim::CopyDeviceToDevice(stream(), array_.data(), other.data(),
+                                   other.size() * sizeof(T));
+      }
+    }
+    return *this;
+  }
+
+  iterator begin() { return array_.data(); }
+  iterator end() { return array_.data() + array_.size(); }
+  const_iterator begin() const { return array_.data(); }
+  const_iterator end() const { return array_.data() + array_.size(); }
+  T* data() { return array_.data(); }
+  const T* data() const { return array_.data(); }
+  size_t size() const { return array_.size(); }
+  bool empty() const { return array_.size() == 0; }
+
+  void resize(size_t n) {
+    if (n == array_.size()) return;
+    gpusim::DeviceArray<T> next(n, device());
+    const size_t keep = std::min(n, array_.size());
+    if (keep > 0) {
+      gpusim::CopyDeviceToDevice(stream(), next.data(), array_.data(),
+                                 keep * sizeof(T));
+    }
+    array_ = std::move(next);
+  }
+
+  /// Downloads the contents to the host (priced D2H transfer).
+  std::vector<T> to_host() const {
+    std::vector<T> out(array_.size());
+    if (!out.empty()) {
+      gpusim::CopyDeviceToHost(stream(), out.data(), array_.data(),
+                               out.size() * sizeof(T));
+    }
+    return out;
+  }
+
+ private:
+  static gpusim::Device& device() { return default_stream().device(); }
+  static gpusim::Stream& stream() { return default_stream(); }
+
+  gpusim::DeviceArray<T> array_;
+};
+
+}  // namespace thrustsim
+
+#endif  // THRUSTSIM_DEVICE_VECTOR_H_

@@ -1,0 +1,41 @@
+// Execution policies (thrust::device / thrust::cuda::par.on(stream)).
+//
+// thrustsim algorithms execute on a gpusim::Stream with a CUDA API profile.
+// The default policy uses a library-wide default stream; par.on(stream)
+// targets a caller-provided stream, mirroring Thrust's stream support.
+#ifndef THRUSTSIM_EXECUTION_POLICY_H_
+#define THRUSTSIM_EXECUTION_POLICY_H_
+
+#include "gpusim/algorithms.h"
+#include "gpusim/stream.h"
+
+namespace thrustsim {
+
+/// The library-wide default CUDA stream (thrust's implicit stream 0).
+inline gpusim::Stream& default_stream() {
+  static gpusim::Stream* stream =
+      new gpusim::Stream(gpusim::Device::Default(), gpusim::ApiProfile::Cuda());
+  return *stream;
+}
+
+/// Execution policy carrying the target stream.
+struct execution_policy {
+  gpusim::Stream* stream = nullptr;
+  gpusim::Stream& get() const { return stream ? *stream : default_stream(); }
+};
+
+/// thrust::device analogue: execute on the default stream.
+inline constexpr execution_policy device{};
+
+namespace cuda {
+
+/// thrust::cuda::par.on(stream) analogue.
+struct par_t {
+  execution_policy on(gpusim::Stream& s) const { return execution_policy{&s}; }
+};
+inline constexpr par_t par{};
+
+}  // namespace cuda
+}  // namespace thrustsim
+
+#endif  // THRUSTSIM_EXECUTION_POLICY_H_

@@ -1,0 +1,89 @@
+// Functors mirroring thrust/functional.h.
+#ifndef THRUSTSIM_FUNCTIONAL_H_
+#define THRUSTSIM_FUNCTIONAL_H_
+
+namespace thrustsim {
+
+template <typename T>
+struct plus {
+  T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+template <typename T>
+struct minus {
+  T operator()(const T& a, const T& b) const { return a - b; }
+};
+
+template <typename T>
+struct multiplies {
+  T operator()(const T& a, const T& b) const { return a * b; }
+};
+
+template <typename T>
+struct divides {
+  T operator()(const T& a, const T& b) const { return a / b; }
+};
+
+template <typename T>
+struct bit_and {
+  T operator()(const T& a, const T& b) const { return a & b; }
+};
+
+template <typename T>
+struct bit_or {
+  T operator()(const T& a, const T& b) const { return a | b; }
+};
+
+template <typename T>
+struct maximum {
+  T operator()(const T& a, const T& b) const { return a < b ? b : a; }
+};
+
+template <typename T>
+struct minimum {
+  T operator()(const T& a, const T& b) const { return b < a ? b : a; }
+};
+
+template <typename T>
+struct negate {
+  T operator()(const T& a) const { return -a; }
+};
+
+template <typename T>
+struct identity {
+  const T& operator()(const T& a) const { return a; }
+};
+
+template <typename T>
+struct less {
+  bool operator()(const T& a, const T& b) const { return a < b; }
+};
+
+template <typename T>
+struct greater {
+  bool operator()(const T& a, const T& b) const { return b < a; }
+};
+
+template <typename T>
+struct equal_to {
+  bool operator()(const T& a, const T& b) const { return a == b; }
+};
+
+template <typename T>
+struct not_equal_to {
+  bool operator()(const T& a, const T& b) const { return !(a == b); }
+};
+
+template <typename T>
+struct logical_and {
+  bool operator()(const T& a, const T& b) const { return a && b; }
+};
+
+template <typename T>
+struct logical_or {
+  bool operator()(const T& a, const T& b) const { return a || b; }
+};
+
+}  // namespace thrustsim
+
+#endif  // THRUSTSIM_FUNCTIONAL_H_

@@ -1,0 +1,10 @@
+// Umbrella header for the Thrust-like library simulation.
+#ifndef THRUSTSIM_THRUSTSIM_H_
+#define THRUSTSIM_THRUSTSIM_H_
+
+#include "thrustsim/algorithm.h"
+#include "thrustsim/device_vector.h"
+#include "thrustsim/execution_policy.h"
+#include "thrustsim/functional.h"
+
+#endif  // THRUSTSIM_THRUSTSIM_H_

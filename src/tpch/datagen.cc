@@ -1,0 +1,230 @@
+#include "tpch/datagen.h"
+
+#include <cmath>
+
+namespace tpch {
+namespace {
+
+/// splitmix64: deterministic, seedable, fast.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return lo + (hi - lo) * (Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Days from civil date algorithm (Howard Hinnant's days_from_civil).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+}  // namespace
+
+int32_t DaysFromDate(int year, int month, int day) {
+  static const int64_t kEpoch = DaysFromCivil(1992, 1, 1);
+  return static_cast<int32_t>(DaysFromCivil(year, month, day) - kEpoch);
+}
+
+size_t NumOrders(const Config& config) {
+  return static_cast<size_t>(1'500'000.0 * config.scale_factor);
+}
+
+storage::Table GenerateLineitem(const Config& config) {
+  Rng rng(config.seed ^ 0x11e17e11ULL);
+  const size_t num_orders = NumOrders(config);
+  const int32_t min_orderdate = DaysFromDate(1992, 1, 1);
+  const int32_t max_orderdate = DaysFromDate(1998, 8, 2);
+  const int32_t status_cutoff = DaysFromDate(1995, 6, 17);
+  const size_t parts = static_cast<size_t>(200'000.0 * config.scale_factor) + 1;
+  const size_t suppliers =
+      static_cast<size_t>(10'000.0 * config.scale_factor) + 1;
+
+  std::vector<int32_t> orderkey, partkey, suppkey, returnflag, linestatus,
+      shipdate, commitdate, receiptdate, rfls;
+  std::vector<double> quantity, extendedprice, discount, tax;
+
+  for (size_t o = 0; o < num_orders; ++o) {
+    const int32_t odate = static_cast<int32_t>(
+        rng.Uniform(min_orderdate, max_orderdate));
+    const int lines = static_cast<int>(rng.Uniform(1, 7));
+    for (int l = 0; l < lines; ++l) {
+      orderkey.push_back(static_cast<int32_t>(o + 1));
+      partkey.push_back(static_cast<int32_t>(rng.Uniform(1, parts)));
+      suppkey.push_back(static_cast<int32_t>(rng.Uniform(1, suppliers)));
+      const double qty = static_cast<double>(rng.Uniform(1, 50));
+      quantity.push_back(qty);
+      // extendedprice = qty * part price; parts are priced 900.."100k".
+      extendedprice.push_back(qty * rng.UniformReal(900.0, 2100.0));
+      discount.push_back(rng.Uniform(0, 10) / 100.0);  // 0.00..0.10
+      tax.push_back(rng.Uniform(0, 8) / 100.0);        // 0.00..0.08
+      const int32_t sdate =
+          odate + static_cast<int32_t>(rng.Uniform(1, 121));
+      shipdate.push_back(sdate);
+      // TPC-H: commitdate = orderdate + [30..90], receiptdate =
+      // shipdate + [1..30]; roughly half the lines are late.
+      commitdate.push_back(odate + static_cast<int32_t>(rng.Uniform(30, 90)));
+      receiptdate.push_back(sdate + static_cast<int32_t>(rng.Uniform(1, 30)));
+      const int32_t ls = sdate > status_cutoff ? 1 : 0;  // 'O' : 'F'
+      // TPC-H: returned ('R'/'A') only for already-delivered lines.
+      int32_t rf;
+      if (ls == 1) {
+        rf = 1;  // 'N'
+      } else {
+        rf = rng.Uniform(0, 1) == 0 ? 0 : 2;  // 'A' or 'R'
+      }
+      returnflag.push_back(rf);
+      linestatus.push_back(ls);
+      rfls.push_back(rf * 2 + ls);
+    }
+  }
+
+  storage::Table t("lineitem");
+  t.AddColumn("l_orderkey", storage::Column(std::move(orderkey)));
+  t.AddColumn("l_partkey", storage::Column(std::move(partkey)));
+  t.AddColumn("l_suppkey", storage::Column(std::move(suppkey)));
+  t.AddColumn("l_quantity", storage::Column(std::move(quantity)));
+  t.AddColumn("l_extendedprice", storage::Column(std::move(extendedprice)));
+  t.AddColumn("l_discount", storage::Column(std::move(discount)));
+  t.AddColumn("l_tax", storage::Column(std::move(tax)));
+  t.AddColumn("l_returnflag", storage::Column(std::move(returnflag)));
+  t.AddColumn("l_linestatus", storage::Column(std::move(linestatus)));
+  t.AddColumn("l_shipdate", storage::Column(std::move(shipdate)));
+  t.AddColumn("l_commitdate", storage::Column(std::move(commitdate)));
+  t.AddColumn("l_receiptdate", storage::Column(std::move(receiptdate)));
+  t.AddColumn("l_rfls", storage::Column(std::move(rfls)));
+  return t;
+}
+
+storage::Table GenerateOrders(const Config& config) {
+  Rng rng(config.seed ^ 0x0bde75ULL);
+  const size_t num_orders = NumOrders(config);
+  const size_t customers =
+      static_cast<size_t>(150'000.0 * config.scale_factor) + 1;
+  const int32_t min_orderdate = DaysFromDate(1992, 1, 1);
+  const int32_t max_orderdate = DaysFromDate(1998, 8, 2);
+
+  std::vector<int32_t> orderkey(num_orders), custkey(num_orders),
+      orderdate(num_orders), orderpriority(num_orders),
+      shippriority(num_orders);
+  std::vector<double> totalprice(num_orders);
+  for (size_t o = 0; o < num_orders; ++o) {
+    orderkey[o] = static_cast<int32_t>(o + 1);
+    custkey[o] = static_cast<int32_t>(rng.Uniform(1, customers));
+    orderdate[o] =
+        static_cast<int32_t>(rng.Uniform(min_orderdate, max_orderdate));
+    orderpriority[o] = static_cast<int32_t>(rng.Uniform(1, 5));
+    shippriority[o] = 0;  // constant in TPC-H
+    totalprice[o] = rng.UniformReal(1000.0, 450000.0);
+  }
+
+  storage::Table t("orders");
+  t.AddColumn("o_orderkey", storage::Column(std::move(orderkey)));
+  t.AddColumn("o_custkey", storage::Column(std::move(custkey)));
+  t.AddColumn("o_orderdate", storage::Column(std::move(orderdate)));
+  t.AddColumn("o_orderpriority", storage::Column(std::move(orderpriority)));
+  t.AddColumn("o_shippriority", storage::Column(std::move(shippriority)));
+  t.AddColumn("o_totalprice", storage::Column(std::move(totalprice)));
+  return t;
+}
+
+storage::Table GenerateCustomer(const Config& config) {
+  Rng rng(config.seed ^ 0xc057ULL);
+  const size_t n = static_cast<size_t>(150'000.0 * config.scale_factor) + 1;
+  std::vector<int32_t> custkey(n), nationkey(n), mktsegment(n);
+  std::vector<double> acctbal(n);
+  for (size_t i = 0; i < n; ++i) {
+    custkey[i] = static_cast<int32_t>(i + 1);
+    nationkey[i] = static_cast<int32_t>(rng.Uniform(0, 24));
+    mktsegment[i] = static_cast<int32_t>(rng.Uniform(0, 4));  // 5 segments
+    acctbal[i] = rng.UniformReal(-999.99, 9999.99);
+  }
+  storage::Table t("customer");
+  t.AddColumn("c_custkey", storage::Column(std::move(custkey)));
+  t.AddColumn("c_nationkey", storage::Column(std::move(nationkey)));
+  t.AddColumn("c_mktsegment", storage::Column(std::move(mktsegment)));
+  t.AddColumn("c_acctbal", storage::Column(std::move(acctbal)));
+  return t;
+}
+
+storage::Table GeneratePart(const Config& config) {
+  Rng rng(config.seed ^ 0x9a47ULL);
+  const size_t n = static_cast<size_t>(200'000.0 * config.scale_factor) + 1;
+  std::vector<int32_t> partkey(n), size(n), promo(n);
+  std::vector<double> retailprice(n);
+  for (size_t i = 0; i < n; ++i) {
+    partkey[i] = static_cast<int32_t>(i + 1);
+    size[i] = static_cast<int32_t>(rng.Uniform(1, 50));
+    // p_type begins with PROMO for 1 of the 5 type groups.
+    promo[i] = rng.Uniform(0, 4) == 0 ? 1 : 0;
+    retailprice[i] = 900.0 + (static_cast<double>(i % 200001) / 10.0);
+  }
+  storage::Table t("part");
+  t.AddColumn("p_partkey", storage::Column(std::move(partkey)));
+  t.AddColumn("p_retailprice", storage::Column(std::move(retailprice)));
+  t.AddColumn("p_size", storage::Column(std::move(size)));
+  t.AddColumn("p_promo", storage::Column(std::move(promo)));
+  return t;
+}
+
+storage::Table GenerateSupplier(const Config& config) {
+  Rng rng(config.seed ^ 0x5a99ULL);
+  const size_t n = static_cast<size_t>(10'000.0 * config.scale_factor) + 1;
+  std::vector<int32_t> suppkey(n), nationkey(n);
+  std::vector<double> acctbal(n);
+  for (size_t i = 0; i < n; ++i) {
+    suppkey[i] = static_cast<int32_t>(i + 1);
+    nationkey[i] = static_cast<int32_t>(rng.Uniform(0, 24));
+    acctbal[i] = rng.UniformReal(-999.99, 9999.99);
+  }
+  storage::Table t("supplier");
+  t.AddColumn("s_suppkey", storage::Column(std::move(suppkey)));
+  t.AddColumn("s_nationkey", storage::Column(std::move(nationkey)));
+  t.AddColumn("s_acctbal", storage::Column(std::move(acctbal)));
+  return t;
+}
+
+storage::Table GenerateNation() {
+  std::vector<int32_t> nationkey(25), regionkey(25);
+  for (int i = 0; i < 25; ++i) {
+    nationkey[i] = i;
+    regionkey[i] = i % 5;
+  }
+  storage::Table t("nation");
+  t.AddColumn("n_nationkey", storage::Column(std::move(nationkey)));
+  t.AddColumn("n_regionkey", storage::Column(std::move(regionkey)));
+  return t;
+}
+
+storage::Table GenerateRegion() {
+  std::vector<int32_t> regionkey(5);
+  for (int i = 0; i < 5; ++i) regionkey[i] = i;
+  storage::Table t("region");
+  t.AddColumn("r_regionkey", storage::Column(std::move(regionkey)));
+  return t;
+}
+
+}  // namespace tpch

@@ -1,0 +1,63 @@
+// In-process TPC-H data generator (dbgen equivalent for the columns the
+// paper's query experiments touch).
+//
+// Deterministic for a given (scale factor, seed). Dates are encoded as days
+// since 1992-01-01; flag columns as small integers:
+//   l_returnflag: 0='A' 1='N' 2='R';  l_linestatus: 0='F' 1='O'.
+// The generator also materializes l_rfls = returnflag*2 + linestatus, the
+// composite grouping key Q1 needs (the framework's operator set groups by a
+// single int32 key, as all three libraries' reduce-by-key functions do).
+#ifndef TPCH_DATAGEN_H_
+#define TPCH_DATAGEN_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace tpch {
+
+/// Generation parameters. scale_factor 1.0 = 6M lineitem rows (TPC-H SF1).
+struct Config {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Days since 1992-01-01 for a calendar date (proleptic Gregorian).
+int32_t DaysFromDate(int year, int month, int day);
+
+/// Number of orders at this scale factor (1,500,000 * SF).
+size_t NumOrders(const Config& config);
+
+/// The LINEITEM relation. Columns: l_orderkey(i32), l_partkey(i32),
+/// l_suppkey(i32), l_quantity(f64), l_extendedprice(f64), l_discount(f64),
+/// l_tax(f64), l_returnflag(i32), l_linestatus(i32), l_shipdate(i32),
+/// l_commitdate(i32), l_receiptdate(i32), l_rfls(i32).
+storage::Table GenerateLineitem(const Config& config);
+
+/// The ORDERS relation. Columns: o_orderkey(i32), o_custkey(i32),
+/// o_orderdate(i32), o_orderpriority(i32, 1..5), o_shippriority(i32),
+/// o_totalprice(f64).
+storage::Table GenerateOrders(const Config& config);
+
+/// The CUSTOMER relation. Columns: c_custkey(i32), c_nationkey(i32),
+/// c_mktsegment(i32, 0..4), c_acctbal(f64).
+storage::Table GenerateCustomer(const Config& config);
+
+/// The PART relation. Columns: p_partkey(i32), p_retailprice(f64),
+/// p_size(i32).
+storage::Table GeneratePart(const Config& config);
+
+/// The SUPPLIER relation. Columns: s_suppkey(i32), s_nationkey(i32),
+/// s_acctbal(f64).
+storage::Table GenerateSupplier(const Config& config);
+
+/// The NATION relation (fixed 25 rows). Columns: n_nationkey(i32),
+/// n_regionkey(i32).
+storage::Table GenerateNation();
+
+/// The REGION relation (fixed 5 rows). Columns: r_regionkey(i32).
+storage::Table GenerateRegion();
+
+}  // namespace tpch
+
+#endif  // TPCH_DATAGEN_H_

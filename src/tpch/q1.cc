@@ -1,0 +1,137 @@
+// TPC-H Q1 over the framework operator set.
+#include <algorithm>
+#include <map>
+
+#include "tpch/queries.h"
+
+namespace tpch {
+namespace {
+
+/// Downloads a grouped-aggregation result into key -> value on the host.
+/// (Q1 has at most 6 groups; the download is a few dozen bytes.)
+std::map<int32_t, double> DownloadGroups(core::Backend& backend,
+                                         const core::GroupByResult& result) {
+  std::map<int32_t, double> out;
+  const storage::Column keys = result.keys.ToHost(backend.stream());
+  const storage::Column vals = result.aggregate.ToHost(backend.stream());
+  const auto& k = keys.values<int32_t>();
+  if (result.aggregate.type() == storage::DataType::kInt64) {
+    const auto& v = vals.values<int64_t>();
+    for (size_t i = 0; i < k.size(); ++i) out[k[i]] = static_cast<double>(v[i]);
+  } else {
+    const auto& v = vals.values<double>();
+    for (size_t i = 0; i < k.size(); ++i) out[k[i]] = v[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Q1Row> RunQ1(core::Backend& backend,
+                         const storage::DeviceTable& lineitem,
+                         const Q1Params& params) {
+  using core::AggOp;
+  using core::CompareOp;
+  using core::Predicate;
+
+  // sigma: l_shipdate <= cutoff.
+  const core::SelectionResult sel = backend.Select(
+      lineitem.column("l_shipdate"),
+      Predicate::Make("l_shipdate", CompareOp::kLe,
+                      static_cast<double>(params.CutoffDays())));
+
+  // Materialize the selected rows of every referenced column.
+  const storage::DeviceColumn key =
+      backend.Gather(lineitem.column("l_rfls"), sel.row_ids);
+  const storage::DeviceColumn qty =
+      backend.Gather(lineitem.column("l_quantity"), sel.row_ids);
+  const storage::DeviceColumn price =
+      backend.Gather(lineitem.column("l_extendedprice"), sel.row_ids);
+  const storage::DeviceColumn disc =
+      backend.Gather(lineitem.column("l_discount"), sel.row_ids);
+  const storage::DeviceColumn tax =
+      backend.Gather(lineitem.column("l_tax"), sel.row_ids);
+
+  // Projection arithmetic: disc_price = price*(1-disc); charge =
+  // disc_price*(1+tax). Every step is a separate library call that
+  // materializes its result — the interoperability cost the paper discusses.
+  const storage::DeviceColumn one_minus_disc =
+      backend.SubtractFromScalar(1.0, disc);
+  const storage::DeviceColumn disc_price =
+      backend.Product(price, one_minus_disc);
+  const storage::DeviceColumn one_plus_tax = backend.AddScalar(tax, 1.0);
+  const storage::DeviceColumn charge =
+      backend.Product(disc_price, one_plus_tax);
+
+  // Grouped aggregation per measure.
+  auto sum_qty = DownloadGroups(
+      backend, backend.GroupByAggregate(key, qty, AggOp::kSum));
+  auto sum_price = DownloadGroups(
+      backend, backend.GroupByAggregate(key, price, AggOp::kSum));
+  auto sum_disc_price = DownloadGroups(
+      backend, backend.GroupByAggregate(key, disc_price, AggOp::kSum));
+  auto sum_charge = DownloadGroups(
+      backend, backend.GroupByAggregate(key, charge, AggOp::kSum));
+  auto sum_disc = DownloadGroups(
+      backend, backend.GroupByAggregate(key, disc, AggOp::kSum));
+  auto counts = DownloadGroups(
+      backend, backend.GroupByAggregate(key, qty, AggOp::kCount));
+
+  std::vector<Q1Row> rows;
+  for (const auto& [k, count] : counts) {
+    Q1Row row;
+    row.returnflag = k / 2;
+    row.linestatus = k % 2;
+    row.count_order = static_cast<int64_t>(count);
+    row.sum_qty = sum_qty[k];
+    row.sum_base_price = sum_price[k];
+    row.sum_disc_price = sum_disc_price[k];
+    row.sum_charge = sum_charge[k];
+    row.avg_qty = row.sum_qty / count;
+    row.avg_price = row.sum_base_price / count;
+    row.avg_disc = sum_disc[k] / count;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Q1Row& a, const Q1Row& b) {
+    return std::pair(a.returnflag, a.linestatus) <
+           std::pair(b.returnflag, b.linestatus);
+  });
+  return rows;
+}
+
+std::vector<Q1Row> ReferenceQ1(const storage::Table& lineitem,
+                               const Q1Params& params) {
+  const auto& shipdate = lineitem.column("l_shipdate").values<int32_t>();
+  const auto& rfls = lineitem.column("l_rfls").values<int32_t>();
+  const auto& qty = lineitem.column("l_quantity").values<double>();
+  const auto& price = lineitem.column("l_extendedprice").values<double>();
+  const auto& disc = lineitem.column("l_discount").values<double>();
+  const auto& tax = lineitem.column("l_tax").values<double>();
+  const int32_t cutoff = params.CutoffDays();
+
+  std::map<int32_t, Q1Row> groups;
+  for (size_t i = 0; i < shipdate.size(); ++i) {
+    if (shipdate[i] > cutoff) continue;
+    Q1Row& row = groups[rfls[i]];
+    row.returnflag = rfls[i] / 2;
+    row.linestatus = rfls[i] % 2;
+    row.sum_qty += qty[i];
+    row.sum_base_price += price[i];
+    const double disc_price = price[i] * (1.0 - disc[i]);
+    row.sum_disc_price += disc_price;
+    row.sum_charge += disc_price * (1.0 + tax[i]);
+    row.avg_disc += disc[i];  // running sum; divided below
+    ++row.count_order;
+  }
+  std::vector<Q1Row> rows;
+  for (auto& [k, row] : groups) {
+    (void)k;
+    row.avg_qty = row.sum_qty / row.count_order;
+    row.avg_price = row.sum_base_price / row.count_order;
+    row.avg_disc = row.avg_disc / row.count_order;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace tpch

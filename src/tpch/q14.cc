@@ -1,0 +1,87 @@
+// TPC-H Q14 over the framework operator set (join + conditional aggregate).
+#include "tpch/queries.h"
+
+namespace tpch {
+
+double RunQ14(core::Backend& backend, const storage::DeviceTable& part,
+              const storage::DeviceTable& lineitem, const Q14Params& params,
+              JoinStrategy strategy) {
+  using core::AggOp;
+  using core::CompareOp;
+  using core::Predicate;
+
+  // sigma_lineitem: l_shipdate in [:date_lo, :date_hi).
+  const storage::DeviceColumn& shipdate = lineitem.column("l_shipdate");
+  const auto sel = backend.SelectConjunctive(
+      {&shipdate, &shipdate},
+      {Predicate::Make("l_shipdate", CompareOp::kGe,
+                       static_cast<double>(params.date_lo)),
+       Predicate::Make("l_shipdate", CompareOp::kLt,
+                       static_cast<double>(params.date_hi))});
+
+  const auto li_part =
+      backend.Gather(lineitem.column("l_partkey"), sel.row_ids);
+  const auto li_price =
+      backend.Gather(lineitem.column("l_extendedprice"), sel.row_ids);
+  const auto li_disc =
+      backend.Gather(lineitem.column("l_discount"), sel.row_ids);
+  const auto revenue =
+      backend.Product(li_price, backend.SubtractFromScalar(1.0, li_disc));
+
+  // lineitem' |X| part on partkey (part side unique PK).
+  const storage::DeviceColumn& part_keys = part.column("p_partkey");
+  core::JoinResult join;
+  switch (strategy) {
+    case JoinStrategy::kNestedLoops:
+      join = backend.NestedLoopsJoin(part_keys, li_part);
+      break;
+    case JoinStrategy::kHash:
+      join = backend.HashJoin(part_keys, li_part);
+      break;
+    case JoinStrategy::kAuto:
+      join = backend.Realization(core::DbOperator::kHashJoin).level !=
+                     core::SupportLevel::kNone
+                 ? backend.HashJoin(part_keys, li_part)
+                 : backend.NestedLoopsJoin(part_keys, li_part);
+      break;
+  }
+
+  // CASE WHEN p_type LIKE 'PROMO%': select the matched rows whose part is
+  // promotional and sum their revenue separately from the total.
+  const auto promo_flags = backend.Gather(part.column("p_promo"),
+                                          join.left_rows);
+  const auto rev_matched = backend.Gather(revenue, join.right_rows);
+  const double total = backend.ReduceColumn(rev_matched, AggOp::kSum);
+  if (total == 0.0) return 0.0;
+
+  const auto promo_sel = backend.Select(
+      promo_flags, Predicate::Make("p_promo", CompareOp::kEq, 1.0));
+  const auto rev_promo = backend.Gather(rev_matched, promo_sel.row_ids);
+  const double promo = backend.ReduceColumn(rev_promo, AggOp::kSum);
+  return 100.0 * promo / total;
+}
+
+double ReferenceQ14(const storage::Table& part,
+                    const storage::Table& lineitem, const Q14Params& params) {
+  const auto& p_key = part.column("p_partkey").values<int32_t>();
+  const auto& p_promo = part.column("p_promo").values<int32_t>();
+  const auto& l_part = lineitem.column("l_partkey").values<int32_t>();
+  const auto& l_ship = lineitem.column("l_shipdate").values<int32_t>();
+  const auto& l_price = lineitem.column("l_extendedprice").values<double>();
+  const auto& l_disc = lineitem.column("l_discount").values<double>();
+
+  std::vector<int32_t> promo_by_key(p_key.size() + 1, 0);
+  for (size_t i = 0; i < p_key.size(); ++i) {
+    promo_by_key[static_cast<size_t>(p_key[i])] = p_promo[i];
+  }
+  double total = 0.0, promo = 0.0;
+  for (size_t i = 0; i < l_part.size(); ++i) {
+    if (l_ship[i] < params.date_lo || l_ship[i] >= params.date_hi) continue;
+    const double rev = l_price[i] * (1.0 - l_disc[i]);
+    total += rev;
+    if (promo_by_key[static_cast<size_t>(l_part[i])]) promo += rev;
+  }
+  return total == 0.0 ? 0.0 : 100.0 * promo / total;
+}
+
+}  // namespace tpch

@@ -1,0 +1,143 @@
+// TPC-H Q3 over the framework operator set (join-heavy plan).
+#include <algorithm>
+#include <map>
+
+#include "tpch/queries.h"
+
+namespace tpch {
+namespace {
+
+/// Dispatches a PK-FK equi-join per the requested strategy.
+core::JoinResult RunJoin(core::Backend& backend,
+                         const storage::DeviceColumn& pk_keys,
+                         const storage::DeviceColumn& fk_keys,
+                         JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kNestedLoops:
+      return backend.NestedLoopsJoin(pk_keys, fk_keys);
+    case JoinStrategy::kHash:
+      return backend.HashJoin(pk_keys, fk_keys);
+    case JoinStrategy::kAuto:
+      break;
+  }
+  const bool has_hash =
+      backend.Realization(core::DbOperator::kHashJoin).level !=
+      core::SupportLevel::kNone;
+  return has_hash ? backend.HashJoin(pk_keys, fk_keys)
+                  : backend.NestedLoopsJoin(pk_keys, fk_keys);
+}
+
+}  // namespace
+
+std::vector<Q3Row> RunQ3(core::Backend& backend,
+                         const storage::DeviceTable& customer,
+                         const storage::DeviceTable& orders,
+                         const storage::DeviceTable& lineitem,
+                         const Q3Params& params, JoinStrategy strategy) {
+  using core::AggOp;
+  using core::CompareOp;
+  using core::Predicate;
+
+  // sigma_customer: c_mktsegment = :segment.
+  const auto sel_cust = backend.Select(
+      customer.column("c_mktsegment"),
+      Predicate::Make("c_mktsegment", CompareOp::kEq,
+                      static_cast<double>(params.segment)));
+  const auto cust_keys =
+      backend.Gather(customer.column("c_custkey"), sel_cust.row_ids);
+
+  // sigma_orders: o_orderdate < :date.
+  const auto sel_ord = backend.Select(
+      orders.column("o_orderdate"),
+      Predicate::Make("o_orderdate", CompareOp::kLt,
+                      static_cast<double>(params.date)));
+  const auto ord_keys = backend.Gather(orders.column("o_orderkey"),
+                                       sel_ord.row_ids);
+  const auto ord_cust = backend.Gather(orders.column("o_custkey"),
+                                       sel_ord.row_ids);
+
+  // customer |X| orders on custkey (customer side unique).
+  const auto join_co = RunJoin(backend, cust_keys, ord_cust, strategy);
+  // Orders surviving the join (orderkey is a PK: still unique).
+  const auto surv_ord_keys = backend.Gather(ord_keys, join_co.right_rows);
+
+  // sigma_lineitem: l_shipdate > :date.
+  const auto sel_li = backend.Select(
+      lineitem.column("l_shipdate"),
+      Predicate::Make("l_shipdate", CompareOp::kGt,
+                      static_cast<double>(params.date)));
+  const auto li_keys = backend.Gather(lineitem.column("l_orderkey"),
+                                      sel_li.row_ids);
+  const auto li_price = backend.Gather(lineitem.column("l_extendedprice"),
+                                       sel_li.row_ids);
+  const auto li_disc = backend.Gather(lineitem.column("l_discount"),
+                                      sel_li.row_ids);
+
+  // orders' |X| lineitem' on orderkey.
+  const auto join_ol = RunJoin(backend, surv_ord_keys, li_keys, strategy);
+
+  // Project revenue = price*(1-disc) over matched lineitems; group by key.
+  const auto keys = backend.Gather(li_keys, join_ol.right_rows);
+  const auto price = backend.Gather(li_price, join_ol.right_rows);
+  const auto disc = backend.Gather(li_disc, join_ol.right_rows);
+  const auto revenue =
+      backend.Product(price, backend.SubtractFromScalar(1.0, disc));
+  const auto grouped = backend.GroupByAggregate(keys, revenue, AggOp::kSum);
+
+  // Top-k by revenue: sort (revenue, orderkey) ascending, take the tail.
+  std::vector<Q3Row> rows;
+  if (grouped.num_groups > 0) {
+    auto [sorted_rev, sorted_keys] =
+        backend.SortByKey(grouped.aggregate, grouped.keys);
+    const auto rev = sorted_rev.ToHost(backend.stream()).values<double>();
+    const auto key = sorted_keys.ToHost(backend.stream()).values<int32_t>();
+    const size_t k = std::min(params.limit, rev.size());
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = rev.size() - 1 - i;
+      rows.push_back(Q3Row{key[j], rev[j]});
+    }
+  }
+  return rows;
+}
+
+std::vector<Q3Row> ReferenceQ3(const storage::Table& customer,
+                               const storage::Table& orders,
+                               const storage::Table& lineitem,
+                               const Q3Params& params) {
+  const auto& c_key = customer.column("c_custkey").values<int32_t>();
+  const auto& c_seg = customer.column("c_mktsegment").values<int32_t>();
+  const auto& o_key = orders.column("o_orderkey").values<int32_t>();
+  const auto& o_cust = orders.column("o_custkey").values<int32_t>();
+  const auto& o_date = orders.column("o_orderdate").values<int32_t>();
+  const auto& l_key = lineitem.column("l_orderkey").values<int32_t>();
+  const auto& l_ship = lineitem.column("l_shipdate").values<int32_t>();
+  const auto& l_price = lineitem.column("l_extendedprice").values<double>();
+  const auto& l_disc = lineitem.column("l_discount").values<double>();
+
+  std::map<int32_t, bool> building_customer;
+  for (size_t i = 0; i < c_key.size(); ++i) {
+    if (c_seg[i] == params.segment) building_customer[c_key[i]] = true;
+  }
+  std::map<int32_t, bool> qualifying_order;
+  for (size_t i = 0; i < o_key.size(); ++i) {
+    if (o_date[i] < params.date && building_customer.count(o_cust[i])) {
+      qualifying_order[o_key[i]] = true;
+    }
+  }
+  std::map<int32_t, double> revenue;
+  for (size_t i = 0; i < l_key.size(); ++i) {
+    if (l_ship[i] > params.date && qualifying_order.count(l_key[i])) {
+      revenue[l_key[i]] += l_price[i] * (1.0 - l_disc[i]);
+    }
+  }
+  std::vector<Q3Row> rows;
+  for (const auto& [key, rev] : revenue) rows.push_back(Q3Row{key, rev});
+  std::sort(rows.begin(), rows.end(), [](const Q3Row& a, const Q3Row& b) {
+    if (a.revenue != b.revenue) return a.revenue > b.revenue;
+    return a.orderkey < b.orderkey;
+  });
+  if (rows.size() > params.limit) rows.resize(params.limit);
+  return rows;
+}
+
+}  // namespace tpch

@@ -1,0 +1,101 @@
+// TPC-H Q4 over the framework operator set (semi-join / EXISTS plan).
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "tpch/queries.h"
+
+namespace tpch {
+
+std::vector<Q4Row> RunQ4(core::Backend& backend,
+                         const storage::DeviceTable& orders,
+                         const storage::DeviceTable& lineitem,
+                         const Q4Params& params, JoinStrategy strategy) {
+  using core::AggOp;
+  using core::CompareOp;
+  using core::Predicate;
+
+  // EXISTS subquery: lineitems with l_commitdate < l_receiptdate, projected
+  // to their (deduplicated) order keys — the semi-join build side.
+  const auto late = backend.SelectCompareColumns(
+      lineitem.column("l_commitdate"), CompareOp::kLt,
+      lineitem.column("l_receiptdate"));
+  const auto late_keys =
+      backend.Gather(lineitem.column("l_orderkey"), late.row_ids);
+  const auto distinct_late = backend.Unique(late_keys);
+
+  // sigma_orders: o_orderdate in [:date_lo, :date_hi).
+  const storage::DeviceColumn& odate = orders.column("o_orderdate");
+  const auto sel_ord = backend.SelectConjunctive(
+      {&odate, &odate},
+      {Predicate::Make("o_orderdate", CompareOp::kGe,
+                       static_cast<double>(params.date_lo)),
+       Predicate::Make("o_orderdate", CompareOp::kLt,
+                       static_cast<double>(params.date_hi))});
+  const auto ord_keys =
+      backend.Gather(orders.column("o_orderkey"), sel_ord.row_ids);
+  const auto ord_prio =
+      backend.Gather(orders.column("o_orderpriority"), sel_ord.row_ids);
+
+  // Semi-join: filtered orders (unique keys) probed by the distinct late
+  // order keys; each probe key matches at most one order.
+  core::JoinResult join;
+  switch (strategy) {
+    case JoinStrategy::kNestedLoops:
+      join = backend.NestedLoopsJoin(ord_keys, distinct_late);
+      break;
+    case JoinStrategy::kHash:
+      join = backend.HashJoin(ord_keys, distinct_late);
+      break;
+    case JoinStrategy::kAuto:
+      join = backend.Realization(core::DbOperator::kHashJoin).level !=
+                     core::SupportLevel::kNone
+                 ? backend.HashJoin(ord_keys, distinct_late)
+                 : backend.NestedLoopsJoin(ord_keys, distinct_late);
+      break;
+  }
+
+  // Count matched orders per priority.
+  const auto prio = backend.Gather(ord_prio, join.left_rows);
+  const auto grouped = backend.GroupByAggregate(prio, prio, AggOp::kCount);
+
+  std::vector<Q4Row> rows;
+  const auto keys = grouped.keys.ToHost(backend.stream()).values<int32_t>();
+  const auto counts =
+      grouped.aggregate.ToHost(backend.stream()).values<int64_t>();
+  for (size_t i = 0; i < grouped.num_groups; ++i) {
+    rows.push_back(Q4Row{keys[i], counts[i]});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Q4Row& a, const Q4Row& b) {
+    return a.orderpriority < b.orderpriority;
+  });
+  return rows;
+}
+
+std::vector<Q4Row> ReferenceQ4(const storage::Table& orders,
+                               const storage::Table& lineitem,
+                               const Q4Params& params) {
+  const auto& l_key = lineitem.column("l_orderkey").values<int32_t>();
+  const auto& l_commit = lineitem.column("l_commitdate").values<int32_t>();
+  const auto& l_receipt = lineitem.column("l_receiptdate").values<int32_t>();
+  const auto& o_key = orders.column("o_orderkey").values<int32_t>();
+  const auto& o_date = orders.column("o_orderdate").values<int32_t>();
+  const auto& o_prio = orders.column("o_orderpriority").values<int32_t>();
+
+  std::set<int32_t> late_orders;
+  for (size_t i = 0; i < l_key.size(); ++i) {
+    if (l_commit[i] < l_receipt[i]) late_orders.insert(l_key[i]);
+  }
+  std::map<int32_t, int64_t> counts;
+  for (size_t i = 0; i < o_key.size(); ++i) {
+    if (o_date[i] >= params.date_lo && o_date[i] < params.date_hi &&
+        late_orders.count(o_key[i])) {
+      ++counts[o_prio[i]];
+    }
+  }
+  std::vector<Q4Row> rows;
+  for (const auto& [prio, count] : counts) rows.push_back(Q4Row{prio, count});
+  return rows;
+}
+
+}  // namespace tpch

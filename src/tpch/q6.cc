@@ -1,0 +1,80 @@
+// TPC-H Q6 over the framework operator set, plus a fully fused handwritten
+// variant (one kernel for the whole query body).
+#include "handwritten/handwritten.h"
+#include "tpch/queries.h"
+
+namespace tpch {
+
+double RunQ6(core::Backend& backend, const storage::DeviceTable& lineitem,
+             const Q6Params& params) {
+  using core::AggOp;
+  using core::CompareOp;
+  using core::Predicate;
+
+  const storage::DeviceColumn& shipdate = lineitem.column("l_shipdate");
+  const storage::DeviceColumn& discount = lineitem.column("l_discount");
+  const storage::DeviceColumn& quantity = lineitem.column("l_quantity");
+  const storage::DeviceColumn& price = lineitem.column("l_extendedprice");
+
+  // sigma: shipdate in [date_lo, date_hi) AND discount in [lo, hi] AND
+  // quantity < 24 — a 5-way conjunctive selection.
+  const std::vector<const storage::DeviceColumn*> columns = {
+      &shipdate, &shipdate, &discount, &discount, &quantity};
+  const std::vector<Predicate> preds = {
+      Predicate::Make("l_shipdate", CompareOp::kGe,
+                      static_cast<double>(params.date_lo)),
+      Predicate::Make("l_shipdate", CompareOp::kLt,
+                      static_cast<double>(params.date_hi)),
+      Predicate::Make("l_discount", CompareOp::kGe, params.discount_lo),
+      Predicate::Make("l_discount", CompareOp::kLe, params.discount_hi),
+      Predicate::Make("l_quantity", CompareOp::kLt, params.quantity_hi),
+  };
+  const core::SelectionResult sel = backend.SelectConjunctive(columns, preds);
+
+  // revenue = sum(l_extendedprice * l_discount) over the selection.
+  const storage::DeviceColumn price_sel = backend.Gather(price, sel.row_ids);
+  const storage::DeviceColumn disc_sel =
+      backend.Gather(discount, sel.row_ids);
+  const storage::DeviceColumn revenue = backend.Product(price_sel, disc_sel);
+  return backend.ReduceColumn(revenue, AggOp::kSum);
+}
+
+double RunQ6FusedHandwritten(gpusim::Stream& stream,
+                             const storage::DeviceTable& lineitem,
+                             const Q6Params& params) {
+  const int32_t* shipdate = lineitem.column("l_shipdate").data<int32_t>();
+  const double* discount = lineitem.column("l_discount").data<double>();
+  const double* quantity = lineitem.column("l_quantity").data<double>();
+  const double* price = lineitem.column("l_extendedprice").data<double>();
+  const size_t n = lineitem.num_rows();
+  const Q6Params p = params;
+  return handwritten::FusedFilterSum<double>(
+      stream, n,
+      [=](size_t i) {
+        return shipdate[i] >= p.date_lo && shipdate[i] < p.date_hi &&
+               discount[i] >= p.discount_lo && discount[i] <= p.discount_hi &&
+               quantity[i] < p.quantity_hi;
+      },
+      [=](size_t i) { return price[i] * discount[i]; },
+      /*bytes_per_row=*/sizeof(int32_t) + 3 * sizeof(double));
+}
+
+double ReferenceQ6(const storage::Table& lineitem, const Q6Params& params) {
+  const auto& shipdate = lineitem.column("l_shipdate").values<int32_t>();
+  const auto& discount = lineitem.column("l_discount").values<double>();
+  const auto& quantity = lineitem.column("l_quantity").values<double>();
+  const auto& price = lineitem.column("l_extendedprice").values<double>();
+
+  double revenue = 0.0;
+  for (size_t i = 0; i < shipdate.size(); ++i) {
+    if (shipdate[i] >= params.date_lo && shipdate[i] < params.date_hi &&
+        discount[i] >= params.discount_lo &&
+        discount[i] <= params.discount_hi &&
+        quantity[i] < params.quantity_hi) {
+      revenue += price[i] * discount[i];
+    }
+  }
+  return revenue;
+}
+
+}  // namespace tpch

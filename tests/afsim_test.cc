@@ -1,0 +1,336 @@
+// Tests of the ArrayFire-compatible API surface, especially the lazy
+// evaluation / JIT fusion behaviour that distinguishes it from the eager
+// libraries.
+#include "afsim/afsim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using afsim::array;
+using afsim::dtype;
+
+TEST(AfsimArrayTest, HostRoundtripPerType) {
+  const std::vector<int32_t> i32{1, -2, 3};
+  EXPECT_EQ(afsim::from_vector(i32).host<int32_t>(), i32);
+  const std::vector<double> f64{1.5, -2.5};
+  EXPECT_EQ(afsim::from_vector(f64).host<double>(), f64);
+  const std::vector<int64_t> i64{int64_t{1} << 40};
+  EXPECT_EQ(afsim::from_vector(i64).host<int64_t>(), i64);
+}
+
+TEST(AfsimArrayTest, HostTypeMismatchThrows) {
+  array a = afsim::from_vector(std::vector<int32_t>{1});
+  EXPECT_THROW(a.host<double>(), std::invalid_argument);
+}
+
+TEST(AfsimArrayTest, ScalarExtraction) {
+  array a = afsim::from_vector(std::vector<double>{42.5, 1.0});
+  EXPECT_EQ(a.scalar<double>(), 42.5);
+  EXPECT_THROW(array().scalar<double>(), std::invalid_argument);
+}
+
+TEST(AfsimLazyTest, ElementwiseOpsAreLazyUntilEval) {
+  array a = afsim::from_vector(std::vector<double>(1000, 2.0));
+  array b = afsim::from_vector(std::vector<double>(1000, 3.0));
+  const auto before = gpusim::Device::Default().Snapshot();
+  array c = a * b + 1.0;
+  // Graph building launches nothing.
+  EXPECT_EQ(gpusim::Device::Default().Snapshot().Delta(before)
+                .kernels_launched,
+            0u);
+  EXPECT_TRUE(c.is_lazy());
+  c.eval();
+  EXPECT_FALSE(c.is_lazy());
+  const auto delta = gpusim::Device::Default().Snapshot().Delta(before);
+  EXPECT_EQ(delta.kernels_launched, 1u);  // the whole chain fused
+  EXPECT_EQ(c.host<double>()[0], 7.0);
+}
+
+TEST(AfsimLazyTest, FusionReadsEachLeafOnce) {
+  const size_t n = 10000;
+  array a = afsim::from_vector(std::vector<double>(n, 1.0));
+  const auto before = gpusim::Device::Default().Snapshot();
+  // Four chained element-wise stages over one input.
+  array c = ((a + 1.0) * 2.0 - 3.0) * 0.5;
+  c.eval();
+  const auto delta = gpusim::Device::Default().Snapshot().Delta(before);
+  EXPECT_EQ(delta.kernels_launched, 1u);
+  // One pass: reads the single leaf once, writes the output once.
+  EXPECT_EQ(delta.bytes_read, n * sizeof(double));
+  EXPECT_EQ(delta.bytes_written, n * sizeof(double));
+}
+
+TEST(AfsimLazyTest, EvalIsIdempotentAndSharedAcrossHandles) {
+  array a = afsim::from_vector(std::vector<int32_t>{1, 2, 3});
+  array b = a + 1.0;
+  array alias = b;  // shares the lazy node
+  b.eval();
+  EXPECT_FALSE(alias.is_lazy());  // aliasing handle sees materialization
+  const auto before = gpusim::Device::Default().Snapshot();
+  b.eval();
+  EXPECT_EQ(gpusim::Device::Default().Snapshot().Delta(before)
+                .kernels_launched,
+            0u);
+}
+
+TEST(AfsimLazyTest, DeepChainsAutoEvaluate) {
+  array a = afsim::from_vector(std::vector<double>(64, 1.0));
+  // Build a chain far beyond the JIT length bound; it must stay correct.
+  for (int i = 0; i < 100; ++i) a = a + 1.0;
+  EXPECT_EQ(a.host<double>()[0], 101.0);
+}
+
+TEST(AfsimTypeTest, ComparisonYieldsB8) {
+  array a = afsim::from_vector(std::vector<int32_t>{1, 5, 3});
+  array m = a > 2.0;
+  EXPECT_EQ(m.type(), dtype::b8);
+  EXPECT_EQ(m.host<uint8_t>(), (std::vector<uint8_t>{0, 1, 1}));
+}
+
+TEST(AfsimTypeTest, ArithmeticPromotesToWiderType) {
+  array i = afsim::from_vector(std::vector<int32_t>{4});
+  array d = afsim::from_vector(std::vector<double>{0.5});
+  EXPECT_EQ((i * d).type(), dtype::f64);
+  EXPECT_EQ((i * d).host<double>()[0], 2.0);
+  EXPECT_EQ((i + i).type(), dtype::s32);
+}
+
+TEST(AfsimTypeTest, IntegerScalarKeepsIntegerType) {
+  array i = afsim::from_vector(std::vector<int32_t>{10});
+  EXPECT_EQ((i + 1.0).type(), dtype::s32);
+  EXPECT_EQ((i + 0.5).type(), dtype::f64);
+}
+
+TEST(AfsimTypeTest, CastConvertsValues) {
+  array d = afsim::from_vector(std::vector<double>{2.75, -1.25});
+  array i = afsim::cast(d, dtype::s32);
+  EXPECT_EQ(i.host<int32_t>(), (std::vector<int32_t>{2, -1}));
+  array b = afsim::cast(d, dtype::b8);
+  EXPECT_EQ(b.host<uint8_t>(), (std::vector<uint8_t>{1, 1}));
+}
+
+TEST(AfsimTypeTest, LogicalOpsAndNot) {
+  array a = afsim::from_vector(std::vector<int32_t>{0, 1, 2, 0});
+  array b = afsim::from_vector(std::vector<int32_t>{1, 1, 0, 0});
+  EXPECT_EQ((a && b).host<uint8_t>(), (std::vector<uint8_t>{0, 1, 0, 0}));
+  EXPECT_EQ((a || b).host<uint8_t>(), (std::vector<uint8_t>{1, 1, 1, 0}));
+  EXPECT_EQ((!a).host<uint8_t>(), (std::vector<uint8_t>{1, 0, 0, 1}));
+}
+
+TEST(AfsimTypeTest, SizeMismatchThrows) {
+  array a = afsim::from_vector(std::vector<int32_t>{1, 2});
+  array b = afsim::from_vector(std::vector<int32_t>{1, 2, 3});
+  EXPECT_THROW(a + b, std::invalid_argument);
+}
+
+TEST(AfsimWhereTest, WhereReturnsAscendingIndices) {
+  array a = afsim::from_vector(std::vector<int32_t>{5, -1, 7, 0, 9});
+  array idx = afsim::where(a > 0.0);
+  EXPECT_EQ(idx.type(), dtype::u32);
+  EXPECT_EQ(idx.host<uint32_t>(), (std::vector<uint32_t>{0, 2, 4}));
+}
+
+TEST(AfsimWhereTest, WhereOnFusedPredicate) {
+  array qty = afsim::from_vector(std::vector<double>{10, 30, 20, 50});
+  array disc = afsim::from_vector(std::vector<double>{0.05, 0.05, 0.10, 0.01});
+  array idx = afsim::where(qty < 25.0 && disc >= 0.05);
+  EXPECT_EQ(idx.host<uint32_t>(), (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(AfsimWhereTest, LookupGathers) {
+  array a = afsim::from_vector(std::vector<double>{10, 20, 30, 40});
+  array idx = afsim::from_vector(std::vector<uint32_t>{3, 0, 3});
+  EXPECT_EQ(afsim::lookup(a, idx).host<double>(),
+            (std::vector<double>{40, 10, 40}));
+}
+
+TEST(AfsimReduceTest, SumMinMaxCount) {
+  array a = afsim::from_vector(std::vector<double>{1.5, -2.0, 3.5});
+  EXPECT_DOUBLE_EQ(afsim::sum<double>(a), 3.0);
+  EXPECT_DOUBLE_EQ(afsim::min_all<double>(a), -2.0);
+  EXPECT_DOUBLE_EQ(afsim::max_all<double>(a), 3.5);
+  array m = afsim::from_vector(std::vector<int32_t>{0, 3, 0, 1});
+  EXPECT_EQ(afsim::count(m), 2u);
+  array i = afsim::from_vector(std::vector<int64_t>{1, 2, 3});
+  EXPECT_EQ(afsim::sum<int64_t>(i), 6);
+}
+
+TEST(AfsimReduceTest, SumForcesEvaluationOfLazyInput) {
+  array a = afsim::from_vector(std::vector<double>{1, 2, 3});
+  array b = a * 2.0;
+  EXPECT_TRUE(b.is_lazy());
+  EXPECT_DOUBLE_EQ(afsim::sum<double>(b), 12.0);
+  EXPECT_FALSE(b.is_lazy());
+}
+
+TEST(AfsimScanTest, AccumAndExclusiveScan) {
+  array a = afsim::from_vector(std::vector<int32_t>{1, 2, 3, 4});
+  EXPECT_EQ(afsim::accum(a).host<int32_t>(),
+            (std::vector<int32_t>{1, 3, 6, 10}));
+  EXPECT_EQ(afsim::scan(a, /*inclusive_scan=*/false).host<int32_t>(),
+            (std::vector<int32_t>{0, 1, 3, 6}));
+}
+
+TEST(AfsimSortTest, SortAndSortByKey) {
+  array a = afsim::from_vector(std::vector<int32_t>{3, 1, 2});
+  EXPECT_EQ(afsim::sort(a).host<int32_t>(), (std::vector<int32_t>{1, 2, 3}));
+  // sort() returns a new array; the input is untouched.
+  EXPECT_EQ(a.host<int32_t>(), (std::vector<int32_t>{3, 1, 2}));
+
+  array keys = afsim::from_vector(std::vector<int32_t>{3, 1, 2});
+  array vals = afsim::from_vector(std::vector<double>{30, 10, 20});
+  array sk, sv;
+  afsim::sort(&sk, &sv, keys, vals);
+  EXPECT_EQ(sk.host<int32_t>(), (std::vector<int32_t>{1, 2, 3}));
+  EXPECT_EQ(sv.host<double>(), (std::vector<double>{10, 20, 30}));
+}
+
+TEST(AfsimByKeyTest, SumByKeyOverGroupedKeys) {
+  array keys = afsim::from_vector(std::vector<int32_t>{1, 1, 2, 5, 5, 5});
+  array vals = afsim::from_vector(std::vector<double>{1, 2, 3, 4, 5, 6});
+  array ok, ov;
+  afsim::sumByKey(&ok, &ov, keys, vals);
+  EXPECT_EQ(ok.host<int32_t>(), (std::vector<int32_t>{1, 2, 5}));
+  EXPECT_EQ(ov.host<double>(), (std::vector<double>{3, 3, 15}));
+}
+
+TEST(AfsimByKeyTest, CountMinMaxByKey) {
+  array keys = afsim::from_vector(std::vector<int32_t>{1, 1, 1, 9});
+  array vals = afsim::from_vector(std::vector<double>{5, -2, 7, 4});
+  array ok, oc;
+  afsim::countByKey(&ok, &oc, keys);
+  EXPECT_EQ(oc.host<uint32_t>(), (std::vector<uint32_t>{3, 1}));
+  array ov;
+  afsim::minByKey(&ok, &ov, keys, vals);
+  EXPECT_EQ(ov.host<double>(), (std::vector<double>{-2, 4}));
+  afsim::maxByKey(&ok, &ov, keys, vals);
+  EXPECT_EQ(ov.host<double>(), (std::vector<double>{7, 4}));
+}
+
+TEST(AfsimReduceTest, MeanAnyAllTrue) {
+  array a = afsim::from_vector(std::vector<double>{1.0, 2.0, 6.0});
+  EXPECT_DOUBLE_EQ(afsim::mean(a), 3.0);
+  array mask = afsim::from_vector(std::vector<int32_t>{1, 1, 0});
+  EXPECT_TRUE(afsim::anyTrue(mask));
+  EXPECT_FALSE(afsim::allTrue(mask));
+  EXPECT_TRUE(afsim::allTrue(a > 0.0));
+  EXPECT_FALSE(afsim::anyTrue(a > 100.0));
+}
+
+TEST(AfsimShapeTest, Diff1AndFlip) {
+  array a = afsim::from_vector(std::vector<int32_t>{1, 4, 9, 16});
+  EXPECT_EQ(afsim::diff1(a).host<int32_t>(),
+            (std::vector<int32_t>{3, 5, 7}));
+  EXPECT_EQ(afsim::flip(a).host<int32_t>(),
+            (std::vector<int32_t>{16, 9, 4, 1}));
+  array single = afsim::from_vector(std::vector<int32_t>{7});
+  EXPECT_TRUE(afsim::diff1(single).is_empty());
+}
+
+TEST(AfsimSetTest, UniqueIntersectUnion) {
+  array a = afsim::from_vector(std::vector<int32_t>{3, 1, 3, 2, 1});
+  EXPECT_EQ(afsim::setUnique(a).host<int32_t>(),
+            (std::vector<int32_t>{1, 2, 3}));
+
+  array b = afsim::from_vector(std::vector<int32_t>{2, 3, 9});
+  EXPECT_EQ(afsim::setIntersect(a, b).host<int32_t>(),
+            (std::vector<int32_t>{2, 3}));
+  EXPECT_EQ(afsim::setUnion(a, b).host<int32_t>(),
+            (std::vector<int32_t>{1, 2, 3, 9}));
+}
+
+TEST(AfsimSetTest, JoinConcatenates) {
+  array a = afsim::from_vector(std::vector<int32_t>{1, 2});
+  array b = afsim::from_vector(std::vector<int32_t>{3});
+  EXPECT_EQ(afsim::join(a, b).host<int32_t>(),
+            (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(AfsimFactoryTest, ConstantAndRange) {
+  array c = afsim::constant(2.5, 4, dtype::f64);
+  EXPECT_EQ(c.host<double>(), (std::vector<double>{2.5, 2.5, 2.5, 2.5}));
+  array r = afsim::range(5, dtype::s32);
+  EXPECT_EQ(r.host<int32_t>(), (std::vector<int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(AfsimFactoryTest, ConstantBroadcastsAgainstArrays) {
+  array a = afsim::from_vector(std::vector<double>{1, 2, 3});
+  array c = afsim::constant(10.0, 3, dtype::f64);
+  EXPECT_EQ((a + c).host<double>(), (std::vector<double>{11, 12, 13}));
+}
+
+TEST(AfsimScatterTest, AssignIndexedScatters) {
+  array target = afsim::constant(0.0, 5, dtype::f64);
+  target.eval();
+  array idx = afsim::from_vector(std::vector<uint32_t>{4, 1});
+  array vals = afsim::from_vector(std::vector<double>{9.0, 8.0});
+  afsim::assign_indexed(target, idx, vals);
+  EXPECT_EQ(target.host<double>(), (std::vector<double>{0, 8, 0, 0, 9}));
+}
+
+TEST(AfsimInteropTest, FromBufferIsZeroCopy) {
+  auto& device = gpusim::Device::Default();
+  gpusim::Stream stream(device, gpusim::ApiProfile::Cuda());
+  auto buffer = std::make_shared<gpusim::DeviceBuffer>(3 * sizeof(int32_t),
+                                                       device);
+  const std::vector<int32_t> host{1, 2, 3};
+  gpusim::CopyHostToDevice(stream, buffer->data(), host.data(),
+                           3 * sizeof(int32_t));
+  array a = afsim::from_buffer(buffer, dtype::s32, 3);
+  EXPECT_EQ(a.host<int32_t>(), host);
+  // Mutating the underlying buffer is visible through the array (view).
+  static_cast<int32_t*>(buffer->data())[0] = 99;
+  EXPECT_EQ(a.host<int32_t>()[0], 99);
+  EXPECT_EQ(a.device_ptr(), buffer->data());
+}
+
+TEST(AfsimTypeTest, CastBetweenAllNumericTypes) {
+  array s32 = afsim::from_vector(std::vector<int32_t>{-3, 7});
+  EXPECT_EQ(afsim::cast(s32, dtype::s64).host<int64_t>(),
+            (std::vector<int64_t>{-3, 7}));
+  EXPECT_EQ(afsim::cast(s32, dtype::f32).host<float>(),
+            (std::vector<float>{-3.0f, 7.0f}));
+  EXPECT_EQ(afsim::cast(s32, dtype::f64).host<double>(),
+            (std::vector<double>{-3.0, 7.0}));
+  array u = afsim::cast(afsim::from_vector(std::vector<int32_t>{5}),
+                        dtype::u32);
+  EXPECT_EQ(u.host<uint32_t>(), (std::vector<uint32_t>{5}));
+  // cast to the same type is the identity (no new node needed).
+  array same = afsim::cast(s32, dtype::s32);
+  EXPECT_EQ(same.node(), s32.node());
+}
+
+TEST(AfsimReduceTest, SumOfEmptyArrayIsZero) {
+  array empty = afsim::from_vector(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(afsim::sum<double>(empty), 0.0);
+  EXPECT_EQ(afsim::count(empty), 0u);
+  EXPECT_THROW(afsim::mean(empty), std::out_of_range);
+}
+
+TEST(AfsimWhereTest, WhereAllFalseIsEmpty) {
+  array a = afsim::from_vector(std::vector<int32_t>{1, 2, 3});
+  array idx = afsim::where(a > 100.0);
+  EXPECT_TRUE(idx.is_empty());
+  EXPECT_TRUE(afsim::lookup(a, idx).is_empty());
+}
+
+TEST(AfsimSetTest, IntersectOfDisjointSetsIsEmpty) {
+  array a = afsim::from_vector(std::vector<int32_t>{1, 3, 5});
+  array b = afsim::from_vector(std::vector<int32_t>{2, 4, 6});
+  EXPECT_TRUE(afsim::setIntersect(a, b, /*is_unique=*/true).is_empty());
+}
+
+TEST(AfsimOverheadTest, GraphBuildingChargesHostOverhead) {
+  array a = afsim::from_vector(std::vector<double>{1});
+  const uint64_t before = afsim::default_stream().now_ns();
+  array b = a + 1.0;
+  const uint64_t after = afsim::default_stream().now_ns();
+  EXPECT_GE(after - before, afsim::kJitNodeOverheadNs);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Tests of the framework plumbing: registry plug-in mechanism, support
+// matrix (Table II), survey (Table I), measurement helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backends/backends.h"
+#include "core/metrics.h"
+#include "core/registry.h"
+#include "core/support_matrix.h"
+#include "core/survey.h"
+
+namespace {
+
+TEST(RegistryTest, BuiltinBackendsRegisteredOnce) {
+  core::RegisterBuiltinBackends();
+  core::RegisterBuiltinBackends();  // idempotent
+  auto& registry = core::BackendRegistry::Instance();
+  for (const char* name :
+       {backends::kThrust, backends::kBoostCompute, backends::kArrayFire,
+        backends::kHandwritten}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+    auto backend = registry.Create(name);
+    EXPECT_EQ(backend->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownBackendThrows) {
+  EXPECT_THROW(core::BackendRegistry::Instance().Create("cuDF"),
+               std::out_of_range);
+}
+
+TEST(RegistryTest, CustomBackendPluginRegisters) {
+  core::RegisterBuiltinBackends();
+  auto& registry = core::BackendRegistry::Instance();
+  // The framework's plug-in point: a user library registers a factory under
+  // a new name and is then creatable like the built-ins.
+  const bool registered = registry.Register(
+      "MyCustomLib", [] { return backends::CreateHandwrittenBackend(); });
+  EXPECT_TRUE(registered);
+  EXPECT_TRUE(registry.Contains("MyCustomLib"));
+  EXPECT_NE(registry.Create("MyCustomLib"), nullptr);
+  // Duplicate registration is rejected, first factory wins.
+  EXPECT_FALSE(registry.Register(
+      "MyCustomLib", [] { return backends::CreateThrustBackend(); }));
+}
+
+TEST(SupportMatrixTest, ReproducesTableIIHeadlines) {
+  core::RegisterBuiltinBackends();
+  const std::vector<std::string> libs = {
+      backends::kArrayFire, backends::kBoostCompute, backends::kThrust};
+  const auto entries = core::BuildSupportMatrix(libs);
+  EXPECT_EQ(entries.size(), libs.size() * core::AllDbOperators().size());
+
+  int hash_join_support = 0;
+  int merge_join_support = 0;
+  for (const auto& e : entries) {
+    if (e.op == core::DbOperator::kHashJoin &&
+        e.realization.level != core::SupportLevel::kNone) {
+      ++hash_join_support;
+    }
+    if (e.op == core::DbOperator::kMergeJoin &&
+        e.realization.level != core::SupportLevel::kNone) {
+      ++merge_join_support;
+    }
+  }
+  // The paper's headline finding: hashing is supported by NO library.
+  EXPECT_EQ(hash_join_support, 0);
+  EXPECT_EQ(merge_join_support, 0);
+}
+
+TEST(SupportMatrixTest, FunctionNamesMatchPaperMapping) {
+  core::RegisterBuiltinBackends();
+  auto thrust = core::BackendRegistry::Instance().Create(backends::kThrust);
+  EXPECT_EQ(thrust->Realization(core::DbOperator::kGroupedAggregation)
+                .functions,
+            "reduce_by_key()");
+  EXPECT_EQ(thrust->Realization(core::DbOperator::kNestedLoopsJoin).functions,
+            "for_each_n()");
+  auto af = core::BackendRegistry::Instance().Create(backends::kArrayFire);
+  EXPECT_EQ(af->Realization(core::DbOperator::kSelection).functions,
+            "where(operator())");
+  EXPECT_EQ(af->Realization(core::DbOperator::kGroupedAggregation).functions,
+            "sumByKey(), countByKey()");
+  EXPECT_EQ(af->Realization(core::DbOperator::kConjunction).functions,
+            "setIntersect()");
+}
+
+TEST(SupportMatrixTest, PrintRendersAllOperators) {
+  core::RegisterBuiltinBackends();
+  std::ostringstream os;
+  core::PrintSupportMatrix(
+      os, {backends::kArrayFire, backends::kBoostCompute, backends::kThrust});
+  const std::string text = os.str();
+  for (core::DbOperator op : core::AllDbOperators()) {
+    EXPECT_NE(text.find(core::DbOperatorName(op)), std::string::npos)
+        << core::DbOperatorName(op);
+  }
+  EXPECT_NE(text.find("~ partial support"), std::string::npos);
+}
+
+TEST(SurveyTest, ContainsTheThreeStudiedLibraries) {
+  const auto& rows = core::LibrarySurvey();
+  EXPECT_GE(rows.size(), 30u);
+  int db_libs = 0;
+  bool thrust = false, boost = false, af = false;
+  for (const auto& row : rows) {
+    if (row.use_case.find("Database operators") != std::string::npos) {
+      ++db_libs;
+    }
+    if (row.name == "Thrust") thrust = true;
+    if (row.name == "Boost.Compute") boost = true;
+    if (row.name == "ArrayFire") af = true;
+  }
+  EXPECT_TRUE(thrust);
+  EXPECT_TRUE(boost);
+  EXPECT_TRUE(af);
+  // The paper: only 5 libraries target database operators.
+  EXPECT_EQ(db_libs, 5);
+}
+
+TEST(SurveyTest, HistogramMatchesRows) {
+  const auto hist = core::SurveyUseCaseHistogram();
+  size_t total = 0;
+  for (const auto& [use_case, count] : hist) total += count;
+  EXPECT_EQ(total, core::LibrarySurvey().size());
+}
+
+TEST(SurveyTest, PrintsTable) {
+  std::ostringstream os;
+  core::PrintSurvey(os);
+  EXPECT_NE(os.str().find("Thrust"), std::string::npos);
+  EXPECT_NE(os.str().find("Use-case histogram"), std::string::npos);
+}
+
+TEST(MetricsTest, ScopedMeasurementCapturesRegion) {
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  core::ScopedMeasurement scope(stream, "region");
+  gpusim::KernelStats stats;
+  stats.bytes_read = 1 << 20;
+  stats.bytes_written = 1 << 10;
+  stream.ChargeKernel(stats);
+  const core::Measurement m = scope.Stop();
+  EXPECT_EQ(m.label, "region");
+  EXPECT_EQ(m.kernels, 1u);
+  EXPECT_EQ(m.bytes_read, 1u << 20);
+  EXPECT_EQ(m.bytes_written, 1u << 10);
+  EXPECT_GT(m.simulated_ns, 0u);
+  std::ostringstream os;
+  core::PrintMeasurement(os, m);
+  EXPECT_NE(os.str().find("region"), std::string::npos);
+}
+
+TEST(MetricsTest, MeasurementIsolatesConcurrentStreams) {
+  gpusim::Stream a(gpusim::Device::Default(), gpusim::ApiProfile::Cuda());
+  gpusim::Stream b(gpusim::Device::Default(), gpusim::ApiProfile::Cuda());
+  core::ScopedMeasurement scope(a, "a-only");
+  gpusim::KernelStats stats;
+  b.ChargeKernel(stats);  // other stream's kernel
+  const core::Measurement m = scope.Stop();
+  // Simulated time is per-stream; counters are device-wide by design.
+  EXPECT_EQ(m.simulated_ns, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Tests of the column storage layer.
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/device_column.h"
+
+namespace {
+
+using storage::Column;
+using storage::DataType;
+using storage::DeviceColumn;
+using storage::Table;
+
+TEST(ColumnTest, TypeAndSize) {
+  Column c(std::vector<int32_t>{1, 2, 3});
+  EXPECT_EQ(c.type(), DataType::kInt32);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.byte_size(), 12u);
+  Column d(std::vector<double>{1.0});
+  EXPECT_EQ(d.type(), DataType::kFloat64);
+  Column l(std::vector<int64_t>{1, 2});
+  EXPECT_EQ(l.type(), DataType::kInt64);
+}
+
+TEST(ColumnTest, TypedAccessChecksType) {
+  Column c(std::vector<int32_t>{1, 2});
+  EXPECT_EQ(c.values<int32_t>()[1], 2);
+  EXPECT_THROW(c.values<double>(), std::invalid_argument);
+  EXPECT_THROW(c.mutable_values<int64_t>(), std::invalid_argument);
+  c.mutable_values<int32_t>()[0] = 7;
+  EXPECT_EQ(c.values<int32_t>()[0], 7);
+}
+
+TEST(TableTest, AddAndLookup) {
+  Table t("demo");
+  t.AddColumn("a", Column(std::vector<int32_t>{1, 2}));
+  t.AddColumn("b", Column(std::vector<double>{0.5, 1.5}));
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("z"));
+  EXPECT_EQ(t.column("b").values<double>()[1], 1.5);
+  EXPECT_THROW(t.column("z"), std::out_of_range);
+  EXPECT_EQ(t.column_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TableTest, RejectsDuplicateAndRaggedColumns) {
+  Table t("demo");
+  t.AddColumn("a", Column(std::vector<int32_t>{1, 2}));
+  EXPECT_THROW(t.AddColumn("a", Column(std::vector<int32_t>{3, 4})),
+               std::invalid_argument);
+  EXPECT_THROW(t.AddColumn("c", Column(std::vector<int32_t>{1, 2, 3})),
+               std::invalid_argument);
+}
+
+TEST(DeviceColumnTest, UploadDownloadRoundtrip) {
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  Column host(std::vector<double>{1.25, -2.5, 3.75});
+  DeviceColumn dev = storage::UploadColumn(stream, host);
+  EXPECT_EQ(dev.type(), DataType::kFloat64);
+  EXPECT_EQ(dev.size(), 3u);
+  Column back = dev.ToHost(stream);
+  EXPECT_EQ(back.values<double>(), host.values<double>());
+}
+
+TEST(DeviceColumnTest, TypedPointerChecksType) {
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  DeviceColumn dev(DataType::kInt32, 4, stream.device());
+  EXPECT_NE(dev.data<int32_t>(), nullptr);
+  EXPECT_THROW(dev.data<double>(), std::invalid_argument);
+}
+
+TEST(DeviceColumnTest, UploadChargesTransfer) {
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  Column host(std::vector<int64_t>(256, 9));
+  const auto before = stream.device().Snapshot();
+  DeviceColumn dev = storage::UploadColumn(stream, host);
+  const auto delta = stream.device().Snapshot().Delta(before);
+  EXPECT_EQ(delta.bytes_h2d, 256 * sizeof(int64_t));
+}
+
+TEST(DeviceTableTest, UploadTableCarriesAllColumns) {
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  Table t("demo");
+  t.AddColumn("x", Column(std::vector<int32_t>{1, 2, 3}));
+  t.AddColumn("y", Column(std::vector<double>{1, 2, 3}));
+  storage::DeviceTable dev = storage::UploadTable(stream, t);
+  EXPECT_EQ(dev.num_rows(), 3u);
+  EXPECT_TRUE(dev.HasColumn("x"));
+  EXPECT_TRUE(dev.HasColumn("y"));
+  EXPECT_THROW(dev.column("zz"), std::out_of_range);
+  EXPECT_EQ(dev.column("x").type(), DataType::kInt32);
+}
+
+TEST(DeviceColumnTest, BufferSharingIsZeroCopy) {
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  DeviceColumn a(DataType::kInt32, 8, stream.device());
+  DeviceColumn b(DataType::kInt32, 8, a.buffer_ptr());
+  EXPECT_EQ(a.raw_data(), b.raw_data());
+}
+
+}  // namespace

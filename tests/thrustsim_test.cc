@@ -1,0 +1,269 @@
+// Tests of the Thrust-compatible API surface.
+#include "thrustsim/thrustsim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace {
+
+using thrustsim::device_vector;
+
+TEST(ThrustSimVectorTest, HostRoundtrip) {
+  std::vector<int> host{1, 2, 3, 4, 5};
+  device_vector<int> dev(host);
+  EXPECT_EQ(dev.size(), 5u);
+  EXPECT_EQ(dev.to_host(), host);
+}
+
+TEST(ThrustSimVectorTest, FillConstructor) {
+  device_vector<double> dev(100, 2.5);
+  for (double v : dev.to_host()) EXPECT_EQ(v, 2.5);
+}
+
+TEST(ThrustSimVectorTest, CopyIsDeepAndPriced) {
+  device_vector<int> a({1, 2, 3});
+  const auto before = gpusim::Device::Default().Snapshot();
+  device_vector<int> b(a);
+  const auto delta = gpusim::Device::Default().Snapshot().Delta(before);
+  EXPECT_EQ(delta.bytes_d2d, 3 * sizeof(int));
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(b.to_host(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThrustSimVectorTest, ResizePreservesPrefix) {
+  device_vector<int> a({1, 2, 3, 4});
+  a.resize(2);
+  EXPECT_EQ(a.to_host(), (std::vector<int>{1, 2}));
+  a.resize(5);
+  auto h = a.to_host();
+  EXPECT_EQ(h[0], 1);
+  EXPECT_EQ(h[1], 2);
+}
+
+TEST(ThrustSimVectorTest, UploadChargesH2DTransfer) {
+  const auto before = gpusim::Device::Default().Snapshot();
+  device_vector<int64_t> dev(std::vector<int64_t>(1000, 7));
+  const auto delta = gpusim::Device::Default().Snapshot().Delta(before);
+  EXPECT_EQ(delta.bytes_h2d, 1000 * sizeof(int64_t));
+}
+
+TEST(ThrustSimAlgorithmTest, TransformUnaryAndBinary) {
+  device_vector<int> a({1, 2, 3, 4});
+  device_vector<int> b({10, 20, 30, 40});
+  device_vector<int> out(4);
+  thrustsim::transform(a.begin(), a.end(), out.begin(),
+                       [](int v) { return v * v; });
+  EXPECT_EQ(out.to_host(), (std::vector<int>{1, 4, 9, 16}));
+  thrustsim::transform(a.begin(), a.end(), b.begin(), out.begin(),
+                       thrustsim::plus<int>());
+  EXPECT_EQ(out.to_host(), (std::vector<int>{11, 22, 33, 44}));
+}
+
+TEST(ThrustSimAlgorithmTest, ReduceDefaultAndCustomOp) {
+  device_vector<int> a({5, 3, 8, 1});
+  EXPECT_EQ(thrustsim::reduce(a.begin(), a.end()), 17);
+  EXPECT_EQ(thrustsim::reduce(a.begin(), a.end(), 100), 117);
+  EXPECT_EQ(thrustsim::reduce(a.begin(), a.end(), 0,
+                              thrustsim::maximum<int>()),
+            8);
+}
+
+TEST(ThrustSimAlgorithmTest, TransformReduce) {
+  device_vector<int> a({1, 2, 3});
+  const int got = thrustsim::transform_reduce(
+      a.begin(), a.end(), [](int v) { return v * v; }, 0,
+      thrustsim::plus<int>());
+  EXPECT_EQ(got, 14);
+}
+
+TEST(ThrustSimAlgorithmTest, Scans) {
+  device_vector<int> a({1, 2, 3, 4});
+  device_vector<int> out(4);
+  thrustsim::exclusive_scan(a.begin(), a.end(), out.begin());
+  EXPECT_EQ(out.to_host(), (std::vector<int>{0, 1, 3, 6}));
+  thrustsim::exclusive_scan(a.begin(), a.end(), out.begin(), 10);
+  EXPECT_EQ(out.to_host(), (std::vector<int>{10, 11, 13, 16}));
+  thrustsim::inclusive_scan(a.begin(), a.end(), out.begin());
+  EXPECT_EQ(out.to_host(), (std::vector<int>{1, 3, 6, 10}));
+}
+
+TEST(ThrustSimAlgorithmTest, SortAndSortByKey) {
+  std::mt19937 rng(3);
+  std::vector<int> keys(5000);
+  for (auto& k : keys) k = static_cast<int>(rng() % 1000) - 500;
+  device_vector<int> dkeys(keys);
+  thrustsim::sort(dkeys.begin(), dkeys.end());
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(dkeys.to_host(), sorted);
+
+  std::vector<int> vals(keys.size());
+  std::iota(vals.begin(), vals.end(), 0);
+  device_vector<int> dk2(keys), dv2(vals);
+  thrustsim::sort_by_key(dk2.begin(), dk2.end(), dv2.begin());
+  const auto gk = dk2.to_host();
+  const auto gv = dv2.to_host();
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(gk[i], keys[gv[i]]);
+}
+
+TEST(ThrustSimAlgorithmTest, CopyIfValueAndStencilForms) {
+  device_vector<int> a({-2, 5, -7, 9, 0, 3});
+  device_vector<int> out(6);
+  auto end = thrustsim::copy_if(a.begin(), a.end(), out.begin(),
+                                [](int v) { return v > 0; });
+  EXPECT_EQ(end - out.begin(), 3);
+  auto h = out.to_host();
+  h.resize(3);
+  EXPECT_EQ(h, (std::vector<int>{5, 9, 3}));
+
+  device_vector<uint32_t> stencil({1, 0, 0, 1, 1, 0});
+  auto end2 = thrustsim::copy_if(a.begin(), a.end(), stencil.begin(),
+                                 out.begin(), [](uint32_t s) { return s != 0; });
+  EXPECT_EQ(end2 - out.begin(), 3);
+  h = out.to_host();
+  h.resize(3);
+  EXPECT_EQ(h, (std::vector<int>{-2, 9, 0}));
+}
+
+TEST(ThrustSimAlgorithmTest, CountIf) {
+  device_vector<int> a({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(thrustsim::count_if(a.begin(), a.end(),
+                                [](int v) { return v % 2 == 0; }),
+            3u);
+}
+
+TEST(ThrustSimAlgorithmTest, GatherScatter) {
+  device_vector<int> src({10, 20, 30});
+  device_vector<uint32_t> map({2, 0, 1});
+  device_vector<int> out(3);
+  thrustsim::gather(map.begin(), map.end(), src.begin(), out.begin());
+  EXPECT_EQ(out.to_host(), (std::vector<int>{30, 10, 20}));
+  device_vector<int> out2(3);
+  thrustsim::scatter(src.begin(), src.end(), map.begin(), out2.begin());
+  EXPECT_EQ(out2.to_host(), (std::vector<int>{20, 30, 10}));
+}
+
+TEST(ThrustSimAlgorithmTest, ScatterIfWithCountingInput) {
+  device_vector<uint32_t> stencil({1, 0, 1, 0, 1});
+  device_vector<uint32_t> positions({0, 0, 1, 0, 2});
+  device_vector<int> out(3, -1);
+  thrustsim::scatter_if(thrustsim::make_counting_iterator<int>(0),
+                        thrustsim::make_counting_iterator<int>(5),
+                        positions.begin(), stencil.begin(), out.begin());
+  EXPECT_EQ(out.to_host(), (std::vector<int>{0, 2, 4}));
+}
+
+TEST(ThrustSimAlgorithmTest, ReduceByKey) {
+  device_vector<int> keys({1, 1, 2, 2, 2, 5});
+  device_vector<int> vals({1, 2, 3, 4, 5, 6});
+  device_vector<int> ok(6), ov(6);
+  auto ends = thrustsim::reduce_by_key(keys.begin(), keys.end(), vals.begin(),
+                                       ok.begin(), ov.begin());
+  EXPECT_EQ(ends.first - ok.begin(), 3);
+  auto hk = ok.to_host();
+  auto hv = ov.to_host();
+  hk.resize(3);
+  hv.resize(3);
+  EXPECT_EQ(hk, (std::vector<int>{1, 2, 5}));
+  EXPECT_EQ(hv, (std::vector<int>{3, 12, 6}));
+}
+
+TEST(ThrustSimAlgorithmTest, UniqueCompactsSortedRange) {
+  device_vector<int> a({1, 1, 2, 3, 3, 3, 9});
+  auto end = thrustsim::unique(a.begin(), a.end());
+  EXPECT_EQ(end - a.begin(), 4);
+  auto h = a.to_host();
+  h.resize(4);
+  EXPECT_EQ(h, (std::vector<int>{1, 2, 3, 9}));
+}
+
+TEST(ThrustSimAlgorithmTest, SequenceAndFill) {
+  device_vector<int> a(5);
+  thrustsim::sequence(a.begin(), a.end(), 10);
+  EXPECT_EQ(a.to_host(), (std::vector<int>{10, 11, 12, 13, 14}));
+  thrustsim::fill(a.begin(), a.end(), 9);
+  EXPECT_EQ(a.to_host(), (std::vector<int>{9, 9, 9, 9, 9}));
+}
+
+TEST(ThrustSimAlgorithmTest, InnerProduct) {
+  device_vector<int> a({1, 2, 3});
+  device_vector<int> b({4, 5, 6});
+  EXPECT_EQ(thrustsim::inner_product(a.begin(), a.end(), b.begin(), 0), 32);
+  EXPECT_EQ(thrustsim::inner_product(a.begin(), a.end(), b.begin(), 10), 42);
+}
+
+TEST(ThrustSimAlgorithmTest, AdjacentDifference) {
+  device_vector<int> a({3, 7, 12, 12, 5});
+  device_vector<int> out(5);
+  thrustsim::adjacent_difference(a.begin(), a.end(), out.begin());
+  EXPECT_EQ(out.to_host(), (std::vector<int>{3, 4, 5, 0, -7}));
+}
+
+TEST(ThrustSimAlgorithmTest, EqualRanges) {
+  device_vector<int> a({1, 2, 3});
+  device_vector<int> b({1, 2, 3});
+  device_vector<int> c({1, 9, 3});
+  EXPECT_TRUE(thrustsim::equal(a.begin(), a.end(), b.begin()));
+  EXPECT_FALSE(thrustsim::equal(a.begin(), a.end(), c.begin()));
+}
+
+TEST(ThrustSimAlgorithmTest, MinMaxElement) {
+  device_vector<int> a({5, -2, 9, 9, -2, 3});
+  auto max_it = thrustsim::max_element(a.begin(), a.end());
+  EXPECT_EQ(max_it - a.begin(), 2);  // first occurrence of 9
+  auto min_it = thrustsim::min_element(a.begin(), a.end());
+  EXPECT_EQ(min_it - a.begin(), 1);  // first occurrence of -2
+}
+
+TEST(ThrustSimAlgorithmTest, Replace) {
+  device_vector<int> a({1, 2, 1, 3});
+  thrustsim::replace(a.begin(), a.end(), 1, 99);
+  EXPECT_EQ(a.to_host(), (std::vector<int>{99, 2, 99, 3}));
+}
+
+TEST(ThrustSimAlgorithmTest, AllAnyNoneOf) {
+  device_vector<int> a({2, 4, 6});
+  EXPECT_TRUE(thrustsim::all_of(a.begin(), a.end(),
+                                [](int v) { return v % 2 == 0; }));
+  EXPECT_TRUE(thrustsim::any_of(a.begin(), a.end(),
+                                [](int v) { return v > 5; }));
+  EXPECT_FALSE(thrustsim::any_of(a.begin(), a.end(),
+                                 [](int v) { return v > 100; }));
+  EXPECT_TRUE(thrustsim::none_of(a.begin(), a.end(),
+                                 [](int v) { return v < 0; }));
+}
+
+TEST(ThrustSimPolicyTest, ParOnTargetsCustomStream) {
+  gpusim::Stream stream(gpusim::Device::Default(),
+                        gpusim::ApiProfile::Cuda());
+  device_vector<int> a({1, 2, 3});
+  device_vector<int> out(3);
+  const uint64_t before = stream.now_ns();
+  thrustsim::transform(thrustsim::cuda::par.on(stream), a.begin(), a.end(),
+                       out.begin(), thrustsim::negate<int>());
+  EXPECT_GT(stream.now_ns(), before);
+  EXPECT_EQ(out.to_host(), (std::vector<int>{-1, -2, -3}));
+}
+
+TEST(ThrustSimPolicyTest, EagerExecutionOneKernelPerCall) {
+  // Thrust's execution model: every transform call is one kernel launch.
+  device_vector<double> a(std::vector<double>(10000, 1.0));
+  device_vector<double> out(10000);
+  const auto before = gpusim::Device::Default().Snapshot();
+  thrustsim::transform(a.begin(), a.end(), out.begin(),
+                       [](double v) { return v + 1; });
+  thrustsim::transform(out.begin(), out.end(), out.begin(),
+                       [](double v) { return v * 2; });
+  thrustsim::transform(out.begin(), out.end(), out.begin(),
+                       [](double v) { return v - 3; });
+  const auto delta = gpusim::Device::Default().Snapshot().Delta(before);
+  EXPECT_EQ(delta.kernels_launched, 3u);
+  // Each pass re-reads and re-writes the full array: no fusion.
+  EXPECT_EQ(delta.bytes_read, 3u * 10000 * sizeof(double));
+}
+
+}  // namespace

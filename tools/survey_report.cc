@@ -1,0 +1,11 @@
+// Regenerates Table I: the survey of GPU libraries and their properties.
+#include <iostream>
+
+#include "core/survey.h"
+
+int main() {
+  std::cout << "TABLE I: Libraries and their properties based on the "
+               "paper's survey\n\n";
+  core::PrintSurvey(std::cout);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Captures a kernel-level trace of a TPC-H query on a chosen backend and
+// writes it as Chrome trace-event JSON (open in chrome://tracing or
+// ui.perfetto.dev) — the simulated equivalent of an nvprof capture.
+//
+//   build/tools/trace_query [backend] [q1|q6] [out.json]
+#include <fstream>
+#include <iostream>
+
+#include "core/registry.h"
+#include "gpusim/trace.h"
+#include "tpch/queries.h"
+
+int main(int argc, char** argv) {
+  core::RegisterBuiltinBackends();
+  const std::string backend_name = argc > 1 ? argv[1] : "Thrust";
+  const std::string query = argc > 2 ? argv[2] : "q6";
+  const std::string out_path = argc > 3 ? argv[3] : "trace.json";
+
+  tpch::Config config;
+  config.scale_factor = 0.01;
+  const storage::Table lineitem = tpch::GenerateLineitem(config);
+
+  auto backend = core::BackendRegistry::Instance().Create(backend_name);
+  const storage::DeviceTable dev =
+      storage::UploadTable(backend->stream(), lineitem);
+
+  gpusim::Tracer tracer;
+  gpusim::Device::Default().set_tracer(&tracer);
+  if (query == "q1") {
+    tpch::RunQ1(*backend, dev);
+  } else {
+    tpch::RunQ6(*backend, dev);
+  }
+  gpusim::Device::Default().set_tracer(nullptr);
+
+  std::ofstream out(out_path);
+  tracer.ExportChromeTrace(out);
+  std::cout << "Wrote " << tracer.size() << " events ("
+            << backend->name() << ", " << query << ") to " << out_path
+            << "\n";
+  return 0;
+}
