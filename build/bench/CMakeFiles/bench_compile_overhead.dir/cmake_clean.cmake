@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compile_overhead.dir/bench_compile_overhead.cc.o"
+  "CMakeFiles/bench_compile_overhead.dir/bench_compile_overhead.cc.o.d"
+  "bench_compile_overhead"
+  "bench_compile_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conjunction.dir/bench_conjunction.cc.o"
+  "CMakeFiles/bench_conjunction.dir/bench_conjunction.cc.o.d"
+  "bench_conjunction"
+  "bench_conjunction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conjunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

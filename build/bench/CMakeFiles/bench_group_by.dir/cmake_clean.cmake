@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_by.dir/bench_group_by.cc.o"
+  "CMakeFiles/bench_group_by.dir/bench_group_by.cc.o.d"
+  "bench_group_by"
+  "bench_group_by.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_by.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selection_strategies.dir/bench_selection_strategies.cc.o"
+  "CMakeFiles/bench_selection_strategies.dir/bench_selection_strategies.cc.o.d"
+  "bench_selection_strategies"
+  "bench_selection_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selection_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_q6.dir/bench_tpch_q6.cc.o"
+  "CMakeFiles/bench_tpch_q6.dir/bench_tpch_q6.cc.o.d"
+  "bench_tpch_q6"
+  "bench_tpch_q6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_q6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/operator_comparison.cpp" "examples/CMakeFiles/operator_comparison.dir/operator_comparison.cpp.o" "gcc" "examples/CMakeFiles/operator_comparison.dir/operator_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/afsim/CMakeFiles/afsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

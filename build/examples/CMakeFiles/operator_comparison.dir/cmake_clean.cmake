@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_comparison.dir/operator_comparison.cpp.o"
+  "CMakeFiles/operator_comparison.dir/operator_comparison.cpp.o.d"
+  "operator_comparison"
+  "operator_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_backend.dir/plugin_backend.cpp.o"
+  "CMakeFiles/plugin_backend.dir/plugin_backend.cpp.o.d"
+  "plugin_backend"
+  "plugin_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

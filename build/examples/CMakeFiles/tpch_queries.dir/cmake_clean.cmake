@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_queries.dir/tpch_queries.cpp.o"
+  "CMakeFiles/tpch_queries.dir/tpch_queries.cpp.o.d"
+  "tpch_queries"
+  "tpch_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

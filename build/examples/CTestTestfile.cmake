@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_thrust "/root/repo/build/examples/quickstart" "Thrust")
+set_tests_properties(example_quickstart_thrust PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_arrayfire "/root/repo/build/examples/quickstart" "ArrayFire")
+set_tests_properties(example_quickstart_arrayfire PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tpch_queries "/root/repo/build/examples/tpch_queries" "0.002")
+set_tests_properties(example_tpch_queries PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_plugin_backend "/root/repo/build/examples/plugin_backend")
+set_tests_properties(example_plugin_backend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_operator_comparison "/root/repo/build/examples/operator_comparison" "65536")
+set_tests_properties(example_operator_comparison PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")

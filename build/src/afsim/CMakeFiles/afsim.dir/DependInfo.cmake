@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afsim/algorithm.cc" "src/afsim/CMakeFiles/afsim.dir/algorithm.cc.o" "gcc" "src/afsim/CMakeFiles/afsim.dir/algorithm.cc.o.d"
+  "/root/repo/src/afsim/eval.cc" "src/afsim/CMakeFiles/afsim.dir/eval.cc.o" "gcc" "src/afsim/CMakeFiles/afsim.dir/eval.cc.o.d"
+  "/root/repo/src/afsim/ops.cc" "src/afsim/CMakeFiles/afsim.dir/ops.cc.o" "gcc" "src/afsim/CMakeFiles/afsim.dir/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

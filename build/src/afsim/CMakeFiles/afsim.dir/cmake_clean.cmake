@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afsim.dir/algorithm.cc.o"
+  "CMakeFiles/afsim.dir/algorithm.cc.o.d"
+  "CMakeFiles/afsim.dir/eval.cc.o"
+  "CMakeFiles/afsim.dir/eval.cc.o.d"
+  "CMakeFiles/afsim.dir/ops.cc.o"
+  "CMakeFiles/afsim.dir/ops.cc.o.d"
+  "libafsim.a"
+  "libafsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

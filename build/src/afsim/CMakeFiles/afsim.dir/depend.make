@@ -1,0 +1,2 @@
+# Empty dependencies file for afsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/arrayfire_backend.cc" "src/backends/CMakeFiles/backends.dir/arrayfire_backend.cc.o" "gcc" "src/backends/CMakeFiles/backends.dir/arrayfire_backend.cc.o.d"
+  "/root/repo/src/backends/boost_backend.cc" "src/backends/CMakeFiles/backends.dir/boost_backend.cc.o" "gcc" "src/backends/CMakeFiles/backends.dir/boost_backend.cc.o.d"
+  "/root/repo/src/backends/handwritten_backend.cc" "src/backends/CMakeFiles/backends.dir/handwritten_backend.cc.o" "gcc" "src/backends/CMakeFiles/backends.dir/handwritten_backend.cc.o.d"
+  "/root/repo/src/backends/register.cc" "src/backends/CMakeFiles/backends.dir/register.cc.o" "gcc" "src/backends/CMakeFiles/backends.dir/register.cc.o.d"
+  "/root/repo/src/backends/thrust_backend.cc" "src/backends/CMakeFiles/backends.dir/thrust_backend.cc.o" "gcc" "src/backends/CMakeFiles/backends.dir/thrust_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/afsim/CMakeFiles/afsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends.dir/arrayfire_backend.cc.o"
+  "CMakeFiles/backends.dir/arrayfire_backend.cc.o.d"
+  "CMakeFiles/backends.dir/boost_backend.cc.o"
+  "CMakeFiles/backends.dir/boost_backend.cc.o.d"
+  "CMakeFiles/backends.dir/handwritten_backend.cc.o"
+  "CMakeFiles/backends.dir/handwritten_backend.cc.o.d"
+  "CMakeFiles/backends.dir/register.cc.o"
+  "CMakeFiles/backends.dir/register.cc.o.d"
+  "CMakeFiles/backends.dir/thrust_backend.cc.o"
+  "CMakeFiles/backends.dir/thrust_backend.cc.o.d"
+  "libbackends.a"
+  "libbackends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/backend.cc" "src/core/CMakeFiles/core.dir/backend.cc.o" "gcc" "src/core/CMakeFiles/core.dir/backend.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/core.dir/registry.cc.o.d"
+  "/root/repo/src/core/support_matrix.cc" "src/core/CMakeFiles/core.dir/support_matrix.cc.o" "gcc" "src/core/CMakeFiles/core.dir/support_matrix.cc.o.d"
+  "/root/repo/src/core/survey.cc" "src/core/CMakeFiles/core.dir/survey.cc.o" "gcc" "src/core/CMakeFiles/core.dir/survey.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

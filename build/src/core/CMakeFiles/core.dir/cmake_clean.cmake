@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/backend.cc.o"
+  "CMakeFiles/core.dir/backend.cc.o.d"
+  "CMakeFiles/core.dir/metrics.cc.o"
+  "CMakeFiles/core.dir/metrics.cc.o.d"
+  "CMakeFiles/core.dir/registry.cc.o"
+  "CMakeFiles/core.dir/registry.cc.o.d"
+  "CMakeFiles/core.dir/support_matrix.cc.o"
+  "CMakeFiles/core.dir/support_matrix.cc.o.d"
+  "CMakeFiles/core.dir/survey.cc.o"
+  "CMakeFiles/core.dir/survey.cc.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

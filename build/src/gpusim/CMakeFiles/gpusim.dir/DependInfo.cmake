@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/thread_pool.cc" "src/gpusim/CMakeFiles/gpusim.dir/thread_pool.cc.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/thread_pool.cc.o.d"
+  "/root/repo/src/gpusim/trace.cc" "src/gpusim/CMakeFiles/gpusim.dir/trace.cc.o" "gcc" "src/gpusim/CMakeFiles/gpusim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

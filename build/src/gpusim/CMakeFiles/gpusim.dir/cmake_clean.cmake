@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim.dir/device.cc.o"
+  "CMakeFiles/gpusim.dir/device.cc.o.d"
+  "CMakeFiles/gpusim.dir/thread_pool.cc.o"
+  "CMakeFiles/gpusim.dir/thread_pool.cc.o.d"
+  "CMakeFiles/gpusim.dir/trace.cc.o"
+  "CMakeFiles/gpusim.dir/trace.cc.o.d"
+  "libgpusim.a"
+  "libgpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage.dir/device_column.cc.o"
+  "CMakeFiles/storage.dir/device_column.cc.o.d"
+  "CMakeFiles/storage.dir/table.cc.o"
+  "CMakeFiles/storage.dir/table.cc.o.d"
+  "libstorage.a"
+  "libstorage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

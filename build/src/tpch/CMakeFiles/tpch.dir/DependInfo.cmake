@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/datagen.cc" "src/tpch/CMakeFiles/tpch.dir/datagen.cc.o" "gcc" "src/tpch/CMakeFiles/tpch.dir/datagen.cc.o.d"
+  "/root/repo/src/tpch/q1.cc" "src/tpch/CMakeFiles/tpch.dir/q1.cc.o" "gcc" "src/tpch/CMakeFiles/tpch.dir/q1.cc.o.d"
+  "/root/repo/src/tpch/q14.cc" "src/tpch/CMakeFiles/tpch.dir/q14.cc.o" "gcc" "src/tpch/CMakeFiles/tpch.dir/q14.cc.o.d"
+  "/root/repo/src/tpch/q3.cc" "src/tpch/CMakeFiles/tpch.dir/q3.cc.o" "gcc" "src/tpch/CMakeFiles/tpch.dir/q3.cc.o.d"
+  "/root/repo/src/tpch/q4.cc" "src/tpch/CMakeFiles/tpch.dir/q4.cc.o" "gcc" "src/tpch/CMakeFiles/tpch.dir/q4.cc.o.d"
+  "/root/repo/src/tpch/q6.cc" "src/tpch/CMakeFiles/tpch.dir/q6.cc.o" "gcc" "src/tpch/CMakeFiles/tpch.dir/q6.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch.dir/datagen.cc.o"
+  "CMakeFiles/tpch.dir/datagen.cc.o.d"
+  "CMakeFiles/tpch.dir/q1.cc.o"
+  "CMakeFiles/tpch.dir/q1.cc.o.d"
+  "CMakeFiles/tpch.dir/q14.cc.o"
+  "CMakeFiles/tpch.dir/q14.cc.o.d"
+  "CMakeFiles/tpch.dir/q3.cc.o"
+  "CMakeFiles/tpch.dir/q3.cc.o.d"
+  "CMakeFiles/tpch.dir/q4.cc.o"
+  "CMakeFiles/tpch.dir/q4.cc.o.d"
+  "CMakeFiles/tpch.dir/q6.cc.o"
+  "CMakeFiles/tpch.dir/q6.cc.o.d"
+  "libtpch.a"
+  "libtpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

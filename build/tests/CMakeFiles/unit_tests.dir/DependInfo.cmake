@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/afsim_test.cc" "tests/CMakeFiles/unit_tests.dir/afsim_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/afsim_test.cc.o.d"
+  "/root/repo/tests/algorithms_test.cc" "tests/CMakeFiles/unit_tests.dir/algorithms_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/algorithms_test.cc.o.d"
+  "/root/repo/tests/backend_test.cc" "tests/CMakeFiles/unit_tests.dir/backend_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/backend_test.cc.o.d"
+  "/root/repo/tests/bcsim_test.cc" "tests/CMakeFiles/unit_tests.dir/bcsim_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/bcsim_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/unit_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/unit_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/framework_test.cc" "tests/CMakeFiles/unit_tests.dir/framework_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/framework_test.cc.o.d"
+  "/root/repo/tests/gpusim_test.cc" "tests/CMakeFiles/unit_tests.dir/gpusim_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/gpusim_test.cc.o.d"
+  "/root/repo/tests/handwritten_test.cc" "tests/CMakeFiles/unit_tests.dir/handwritten_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/handwritten_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/unit_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/thrustsim_test.cc" "tests/CMakeFiles/unit_tests.dir/thrustsim_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/thrustsim_test.cc.o.d"
+  "/root/repo/tests/tpch_test.cc" "tests/CMakeFiles/unit_tests.dir/tpch_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/tpch_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/afsim/CMakeFiles/afsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/tpch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_tests.dir/afsim_test.cc.o"
+  "CMakeFiles/unit_tests.dir/afsim_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/algorithms_test.cc.o"
+  "CMakeFiles/unit_tests.dir/algorithms_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/backend_test.cc.o"
+  "CMakeFiles/unit_tests.dir/backend_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/bcsim_test.cc.o"
+  "CMakeFiles/unit_tests.dir/bcsim_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/differential_test.cc.o"
+  "CMakeFiles/unit_tests.dir/differential_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/edge_cases_test.cc.o"
+  "CMakeFiles/unit_tests.dir/edge_cases_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/framework_test.cc.o"
+  "CMakeFiles/unit_tests.dir/framework_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/gpusim_test.cc.o"
+  "CMakeFiles/unit_tests.dir/gpusim_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/handwritten_test.cc.o"
+  "CMakeFiles/unit_tests.dir/handwritten_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/storage_test.cc.o"
+  "CMakeFiles/unit_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/thrustsim_test.cc.o"
+  "CMakeFiles/unit_tests.dir/thrustsim_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/tpch_test.cc.o"
+  "CMakeFiles/unit_tests.dir/tpch_test.cc.o.d"
+  "unit_tests"
+  "unit_tests.pdb"
+  "unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

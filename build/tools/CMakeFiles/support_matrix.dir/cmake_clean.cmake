@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_matrix.dir/support_matrix.cc.o"
+  "CMakeFiles/support_matrix.dir/support_matrix.cc.o.d"
+  "support_matrix"
+  "support_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survey_report.dir/survey_report.cc.o"
+  "CMakeFiles/survey_report.dir/survey_report.cc.o.d"
+  "survey_report"
+  "survey_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survey_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_query.dir/trace_query.cc.o"
+  "CMakeFiles/trace_query.dir/trace_query.cc.o.d"
+  "trace_query"
+  "trace_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
