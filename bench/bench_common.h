@@ -58,6 +58,10 @@ class Region {
         (1024.0 * 1024.0);
     state.counters["programs"] +=
         static_cast<double>(delta.programs_compiled);
+    state.counters["pool_hits"] += static_cast<double>(delta.pool_hits);
+    state.counters["pool_misses"] += static_cast<double>(delta.pool_misses);
+    // Gauge: bytes cached in the device pool at region end (not a delta).
+    state.counters["bytes_pooled"] = static_cast<double>(delta.bytes_pooled);
   }
 
  private:

@@ -23,6 +23,9 @@ struct Measurement {
   uint64_t bytes_d2d = 0;
   uint64_t programs_compiled = 0;
   uint64_t compile_ns = 0;
+  uint64_t pool_hits = 0;     ///< device allocations served from the pool
+  uint64_t pool_misses = 0;   ///< device allocations that hit the host heap
+  uint64_t bytes_pooled = 0;  ///< bytes cached in the pool at region end
 
   double simulated_ms() const { return simulated_ns / 1e6; }
 };
@@ -50,6 +53,9 @@ class ScopedMeasurement {
     m.bytes_d2d = delta.bytes_d2d;
     m.programs_compiled = delta.programs_compiled;
     m.compile_ns = delta.compile_ns;
+    m.pool_hits = delta.pool_hits;
+    m.pool_misses = delta.pool_misses;
+    m.bytes_pooled = delta.bytes_pooled;  // gauge: value at region end
     return m;
   }
 

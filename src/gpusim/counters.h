@@ -13,7 +13,9 @@
 namespace gpusim {
 
 /// Aggregate work counters for a device. All members are monotonically
-/// increasing; use Snapshot() and Delta() to measure a region.
+/// increasing except `bytes_pooled`, which is a gauge of the bytes currently
+/// cached by the device's pooling allocator; use Snapshot() and Delta() to
+/// measure a region.
 struct Counters {
   std::atomic<uint64_t> kernels_launched{0};
   std::atomic<uint64_t> bytes_read{0};        ///< device memory read by kernels
@@ -24,6 +26,9 @@ struct Counters {
   std::atomic<uint64_t> transfers{0};         ///< number of explicit transfers
   std::atomic<uint64_t> allocations{0};
   std::atomic<uint64_t> bytes_allocated{0};
+  std::atomic<uint64_t> pool_hits{0};     ///< allocations served from the pool
+  std::atomic<uint64_t> pool_misses{0};   ///< allocations that hit malloc
+  std::atomic<uint64_t> bytes_pooled{0};  ///< gauge: bytes cached in the pool
   std::atomic<uint64_t> programs_compiled{0}; ///< OpenCL-style JIT compiles
   std::atomic<uint64_t> compile_ns{0};        ///< simulated time spent compiling
   std::atomic<uint64_t> simulated_ns{0};      ///< total simulated device time
@@ -40,6 +45,9 @@ struct CounterSnapshot {
   uint64_t transfers = 0;
   uint64_t allocations = 0;
   uint64_t bytes_allocated = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t bytes_pooled = 0;  ///< gauge (see Counters::bytes_pooled)
   uint64_t programs_compiled = 0;
   uint64_t compile_ns = 0;
   uint64_t simulated_ns = 0;
@@ -55,6 +63,9 @@ struct CounterSnapshot {
     s.transfers = c.transfers.load(std::memory_order_relaxed);
     s.allocations = c.allocations.load(std::memory_order_relaxed);
     s.bytes_allocated = c.bytes_allocated.load(std::memory_order_relaxed);
+    s.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
+    s.pool_misses = c.pool_misses.load(std::memory_order_relaxed);
+    s.bytes_pooled = c.bytes_pooled.load(std::memory_order_relaxed);
     s.programs_compiled = c.programs_compiled.load(std::memory_order_relaxed);
     s.compile_ns = c.compile_ns.load(std::memory_order_relaxed);
     s.simulated_ns = c.simulated_ns.load(std::memory_order_relaxed);
@@ -73,6 +84,11 @@ struct CounterSnapshot {
     d.transfers = transfers - earlier.transfers;
     d.allocations = allocations - earlier.allocations;
     d.bytes_allocated = bytes_allocated - earlier.bytes_allocated;
+    d.pool_hits = pool_hits - earlier.pool_hits;
+    d.pool_misses = pool_misses - earlier.pool_misses;
+    // bytes_pooled is a gauge (can shrink); a wrapped difference would be
+    // meaningless, so Delta carries the later snapshot's value.
+    d.bytes_pooled = bytes_pooled;
     d.programs_compiled = programs_compiled - earlier.programs_compiled;
     d.compile_ns = compile_ns - earlier.compile_ns;
     d.simulated_ns = simulated_ns - earlier.simulated_ns;

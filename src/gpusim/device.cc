@@ -1,6 +1,8 @@
 #include "gpusim/device.h"
 
+#include <bit>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace gpusim {
@@ -9,10 +11,14 @@ Device::Device(const DeviceProperties& props, unsigned host_threads)
     : cost_model_(props), pool_(host_threads) {}
 
 Device::~Device() {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
-  for (auto& [ptr, size] : allocations_) {
-    (void)size;
-    std::free(const_cast<void*>(ptr));
+  TrimPool();
+  for (auto& shard : ptr_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [ptr, size] : shard.blocks) {
+      (void)size;
+      std::free(const_cast<void*>(ptr));
+    }
+    shard.blocks.clear();
   }
 }
 
@@ -21,45 +27,135 @@ Device& Device::Default() {
   return *device;
 }
 
-void* Device::Allocate(size_t bytes) {
-  if (bytes == 0) bytes = 1;  // keep pointers unique, mirrors cudaMalloc(0)
-  const size_t in_use = bytes_in_use_.load(std::memory_order_relaxed);
-  if (in_use + bytes > properties().global_memory_bytes) {
-    throw OutOfDeviceMemory("device allocation of " + std::to_string(bytes) +
-                            " bytes exceeds simulated global memory (" +
-                            std::to_string(in_use) + " bytes in use)");
+size_t Device::PoolBlockBytes(size_t bytes) {
+  if (bytes <= kMinBlockBytes) return kMinBlockBytes;
+  if (bytes > kLargeBlockBytes) return bytes;  // exact-size large cache
+  return std::bit_ceil(bytes);
+}
+
+size_t Device::SizeClassIndex(size_t block_bytes) {
+  // block_bytes is a power of two in [kMinBlockBytes, kLargeBlockBytes].
+  return static_cast<size_t>(std::countr_zero(block_bytes)) -
+         static_cast<size_t>(std::countr_zero(kMinBlockBytes));
+}
+
+Device::PtrShard& Device::ShardFor(const void* ptr) const {
+  // Mix the address bits; aligned pointers share low zero bits.
+  const size_t h = std::hash<const void*>{}(ptr);
+  return ptr_shards_[h % kNumPtrShards];
+}
+
+void* Device::PopFreeBlock(size_t block_bytes) {
+  if (block_bytes > kLargeBlockBytes) {
+    std::lock_guard<std::mutex> lock(large_mu_);
+    auto it = large_cache_.find(block_bytes);
+    if (it == large_cache_.end()) return nullptr;
+    void* ptr = it->second;
+    large_cache_.erase(it);
+    return ptr;
   }
-  void* ptr = std::malloc(bytes);
-  if (ptr == nullptr) throw std::bad_alloc();
+  SizeClass& sc = size_classes_[SizeClassIndex(block_bytes)];
+  std::lock_guard<std::mutex> lock(sc.mu);
+  if (sc.blocks.empty()) return nullptr;
+  void* ptr = sc.blocks.back();
+  sc.blocks.pop_back();
+  return ptr;
+}
+
+void Device::PushFreeBlock(void* ptr, size_t block_bytes) {
+  if (block_bytes > kLargeBlockBytes) {
+    std::lock_guard<std::mutex> lock(large_mu_);
+    large_cache_.emplace(block_bytes, ptr);
+    return;
+  }
+  SizeClass& sc = size_classes_[SizeClassIndex(block_bytes)];
+  std::lock_guard<std::mutex> lock(sc.mu);
+  sc.blocks.push_back(ptr);
+}
+
+void Device::TrimPool() {
+  size_t released = 0;
+  for (auto& sc : size_classes_) {
+    std::lock_guard<std::mutex> lock(sc.mu);
+    const size_t block = kMinBlockBytes << (&sc - size_classes_);
+    for (void* ptr : sc.blocks) {
+      std::free(ptr);
+      released += block;
+    }
+    sc.blocks.clear();
+  }
   {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
-    allocations_.emplace(ptr, bytes);
+    std::lock_guard<std::mutex> lock(large_mu_);
+    for (auto& [size, ptr] : large_cache_) {
+      std::free(ptr);
+      released += size;
+    }
+    large_cache_.clear();
   }
-  bytes_in_use_.fetch_add(bytes, std::memory_order_relaxed);
+  counters_.bytes_pooled.fetch_sub(released, std::memory_order_relaxed);
+}
+
+void* Device::Allocate(size_t bytes) {
+  const size_t requested = bytes == 0 ? 1 : bytes;  // mirrors cudaMalloc(0)
+  const size_t block = PoolBlockBytes(requested);
+
+  void* ptr = PopFreeBlock(block);
+  if (ptr != nullptr) {
+    counters_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_pooled.fetch_sub(block, std::memory_order_relaxed);
+  } else {
+    counters_.pool_misses.fetch_add(1, std::memory_order_relaxed);
+    const size_t capacity = properties().global_memory_bytes;
+    size_t live = bytes_live_.load(std::memory_order_relaxed);
+    if (live + bytes_pooled() + block > capacity) {
+      // Cached blocks of the wrong class are still backed by simulated
+      // memory; give them back before declaring the device full.
+      TrimPool();
+      live = bytes_live_.load(std::memory_order_relaxed);
+    }
+    if (live + block > capacity) {
+      throw OutOfDeviceMemory("device allocation of " + std::to_string(bytes) +
+                              " bytes (reserving " + std::to_string(block) +
+                              ") exceeds simulated global memory (" +
+                              std::to_string(live) + " bytes in use)");
+    }
+    ptr = std::malloc(block);
+    if (ptr == nullptr) throw std::bad_alloc();
+  }
+
+  {
+    PtrShard& shard = ShardFor(ptr);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.blocks.emplace(ptr, block);
+  }
+  bytes_live_.fetch_add(block, std::memory_order_relaxed);
   counters_.allocations.fetch_add(1, std::memory_order_relaxed);
-  counters_.bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+  counters_.bytes_allocated.fetch_add(requested, std::memory_order_relaxed);
   return ptr;
 }
 
 void Device::Free(void* ptr) {
   if (ptr == nullptr) return;
-  size_t size = 0;
+  size_t block = 0;
   {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
-    auto it = allocations_.find(ptr);
-    if (it == allocations_.end()) {
+    PtrShard& shard = ShardFor(ptr);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.blocks.find(ptr);
+    if (it == shard.blocks.end()) {
       throw std::invalid_argument("Device::Free of unknown pointer");
     }
-    size = it->second;
-    allocations_.erase(it);
+    block = it->second;
+    shard.blocks.erase(it);
   }
-  bytes_in_use_.fetch_sub(size, std::memory_order_relaxed);
-  std::free(ptr);
+  bytes_live_.fetch_sub(block, std::memory_order_relaxed);
+  PushFreeBlock(ptr, block);
+  counters_.bytes_pooled.fetch_add(block, std::memory_order_relaxed);
 }
 
 bool Device::OwnsPointer(const void* ptr) const {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
-  return allocations_.count(ptr) > 0;
+  PtrShard& shard = ShardFor(ptr);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.blocks.count(ptr) > 0;
 }
 
 }  // namespace gpusim

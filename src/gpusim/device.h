@@ -5,6 +5,16 @@
 // aggregate work counters, and the thread pool used to execute kernel grids.
 // Streams (gpusim/stream.h) carry per-API-profile timelines on top of a
 // device.
+//
+// The allocator is a caching, size-class-based pool (the design of CUB's
+// CachingDeviceAllocator / RAPIDS RMM's pool resource): Free() parks blocks
+// on per-size-class free lists instead of returning them to the host heap,
+// and Allocate() serves repeat requests from those lists. Requests up to
+// kLargeBlockBytes round up to the next power of two; larger blocks are
+// cached by exact size. The pool is invisible to the cost model — streams
+// are never charged for allocation, hit or miss — so simulated timings are
+// bit-identical with a cold or warm pool. Hit/miss/pooled-bytes statistics
+// are exported through Counters.
 #ifndef GPUSIM_DEVICE_H_
 #define GPUSIM_DEVICE_H_
 
@@ -15,6 +25,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 #include "gpusim/cost_model.h"
 #include "gpusim/counters.h"
@@ -43,18 +54,42 @@ class Device {
   /// Process-wide default device (created on first use).
   static Device& Default();
 
-  /// Allocates `bytes` of simulated device memory. Throws OutOfDeviceMemory
-  /// if the simulated capacity would be exceeded. The returned pointer is a
-  /// host pointer usable only inside kernels / transfer APIs by convention.
+  /// Allocates `bytes` of simulated device memory, rounded up to the pool's
+  /// block granularity (see PoolBlockBytes). Served from the pool's free
+  /// lists when a cached block of the right class exists. Throws
+  /// OutOfDeviceMemory if live + requested reserved bytes would exceed the
+  /// simulated capacity even after releasing all pooled blocks. The returned
+  /// pointer is a host pointer usable only inside kernels / transfer APIs by
+  /// convention.
   void* Allocate(size_t bytes);
 
-  /// Frees memory returned by Allocate(). nullptr is a no-op.
+  /// Returns memory from Allocate() to the pool (not the host heap).
+  /// nullptr is a no-op.
   void Free(void* ptr);
 
   /// True if `ptr` was returned by Allocate() on this device and not freed.
+  /// Pointers sitting in the pool's free lists are not owned.
   bool OwnsPointer(const void* ptr) const;
 
-  size_t bytes_in_use() const { return bytes_in_use_.load(std::memory_order_relaxed); }
+  /// Reserved bytes of live allocations (size-class granularity).
+  size_t bytes_in_use() const { return bytes_live_.load(std::memory_order_relaxed); }
+
+  /// Bytes currently cached in the pool's free lists.
+  size_t bytes_pooled() const {
+    return counters_.bytes_pooled.load(std::memory_order_relaxed);
+  }
+
+  /// Releases every cached block back to the host heap. Called automatically
+  /// when an allocation would otherwise exceed the simulated capacity.
+  void TrimPool();
+
+  /// The reserved block size a request of `bytes` maps to: power-of-two size
+  /// classes in [kMinBlockBytes, kLargeBlockBytes], exact size above.
+  static size_t PoolBlockBytes(size_t bytes);
+
+  /// Pool geometry.
+  static constexpr size_t kMinBlockBytes = 256;
+  static constexpr size_t kLargeBlockBytes = size_t{1} << 22;  // 4 MiB
 
   const CostModel& cost_model() const { return cost_model_; }
   const DeviceProperties& properties() const { return cost_model_.properties(); }
@@ -77,12 +112,38 @@ class Device {
   }
 
  private:
+  // 256 B .. 4 MiB inclusive, one class per power of two.
+  static constexpr size_t kNumSizeClasses = 15;
+  static constexpr size_t kNumPtrShards = 16;
+
+  /// Free list of one power-of-two size class. Sharded locking: each class
+  /// (and the large-block cache) has its own mutex, so concurrent alloc/free
+  /// traffic only contends when it targets the same class.
+  struct SizeClass {
+    std::mutex mu;
+    std::vector<void*> blocks;
+  };
+
+  /// Live-pointer tables, sharded by pointer hash to keep OwnsPointer / Free
+  /// lookups off a single global lock. Maps pointer -> reserved block bytes.
+  struct PtrShard {
+    mutable std::mutex mu;
+    std::unordered_map<const void*, size_t> blocks;
+  };
+
+  static size_t SizeClassIndex(size_t block_bytes);
+  PtrShard& ShardFor(const void* ptr) const;
+  void* PopFreeBlock(size_t block_bytes);
+  void PushFreeBlock(void* ptr, size_t block_bytes);
+
   CostModel cost_model_;
   Counters counters_;
   ThreadPool pool_;
-  mutable std::mutex alloc_mu_;
-  std::unordered_map<const void*, size_t> allocations_;
-  std::atomic<size_t> bytes_in_use_{0};
+  mutable SizeClass size_classes_[kNumSizeClasses];
+  mutable std::mutex large_mu_;
+  std::unordered_multimap<size_t, void*> large_cache_;
+  mutable PtrShard ptr_shards_[kNumPtrShards];
+  std::atomic<size_t> bytes_live_{0};
   std::atomic<Tracer*> tracer_{nullptr};
   std::atomic<uint64_t> next_stream_id_{0};
 };

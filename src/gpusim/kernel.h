@@ -23,6 +23,12 @@ namespace gpusim {
 /// Number of simulated threads per block used by ParallelFor chunking.
 inline constexpr size_t kDefaultBlockSize = 256;
 
+/// Grids of at most this many simulated threads run inline on the calling
+/// thread, skipping the thread pool (and its chunking arithmetic) entirely.
+/// Equals the minimum host-side chunk, so the cutover is exactly the point
+/// where the grid would have produced a single chunk anyway.
+inline constexpr size_t kInlineGridThreshold = kDefaultBlockSize * 16;
+
 /// Launches `n` independent simulated threads; body(i) for i in [0, n).
 /// The body must be safe to run concurrently for distinct i.
 template <typename Body>
@@ -30,6 +36,12 @@ void ParallelFor(Stream& stream, size_t n, KernelStats stats, Body&& body) {
   stats.ops = std::max<uint64_t>(stats.ops, n);  // at least one op per thread
   stream.ChargeKernel(stats);
   if (n == 0) return;
+  if (n <= kInlineGridThreshold) {
+    // Small-grid fast path: the pool dispatch would cost more host time than
+    // the loop itself. Simulated time is unaffected (charged above).
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   // Use coarse host-side chunks: each chunk covers many simulated blocks to
   // amortize scheduling on the host.
   const size_t chunk = std::max<size_t>(kDefaultBlockSize * 16, n / (stream.device().pool().num_threads() * 8 + 1));

@@ -1,85 +1,175 @@
 #include "gpusim/thread_pool.h"
 
-#include <exception>
+#include <algorithm>
+#include <limits>
 
 namespace gpusim {
+namespace {
+
+/// Pause instruction for spin loops (no-op fallback).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Spin budget before a worker parks / the caller blocks on the tail of a
+/// job. Back-to-back kernel launches arrive within this window, so workers
+/// normally never touch the condition variable between launches.
+constexpr int kSpinIters = 4096;
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   unsigned n = num_threads == 0 ? std::thread::hardware_concurrency() : num_threads;
   if (n == 0) n = 1;
-  // The calling thread participates in every job, so spawn n-1 workers.
-  for (unsigned i = 1; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  num_threads_ = n;
+  // Grids with fewer chunks than this run inline: a rendezvous with the
+  // workers costs more than the chunks themselves. With no workers at all,
+  // everything is inline.
+  inline_chunk_threshold_ =
+      n == 1 ? std::numeric_limits<size_t>::max() : std::max<size_t>(1, n / 4);
+  // Workers are spawned lazily by the first Dispatch (see SpawnWorkers).
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
   }
   cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::RunChunks(Job* job) {
-  while (true) {
-    const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job->num_chunks) break;
+void ThreadPool::SpawnWorkers() {
+  // The calling thread participates in every job, so spawn n-1 workers.
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  workers_spawned_ = true;
+}
+
+void ThreadPool::RunChunks() {
+  Job& job = job_;
+  for (;;) {
+    const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.num_chunks) break;
     try {
-      (*job->body)(i);
+      job.body(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job->error_mu);
-      if (!job->error) job->error = std::current_exception();
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
     }
-    job->done.fetch_add(1, std::memory_order_acq_rel);
+    // seq_cst pairs with the caller's parked-flag store + done load (Dekker):
+    // either the worker sees the caller parked, or the caller sees the final
+    // done count before sleeping.
+    if (job.done.fetch_add(1, std::memory_order_seq_cst) + 1 ==
+        job.num_chunks) {
+      if (caller_parked_.load(std::memory_order_seq_cst)) {
+        {
+          std::lock_guard<std::mutex> lock(done_mu_);
+        }
+        done_cv_.notify_all();
+      }
+    }
   }
 }
 
 void ThreadPool::WorkerLoop() {
-  while (true) {
-    Job* job = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || current_job_ != nullptr; });
-      if (shutdown_) return;
-      job = current_job_;
+  uint64_t last = 0;  // sequence of the newest job this worker has retired
+  for (;;) {
+    // Wait for a job newer than `last`: spin first, then park.
+    uint64_t pub = pub_seq_.load(std::memory_order_acquire);
+    if (pub == last) {
+      for (int spin = 0; spin < kSpinIters && pub == last; ++spin) {
+        CpuRelax();
+        if (shutdown_.load(std::memory_order_relaxed)) return;
+        pub = pub_seq_.load(std::memory_order_acquire);
+      }
+      if (pub == last) {
+        std::unique_lock<std::mutex> lock(mu_);
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        cv_.wait(lock, [&] {
+          return shutdown_.load(std::memory_order_relaxed) ||
+                 pub_seq_.load(std::memory_order_seq_cst) != last;
+        });
+        parked_.fetch_sub(1, std::memory_order_relaxed);
+        continue;  // re-evaluate from the top
+      }
     }
-    RunChunks(job);
-    done_cv_.notify_all();
-    // Wait until the job is retired before looking for the next one, so we
-    // never run chunks of a stale job pointer.
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this, job] { return current_job_ != job || shutdown_; });
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+
+    // Register before touching the slot, then confirm the job is still live.
+    // The seq_cst handshake with Dispatch's retire sequence (store done_seq_,
+    // then read active_) guarantees: if the caller saw active_ == 0 and moved
+    // on, this worker sees done_seq_ >= pub and backs out without touching
+    // the (possibly being rewritten) slot.
+    active_.fetch_add(1, std::memory_order_seq_cst);
+    pub = pub_seq_.load(std::memory_order_seq_cst);
+    const uint64_t retired = done_seq_.load(std::memory_order_seq_cst);
+    if (pub == last || retired >= pub) {
+      active_.fetch_sub(1, std::memory_order_release);
+      last = std::max(last, retired);
+      continue;
+    }
+    last = pub;
+    RunChunks();
+    active_.fetch_sub(1, std::memory_order_release);
   }
 }
 
-void ThreadPool::ParallelFor(size_t num_chunks,
-                             const std::function<void(size_t)>& body) {
-  if (num_chunks == 0) return;
-  if (workers_.empty() || num_chunks == 1) {
-    // Inline fast path (single-core hosts and tiny grids).
-    for (size_t i = 0; i < num_chunks; ++i) body(i);
-    return;
+void ThreadPool::Dispatch(size_t num_chunks, ChunkFnRef body) {
+  std::lock_guard<std::mutex> launch_lock(launch_mu_);
+  if (!workers_spawned_) SpawnWorkers();
+
+  job_.body = body;
+  job_.num_chunks = num_chunks;
+  job_.next.store(0, std::memory_order_relaxed);
+  job_.done.store(0, std::memory_order_relaxed);
+  job_.error = nullptr;
+  const uint64_t seq = pub_seq_.load(std::memory_order_relaxed) + 1;
+  pub_seq_.store(seq, std::memory_order_seq_cst);  // publish
+
+  // Wake workers only if some are actually parked; spinning workers pick the
+  // job up from pub_seq_ without any lock traffic.
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+    }
+    cv_.notify_all();
   }
-  Job job;
-  job.body = &body;
-  job.num_chunks = num_chunks;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    current_job_ = &job;
+
+  RunChunks();
+
+  // Wait for workers to drain the tail of the job: spin, then park.
+  const auto all_done = [&] {
+    return job_.done.load(std::memory_order_seq_cst) >= job_.num_chunks;
+  };
+  if (!all_done()) {
+    for (int spin = 0; spin < kSpinIters && !all_done(); ++spin) CpuRelax();
+    if (!all_done()) {
+      std::unique_lock<std::mutex> lock(done_mu_);
+      caller_parked_.store(true, std::memory_order_seq_cst);
+      done_cv_.wait(lock, all_done);
+      caller_parked_.store(false, std::memory_order_relaxed);
+    }
   }
-  cv_.notify_all();
-  RunChunks(&job);
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&job] {
-      return job.done.load(std::memory_order_acquire) >= job.num_chunks;
-    });
-    current_job_ = nullptr;
+
+  // Retire the job, then wait until no worker is left inside the slot so it
+  // can be rewritten by the next Dispatch.
+  done_seq_.store(seq, std::memory_order_seq_cst);
+  while (active_.load(std::memory_order_seq_cst) != 0) CpuRelax();
+
+  if (job_.error) {
+    std::exception_ptr error = job_.error;
+    job_.error = nullptr;
+    std::rethrow_exception(error);
   }
-  done_cv_.notify_all();
-  if (job.error) std::rethrow_exception(job.error);
 }
 
 }  // namespace gpusim

@@ -4,23 +4,61 @@
 // single-core host it degenerates to inline execution, which is still a
 // faithful *functional* simulation; timing comes from the cost model, not
 // from wall clock.
+//
+// Hot-path design (this is the per-simulated-kernel-launch path, so host
+// overhead here is what the source paper calls per-call library overhead):
+//  * ParallelFor is a template taking any callable; the dispatch path wraps
+//    it in a non-owning ChunkFnRef (two raw pointers) instead of a
+//    heap-allocating std::function.
+//  * Job arrival is lock-free: the caller writes the job slot and publishes
+//    it with one release increment of a sequence counter. Workers spin
+//    briefly on the counter between jobs and only park on the condition
+//    variable after the spin budget runs out; the caller in turn only takes
+//    the mutex + notifies when the parked-worker count is nonzero.
+//  * Grids that are small relative to the worker count run inline on the
+//    calling thread, skipping the rendezvous entirely.
 #ifndef GPUSIM_THREAD_POOL_H_
 #define GPUSIM_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <exception>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace gpusim {
 
+/// Non-owning, non-allocating reference to a callable taking a chunk index.
+/// The referent must outlive every call; ParallelFor blocks until the job is
+/// done, so stack lambdas at the call site are safe.
+class ChunkFnRef {
+ public:
+  ChunkFnRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_const_t<F>, ChunkFnRef>>>
+  ChunkFnRef(F& f)  // NOLINT: implicit by design, mirrors function_ref
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        fn_([](void* obj, size_t i) { (*static_cast<F*>(obj))(i); }) {}
+
+  void operator()(size_t i) const { fn_(obj_, i); }
+
+ private:
+  void* obj_ = nullptr;
+  void (*fn_)(void*, size_t) = nullptr;
+};
+
 /// Fixed-size pool executing chunked parallel-for jobs.
 class ThreadPool {
  public:
-  /// @param num_threads 0 means hardware concurrency.
+  /// @param num_threads 0 means hardware concurrency. Worker threads are
+  /// spawned lazily on the first dispatched job, so pools that only ever run
+  /// small grids never pay thread-creation cost.
   explicit ThreadPool(unsigned num_threads = 0);
   ~ThreadPool();
 
@@ -31,29 +69,66 @@ class ThreadPool {
   /// chunks across the pool's workers plus the calling thread. Blocks until
   /// all chunks are done. Exceptions thrown by the body are rethrown on the
   /// calling thread (first one wins).
-  void ParallelFor(size_t num_chunks, const std::function<void(size_t)>& body);
+  template <typename Body>
+  void ParallelFor(size_t num_chunks, Body&& body) {
+    if (num_chunks == 0) return;
+    if (num_chunks <= inline_chunk_threshold_) {
+      // Inline fast path: single-core hosts and grids too small to amortize
+      // a worker rendezvous.
+      for (size_t i = 0; i < num_chunks; ++i) body(i);
+      return;
+    }
+    ChunkFnRef ref(body);
+    Dispatch(num_chunks, ref);
+  }
 
-  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()) + 1; }
+  unsigned num_threads() const { return num_threads_; }
 
  private:
+  /// The one in-flight job. A single slot suffices: Dispatch serializes
+  /// callers and does not return until the job is done *and* no worker is
+  /// still inside RunChunks, so the slot is quiescent before reuse.
   struct Job {
-    const std::function<void(size_t)>* body = nullptr;
-    std::atomic<size_t> next{0};
+    ChunkFnRef body;
     size_t num_chunks = 0;
+    std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::exception_ptr error;
     std::mutex error_mu;
   };
 
+  void Dispatch(size_t num_chunks, ChunkFnRef body);
+  void RunChunks();
   void WorkerLoop();
-  static void RunChunks(Job* job);
+  void SpawnWorkers();
 
+  unsigned num_threads_ = 1;
+  size_t inline_chunk_threshold_ = 1;
   std::vector<std::thread> workers_;
+  bool workers_spawned_ = false;
+
+  Job job_;
+  /// Publication counter: incremented (release) once per dispatched job.
+  std::atomic<uint64_t> pub_seq_{0};
+  /// Retirement counter: set to the job's sequence once all chunks ran.
+  /// Paired store/load fences with `active_` form the Dekker handshake that
+  /// keeps late-arriving workers out of a retired slot.
+  std::atomic<uint64_t> done_seq_{0};
+  /// Workers currently inside RunChunks.
+  std::atomic<unsigned> active_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex launch_mu_;  ///< serializes concurrent Dispatch callers
+
+  // Worker parking. parked_ is only written under mu_.
   std::mutex mu_;
   std::condition_variable cv_;
+  std::atomic<unsigned> parked_{0};
+
+  // Caller parking while workers drain the tail of a job.
+  std::mutex done_mu_;
   std::condition_variable done_cv_;
-  Job* current_job_ = nullptr;
-  bool shutdown_ = false;
+  std::atomic<bool> caller_parked_{false};
 };
 
 }  // namespace gpusim

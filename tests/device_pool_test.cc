@@ -1,0 +1,181 @@
+// Tests for the caching device-memory pool (size classes, reuse, OOM
+// behavior, ownership tracking, thread safety).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace gpusim {
+namespace {
+
+TEST(DevicePoolTest, PoolBlockBytesRoundsToSizeClasses) {
+  EXPECT_EQ(Device::PoolBlockBytes(0), Device::kMinBlockBytes);
+  EXPECT_EQ(Device::PoolBlockBytes(1), Device::kMinBlockBytes);
+  EXPECT_EQ(Device::PoolBlockBytes(Device::kMinBlockBytes),
+            Device::kMinBlockBytes);
+  EXPECT_EQ(Device::PoolBlockBytes(Device::kMinBlockBytes + 1),
+            2 * Device::kMinBlockBytes);
+  EXPECT_EQ(Device::PoolBlockBytes(1000), 1024u);
+  EXPECT_EQ(Device::PoolBlockBytes(1024), 1024u);
+  EXPECT_EQ(Device::PoolBlockBytes(1025), 2048u);
+  EXPECT_EQ(Device::PoolBlockBytes(Device::kLargeBlockBytes),
+            Device::kLargeBlockBytes);
+  // Above the largest class, blocks are cached by exact size.
+  EXPECT_EQ(Device::PoolBlockBytes(Device::kLargeBlockBytes + 1),
+            Device::kLargeBlockBytes + 1);
+}
+
+TEST(DevicePoolTest, FreeParksBlockAndAllocateReusesIt) {
+  Device device;
+  void* a = device.Allocate(1000);  // 1024-byte class
+  device.Free(a);
+  EXPECT_EQ(device.bytes_pooled(), 1024u);
+  EXPECT_EQ(device.bytes_in_use(), 0u);
+  // A request in the same class is served by the exact same block.
+  void* b = device.Allocate(600);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(device.bytes_pooled(), 0u);
+  EXPECT_EQ(device.bytes_in_use(), 1024u);
+  device.Free(b);
+}
+
+TEST(DevicePoolTest, HitAndMissCountersTrackReuse) {
+  Device device;
+  const auto before = device.Snapshot();
+  void* a = device.Allocate(4096);
+  device.Free(a);
+  void* b = device.Allocate(4096);  // hit
+  void* c = device.Allocate(4096);  // miss: the only cached block is live
+  const auto delta = device.Snapshot().Delta(before);
+  EXPECT_EQ(delta.pool_hits, 1u);
+  EXPECT_EQ(delta.pool_misses, 2u);
+  EXPECT_EQ(delta.allocations, 3u);  // hits still count as allocations
+  device.Free(b);
+  device.Free(c);
+}
+
+TEST(DevicePoolTest, ReuseAcrossManyAllocFreeCycles) {
+  Device device;
+  const auto before = device.Snapshot();
+  for (int i = 0; i < 100; ++i) {
+    void* p = device.Allocate(1 << 16);
+    device.Free(p);
+  }
+  const auto delta = device.Snapshot().Delta(before);
+  EXPECT_EQ(delta.pool_misses, 1u);  // only the first cycle touches malloc
+  EXPECT_EQ(delta.pool_hits, 99u);
+  EXPECT_EQ(device.bytes_in_use(), 0u);
+  EXPECT_EQ(device.bytes_pooled(), size_t{1} << 16);
+}
+
+TEST(DevicePoolTest, LargeBlocksCachedByExactSize) {
+  Device device;
+  const size_t big = Device::kLargeBlockBytes + 4096;
+  void* a = device.Allocate(big);
+  device.Free(a);
+  // A different large size does not match the cached block.
+  void* b = device.Allocate(big + 4096);
+  EXPECT_NE(b, a);
+  // The exact size does.
+  void* c = device.Allocate(big);
+  EXPECT_EQ(c, a);
+  device.Free(b);
+  device.Free(c);
+}
+
+TEST(DevicePoolTest, OwnsPointerFalseWhilePooled) {
+  Device device;
+  void* a = device.Allocate(512);
+  EXPECT_TRUE(device.OwnsPointer(a));
+  device.Free(a);
+  EXPECT_FALSE(device.OwnsPointer(a));  // parked in the pool, not live
+  void* b = device.Allocate(512);
+  EXPECT_EQ(b, a);
+  EXPECT_TRUE(device.OwnsPointer(b));
+  device.Free(b);
+}
+
+TEST(DevicePoolTest, DoubleFreeThrows) {
+  Device device;
+  void* a = device.Allocate(256);
+  device.Free(a);
+  EXPECT_THROW(device.Free(a), std::invalid_argument);
+}
+
+TEST(DevicePoolTest, PooledBytesCountAgainstCapacity) {
+  DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;  // 1 MiB device
+  Device device(props);
+  void* a = device.Allocate(512 * 1024);
+  device.Free(a);
+  EXPECT_EQ(device.bytes_pooled(), 512u * 1024u);
+  // A full-capacity request only fits if the pool is released first; the
+  // allocator trims automatically instead of throwing.
+  void* b = device.Allocate(1 << 20);
+  EXPECT_EQ(device.bytes_pooled(), 0u);
+  EXPECT_EQ(device.bytes_in_use(), 1u << 20);
+  // Now the device really is full: live + new block exceeds capacity.
+  EXPECT_THROW(device.Allocate(1), OutOfDeviceMemory);
+  device.Free(b);
+}
+
+TEST(DevicePoolTest, OomAccountsReservedBlockBytes) {
+  DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;
+  Device device(props);
+  // 900 KiB reserves a 1 MiB block: the device is now full.
+  void* a = device.Allocate(900 * 1024);
+  EXPECT_EQ(device.bytes_in_use(), 1u << 20);
+  EXPECT_THROW(device.Allocate(1), OutOfDeviceMemory);
+  device.Free(a);
+}
+
+TEST(DevicePoolTest, TrimPoolReleasesCachedBlocks) {
+  Device device;
+  void* a = device.Allocate(4096);
+  void* b = device.Allocate(Device::kLargeBlockBytes + 1);
+  device.Free(a);
+  device.Free(b);
+  EXPECT_GT(device.bytes_pooled(), 0u);
+  device.TrimPool();
+  EXPECT_EQ(device.bytes_pooled(), 0u);
+  EXPECT_EQ(device.bytes_in_use(), 0u);
+}
+
+TEST(DevicePoolTest, MultithreadedAllocFreeStress) {
+  Device device;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<void*> live;
+      uint32_t rng = 0x9e3779b9u * static_cast<uint32_t>(t + 1);
+      for (int i = 0; i < kIters; ++i) {
+        rng = rng * 1664525u + 1013904223u;
+        const size_t bytes = 64 + (rng % (64 * 1024));
+        void* p = device.Allocate(bytes);
+        if (p == nullptr || !device.OwnsPointer(p)) failed.store(true);
+        live.push_back(p);
+        if (live.size() > 8 || (rng & 1)) {
+          device.Free(live.back());
+          live.pop_back();
+        }
+      }
+      for (void* p : live) device.Free(p);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(device.bytes_in_use(), 0u);
+  const auto snap = device.Snapshot();
+  EXPECT_EQ(snap.pool_hits + snap.pool_misses, snap.allocations);
+}
+
+}  // namespace
+}  // namespace gpusim

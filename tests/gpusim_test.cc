@@ -173,6 +173,39 @@ TEST(ThreadPoolTest, ReusableAcrossJobs) {
   }
 }
 
+TEST(ThreadPoolTest, SmallGridsRunInlineAndCoverAllChunks) {
+  // Grids small relative to the worker count take the inline fast path;
+  // coverage must be identical either way.
+  ThreadPool pool(16);
+  for (size_t chunks : {size_t{1}, size_t{2}, size_t{3}, size_t{4}}) {
+    std::vector<std::atomic<int>> hits(chunks);
+    pool.ParallelFor(chunks, [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateFromInlinePath) {
+  ThreadPool pool(16);
+  EXPECT_THROW(pool.ParallelFor(
+                   2,
+                   [&](size_t i) {
+                     if (i == 1) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyBackToBackJobsKeepExactCoverage) {
+  // Hammers the lock-free publish/retire handshake: chunks of one job must
+  // never leak into the next.
+  ThreadPool pool(4);
+  for (int round = 0; round < 500; ++round) {
+    const size_t chunks = 16 + static_cast<size_t>(round % 17);
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(chunks, [&](size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), chunks);
+  }
+}
+
 TEST(KernelTest, ParallelForVisitsAllIndices) {
   Device device;
   Stream stream(device, ApiProfile::Cuda());
