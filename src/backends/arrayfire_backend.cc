@@ -88,6 +88,11 @@ class ArrayFireBackend : public core::Backend {
   std::string name() const override { return kArrayFire; }
   gpusim::Stream& stream() override { return afsim::default_stream(); }
 
+  /// All afsim arrays funnel their lazy-JIT bookkeeping through the library's
+  /// one global stream, so two ArrayFire clients on separate host threads
+  /// would race on a single timeline.
+  bool concurrency_safe() const override { return false; }
+
   OperatorRealization Realization(DbOperator op) const override {
     switch (op) {
       case DbOperator::kSelection:

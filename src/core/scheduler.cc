@@ -1,0 +1,212 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/registry.h"
+
+namespace core {
+namespace {
+
+/// Nearest-rank percentile of a sorted sample (q in [0, 1]).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+LatencySummary Summarize(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  LatencySummary s;
+  s.p50 = Percentile(samples, 0.50);
+  s.p95 = Percentile(samples, 0.95);
+  s.p99 = Percentile(samples, 0.99);
+  s.max = samples.empty() ? 0 : samples.back();
+  return s;
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(SchedulerOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_clients == 0) options_.num_clients = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+
+  // Probe the backend on the construction thread: surfaces unknown-name
+  // errors eagerly and lets us refuse multi-client use of backends that
+  // funnel work through process-global library state.
+  auto probe = BackendRegistry::Instance().Create(options_.backend_name);
+  if (options_.num_clients > 1 && !probe->concurrency_safe()) {
+    throw std::invalid_argument(
+        "backend '" + options_.backend_name +
+        "' is not concurrency-safe; run it with num_clients == 1");
+  }
+
+  client_sim_ns_.reserve(options_.num_clients);
+  for (unsigned i = 0; i < options_.num_clients; ++i) {
+    client_sim_ns_.push_back(std::make_unique<gpusim::PaddedCounter>());
+  }
+  clients_.reserve(options_.num_clients);
+  for (unsigned i = 0; i < options_.num_clients; ++i) {
+    clients_.emplace_back([this, i] { ClientLoop(i); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() { Shutdown(); }
+
+uint64_t QueryScheduler::Submit(std::string label, QueryFn query) {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_not_full_.wait(lock, [&] {
+    return stop_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stop_) throw std::runtime_error("QueryScheduler is shut down");
+  if (!saw_submit_) {
+    saw_submit_ = true;
+    first_submit_ = std::chrono::steady_clock::now();
+  }
+  const uint64_t id = next_id_++;
+  queue_.push_back(Item{id, std::move(label), std::move(query)});
+  queue_not_empty_.notify_one();
+  return id;
+}
+
+bool QueryScheduler::TrySubmit(std::string label, QueryFn query,
+                               uint64_t* id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_ || queue_.size() >= options_.queue_capacity) return false;
+  if (!saw_submit_) {
+    saw_submit_ = true;
+    first_submit_ = std::chrono::steady_clock::now();
+  }
+  const uint64_t assigned = next_id_++;
+  if (id != nullptr) *id = assigned;
+  queue_.push_back(Item{assigned, std::move(label), std::move(query)});
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+void QueryScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void QueryScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && clients_.empty()) return;
+    stop_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (auto& t : clients_) t.join();
+  clients_.clear();
+}
+
+size_t QueryScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::vector<QueryRecord> QueryScheduler::Records() const {
+  std::vector<QueryRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+SchedulerReport QueryScheduler::Report() const {
+  SchedulerReport r;
+  std::vector<double> wall, sim;
+  {
+    std::lock_guard<std::mutex> lock(records_mu_);
+    r.completed = records_.size();
+    wall.reserve(records_.size());
+    sim.reserve(records_.size());
+    for (const QueryRecord& q : records_) {
+      if (!q.ok) ++r.failed;
+      wall.push_back(q.wall_ms);
+      sim.push_back(static_cast<double>(q.simulated_ns) / 1e6);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (saw_submit_ && r.completed > 0) {
+      r.wall_seconds =
+          std::chrono::duration<double>(last_complete_ - first_submit_)
+              .count();
+    }
+  }
+  if (r.wall_seconds > 0) {
+    r.queries_per_sec = static_cast<double>(r.completed) / r.wall_seconds;
+  }
+  r.wall_ms = Summarize(std::move(wall));
+  r.simulated_ms = Summarize(std::move(sim));
+  r.client_simulated_ns.reserve(client_sim_ns_.size());
+  for (const auto& c : client_sim_ns_) {
+    r.client_simulated_ns.push_back(c->load());
+  }
+  return r;
+}
+
+void QueryScheduler::ClientLoop(unsigned client_index) {
+  // Each client owns a full backend instance — and with it a private Stream
+  // whose simulated timeline is independent of every other client's.
+  std::unique_ptr<Backend> backend =
+      BackendRegistry::Instance().Create(options_.backend_name);
+
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to serve
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      queue_not_full_.notify_one();
+    }
+
+    QueryRecord record;
+    record.id = item.id;
+    record.label = std::move(item.label);
+    record.client = client_index;
+    const uint64_t sim_start = backend->stream().now_ns();
+    const auto wall_start = std::chrono::steady_clock::now();
+    try {
+      item.fn(*backend);
+      record.ok = true;
+    } catch (const std::exception& e) {
+      record.error = e.what();
+    } catch (...) {
+      record.error = "unknown exception";
+    }
+    const auto wall_end = std::chrono::steady_clock::now();
+    record.simulated_ns = backend->stream().now_ns() - sim_start;
+    record.wall_ms =
+        std::chrono::duration<double, std::milli>(wall_end - wall_start)
+            .count();
+    client_sim_ns_[client_index]->fetch_add(record.simulated_ns);
+
+    {
+      std::lock_guard<std::mutex> lock(records_mu_);
+      records_.push_back(std::move(record));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_complete_ = wall_end;
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace core

@@ -1,0 +1,154 @@
+// Multi-client query scheduler.
+//
+// The paper measures one operator or one query at a time; a serving system
+// runs many concurrent clients against the same device. QueryScheduler
+// models that setting: N client threads, each owning a private Backend
+// instance (and therefore a private gpusim::Stream with its own simulated
+// timeline), drain a bounded submission queue of query functors. Submit()
+// blocks while the queue is full — backpressure toward the producers — and
+// every completed query yields a QueryRecord with wall-clock and simulated
+// latency. Report() aggregates throughput (queries/sec) and latency
+// percentiles.
+//
+// Invariants:
+//  * Error isolation: an exception thrown by one query marks only that
+//    query's record as failed; the client thread keeps serving.
+//  * Timing invariance: per-stream simulated time is a pure function of the
+//    commands charged to the stream, so a query's simulated_ns is
+//    bit-identical whether it ran alone or next to seven concurrent clients
+//    (the cost model never observes host scheduling). tests/scheduler_test.cc
+//    pins this golden property.
+#ifndef CORE_SCHEDULER_H_
+#define CORE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/backend.h"
+#include "gpusim/counters.h"
+
+namespace core {
+
+/// A unit of client work: runs against the client's private backend. The
+/// functor must not retain the Backend& beyond the call.
+using QueryFn = std::function<void(Backend&)>;
+
+struct SchedulerOptions {
+  std::string backend_name;      ///< registry name (core/registry.h)
+  unsigned num_clients = 1;      ///< concurrent clients, each with own stream
+  size_t queue_capacity = 16;    ///< bound on queued (not yet running) queries
+};
+
+/// Outcome of one query.
+struct QueryRecord {
+  uint64_t id = 0;           ///< submission order, starting at 0
+  std::string label;
+  unsigned client = 0;       ///< index of the client that ran it
+  bool ok = false;
+  std::string error;         ///< exception message when !ok
+  uint64_t simulated_ns = 0; ///< stream-timeline delta of the query
+  double wall_ms = 0;        ///< host wall-clock latency
+};
+
+/// p50/p95/p99/max over completed queries.
+struct LatencySummary {
+  double p50 = 0, p95 = 0, p99 = 0, max = 0;
+};
+
+struct SchedulerReport {
+  size_t completed = 0;   ///< queries that ran (ok or failed)
+  size_t failed = 0;
+  double wall_seconds = 0;        ///< first Submit -> last completion
+  double queries_per_sec = 0;     ///< completed / wall_seconds
+  LatencySummary wall_ms;         ///< percentiles over wall-clock latency
+  LatencySummary simulated_ms;    ///< percentiles over simulated latency
+  std::vector<uint64_t> client_simulated_ns;  ///< per-client timeline totals
+};
+
+/// Admits queries from any number of producer threads and executes them on
+/// `num_clients` concurrent client threads. Thread-safe.
+class QueryScheduler {
+ public:
+  /// Spawns the client threads. Throws std::out_of_range for an unknown
+  /// backend and std::invalid_argument when the backend is not
+  /// concurrency-safe (Backend::concurrency_safe) but num_clients > 1.
+  explicit QueryScheduler(SchedulerOptions options);
+
+  /// Drains outstanding work and joins the clients.
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Enqueues a query, blocking while the queue is at capacity
+  /// (backpressure). Returns the query id. Throws std::runtime_error after
+  /// Shutdown().
+  uint64_t Submit(std::string label, QueryFn query);
+
+  /// Non-blocking Submit: returns false (and does not enqueue) when the
+  /// queue is full or the scheduler is shut down.
+  bool TrySubmit(std::string label, QueryFn query, uint64_t* id = nullptr);
+
+  /// Blocks until the queue is empty and no query is in flight.
+  void Drain();
+
+  /// Stops admission, drains outstanding queries, and joins the client
+  /// threads. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Number of queries currently queued (not yet picked up by a client).
+  size_t queue_depth() const;
+
+  /// Completed-query records in submission-id order.
+  std::vector<QueryRecord> Records() const;
+
+  /// Aggregate throughput/latency over everything completed so far.
+  SchedulerReport Report() const;
+
+  unsigned num_clients() const { return options_.num_clients; }
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct Item {
+    uint64_t id = 0;
+    std::string label;
+    QueryFn fn;
+  };
+
+  void ClientLoop(unsigned client_index);
+
+  SchedulerOptions options_;
+
+  mutable std::mutex mu_;  ///< guards queue_, in_flight_, stop_, timestamps
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable drained_;
+  std::deque<Item> queue_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+  uint64_t next_id_ = 0;
+  bool saw_submit_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  std::chrono::steady_clock::time_point last_complete_;
+
+  mutable std::mutex records_mu_;
+  std::vector<QueryRecord> records_;
+
+  /// Per-client simulated-timeline totals, padded against false sharing
+  /// (clients bump their own cell after every query).
+  std::vector<std::unique_ptr<gpusim::PaddedCounter>> client_sim_ns_;
+
+  std::vector<std::thread> clients_;
+};
+
+}  // namespace core
+
+#endif  // CORE_SCHEDULER_H_

@@ -12,26 +12,53 @@
 
 namespace gpusim {
 
+/// One cache-line-padded atomic counter. The hot counters
+/// (kernels_launched, bytes_read, bytes_written, simulated_ns) are bumped on
+/// every kernel launch; with concurrent streams on separate host threads,
+/// packing them into adjacent words would turn every bump into a
+/// false-sharing miss, so each counter owns a full cache line.
+struct alignas(64) PaddedCounter {
+  uint64_t fetch_add(uint64_t d,
+                     std::memory_order o = std::memory_order_relaxed) {
+    return v.fetch_add(d, o);
+  }
+  uint64_t fetch_sub(uint64_t d,
+                     std::memory_order o = std::memory_order_relaxed) {
+    return v.fetch_sub(d, o);
+  }
+  uint64_t load(std::memory_order o = std::memory_order_relaxed) const {
+    return v.load(o);
+  }
+  void store(uint64_t x, std::memory_order o = std::memory_order_relaxed) {
+    v.store(x, o);
+  }
+
+  std::atomic<uint64_t> v{0};
+};
+
+static_assert(sizeof(PaddedCounter) == 64,
+              "each counter must own a full cache line");
+
 /// Aggregate work counters for a device. All members are monotonically
 /// increasing except `bytes_pooled`, which is a gauge of the bytes currently
 /// cached by the device's pooling allocator; use Snapshot() and Delta() to
 /// measure a region.
 struct Counters {
-  std::atomic<uint64_t> kernels_launched{0};
-  std::atomic<uint64_t> bytes_read{0};        ///< device memory read by kernels
-  std::atomic<uint64_t> bytes_written{0};     ///< device memory written by kernels
-  std::atomic<uint64_t> bytes_h2d{0};         ///< host -> device transfers
-  std::atomic<uint64_t> bytes_d2h{0};         ///< device -> host transfers
-  std::atomic<uint64_t> bytes_d2d{0};         ///< device -> device copies
-  std::atomic<uint64_t> transfers{0};         ///< number of explicit transfers
-  std::atomic<uint64_t> allocations{0};
-  std::atomic<uint64_t> bytes_allocated{0};
-  std::atomic<uint64_t> pool_hits{0};     ///< allocations served from the pool
-  std::atomic<uint64_t> pool_misses{0};   ///< allocations that hit malloc
-  std::atomic<uint64_t> bytes_pooled{0};  ///< gauge: bytes cached in the pool
-  std::atomic<uint64_t> programs_compiled{0}; ///< OpenCL-style JIT compiles
-  std::atomic<uint64_t> compile_ns{0};        ///< simulated time spent compiling
-  std::atomic<uint64_t> simulated_ns{0};      ///< total simulated device time
+  PaddedCounter kernels_launched;
+  PaddedCounter bytes_read;         ///< device memory read by kernels
+  PaddedCounter bytes_written;      ///< device memory written by kernels
+  PaddedCounter bytes_h2d;          ///< host -> device transfers
+  PaddedCounter bytes_d2h;          ///< device -> host transfers
+  PaddedCounter bytes_d2d;          ///< device -> device copies
+  PaddedCounter transfers;          ///< number of explicit transfers
+  PaddedCounter allocations;
+  PaddedCounter bytes_allocated;
+  PaddedCounter pool_hits;          ///< allocations served from the pool
+  PaddedCounter pool_misses;        ///< allocations that hit malloc
+  PaddedCounter bytes_pooled;       ///< gauge: bytes cached in the pool
+  PaddedCounter programs_compiled;  ///< OpenCL-style JIT compiles
+  PaddedCounter compile_ns;         ///< simulated time spent compiling
+  PaddedCounter simulated_ns;       ///< total simulated device time
 };
 
 /// Plain-value copy of Counters taken at one instant.

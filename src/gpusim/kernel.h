@@ -16,18 +16,10 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "gpusim/launch_config.h"
 #include "gpusim/stream.h"
 
 namespace gpusim {
-
-/// Number of simulated threads per block used by ParallelFor chunking.
-inline constexpr size_t kDefaultBlockSize = 256;
-
-/// Grids of at most this many simulated threads run inline on the calling
-/// thread, skipping the thread pool (and its chunking arithmetic) entirely.
-/// Equals the minimum host-side chunk, so the cutover is exactly the point
-/// where the grid would have produced a single chunk anyway.
-inline constexpr size_t kInlineGridThreshold = kDefaultBlockSize * 16;
 
 /// Launches `n` independent simulated threads; body(i) for i in [0, n).
 /// The body must be safe to run concurrently for distinct i.
@@ -43,9 +35,11 @@ void ParallelFor(Stream& stream, size_t n, KernelStats stats, Body&& body) {
     return;
   }
   // Use coarse host-side chunks: each chunk covers many simulated blocks to
-  // amortize scheduling on the host.
-  const size_t chunk = std::max<size_t>(kDefaultBlockSize * 16, n / (stream.device().pool().num_threads() * 8 + 1));
-  const size_t num_chunks = (n + chunk - 1) / chunk;
+  // amortize scheduling on the host (geometry shared with the pool via
+  // launch_config.h).
+  const size_t chunk =
+      HostChunkThreads(n, stream.device().pool().num_threads());
+  const size_t num_chunks = NumHostChunks(n, chunk);
   stream.device().pool().ParallelFor(num_chunks, [&](size_t c) {
     const size_t begin = c * chunk;
     const size_t end = std::min(begin + chunk, n);

@@ -1,7 +1,6 @@
 #include "gpusim/thread_pool.h"
 
 #include <algorithm>
-#include <limits>
 
 namespace gpusim {
 namespace {
@@ -17,7 +16,7 @@ inline void CpuRelax() {
 #endif
 }
 
-/// Spin budget before a worker parks / the caller blocks on the tail of a
+/// Spin budget before a worker parks / a submitter blocks on the tail of a
 /// job. Back-to-back kernel launches arrive within this window, so workers
 /// normally never touch the condition variable between launches.
 constexpr int kSpinIters = 4096;
@@ -28,11 +27,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   unsigned n = num_threads == 0 ? std::thread::hardware_concurrency() : num_threads;
   if (n == 0) n = 1;
   num_threads_ = n;
-  // Grids with fewer chunks than this run inline: a rendezvous with the
-  // workers costs more than the chunks themselves. With no workers at all,
-  // everything is inline.
-  inline_chunk_threshold_ =
-      n == 1 ? std::numeric_limits<size_t>::max() : std::max<size_t>(1, n / 4);
+  inline_chunk_threshold_ = PoolInlineChunkThreshold(n);
   // Workers are spawned lazily by the first Dispatch (see SpawnWorkers).
 }
 
@@ -45,98 +40,156 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.jobs_dispatched = stats_.jobs_dispatched.load(std::memory_order_relaxed);
+  s.jobs_inline = stats_.jobs_inline.load(std::memory_order_relaxed);
+  s.jobs_overflow = stats_.jobs_overflow.load(std::memory_order_relaxed);
+  s.chunks_caller = stats_.chunks_caller.load(std::memory_order_relaxed);
+  s.chunks_worker = stats_.chunks_worker.load(std::memory_order_relaxed);
+  s.max_live_jobs = stats_.max_live_jobs.load(std::memory_order_relaxed);
+  return s;
+}
+
 void ThreadPool::SpawnWorkers() {
-  // The calling thread participates in every job, so spawn n-1 workers.
+  // Every submitting thread participates in its own job, so n-1 workers
+  // suffice to keep n host threads busy on one big launch.
   workers_.reserve(num_threads_ - 1);
   for (unsigned i = 1; i < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
-  workers_spawned_ = true;
 }
 
-void ThreadPool::RunChunks() {
-  Job& job = job_;
+ThreadPool::Slot* ThreadPool::ClaimSlot() {
+  const size_t start =
+      static_cast<size_t>(claim_hint_.fetch_add(1, std::memory_order_relaxed));
+  for (size_t k = 0; k < kNumSlots; ++k) {
+    Slot& s = slots_[(start + k) % kNumSlots];
+    uint32_t expected = kFree;
+    // Acquire pairs with the previous owner's release store of kFree, so the
+    // slot's fields are quiescent before they are rewritten.
+    if (s.state.compare_exchange_strong(expected, kWriting,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+size_t ThreadPool::RunChunks(Slot& slot) {
+  const size_t num_chunks = slot.num_chunks.load(std::memory_order_relaxed);
+  size_t ran = 0;
   for (;;) {
-    const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.num_chunks) break;
+    const size_t i = slot.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_chunks) break;
     try {
-      job.body(i);
+      slot.body(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.error_mu);
-      if (!job.error) job.error = std::current_exception();
+      std::lock_guard<std::mutex> lock(slot.error_mu);
+      if (!slot.error) slot.error = std::current_exception();
     }
-    // seq_cst pairs with the caller's parked-flag store + done load (Dekker):
-    // either the worker sees the caller parked, or the caller sees the final
+    ++ran;
+    // seq_cst pairs with the owner's parked-flag store + done load (Dekker):
+    // either this thread sees the owner parked, or the owner sees the final
     // done count before sleeping.
-    if (job.done.fetch_add(1, std::memory_order_seq_cst) + 1 ==
-        job.num_chunks) {
-      if (caller_parked_.load(std::memory_order_seq_cst)) {
+    if (slot.done.fetch_add(1, std::memory_order_seq_cst) + 1 == num_chunks) {
+      if (slot.owner_parked.load(std::memory_order_seq_cst)) {
         {
-          std::lock_guard<std::mutex> lock(done_mu_);
+          std::lock_guard<std::mutex> lock(slot.done_mu);
         }
-        done_cv_.notify_all();
+        slot.done_cv.notify_all();
       }
     }
   }
+  return ran;
 }
 
-void ThreadPool::WorkerLoop() {
-  uint64_t last = 0;  // sequence of the newest job this worker has retired
+void ThreadPool::WorkerLoop(unsigned index) {
   for (;;) {
-    // Wait for a job newer than `last`: spin first, then park.
-    uint64_t pub = pub_seq_.load(std::memory_order_acquire);
-    if (pub == last) {
-      for (int spin = 0; spin < kSpinIters && pub == last; ++spin) {
-        CpuRelax();
-        if (shutdown_.load(std::memory_order_relaxed)) return;
-        pub = pub_seq_.load(std::memory_order_acquire);
-      }
-      if (pub == last) {
-        std::unique_lock<std::mutex> lock(mu_);
-        parked_.fetch_add(1, std::memory_order_seq_cst);
-        cv_.wait(lock, [&] {
-          return shutdown_.load(std::memory_order_relaxed) ||
-                 pub_seq_.load(std::memory_order_seq_cst) != last;
-        });
-        parked_.fetch_sub(1, std::memory_order_relaxed);
-        continue;  // re-evaluate from the top
-      }
-    }
     if (shutdown_.load(std::memory_order_relaxed)) return;
 
-    // Register before touching the slot, then confirm the job is still live.
-    // The seq_cst handshake with Dispatch's retire sequence (store done_seq_,
-    // then read active_) guarantees: if the caller saw active_ == 0 and moved
-    // on, this worker sees done_seq_ >= pub and backs out without touching
-    // the (possibly being rewritten) slot.
-    active_.fetch_add(1, std::memory_order_seq_cst);
-    pub = pub_seq_.load(std::memory_order_seq_cst);
-    const uint64_t retired = done_seq_.load(std::memory_order_seq_cst);
-    if (pub == last || retired >= pub) {
-      active_.fetch_sub(1, std::memory_order_release);
-      last = std::max(last, retired);
+    if (live_jobs_.load(std::memory_order_acquire) == 0) {
+      // Idle: spin briefly, then park until a job is published.
+      int spin = 0;
+      while (live_jobs_.load(std::memory_order_acquire) == 0) {
+        if (shutdown_.load(std::memory_order_relaxed)) return;
+        if (++spin >= kSpinIters) {
+          std::unique_lock<std::mutex> lock(mu_);
+          parked_.fetch_add(1, std::memory_order_seq_cst);
+          cv_.wait(lock, [&] {
+            return shutdown_.load(std::memory_order_relaxed) ||
+                   live_jobs_.load(std::memory_order_seq_cst) > 0;
+          });
+          parked_.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        }
+        CpuRelax();
+      }
       continue;
     }
-    last = pub;
-    RunChunks();
-    active_.fetch_sub(1, std::memory_order_release);
+
+    // Scan the table and help every live job. Starting at a per-worker
+    // offset spreads workers across concurrent jobs instead of having them
+    // all pile onto slot 0.
+    size_t ran = 0;
+    for (size_t k = 0; k < kNumSlots; ++k) {
+      Slot& s = slots_[(index + k) % kNumSlots];
+      if (s.state.load(std::memory_order_acquire) != kLive) continue;
+      if (s.next.load(std::memory_order_relaxed) >=
+          s.num_chunks.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      // Membership handshake: register as a visitor, then confirm the job is
+      // still live. If the owner retired the slot in between, it is spinning
+      // on visitors == 0 and this worker must back out without touching the
+      // job fields; if a *new* job was published here meanwhile, helping it
+      // is equally correct (all fields are re-read after the check).
+      s.visitors.fetch_add(1, std::memory_order_seq_cst);
+      if (s.state.load(std::memory_order_seq_cst) == kLive) {
+        ran += RunChunks(s);
+      }
+      s.visitors.fetch_sub(1, std::memory_order_release);
+    }
+    if (ran > 0) {
+      stats_.chunks_worker.fetch_add(ran, std::memory_order_relaxed);
+    } else {
+      // Live jobs exist but every chunk is claimed (tails draining): yield
+      // the core briefly rather than hammering the slot states.
+      CpuRelax();
+    }
   }
 }
 
 void ThreadPool::Dispatch(size_t num_chunks, ChunkFnRef body) {
-  std::lock_guard<std::mutex> launch_lock(launch_mu_);
-  if (!workers_spawned_) SpawnWorkers();
+  std::call_once(spawn_once_, [this] { SpawnWorkers(); });
 
-  job_.body = body;
-  job_.num_chunks = num_chunks;
-  job_.next.store(0, std::memory_order_relaxed);
-  job_.done.store(0, std::memory_order_relaxed);
-  job_.error = nullptr;
-  const uint64_t seq = pub_seq_.load(std::memory_order_relaxed) + 1;
-  pub_seq_.store(seq, std::memory_order_seq_cst);  // publish
+  Slot* claimed = ClaimSlot();
+  if (claimed == nullptr) {
+    // Every slot is busy: more submitters than the table holds. Run the grid
+    // inline — correct (chunks are independent), and it applies natural
+    // backpressure to the over-subscribed submitters.
+    stats_.jobs_overflow.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < num_chunks; ++i) body(i);
+    return;
+  }
+  Slot& s = *claimed;
+  s.body = body;
+  s.num_chunks.store(num_chunks, std::memory_order_relaxed);
+  s.next.store(0, std::memory_order_relaxed);
+  s.done.store(0, std::memory_order_relaxed);
+  s.error = nullptr;
+  s.owner_parked.store(false, std::memory_order_relaxed);
+
+  const uint32_t live = live_jobs_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  uint64_t hi = stats_.max_live_jobs.v.load(std::memory_order_relaxed);
+  while (hi < live && !stats_.max_live_jobs.v.compare_exchange_weak(
+                          hi, live, std::memory_order_relaxed)) {
+  }
+  s.state.store(kLive, std::memory_order_release);  // publish
 
   // Wake workers only if some are actually parked; spinning workers pick the
-  // job up from pub_seq_ without any lock traffic.
+  // job up from live_jobs_ without any lock traffic.
   if (parked_.load(std::memory_order_seq_cst) > 0) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -144,32 +197,37 @@ void ThreadPool::Dispatch(size_t num_chunks, ChunkFnRef body) {
     cv_.notify_all();
   }
 
-  RunChunks();
+  stats_.jobs_dispatched.fetch_add(1, std::memory_order_relaxed);
+  const size_t mine = RunChunks(s);
+  stats_.chunks_caller.fetch_add(mine, std::memory_order_relaxed);
 
   // Wait for workers to drain the tail of the job: spin, then park.
   const auto all_done = [&] {
-    return job_.done.load(std::memory_order_seq_cst) >= job_.num_chunks;
+    return s.done.load(std::memory_order_seq_cst) >= num_chunks;
   };
   if (!all_done()) {
     for (int spin = 0; spin < kSpinIters && !all_done(); ++spin) CpuRelax();
     if (!all_done()) {
-      std::unique_lock<std::mutex> lock(done_mu_);
-      caller_parked_.store(true, std::memory_order_seq_cst);
-      done_cv_.wait(lock, all_done);
-      caller_parked_.store(false, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(s.done_mu);
+      s.owner_parked.store(true, std::memory_order_seq_cst);
+      s.done_cv.wait(lock, all_done);
+      s.owner_parked.store(false, std::memory_order_relaxed);
     }
   }
 
-  // Retire the job, then wait until no worker is left inside the slot so it
-  // can be rewritten by the next Dispatch.
-  done_seq_.store(seq, std::memory_order_seq_cst);
-  while (active_.load(std::memory_order_seq_cst) != 0) CpuRelax();
+  // Retire: bar further workers from entering, then wait until none is left
+  // inside the slot so its fields (including the stack-owned body) can be
+  // reused by the next claimant.
+  s.state.store(kDraining, std::memory_order_seq_cst);
+  while (s.visitors.load(std::memory_order_seq_cst) != 0) CpuRelax();
 
-  if (job_.error) {
-    std::exception_ptr error = job_.error;
-    job_.error = nullptr;
-    std::rethrow_exception(error);
-  }
+  std::exception_ptr error = s.error;
+  s.error = nullptr;
+  s.body = ChunkFnRef();
+  s.state.store(kFree, std::memory_order_release);
+  live_jobs_.fetch_sub(1, std::memory_order_release);
+
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace gpusim

@@ -1,4 +1,4 @@
-// Minimal work-sharing thread pool used to execute simulated kernel grids.
+// Concurrent work-sharing thread pool executing simulated kernel grids.
 //
 // The pool maps thread blocks of a launch onto host worker threads. On a
 // single-core host it degenerates to inline execution, which is still a
@@ -10,13 +10,23 @@
 //  * ParallelFor is a template taking any callable; the dispatch path wraps
 //    it in a non-owning ChunkFnRef (two raw pointers) instead of a
 //    heap-allocating std::function.
-//  * Job arrival is lock-free: the caller writes the job slot and publishes
-//    it with one release increment of a sequence counter. Workers spin
-//    briefly on the counter between jobs and only park on the condition
-//    variable after the spin budget runs out; the caller in turn only takes
-//    the mutex + notifies when the parked-worker count is nonzero.
+//  * Multi-submitter: jobs live in a fixed table of cache-line-aligned
+//    slots. Any host thread claims a free slot with one CAS, fills it, and
+//    publishes it with a release store — no global launch lock, so
+//    concurrent streams dispatch kernels in parallel. If every slot is
+//    taken the caller runs its grid inline, which doubles as backpressure.
+//  * Workers scan the slot table and help every live job, so a single big
+//    launch still fans out across all workers while independent launches
+//    from different streams overlap. Between jobs workers spin briefly on
+//    the live-job count and only park on the condition variable after the
+//    spin budget runs out; a submitter only takes the mutex + notifies when
+//    the parked-worker count is nonzero.
+//  * Errors are per job: an exception thrown by a chunk body is captured in
+//    the job's slot and rethrown on that job's submitting thread only;
+//    unrelated concurrent jobs are unaffected.
 //  * Grids that are small relative to the worker count run inline on the
-//    calling thread, skipping the rendezvous entirely.
+//    calling thread, skipping the rendezvous entirely (cutover shared with
+//    kernel.h via launch_config.h).
 #ifndef GPUSIM_THREAD_POOL_H_
 #define GPUSIM_THREAD_POOL_H_
 
@@ -29,6 +39,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "gpusim/launch_config.h"
 
 namespace gpusim {
 
@@ -53,7 +65,18 @@ class ChunkFnRef {
   void (*fn_)(void*, size_t) = nullptr;
 };
 
-/// Fixed-size pool executing chunked parallel-for jobs.
+/// Plain-value snapshot of pool activity (see ThreadPool::stats()).
+struct ThreadPoolStats {
+  uint64_t jobs_dispatched = 0;  ///< jobs that went through the slot table
+  uint64_t jobs_inline = 0;      ///< small grids run on the caller
+  uint64_t jobs_overflow = 0;    ///< slot table full -> ran inline
+  uint64_t chunks_caller = 0;    ///< chunks executed by submitting threads
+  uint64_t chunks_worker = 0;    ///< chunks executed by pool workers
+  uint64_t max_live_jobs = 0;    ///< high-water mark of concurrent jobs
+};
+
+/// Fixed-size pool executing chunked parallel-for jobs from any number of
+/// concurrent submitting threads.
 class ThreadPool {
  public:
   /// @param num_threads 0 means hardware concurrency. Worker threads are
@@ -67,14 +90,17 @@ class ThreadPool {
 
   /// Runs body(chunk_index) for chunk_index in [0, num_chunks), distributing
   /// chunks across the pool's workers plus the calling thread. Blocks until
-  /// all chunks are done. Exceptions thrown by the body are rethrown on the
-  /// calling thread (first one wins).
+  /// all chunks are done. Safe to call from any number of threads
+  /// concurrently, including from inside a chunk body (nested dispatch).
+  /// Exceptions thrown by the body are rethrown on the calling thread
+  /// (first one wins, per job).
   template <typename Body>
   void ParallelFor(size_t num_chunks, Body&& body) {
     if (num_chunks == 0) return;
     if (num_chunks <= inline_chunk_threshold_) {
       // Inline fast path: single-core hosts and grids too small to amortize
       // a worker rendezvous.
+      stats_.jobs_inline.fetch_add(1, std::memory_order_relaxed);
       for (size_t i = 0; i < num_chunks; ++i) body(i);
       return;
     }
@@ -84,51 +110,76 @@ class ThreadPool {
 
   unsigned num_threads() const { return num_threads_; }
 
+  /// Snapshot of the pool's activity counters (relaxed reads).
+  ThreadPoolStats stats() const;
+
+  /// Number of job slots. More concurrent submitters than this fall back to
+  /// inline execution of their own grid (counted as jobs_overflow).
+  static constexpr size_t kNumSlots = 32;
+
  private:
-  /// The one in-flight job. A single slot suffices: Dispatch serializes
-  /// callers and does not return until the job is done *and* no worker is
-  /// still inside RunChunks, so the slot is quiescent before reuse.
-  struct Job {
+  /// Slot lifecycle, all transitions on `state`:
+  ///   kFree -(submitter CAS)-> kWriting -(release store)-> kLive
+  ///   kLive -(submitter, job complete)-> kDraining -(workers out)-> kFree
+  /// Workers enter a slot with the two-step membership handshake
+  /// (visitors++, then re-check state seq_cst) so a submitter that observed
+  /// visitors == 0 in kDraining can recycle the slot knowing no worker will
+  /// touch its fields.
+  enum SlotState : uint32_t { kFree = 0, kWriting = 1, kLive = 2, kDraining = 3 };
+
+  struct alignas(64) Slot {
+    std::atomic<uint32_t> state{kFree};
+    std::atomic<unsigned> visitors{0};  ///< workers inside RunChunks
     ChunkFnRef body;
-    size_t num_chunks = 0;
+    /// Atomic because the workers' cheap pre-filter (next >= num_chunks)
+    /// reads it outside the visitor handshake, racing benignly with the
+    /// next owner's rewrite.
+    std::atomic<size_t> num_chunks{0};
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::exception_ptr error;
     std::mutex error_mu;
+    /// Submitter parking while workers drain the tail of the job.
+    std::atomic<bool> owner_parked{false};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  /// One cache-line-padded relaxed counter (see ThreadPoolStats).
+  struct alignas(64) StatCell {
+    std::atomic<uint64_t> v{0};
+    void fetch_add(uint64_t d, std::memory_order o) { v.fetch_add(d, o); }
+    uint64_t load(std::memory_order o) const { return v.load(o); }
+  };
+  struct StatCells {
+    StatCell jobs_dispatched, jobs_inline, jobs_overflow;
+    StatCell chunks_caller, chunks_worker, max_live_jobs;
   };
 
   void Dispatch(size_t num_chunks, ChunkFnRef body);
-  void RunChunks();
-  void WorkerLoop();
+  Slot* ClaimSlot();
+  size_t RunChunks(Slot& slot);
+  void WorkerLoop(unsigned index);
   void SpawnWorkers();
 
   unsigned num_threads_ = 1;
   size_t inline_chunk_threshold_ = 1;
   std::vector<std::thread> workers_;
-  bool workers_spawned_ = false;
+  std::once_flag spawn_once_;
 
-  Job job_;
-  /// Publication counter: incremented (release) once per dispatched job.
-  std::atomic<uint64_t> pub_seq_{0};
-  /// Retirement counter: set to the job's sequence once all chunks ran.
-  /// Paired store/load fences with `active_` form the Dekker handshake that
-  /// keeps late-arriving workers out of a retired slot.
-  std::atomic<uint64_t> done_seq_{0};
-  /// Workers currently inside RunChunks.
-  std::atomic<unsigned> active_{0};
+  Slot slots_[kNumSlots];
+  /// Number of published, unretired jobs; the workers' wait condition.
+  std::atomic<uint32_t> live_jobs_{0};
+  /// Rotating start index for slot claims, spreading submitters over slots.
+  std::atomic<uint64_t> claim_hint_{0};
   std::atomic<bool> shutdown_{false};
 
-  std::mutex launch_mu_;  ///< serializes concurrent Dispatch callers
-
-  // Worker parking. parked_ is only written under mu_.
+  // Worker parking. parked_ is only written around waits on cv_.
   std::mutex mu_;
   std::condition_variable cv_;
   std::atomic<unsigned> parked_{0};
 
-  // Caller parking while workers drain the tail of a job.
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  std::atomic<bool> caller_parked_{false};
+  mutable StatCells stats_;
 };
 
 }  // namespace gpusim

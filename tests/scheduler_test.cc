@@ -1,0 +1,250 @@
+// QueryScheduler tests: admission of N genuinely concurrent clients,
+// bounded-queue backpressure, error isolation between clients, and the
+// serial-vs-concurrent golden check — the same queries produce bit-identical
+// per-stream simulated time at any client count and interleaving. Built into
+// the concurrency_tests binary, which CI also runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "backends/backends.h"
+#include "core/registry.h"
+#include "core/scheduler.h"
+#include "gpusim/device.h"
+#include "storage/device_column.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace core {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterBuiltinBackends(); }
+
+  SchedulerOptions Opts(unsigned clients, size_t capacity = 16,
+                        const std::string& backend = backends::kHandwritten) {
+    SchedulerOptions o;
+    o.backend_name = backend;
+    o.num_clients = clients;
+    o.queue_capacity = capacity;
+    return o;
+  }
+};
+
+TEST_F(SchedulerTest, RunsEverySubmittedQueryOnceAndRecordsIt) {
+  QueryScheduler scheduler(Opts(3));
+  std::atomic<int> runs{0};
+  const int kQueries = 24;
+  for (int i = 0; i < kQueries; ++i) {
+    scheduler.Submit("query-" + std::to_string(i),
+                     [&](Backend&) { runs.fetch_add(1); });
+  }
+  scheduler.Drain();
+  EXPECT_EQ(runs.load(), kQueries);
+
+  const auto records = scheduler.Records();
+  ASSERT_EQ(records.size(), static_cast<size_t>(kQueries));
+  for (int i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(records[i].id, static_cast<uint64_t>(i));
+    EXPECT_EQ(records[i].label, "query-" + std::to_string(i));
+    EXPECT_TRUE(records[i].ok);
+    EXPECT_LT(records[i].client, 3u);
+  }
+  const auto report = scheduler.Report();
+  EXPECT_EQ(report.completed, static_cast<size_t>(kQueries));
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_GT(report.queries_per_sec, 0.0);
+  EXPECT_EQ(report.client_simulated_ns.size(), 3u);
+}
+
+TEST_F(SchedulerTest, AdmitsNClientsRunningConcurrently) {
+  // N rendezvous queries that each wait until all N are running can only
+  // complete if the scheduler truly admits N clients at once.
+  const unsigned kClients = 4;
+  QueryScheduler scheduler(Opts(kClients));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  unsigned arrived = 0;
+  for (unsigned i = 0; i < kClients; ++i) {
+    scheduler.Submit("rendezvous", [&](Backend&) {
+      std::unique_lock<std::mutex> lock(mu);
+      ++arrived;
+      cv.notify_all();
+      cv.wait(lock, [&] { return arrived == kClients; });
+    });
+  }
+  scheduler.Drain();
+
+  const auto records = scheduler.Records();
+  ASSERT_EQ(records.size(), kClients);
+  std::vector<bool> used(kClients, false);
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.ok);
+    used[r.client] = true;
+  }
+  for (unsigned i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(used[i]) << "client " << i << " never ran a query";
+  }
+}
+
+TEST_F(SchedulerTest, BoundedQueueAppliesBackpressure) {
+  QueryScheduler scheduler(Opts(1, /*capacity=*/2));
+
+  // Block the only client, then fill the queue to its bound.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool started = false;
+  scheduler.Submit("blocker", [&](Backend&) {
+    std::unique_lock<std::mutex> lock(mu);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  EXPECT_TRUE(scheduler.TrySubmit("q1", [](Backend&) {}));
+  EXPECT_TRUE(scheduler.TrySubmit("q2", [](Backend&) {}));
+  // Queue is at capacity and the client is busy: admission must refuse.
+  EXPECT_FALSE(scheduler.TrySubmit("q3", [](Backend&) {}));
+  EXPECT_EQ(scheduler.queue_depth(), 2u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+  // Capacity frees up once the backlog drains.
+  EXPECT_TRUE(scheduler.TrySubmit("q4", [](Backend&) {}));
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.Records().size(), 4u);
+}
+
+TEST_F(SchedulerTest, AFailingQueryIsIsolatedFromOtherClients) {
+  QueryScheduler scheduler(Opts(3));
+  const int kQueries = 30;
+  std::atomic<int> good_runs{0};
+  for (int i = 0; i < kQueries; ++i) {
+    if (i % 5 == 0) {
+      scheduler.Submit("bad-" + std::to_string(i), [](Backend&) -> void {
+        throw std::runtime_error("injected failure");
+      });
+    } else {
+      scheduler.Submit("good-" + std::to_string(i),
+                       [&](Backend&) { good_runs.fetch_add(1); });
+    }
+  }
+  scheduler.Drain();
+
+  EXPECT_EQ(good_runs.load(), kQueries - kQueries / 5);
+  const auto report = scheduler.Report();
+  EXPECT_EQ(report.completed, static_cast<size_t>(kQueries));
+  EXPECT_EQ(report.failed, static_cast<size_t>(kQueries / 5));
+  for (const auto& r : scheduler.Records()) {
+    if (r.label.rfind("bad-", 0) == 0) {
+      EXPECT_FALSE(r.ok);
+      EXPECT_EQ(r.error, "injected failure");
+    } else {
+      EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+    }
+  }
+  // The scheduler stays serviceable after failures.
+  scheduler.Submit("after", [](Backend&) {});
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.Records().size(), static_cast<size_t>(kQueries) + 1);
+}
+
+TEST_F(SchedulerTest, RefusesMultiClientUseOfConcurrencyUnsafeBackends) {
+  // ArrayFire's simulation routes all work through one global JIT stream.
+  EXPECT_THROW(QueryScheduler scheduler(
+                   Opts(2, 16, backends::kArrayFire)),
+               std::invalid_argument);
+  // Single-client use is fine.
+  QueryScheduler scheduler(Opts(1, 16, backends::kArrayFire));
+  scheduler.Submit("noop", [](Backend&) {});
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.Report().failed, 0u);
+}
+
+TEST_F(SchedulerTest, UnknownBackendThrowsOnConstruction) {
+  EXPECT_THROW(QueryScheduler scheduler(Opts(1, 16, "NoSuchLibrary")),
+               std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// The golden invariant: per-query simulated time is independent of host
+// scheduling. Running the same TPC-H queries serially (1 client) and
+// concurrently (4 clients) must charge bit-identical simulated ns to each
+// query, for every backend whose instances are independent.
+// ---------------------------------------------------------------------------
+
+class SchedulerTimingGoldenTest : public SchedulerTest {};
+
+TEST_F(SchedulerTimingGoldenTest, SerialAndConcurrentSimulatedTimeIdentical) {
+  tpch::Config config;
+  config.scale_factor = 0.002;  // tiny: keeps the TSan run fast
+  const storage::Table lineitem = tpch::GenerateLineitem(config);
+  const storage::Table part = tpch::GeneratePart(config);
+  gpusim::Stream setup(gpusim::Device::Default(), gpusim::ApiProfile::Cuda());
+  const storage::DeviceTable dev_lineitem =
+      storage::UploadTable(setup, lineitem);
+  const storage::DeviceTable dev_part = storage::UploadTable(setup, part);
+
+  const auto submit_mix = [&](QueryScheduler& scheduler, int copies) {
+    for (int c = 0; c < copies; ++c) {
+      scheduler.Submit("q1", [&](Backend& b) { tpch::RunQ1(b, dev_lineitem); });
+      scheduler.Submit("q6", [&](Backend& b) { tpch::RunQ6(b, dev_lineitem); });
+      scheduler.Submit("q14", [&](Backend& b) {
+        tpch::RunQ14(b, dev_part, dev_lineitem);
+      });
+    }
+  };
+
+  // Thrust and Handwritten charge no per-instance JIT warmup, so every
+  // instance of a query kind must cost identical simulated ns.
+  for (const char* backend : {backends::kHandwritten, backends::kThrust}) {
+    std::map<std::string, uint64_t> golden;
+    {
+      QueryScheduler serial(Opts(1, 16, backend));
+      submit_mix(serial, 2);
+      serial.Drain();
+      for (const auto& r : serial.Records()) {
+        ASSERT_TRUE(r.ok) << backend << "/" << r.label << ": " << r.error;
+        const auto [it, inserted] = golden.emplace(r.label, r.simulated_ns);
+        EXPECT_EQ(it->second, r.simulated_ns)
+            << backend << ": repeated serial runs of " << r.label
+            << " disagree" << (inserted ? " (impossible)" : "");
+      }
+    }
+    {
+      QueryScheduler concurrent(Opts(4, 16, backend));
+      submit_mix(concurrent, 4);
+      concurrent.Drain();
+      const auto records = concurrent.Records();
+      ASSERT_EQ(records.size(), 12u);
+      for (const auto& r : records) {
+        ASSERT_TRUE(r.ok) << backend << "/" << r.label << ": " << r.error;
+        EXPECT_EQ(golden.at(r.label), r.simulated_ns)
+            << backend << ": " << r.label
+            << " charged different simulated time under concurrency";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "gpusim/algorithms.h"
@@ -79,6 +80,29 @@ TEST(TimingInvarianceTest, TrimmedPoolDoesNotChangeSimulatedTime) {
   device.TrimPool();
   const uint64_t t2 = RunPrimitiveSequence(device);
   EXPECT_EQ(t1, t2);
+}
+
+TEST(TimingInvarianceTest, SimulatedTimeIdenticalSerialAndConcurrentStreams) {
+  // The multi-submitter thread pool lets several streams execute kernels on
+  // the device at once, but each stream's simulated timeline must be a pure
+  // function of its own command sequence: the golden value from a serial
+  // run must reappear bit-identically on every concurrently-running stream,
+  // under any host interleaving.
+  Device device(DeviceProperties(), /*host_threads=*/4);
+  const uint64_t golden = RunPrimitiveSequence(device);
+
+  const unsigned kStreams = 4;
+  std::vector<uint64_t> concurrent(kStreams, 0);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kStreams; ++t) {
+    threads.emplace_back(
+        [&, t] { concurrent[t] = RunPrimitiveSequence(device); });
+  }
+  for (auto& th : threads) th.join();
+
+  for (unsigned t = 0; t < kStreams; ++t) {
+    EXPECT_EQ(concurrent[t], golden) << "stream on host thread " << t;
+  }
 }
 
 }  // namespace
