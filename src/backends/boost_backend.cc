@@ -29,7 +29,7 @@ using core::SupportLevel;
 using storage::DataType;
 using storage::DeviceColumn;
 
-const char* CompareOpName(CompareOp op) {
+const char* CmpSuffix(CompareOp op) {
   switch (op) {
     case CompareOp::kLt: return "lt";
     case CompareOp::kLe: return "le";
@@ -110,7 +110,7 @@ class BoostComputeBackend : public core::Backend {
     gpusim::DeviceArray<uint32_t> flags(n, device());
     BACKENDS_DISPATCH(a.type(), {
       auto fn = bcsim::make_function(
-          std::string("cmp_cols_") + CompareOpName(op),
+          std::string("cmp_cols_") + CmpSuffix(op),
           [op](T x, T y) { return ApplyCompare(op, x, y) ? 1u : 0u; });
       bcsim::transform(a.data<T>(), a.data<T>() + n, b.data<T>(),
                        flags.data(), fn, queue_);
@@ -408,7 +408,7 @@ class BoostComputeBackend : public core::Backend {
       const T lit = PredLiteral<T>(pred);
       const CompareOp op = pred.op;
       auto fn = bcsim::make_function(
-          std::string("pred_") + CompareOpName(op),
+          std::string("pred_") + CmpSuffix(op),
           [=](T v) { return ApplyCompare(op, v, lit) ? 1u : 0u; });
       bcsim::transform(data, data + n, flags, fn, queue_);
     });

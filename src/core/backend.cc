@@ -34,4 +34,26 @@ const char* DbOperatorName(DbOperator op) {
   return "?";
 }
 
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum: return "sum";
+    case AggOp::kCount: return "count";
+    case AggOp::kMin: return "min";
+    case AggOp::kMax: return "max";
+  }
+  return "?";
+}
+
 }  // namespace core

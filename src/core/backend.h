@@ -71,6 +71,10 @@ enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
 /// Aggregation functions for reductions and grouped aggregation.
 enum class AggOp { kSum, kCount, kMin, kMax };
 
+/// Display symbols ("<=", "sum", ...) for EXPLAIN-style output.
+const char* CompareOpName(CompareOp op);
+const char* AggOpName(AggOp op);
+
 /// A predicate `column <op> value` on a named column. The literal carries
 /// both integral and floating representations; backends pick per column type.
 struct Predicate {

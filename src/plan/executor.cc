@@ -1,0 +1,395 @@
+#include "plan/executor.h"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "backends/common.h"
+#include "core/registry.h"
+#include "gpusim/algorithms.h"
+#include "gpusim/kernel.h"
+#include "handwritten/handwritten.h"
+
+namespace plan {
+namespace {
+
+using storage::DataType;
+using storage::DeviceColumn;
+
+/// POD predicate evaluator for the fused filter+sum kernel (mirrors the
+/// handwritten backend's).
+struct PredEval {
+  DataType type = DataType::kInt32;
+  const void* data = nullptr;
+  core::CompareOp op = core::CompareOp::kLt;
+  double lit_f = 0.0;
+  int64_t lit_i = 0;
+
+  bool operator()(size_t row) const {
+    switch (type) {
+      case DataType::kInt32:
+        return backends::ApplyCompare(
+            op,
+            static_cast<int64_t>(static_cast<const int32_t*>(data)[row]),
+            lit_i);
+      case DataType::kInt64:
+        return backends::ApplyCompare(
+            op, static_cast<const int64_t*>(data)[row], lit_i);
+      case DataType::kFloat64:
+        return backends::ApplyCompare(
+            op, static_cast<const double*>(data)[row], lit_f);
+      case DataType::kFloat32:
+        return backends::ApplyCompare(
+            op, static_cast<double>(static_cast<const float*>(data)[row]),
+            lit_f);
+    }
+    return false;
+  }
+};
+
+class Executor {
+ public:
+  /// `pinned`: run everything there. Null: hybrid mode, backends come from
+  /// the registry per the plan's dispatch.
+  Executor(const PhysicalPlan& phys, core::Backend* pinned)
+      : phys_(phys), pinned_(pinned) {
+    result_.values.resize(phys.plan.nodes.size());
+  }
+
+  ExecutionResult Run() {
+    const Plan& p = phys_.plan;
+    for (size_t i = 0; i < p.nodes.size(); ++i) {
+      const PlanNode& node = p.nodes[i];
+      if (node.dead) continue;
+      NodeValue& value = result_.values[i];
+      if (node.kind == NodeKind::kScan) {
+        value.computed = true;
+        value.out_rows = node.scan_col ? node.scan_col->size() : 0;
+        continue;
+      }
+      if (ShouldSkip(node)) {
+        value.skipped = true;
+        continue;
+      }
+      core::Backend& backend = BackendFor(i);
+      gpusim::Stream& stream = backend.stream();
+      const uint64_t t0 = stream.now_ns();
+      value.boundary_ns = ChargeBoundaries(i, node, backend);
+      Execute(i, node, backend, value);
+      value.computed = true;
+      value.measured_ns = stream.now_ns() - t0;
+      result_.total_ns += value.measured_ns;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  // -- Input resolution -----------------------------------------------------
+
+  const NodeValue& ValueOf(int id) const { return result_.values[id]; }
+
+  const DeviceColumn& Col(NodeInput in) const {
+    const PlanNode& n = phys_.plan.nodes[in.node];
+    const NodeValue& v = ValueOf(in.node);
+    switch (in.part) {
+      case Part::kValue:
+        return n.kind == NodeKind::kScan ? *n.scan_col : v.column;
+      case Part::kRowIds: return v.sel.row_ids;
+      case Part::kLeftRows: return v.join.left_rows;
+      case Part::kRightRows: return v.join.right_rows;
+      case Part::kGroupKeys: return v.groups.keys;
+      case Part::kGroupAggregate: return v.groups.aggregate;
+      case Part::kPairFirst: return v.pair.first;
+      case Part::kPairSecond: return v.pair.second;
+    }
+    throw std::logic_error("plan: bad NodeInput part");
+  }
+
+  // -- Guard / skip handling ------------------------------------------------
+
+  bool ShouldSkip(const PlanNode& node) const {
+    for (const NodeInput& in : NodeInputs(node)) {
+      if (in.node >= 0 && ValueOf(in.node).skipped) return true;
+    }
+    if (node.guard < 0) return false;
+    const NodeValue& g = ValueOf(node.guard);
+    if (g.skipped) return true;
+    switch (phys_.plan.nodes[node.guard].kind) {
+      case NodeKind::kGroupBy:
+        return g.groups.num_groups == 0;
+      case NodeKind::kReduce:
+      case NodeKind::kFusedFilterSum:
+        return g.scalar == 0.0;
+      default:
+        return !g.computed;
+    }
+  }
+
+  // -- Backend resolution & boundary pricing --------------------------------
+
+  core::Backend& BackendFor(size_t i) {
+    if (pinned_ != nullptr) return *pinned_;
+    const std::string& name = phys_.node_backend[i];
+    if (name.empty()) {
+      throw std::logic_error("plan: node " + std::to_string(i) +
+                             " has no backend assignment");
+    }
+    auto it = backends_.find(name);
+    if (it == backends_.end()) {
+      it = backends_
+               .emplace(name, core::BackendRegistry::Instance().Create(name))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// In hybrid mode, charges a device-to-device copy on `backend`'s stream
+  /// for every input materialized by a differently-assigned backend.
+  uint64_t ChargeBoundaries(size_t i, const PlanNode& node,
+                            core::Backend& backend) {
+    if (pinned_ != nullptr) return 0;
+    gpusim::Stream& stream = backend.stream();
+    const uint64_t t0 = stream.now_ns();
+    for (const NodeInput& in : NodeInputs(node)) {
+      if (in.node < 0) continue;
+      if (phys_.plan.nodes[in.node].kind == NodeKind::kScan) continue;
+      const std::string& producer = phys_.node_backend[in.node];
+      if (producer.empty() || producer == phys_.node_backend[i]) continue;
+      stream.ChargeTransfer(gpusim::Stream::TransferKind::kDeviceToDevice,
+                            Col(in).byte_size());
+    }
+    return stream.now_ns() - t0;
+  }
+
+  // -- Node execution -------------------------------------------------------
+
+  void Execute(size_t i, const PlanNode& node, core::Backend& backend,
+               NodeValue& value) {
+    switch (node.kind) {
+      case NodeKind::kScan:
+        break;
+      case NodeKind::kFilter: {
+        if (node.filter_source >= 0) {
+          throw std::logic_error(
+              "plan: unmerged filter chain at node " + std::to_string(i) +
+              " — run Optimize() before executing");
+        }
+        if (node.preds.size() == 1 && node.conjunctive) {
+          value.sel = backend.Select(Col(node.pred_cols[0]), node.preds[0]);
+        } else {
+          std::vector<const DeviceColumn*> cols;
+          cols.reserve(node.pred_cols.size());
+          for (const NodeInput& pc : node.pred_cols) cols.push_back(&Col(pc));
+          value.sel = node.conjunctive
+                          ? backend.SelectConjunctive(cols, node.preds)
+                          : backend.SelectDisjunctive(cols, node.preds);
+        }
+        value.out_rows = value.sel.count;
+        break;
+      }
+      case NodeKind::kFilterCompare:
+        value.sel = backend.SelectCompareColumns(Col(node.cmp_lhs),
+                                                 node.cmp_op,
+                                                 Col(node.cmp_rhs));
+        value.out_rows = value.sel.count;
+        break;
+      case NodeKind::kGather:
+        value.column =
+            backend.Gather(Col(node.gather_src), Col(node.gather_indices));
+        value.out_rows = value.column.size();
+        break;
+      case NodeKind::kMap:
+        switch (node.map_op) {
+          case MapOp::kMul:
+            value.column = backend.Product(Col(node.map_a), Col(node.map_b));
+            break;
+          case MapOp::kAddScalar:
+            value.column = backend.AddScalar(Col(node.map_a), node.alpha);
+            break;
+          case MapOp::kSubFromScalar:
+            value.column =
+                backend.SubtractFromScalar(node.alpha, Col(node.map_a));
+            break;
+        }
+        value.out_rows = value.column.size();
+        break;
+      case NodeKind::kJoin: {
+        const DeviceColumn& build = Col(node.join_build);
+        const DeviceColumn& probe = Col(node.join_probe);
+        JoinAlgo algo = node.join_algo;
+        if (algo == JoinAlgo::kAuto) {
+          algo = backend.Realization(core::DbOperator::kHashJoin).level !=
+                         core::SupportLevel::kNone
+                     ? JoinAlgo::kHash
+                     : JoinAlgo::kNestedLoops;
+        }
+        value.join = algo == JoinAlgo::kHash
+                         ? backend.HashJoin(build, probe)
+                         : backend.NestedLoopsJoin(build, probe);
+        value.out_rows = value.join.count;
+        break;
+      }
+      case NodeKind::kUnique:
+        value.column = backend.Unique(Col(node.unary_in));
+        value.out_rows = value.column.size();
+        break;
+      case NodeKind::kGroupBy:
+        value.groups = backend.GroupByAggregate(Col(node.group_keys),
+                                                Col(node.group_values),
+                                                node.agg);
+        value.out_rows = value.groups.num_groups;
+        break;
+      case NodeKind::kReduce:
+        value.scalar = backend.ReduceColumn(Col(node.unary_in), node.agg);
+        value.out_rows = 1;
+        break;
+      case NodeKind::kSort:
+        value.column = backend.Sort(Col(node.unary_in));
+        value.out_rows = value.column.size();
+        break;
+      case NodeKind::kSortByKey:
+        value.pair =
+            backend.SortByKey(Col(node.sort_keys), Col(node.sort_values));
+        value.out_rows = value.pair.first.size();
+        break;
+      case NodeKind::kFetchGroups: {
+        // Same download order as the hand-coded queries: keys, then
+        // aggregate.
+        const core::GroupByResult& g = ValueOf(node.fetch_from.node).groups;
+        gpusim::Stream& stream = backend.stream();
+        const storage::Column keys = g.keys.ToHost(stream);
+        const storage::Column agg = g.aggregate.ToHost(stream);
+        value.host_keys = keys.values<int32_t>();
+        if (g.aggregate.type() == DataType::kInt64) {
+          value.host_vals_i = agg.values<int64_t>();
+        } else {
+          value.host_vals_f = agg.values<double>();
+        }
+        value.out_rows = g.num_groups;
+        break;
+      }
+      case NodeKind::kFetchPair: {
+        const auto& pr = ValueOf(node.fetch_from.node).pair;
+        gpusim::Stream& stream = backend.stream();
+        value.host_first = pr.first.ToHost(stream).values<double>();
+        value.host_second = pr.second.ToHost(stream).values<int32_t>();
+        value.out_rows = value.host_first.size();
+        break;
+      }
+      case NodeKind::kFusedMap:
+        ExecuteFusedMap(node, backend.stream(), value);
+        break;
+      case NodeKind::kFusedFilterSum:
+        ExecuteFusedFilterSum(node, backend.stream(), value);
+        break;
+    }
+  }
+
+  void ExecuteFusedMap(const PlanNode& node, gpusim::Stream& stream,
+                       NodeValue& value) {
+    const DeviceColumn& a = Col(node.map_a);
+    const DeviceColumn& b = Col(node.map_b);
+    const size_t n = a.size();
+    if (b.size() != n) {
+      throw std::logic_error("plan: fused-map input lengths differ");
+    }
+    DeviceColumn out(DataType::kFloat64, n, stream.device());
+    const double* pa = a.data<double>();
+    const double* pb = b.data<double>();
+    double* po = out.data<double>();
+    const double alpha = node.alpha;
+    const bool sub = node.fused_inner == MapOp::kSubFromScalar;
+    gpusim::KernelStats stats;
+    stats.name = "plan::fused_map";
+    stats.bytes_read = 2 * n * sizeof(double);
+    stats.bytes_written = n * sizeof(double);
+    stats.ops = 2 * n;
+    gpusim::ParallelFor(stream, n, stats, [=](size_t i) {
+      po[i] = pa[i] * (sub ? (alpha - pb[i]) : (pb[i] + alpha));
+    });
+    value.column = std::move(out);
+    value.out_rows = n;
+  }
+
+  void ExecuteFusedFilterSum(const PlanNode& node, gpusim::Stream& stream,
+                             NodeValue& value) {
+    const size_t n = Col(node.pred_cols[0]).size();
+    std::vector<PredEval> evals;
+    std::set<const void*> buffers;
+    uint64_t bytes_per_row = 0;
+    auto account = [&](const DeviceColumn& c) {
+      if (buffers.insert(c.raw_data()).second) {
+        bytes_per_row += storage::DataTypeSize(c.type());
+      }
+    };
+    for (size_t k = 0; k < node.pred_cols.size(); ++k) {
+      const DeviceColumn& c = Col(node.pred_cols[k]);
+      if (c.size() != n) {
+        throw std::logic_error("plan: fused filter-sum domains differ");
+      }
+      account(c);
+      PredEval e;
+      e.type = c.type();
+      e.data = c.raw_data();
+      e.op = node.preds[k].op;
+      e.lit_f = node.preds[k].value_f;
+      e.lit_i = node.preds[k].value_i;
+      evals.push_back(e);
+    }
+    const DeviceColumn& va = Col(node.fused_value_a);
+    if (va.size() != n) {
+      throw std::logic_error("plan: fused filter-sum value length differs");
+    }
+    account(va);
+    const double* pa = va.data<double>();
+    const double* pb = nullptr;
+    if (node.fused_has_b) {
+      const DeviceColumn& vb = Col(node.fused_value_b);
+      if (vb.size() != n) {
+        throw std::logic_error("plan: fused filter-sum value length differs");
+      }
+      account(vb);
+      pb = vb.data<double>();
+    }
+    const bool conj = node.conjunctive;
+    const std::vector<PredEval>* pe = &evals;
+    auto pred = [pe, conj](size_t i) {
+      for (const PredEval& e : *pe) {
+        const bool ok = e(i);
+        if (conj && !ok) return false;
+        if (!conj && ok) return true;
+      }
+      return conj;
+    };
+    value.scalar = handwritten::FusedFilterSum<double>(
+        stream, n,
+        pred,
+        [=](size_t i) { return pb ? pa[i] * pb[i] : pa[i]; },
+        bytes_per_row);
+    value.out_rows = 1;
+  }
+
+  const PhysicalPlan& phys_;
+  core::Backend* pinned_;
+  std::map<std::string, std::unique_ptr<core::Backend>> backends_;
+  ExecutionResult result_;
+};
+
+}  // namespace
+
+ExecutionResult RunPinned(const PhysicalPlan& plan, core::Backend& backend) {
+  return Executor(plan, &backend).Run();
+}
+
+ExecutionResult RunHybrid(const PhysicalPlan& plan) {
+  return Executor(plan, nullptr).Run();
+}
+
+core::QueryFn MakePlanQuery(std::shared_ptr<const PhysicalPlan> plan) {
+  return [plan = std::move(plan)](core::Backend& backend) {
+    RunPinned(*plan, backend);
+  };
+}
+
+}  // namespace plan

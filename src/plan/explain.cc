@@ -1,0 +1,74 @@
+#include "plan/explain.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace plan {
+namespace {
+
+const char* AlgoName(JoinAlgo algo) {
+  switch (algo) {
+    case JoinAlgo::kAuto: return "auto";
+    case JoinAlgo::kNestedLoops: return "nested-loops";
+    case JoinAlgo::kHash: return "hash";
+  }
+  return "?";
+}
+
+std::string NodeTitle(const PlanNode& n) {
+  std::string title = NodeKindName(n.kind);
+  if (n.kind == NodeKind::kJoin) {
+    title += std::string("[") + AlgoName(n.join_algo) + "]";
+  }
+  if (!n.label.empty()) title += " " + n.label;
+  return title;
+}
+
+std::string Render(const PhysicalPlan& phys, const ExecutionResult* result) {
+  std::ostringstream os;
+  os << (phys.hybrid ? "hybrid plan" : "pinned plan") << " ("
+     << phys.plan.nodes.size() << " nodes)\n";
+  os << std::left << std::setw(4) << "id" << std::setw(44) << "operator"
+     << std::setw(15) << "backend" << std::right << std::setw(8) << "rows"
+     << std::setw(13) << "est_ns" << std::setw(12) << "boundary";
+  if (result != nullptr) os << std::setw(13) << "measured_ns";
+  os << "\n";
+  uint64_t est_total = 0, measured_total = 0;
+  for (size_t i = 0; i < phys.plan.nodes.size(); ++i) {
+    const PlanNode& n = phys.plan.nodes[i];
+    if (n.dead || n.kind == NodeKind::kScan) continue;
+    const std::string& backend =
+        phys.node_backend[i].empty() ? "-" : phys.node_backend[i];
+    est_total += phys.est_ns[i];
+    os << std::left << std::setw(4) << i << std::setw(44)
+       << NodeTitle(n).substr(0, 43) << std::setw(15) << backend << std::right
+       << std::setw(8) << phys.est_rows[i] << std::setw(13) << phys.est_ns[i]
+       << std::setw(12) << phys.est_boundary_ns[i];
+    if (result != nullptr) {
+      const NodeValue& v = result->values[i];
+      if (v.skipped) {
+        os << std::setw(13) << "skipped";
+      } else {
+        os << std::setw(13) << v.measured_ns;
+        measured_total += v.measured_ns;
+      }
+    }
+    os << "\n";
+  }
+  os << "estimated total: " << est_total << " ns";
+  if (result != nullptr) {
+    os << "; measured total: " << measured_total << " ns";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string Explain(const PhysicalPlan& plan) { return Render(plan, nullptr); }
+
+std::string Explain(const PhysicalPlan& plan, const ExecutionResult& result) {
+  return Render(plan, &result);
+}
+
+}  // namespace plan

@@ -1,0 +1,23 @@
+// EXPLAIN rendering for optimized plans: one line per live node with the
+// chosen backend, join algorithm, estimated cost (and its boundary-transfer
+// share), and — when an ExecutionResult is supplied — the measured simulated
+// time and actual row count next to the estimate.
+#ifndef PLAN_EXPLAIN_H_
+#define PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/executor.h"
+#include "plan/optimizer.h"
+
+namespace plan {
+
+/// Renders the optimized plan (estimates only).
+std::string Explain(const PhysicalPlan& plan);
+
+/// Renders the plan with measured per-node simulated time from an execution.
+std::string Explain(const PhysicalPlan& plan, const ExecutionResult& result);
+
+}  // namespace plan
+
+#endif  // PLAN_EXPLAIN_H_

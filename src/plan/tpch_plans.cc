@@ -1,0 +1,348 @@
+#include "plan/tpch_plans.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace plan {
+namespace {
+
+using core::AggOp;
+using core::CompareOp;
+using core::Predicate;
+
+NodeInput V(int node) { return NodeInput{node, Part::kValue}; }
+NodeInput Rows(int node) { return NodeInput{node, Part::kRowIds}; }
+
+/// The executed FetchGroups result as key -> value (mirrors Q1's
+/// DownloadGroups).
+std::map<int32_t, double> GroupMap(const NodeValue& fetch) {
+  std::map<int32_t, double> out;
+  for (size_t i = 0; i < fetch.host_keys.size(); ++i) {
+    out[fetch.host_keys[i]] = fetch.host_vals_f.empty()
+                                  ? static_cast<double>(fetch.host_vals_i[i])
+                                  : fetch.host_vals_f[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryPlanBundle BuildQ1Plan(const storage::DeviceTable& lineitem,
+                            const tpch::Q1Params& params) {
+  QueryPlanBundle b;
+  Plan& p = b.plan;
+  const int s_ship = p.Scan("lineitem", "l_shipdate",
+                            lineitem.column("l_shipdate"));
+  const int s_rfls = p.Scan("lineitem", "l_rfls", lineitem.column("l_rfls"));
+  const int s_qty = p.Scan("lineitem", "l_quantity",
+                           lineitem.column("l_quantity"));
+  const int s_price = p.Scan("lineitem", "l_extendedprice",
+                             lineitem.column("l_extendedprice"));
+  const int s_disc = p.Scan("lineitem", "l_discount",
+                            lineitem.column("l_discount"));
+  const int s_tax = p.Scan("lineitem", "l_tax", lineitem.column("l_tax"));
+
+  const int f = p.Filter(
+      V(s_ship), Predicate::Make("l_shipdate", CompareOp::kLe,
+                                 static_cast<double>(params.CutoffDays())));
+  const int g_key = p.Gather(V(s_rfls), Rows(f), "l_rfls[sel]");
+  const int g_qty = p.Gather(V(s_qty), Rows(f), "l_quantity[sel]");
+  const int g_price = p.Gather(V(s_price), Rows(f), "l_extendedprice[sel]");
+  const int g_disc = p.Gather(V(s_disc), Rows(f), "l_discount[sel]");
+  const int g_tax = p.Gather(V(s_tax), Rows(f), "l_tax[sel]");
+
+  const int m1 = p.Map(MapOp::kSubFromScalar, V(g_disc), NodeInput{}, 1.0,
+                       "1-disc");
+  const int m2 = p.Map(MapOp::kMul, V(g_price), V(m1), 0.0, "disc_price");
+  const int m3 = p.Map(MapOp::kAddScalar, V(g_tax), NodeInput{}, 1.0,
+                       "1+tax");
+  const int m4 = p.Map(MapOp::kMul, V(m2), V(m3), 0.0, "charge");
+
+  auto grouped = [&](NodeInput values, AggOp agg, const std::string& name) {
+    const int gb = p.GroupBy(V(g_key), values, agg, name);
+    b.marks[name] = p.FetchGroups(gb);
+  };
+  grouped(V(g_qty), AggOp::kSum, "sum_qty");
+  grouped(V(g_price), AggOp::kSum, "sum_base_price");
+  grouped(V(m2), AggOp::kSum, "sum_disc_price");
+  grouped(V(m4), AggOp::kSum, "sum_charge");
+  grouped(V(g_disc), AggOp::kSum, "sum_disc");
+  grouped(V(g_qty), AggOp::kCount, "count_order");
+  return b;
+}
+
+std::vector<tpch::Q1Row> ExtractQ1(const QueryPlanBundle& bundle,
+                                   const ExecutionResult& result) {
+  auto fetch = [&](const char* name) {
+    return GroupMap(result.values[bundle.marks.at(name)]);
+  };
+  auto sum_qty = fetch("sum_qty");
+  auto sum_price = fetch("sum_base_price");
+  auto sum_disc_price = fetch("sum_disc_price");
+  auto sum_charge = fetch("sum_charge");
+  auto sum_disc = fetch("sum_disc");
+  auto counts = fetch("count_order");
+
+  std::vector<tpch::Q1Row> rows;
+  for (const auto& [k, count] : counts) {
+    tpch::Q1Row row;
+    row.returnflag = k / 2;
+    row.linestatus = k % 2;
+    row.count_order = static_cast<int64_t>(count);
+    row.sum_qty = sum_qty[k];
+    row.sum_base_price = sum_price[k];
+    row.sum_disc_price = sum_disc_price[k];
+    row.sum_charge = sum_charge[k];
+    row.avg_qty = row.sum_qty / count;
+    row.avg_price = row.sum_base_price / count;
+    row.avg_disc = sum_disc[k] / count;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const tpch::Q1Row& a, const tpch::Q1Row& b) {
+              return std::pair(a.returnflag, a.linestatus) <
+                     std::pair(b.returnflag, b.linestatus);
+            });
+  return rows;
+}
+
+QueryPlanBundle BuildQ6Plan(const storage::DeviceTable& lineitem,
+                            const tpch::Q6Params& params) {
+  QueryPlanBundle b;
+  Plan& p = b.plan;
+  const int s_ship = p.Scan("lineitem", "l_shipdate",
+                            lineitem.column("l_shipdate"));
+  const int s_disc = p.Scan("lineitem", "l_discount",
+                            lineitem.column("l_discount"));
+  const int s_qty = p.Scan("lineitem", "l_quantity",
+                           lineitem.column("l_quantity"));
+  const int s_price = p.Scan("lineitem", "l_extendedprice",
+                             lineitem.column("l_extendedprice"));
+
+  // Five chained single-predicate sigmas; the optimizer folds them into one
+  // SelectConjunctive (same column/predicate order as the hand-coded query).
+  const int f1 = p.Filter(
+      V(s_ship), Predicate::Make("l_shipdate", CompareOp::kGe,
+                                 static_cast<double>(params.date_lo)));
+  const int f2 = p.Filter(
+      V(s_ship), Predicate::Make("l_shipdate", CompareOp::kLt,
+                                 static_cast<double>(params.date_hi)),
+      f1);
+  const int f3 = p.Filter(
+      V(s_disc),
+      Predicate::Make("l_discount", CompareOp::kGe, params.discount_lo), f2);
+  const int f4 = p.Filter(
+      V(s_disc),
+      Predicate::Make("l_discount", CompareOp::kLe, params.discount_hi), f3);
+  const int f5 = p.Filter(
+      V(s_qty),
+      Predicate::Make("l_quantity", CompareOp::kLt, params.quantity_hi), f4);
+
+  const int g_price = p.Gather(V(s_price), Rows(f5), "l_extendedprice[sel]");
+  const int g_disc = p.Gather(V(s_disc), Rows(f5), "l_discount[sel]");
+  const int m = p.Map(MapOp::kMul, V(g_price), V(g_disc), 0.0, "revenue");
+  b.marks["revenue"] = p.Reduce(V(m), AggOp::kSum, "sum(revenue)");
+  return b;
+}
+
+double ExtractQ6(const QueryPlanBundle& bundle,
+                 const ExecutionResult& result) {
+  const NodeValue& v = result.values[bundle.marks.at("revenue")];
+  return v.computed ? v.scalar : 0.0;
+}
+
+QueryPlanBundle BuildQ3Plan(const storage::DeviceTable& customer,
+                            const storage::DeviceTable& orders,
+                            const storage::DeviceTable& lineitem,
+                            const tpch::Q3Params& params) {
+  QueryPlanBundle b;
+  Plan& p = b.plan;
+  const int s_cseg = p.Scan("customer", "c_mktsegment",
+                            customer.column("c_mktsegment"));
+  const int s_ckey = p.Scan("customer", "c_custkey",
+                            customer.column("c_custkey"));
+  const int s_odate = p.Scan("orders", "o_orderdate",
+                             orders.column("o_orderdate"));
+  const int s_okey = p.Scan("orders", "o_orderkey",
+                            orders.column("o_orderkey"));
+  const int s_ocust = p.Scan("orders", "o_custkey",
+                             orders.column("o_custkey"));
+  const int s_lship = p.Scan("lineitem", "l_shipdate",
+                             lineitem.column("l_shipdate"));
+  const int s_lkey = p.Scan("lineitem", "l_orderkey",
+                            lineitem.column("l_orderkey"));
+  const int s_lprice = p.Scan("lineitem", "l_extendedprice",
+                              lineitem.column("l_extendedprice"));
+  const int s_ldisc = p.Scan("lineitem", "l_discount",
+                             lineitem.column("l_discount"));
+
+  const int f_cust = p.Filter(
+      V(s_cseg), Predicate::Make("c_mktsegment", CompareOp::kEq,
+                                 static_cast<double>(params.segment)));
+  const int g_ckey = p.Gather(V(s_ckey), Rows(f_cust), "c_custkey[sel]");
+
+  const int f_ord = p.Filter(
+      V(s_odate), Predicate::Make("o_orderdate", CompareOp::kLt,
+                                  static_cast<double>(params.date)));
+  const int g_okey = p.Gather(V(s_okey), Rows(f_ord), "o_orderkey[sel]");
+  const int g_ocust = p.Gather(V(s_ocust), Rows(f_ord), "o_custkey[sel]");
+
+  const int j1 = p.Join(V(g_ckey), V(g_ocust), "customer|X|orders");
+  const int g_surv = p.Gather(V(g_okey),
+                              NodeInput{j1, Part::kRightRows},
+                              "o_orderkey[join]");
+
+  const int f_li = p.Filter(
+      V(s_lship), Predicate::Make("l_shipdate", CompareOp::kGt,
+                                  static_cast<double>(params.date)));
+  const int g_lkey = p.Gather(V(s_lkey), Rows(f_li), "l_orderkey[sel]");
+  const int g_lprice = p.Gather(V(s_lprice), Rows(f_li),
+                                "l_extendedprice[sel]");
+  const int g_ldisc = p.Gather(V(s_ldisc), Rows(f_li), "l_discount[sel]");
+
+  const int j2 = p.Join(V(g_surv), V(g_lkey), "orders|X|lineitem");
+  const int g_keys = p.Gather(V(g_lkey), NodeInput{j2, Part::kRightRows},
+                              "l_orderkey[join]");
+  const int g_price = p.Gather(V(g_lprice), NodeInput{j2, Part::kRightRows},
+                               "l_extendedprice[join]");
+  const int g_disc = p.Gather(V(g_ldisc), NodeInput{j2, Part::kRightRows},
+                              "l_discount[join]");
+  const int m1 = p.Map(MapOp::kSubFromScalar, V(g_disc), NodeInput{}, 1.0,
+                       "1-disc");
+  const int m2 = p.Map(MapOp::kMul, V(g_price), V(m1), 0.0, "revenue");
+  const int gb = p.GroupBy(V(g_keys), V(m2), AggOp::kSum,
+                           "revenue by orderkey");
+  const int sbk = p.SortByKey(NodeInput{gb, Part::kGroupAggregate},
+                              NodeInput{gb, Part::kGroupKeys},
+                              "sort by revenue", /*guard=*/gb);
+  b.marks["fetch"] = p.FetchPair(sbk);
+  return b;
+}
+
+std::vector<tpch::Q3Row> ExtractQ3(const QueryPlanBundle& bundle,
+                                   const ExecutionResult& result,
+                                   const tpch::Q3Params& params) {
+  const NodeValue& fetch = result.values[bundle.marks.at("fetch")];
+  std::vector<tpch::Q3Row> rows;
+  if (!fetch.computed) return rows;
+  const auto& rev = fetch.host_first;
+  const auto& key = fetch.host_second;
+  const size_t k = std::min(params.limit, rev.size());
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = rev.size() - 1 - i;
+    rows.push_back(tpch::Q3Row{key[j], rev[j]});
+  }
+  return rows;
+}
+
+QueryPlanBundle BuildQ4Plan(const storage::DeviceTable& orders,
+                            const storage::DeviceTable& lineitem,
+                            const tpch::Q4Params& params) {
+  QueryPlanBundle b;
+  Plan& p = b.plan;
+  const int s_commit = p.Scan("lineitem", "l_commitdate",
+                              lineitem.column("l_commitdate"));
+  const int s_receipt = p.Scan("lineitem", "l_receiptdate",
+                               lineitem.column("l_receiptdate"));
+  const int s_lkey = p.Scan("lineitem", "l_orderkey",
+                            lineitem.column("l_orderkey"));
+  const int s_odate = p.Scan("orders", "o_orderdate",
+                             orders.column("o_orderdate"));
+  const int s_okey = p.Scan("orders", "o_orderkey",
+                            orders.column("o_orderkey"));
+  const int s_oprio = p.Scan("orders", "o_orderpriority",
+                             orders.column("o_orderpriority"));
+
+  const int late = p.FilterCompare(V(s_commit), CompareOp::kLt, V(s_receipt),
+                                   "commit<receipt");
+  const int g_late = p.Gather(V(s_lkey), Rows(late), "l_orderkey[late]");
+  const int distinct = p.Unique(V(g_late), "distinct late keys");
+
+  const int f1 = p.Filter(
+      V(s_odate), Predicate::Make("o_orderdate", CompareOp::kGe,
+                                  static_cast<double>(params.date_lo)));
+  const int f2 = p.Filter(
+      V(s_odate), Predicate::Make("o_orderdate", CompareOp::kLt,
+                                  static_cast<double>(params.date_hi)),
+      f1);
+  const int g_okey = p.Gather(V(s_okey), Rows(f2), "o_orderkey[sel]");
+  const int g_oprio = p.Gather(V(s_oprio), Rows(f2), "o_orderpriority[sel]");
+
+  const int j = p.Join(V(g_okey), V(distinct), "orders|X|late");
+  const int g_prio = p.Gather(V(g_oprio), NodeInput{j, Part::kLeftRows},
+                              "priority[join]");
+  const int gb = p.GroupBy(V(g_prio), V(g_prio), AggOp::kCount,
+                           "count by priority");
+  b.marks["fetch"] = p.FetchGroups(gb);
+  return b;
+}
+
+std::vector<tpch::Q4Row> ExtractQ4(const QueryPlanBundle& bundle,
+                                   const ExecutionResult& result) {
+  const NodeValue& fetch = result.values[bundle.marks.at("fetch")];
+  std::vector<tpch::Q4Row> rows;
+  for (size_t i = 0; i < fetch.out_rows; ++i) {
+    rows.push_back(tpch::Q4Row{fetch.host_keys[i], fetch.host_vals_i[i]});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const tpch::Q4Row& a, const tpch::Q4Row& b) {
+              return a.orderpriority < b.orderpriority;
+            });
+  return rows;
+}
+
+QueryPlanBundle BuildQ14Plan(const storage::DeviceTable& part,
+                             const storage::DeviceTable& lineitem,
+                             const tpch::Q14Params& params) {
+  QueryPlanBundle b;
+  Plan& p = b.plan;
+  const int s_ship = p.Scan("lineitem", "l_shipdate",
+                            lineitem.column("l_shipdate"));
+  const int s_lpart = p.Scan("lineitem", "l_partkey",
+                             lineitem.column("l_partkey"));
+  const int s_price = p.Scan("lineitem", "l_extendedprice",
+                             lineitem.column("l_extendedprice"));
+  const int s_disc = p.Scan("lineitem", "l_discount",
+                            lineitem.column("l_discount"));
+  const int s_pkey = p.Scan("part", "p_partkey", part.column("p_partkey"));
+  const int s_promo = p.Scan("part", "p_promo", part.column("p_promo"));
+
+  const int f1 = p.Filter(
+      V(s_ship), Predicate::Make("l_shipdate", CompareOp::kGe,
+                                 static_cast<double>(params.date_lo)));
+  const int f2 = p.Filter(
+      V(s_ship), Predicate::Make("l_shipdate", CompareOp::kLt,
+                                 static_cast<double>(params.date_hi)),
+      f1);
+  const int g_part = p.Gather(V(s_lpart), Rows(f2), "l_partkey[sel]");
+  const int g_price = p.Gather(V(s_price), Rows(f2), "l_extendedprice[sel]");
+  const int g_disc = p.Gather(V(s_disc), Rows(f2), "l_discount[sel]");
+  const int m1 = p.Map(MapOp::kSubFromScalar, V(g_disc), NodeInput{}, 1.0,
+                       "1-disc");
+  const int m2 = p.Map(MapOp::kMul, V(g_price), V(m1), 0.0, "revenue");
+
+  const int j = p.Join(V(s_pkey), V(g_part), "part|X|lineitem");
+  const int g_promo = p.Gather(V(s_promo), NodeInput{j, Part::kLeftRows},
+                               "p_promo[join]");
+  const int g_revm = p.Gather(V(m2), NodeInput{j, Part::kRightRows},
+                              "revenue[join]");
+  const int r_total = p.Reduce(V(g_revm), AggOp::kSum, "total revenue");
+
+  const int f_promo = p.Filter(
+      V(g_promo), Predicate::Make("p_promo", CompareOp::kEq, 1.0));
+  p.nodes[f_promo].guard = r_total;  // hand-coded: if (total == 0) return 0
+  const int g_revp = p.Gather(V(g_revm), Rows(f_promo), "revenue[promo]");
+  b.marks["total"] = r_total;
+  b.marks["promo"] = p.Reduce(V(g_revp), AggOp::kSum, "promo revenue");
+  return b;
+}
+
+double ExtractQ14(const QueryPlanBundle& bundle,
+                  const ExecutionResult& result) {
+  const NodeValue& total = result.values[bundle.marks.at("total")];
+  const NodeValue& promo = result.values[bundle.marks.at("promo")];
+  if (!total.computed || total.scalar == 0.0 || !promo.computed) return 0.0;
+  return 100.0 * promo.scalar / total.scalar;
+}
+
+}  // namespace plan

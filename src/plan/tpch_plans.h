@@ -1,0 +1,66 @@
+// TPC-H queries expressed as logical plans.
+//
+// Each builder inserts nodes in the exact order the hand-coded query
+// (tpch/queries.h) issues backend calls, so a plan pinned to one backend
+// replays the identical call sequence — and charges a bit-identical
+// simulated timeline. Extractors rebuild the query's result rows from the
+// executed node values with the same host-side assembly the hand-coded
+// query performs.
+#ifndef PLAN_TPCH_PLANS_H_
+#define PLAN_TPCH_PLANS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "plan/executor.h"
+#include "plan/ir.h"
+#include "storage/device_column.h"
+#include "tpch/queries.h"
+
+namespace plan {
+
+/// A built query plan plus named node ids ("marks") the extractor reads.
+struct QueryPlanBundle {
+  Plan plan;
+  std::map<std::string, int> marks;
+};
+
+QueryPlanBundle BuildQ1Plan(const storage::DeviceTable& lineitem,
+                            const tpch::Q1Params& params = tpch::Q1Params());
+
+QueryPlanBundle BuildQ6Plan(const storage::DeviceTable& lineitem,
+                            const tpch::Q6Params& params = tpch::Q6Params());
+
+QueryPlanBundle BuildQ3Plan(const storage::DeviceTable& customer,
+                            const storage::DeviceTable& orders,
+                            const storage::DeviceTable& lineitem,
+                            const tpch::Q3Params& params = tpch::Q3Params());
+
+QueryPlanBundle BuildQ4Plan(const storage::DeviceTable& orders,
+                            const storage::DeviceTable& lineitem,
+                            const tpch::Q4Params& params = tpch::Q4Params());
+
+QueryPlanBundle BuildQ14Plan(const storage::DeviceTable& part,
+                             const storage::DeviceTable& lineitem,
+                             const tpch::Q14Params& params = tpch::Q14Params());
+
+std::vector<tpch::Q1Row> ExtractQ1(const QueryPlanBundle& bundle,
+                                   const ExecutionResult& result);
+
+double ExtractQ6(const QueryPlanBundle& bundle,
+                 const ExecutionResult& result);
+
+std::vector<tpch::Q3Row> ExtractQ3(const QueryPlanBundle& bundle,
+                                   const ExecutionResult& result,
+                                   const tpch::Q3Params& params);
+
+std::vector<tpch::Q4Row> ExtractQ4(const QueryPlanBundle& bundle,
+                                   const ExecutionResult& result);
+
+double ExtractQ14(const QueryPlanBundle& bundle,
+                  const ExecutionResult& result);
+
+}  // namespace plan
+
+#endif  // PLAN_TPCH_PLANS_H_

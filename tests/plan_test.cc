@@ -1,0 +1,421 @@
+// Plan IR, optimizer, and executor tests.
+//
+// Covers the optimizer's rewrite rules (filter-chain merging, fusion,
+// join-algorithm selection), deterministic cost-based dispatch, and the two
+// golden properties the subsystem promises: a plan pinned to one backend
+// reproduces the hand-coded query's answer AND charges a bit-identical
+// simulated timeline, and the hybrid plan is never slower than the best
+// single backend (strictly faster on a join query).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/scheduler.h"
+#include "gpusim/device.h"
+#include "plan/executor.h"
+#include "plan/optimizer.h"
+#include "plan/tpch_plans.h"
+#include "storage/device_column.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::RegisterBuiltinBackends();
+    tpch::Config config;
+    config.scale_factor = 0.01;
+    setup_ = new gpusim::Stream(gpusim::Device::Default(),
+                                gpusim::ApiProfile::Cuda());
+    lineitem_ = new storage::DeviceTable(
+        storage::UploadTable(*setup_, tpch::GenerateLineitem(config)));
+    orders_ = new storage::DeviceTable(
+        storage::UploadTable(*setup_, tpch::GenerateOrders(config)));
+    customer_ = new storage::DeviceTable(
+        storage::UploadTable(*setup_, tpch::GenerateCustomer(config)));
+    part_ = new storage::DeviceTable(
+        storage::UploadTable(*setup_, tpch::GeneratePart(config)));
+  }
+
+  static void TearDownTestSuite() {
+    delete lineitem_;
+    delete orders_;
+    delete customer_;
+    delete part_;
+    delete setup_;
+    lineitem_ = orders_ = customer_ = part_ = nullptr;
+    setup_ = nullptr;
+  }
+
+  static size_t LiveCount(const plan::Plan& p, plan::NodeKind kind) {
+    size_t n = 0;
+    for (const plan::PlanNode& node : p.nodes) {
+      if (!node.dead && node.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  static const plan::PlanNode* FirstLive(const plan::Plan& p,
+                                         plan::NodeKind kind) {
+    for (const plan::PlanNode& node : p.nodes) {
+      if (!node.dead && node.kind == kind) return &node;
+    }
+    return nullptr;
+  }
+
+  static gpusim::Stream* setup_;
+  static storage::DeviceTable* lineitem_;
+  static storage::DeviceTable* orders_;
+  static storage::DeviceTable* customer_;
+  static storage::DeviceTable* part_;
+};
+
+gpusim::Stream* PlanTest::setup_ = nullptr;
+storage::DeviceTable* PlanTest::lineitem_ = nullptr;
+storage::DeviceTable* PlanTest::orders_ = nullptr;
+storage::DeviceTable* PlanTest::customer_ = nullptr;
+storage::DeviceTable* PlanTest::part_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Rewrite rules
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, FilterChainMergesIntoOneConjunctiveNode) {
+  // Q6's five single-predicate sigmas must fold into ONE conjunctive
+  // selection with the predicates in chain order.
+  const plan::QueryPlanBundle bundle = plan::BuildQ6Plan(*lineitem_);
+  plan::OptimizerOptions opts;
+  opts.pin_backend = "Thrust";
+  const plan::PhysicalPlan phys = plan::Optimize(bundle.plan, opts);
+
+  EXPECT_EQ(LiveCount(phys.plan, plan::NodeKind::kFilter), 1u);
+  const plan::PlanNode* filter = FirstLive(phys.plan, plan::NodeKind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_TRUE(filter->conjunctive);
+  ASSERT_EQ(filter->preds.size(), 5u);
+  EXPECT_EQ(filter->preds[0].column, "l_shipdate");
+  EXPECT_EQ(filter->preds[1].column, "l_shipdate");
+  EXPECT_EQ(filter->preds[2].column, "l_discount");
+  EXPECT_EQ(filter->preds[3].column, "l_discount");
+  EXPECT_EQ(filter->preds[4].column, "l_quantity");
+  EXPECT_EQ(filter->filter_source, -1);
+}
+
+TEST_F(PlanTest, DisjunctiveChainIsNotMergedAndExecutorRefusesIt) {
+  plan::Plan p;
+  const int scan =
+      p.Scan("lineitem", "l_quantity", lineitem_->column("l_quantity"));
+  const int f1 =
+      p.Filter({scan, plan::Part::kValue},
+               core::Predicate::Make("l_quantity", core::CompareOp::kLt, 24.0));
+  const int f2 =
+      p.Filter({scan, plan::Part::kValue},
+               core::Predicate::Make("l_quantity", core::CompareOp::kGe, 1.0),
+               /*source=*/f1);
+  p.nodes[f2].conjunctive = false;  // an OR-refinement cannot be folded
+
+  plan::OptimizerOptions opts;
+  opts.pin_backend = "Thrust";
+  const plan::PhysicalPlan phys = plan::Optimize(p, opts);
+  EXPECT_EQ(LiveCount(phys.plan, plan::NodeKind::kFilter), 2u);
+
+  auto backend = core::BackendRegistry::Instance().Create("Thrust");
+  EXPECT_THROW(plan::RunPinned(phys, *backend), std::logic_error);
+}
+
+TEST_F(PlanTest, JoinAlgoFollowsBackendCapability) {
+  const plan::QueryPlanBundle bundle =
+      plan::BuildQ14Plan(*part_, *lineitem_);
+
+  plan::OptimizerOptions thrust_pin;
+  thrust_pin.pin_backend = "Thrust";
+  const plan::PhysicalPlan on_thrust = plan::Optimize(bundle.plan, thrust_pin);
+  const plan::PlanNode* join = FirstLive(on_thrust.plan, plan::NodeKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_algo, plan::JoinAlgo::kNestedLoops);
+
+  plan::OptimizerOptions hw_pin;
+  hw_pin.pin_backend = "Handwritten";
+  const plan::PhysicalPlan on_hw = plan::Optimize(bundle.plan, hw_pin);
+  join = FirstLive(on_hw.plan, plan::NodeKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(join->join_algo, plan::JoinAlgo::kHash);
+
+  // Hybrid dispatch must route the join to a hash-capable backend.
+  const plan::PhysicalPlan hybrid =
+      plan::Optimize(bundle.plan, plan::OptimizerOptions());
+  for (size_t i = 0; i < hybrid.plan.nodes.size(); ++i) {
+    const plan::PlanNode& node = hybrid.plan.nodes[i];
+    if (node.dead || node.kind != plan::NodeKind::kJoin) continue;
+    if (node.join_algo == plan::JoinAlgo::kHash) {
+      EXPECT_EQ(hybrid.node_backend[i], "Handwritten");
+    }
+  }
+}
+
+TEST_F(PlanTest, FusionOnlyInHybridPlans) {
+  // Q6 hybrid collapses filter+gather+product+sum into one fused pass.
+  const plan::QueryPlanBundle q6 = plan::BuildQ6Plan(*lineitem_);
+  const plan::PhysicalPlan q6_hybrid =
+      plan::Optimize(q6.plan, plan::OptimizerOptions());
+  EXPECT_EQ(LiveCount(q6_hybrid.plan, plan::NodeKind::kFusedFilterSum), 1u);
+
+  plan::OptimizerOptions pin;
+  pin.pin_backend = "Thrust";
+  const plan::PhysicalPlan q6_pinned = plan::Optimize(q6.plan, pin);
+  EXPECT_EQ(LiveCount(q6_pinned.plan, plan::NodeKind::kFusedFilterSum), 0u);
+  EXPECT_EQ(LiveCount(q6_pinned.plan, plan::NodeKind::kFusedMap), 0u);
+
+  // Q1's disc_price and charge expressions each fuse into one kernel.
+  const plan::QueryPlanBundle q1 = plan::BuildQ1Plan(*lineitem_);
+  const plan::PhysicalPlan q1_hybrid =
+      plan::Optimize(q1.plan, plan::OptimizerOptions());
+  EXPECT_EQ(LiveCount(q1_hybrid.plan, plan::NodeKind::kFusedMap), 2u);
+
+  // Q4 has no fusible chain (no arithmetic feeding a reduction).
+  const plan::QueryPlanBundle q4 = plan::BuildQ4Plan(*orders_, *lineitem_);
+  const plan::PhysicalPlan q4_hybrid =
+      plan::Optimize(q4.plan, plan::OptimizerOptions());
+  EXPECT_EQ(LiveCount(q4_hybrid.plan, plan::NodeKind::kFusedFilterSum), 0u);
+  EXPECT_EQ(LiveCount(q4_hybrid.plan, plan::NodeKind::kFusedMap), 0u);
+}
+
+TEST_F(PlanTest, DispatchIsDeterministic) {
+  const plan::QueryPlanBundle bundle =
+      plan::BuildQ3Plan(*customer_, *orders_, *lineitem_);
+  const plan::PhysicalPlan a =
+      plan::Optimize(bundle.plan, plan::OptimizerOptions());
+  const plan::PhysicalPlan b =
+      plan::Optimize(bundle.plan, plan::OptimizerOptions());
+  EXPECT_EQ(a.node_backend, b.node_backend);
+  EXPECT_EQ(a.est_ns, b.est_ns);
+  EXPECT_EQ(a.est_rows, b.est_rows);
+}
+
+TEST_F(PlanTest, UnknownBackendNameThrows) {
+  const plan::QueryPlanBundle bundle = plan::BuildQ6Plan(*lineitem_);
+  plan::OptimizerOptions opts;
+  opts.pin_backend = "NoSuchBackend";
+  EXPECT_THROW(plan::Optimize(bundle.plan, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: pinned plans replay the hand-coded queries
+// ---------------------------------------------------------------------------
+
+void ExpectNear(double actual, double expected) {
+  EXPECT_NEAR(actual, expected, std::abs(expected) * 1e-9 + 1e-6);
+}
+
+void ExpectQ1Equal(const std::vector<tpch::Q1Row>& actual,
+                   const std::vector<tpch::Q1Row>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].returnflag, expected[i].returnflag);
+    EXPECT_EQ(actual[i].linestatus, expected[i].linestatus);
+    EXPECT_EQ(actual[i].count_order, expected[i].count_order);
+    ExpectNear(actual[i].sum_qty, expected[i].sum_qty);
+    ExpectNear(actual[i].sum_base_price, expected[i].sum_base_price);
+    ExpectNear(actual[i].sum_disc_price, expected[i].sum_disc_price);
+    ExpectNear(actual[i].sum_charge, expected[i].sum_charge);
+    ExpectNear(actual[i].avg_qty, expected[i].avg_qty);
+    ExpectNear(actual[i].avg_price, expected[i].avg_price);
+    ExpectNear(actual[i].avg_disc, expected[i].avg_disc);
+  }
+}
+
+void ExpectQ3Equal(const std::vector<tpch::Q3Row>& actual,
+                   const std::vector<tpch::Q3Row>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].orderkey, expected[i].orderkey);
+    ExpectNear(actual[i].revenue, expected[i].revenue);
+  }
+}
+
+void ExpectQ4Equal(const std::vector<tpch::Q4Row>& actual,
+                   const std::vector<tpch::Q4Row>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].orderpriority, expected[i].orderpriority);
+    EXPECT_EQ(actual[i].order_count, expected[i].order_count);
+  }
+}
+
+class PlanGoldenTest : public PlanTest,
+                       public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(PlanGoldenTest, PinnedPlanReproducesHandCodedResultsAndTimeline) {
+  const std::string backend_name = GetParam();
+  auto& registry = core::BackendRegistry::Instance();
+
+  const auto check = [&](const plan::QueryPlanBundle& bundle,
+                         const char* query,
+                         const auto& run_hand, const auto& compare) {
+    SCOPED_TRACE(query);
+    auto hand_backend = registry.Create(backend_name);
+    const uint64_t t0 = hand_backend->stream().now_ns();
+    const auto expected = run_hand(*hand_backend);
+    const uint64_t hand_ns = hand_backend->stream().now_ns() - t0;
+
+    plan::OptimizerOptions opts;
+    opts.pin_backend = backend_name;
+    const plan::PhysicalPlan phys = plan::Optimize(bundle.plan, opts);
+    auto plan_backend = registry.Create(backend_name);
+    const plan::ExecutionResult res = plan::RunPinned(phys, *plan_backend);
+
+    compare(bundle, res, expected);
+    // The golden timing property: bit-identical simulated time, not just
+    // "close".
+    EXPECT_EQ(res.total_ns, hand_ns);
+  };
+
+  check(plan::BuildQ1Plan(*lineitem_), "q1",
+        [&](core::Backend& b) { return tpch::RunQ1(b, *lineitem_); },
+        [](const plan::QueryPlanBundle& bundle,
+           const plan::ExecutionResult& res,
+           const std::vector<tpch::Q1Row>& expected) {
+          ExpectQ1Equal(plan::ExtractQ1(bundle, res), expected);
+        });
+  check(plan::BuildQ6Plan(*lineitem_), "q6",
+        [&](core::Backend& b) { return tpch::RunQ6(b, *lineitem_); },
+        [](const plan::QueryPlanBundle& bundle,
+           const plan::ExecutionResult& res, double expected) {
+          ExpectNear(plan::ExtractQ6(bundle, res), expected);
+        });
+  check(plan::BuildQ3Plan(*customer_, *orders_, *lineitem_), "q3",
+        [&](core::Backend& b) {
+          return tpch::RunQ3(b, *customer_, *orders_, *lineitem_);
+        },
+        [](const plan::QueryPlanBundle& bundle,
+           const plan::ExecutionResult& res,
+           const std::vector<tpch::Q3Row>& expected) {
+          ExpectQ3Equal(plan::ExtractQ3(bundle, res, tpch::Q3Params()),
+                        expected);
+        });
+  check(plan::BuildQ4Plan(*orders_, *lineitem_), "q4",
+        [&](core::Backend& b) { return tpch::RunQ4(b, *orders_, *lineitem_); },
+        [](const plan::QueryPlanBundle& bundle,
+           const plan::ExecutionResult& res,
+           const std::vector<tpch::Q4Row>& expected) {
+          ExpectQ4Equal(plan::ExtractQ4(bundle, res), expected);
+        });
+  check(plan::BuildQ14Plan(*part_, *lineitem_), "q14",
+        [&](core::Backend& b) { return tpch::RunQ14(b, *part_, *lineitem_); },
+        [](const plan::QueryPlanBundle& bundle,
+           const plan::ExecutionResult& res, double expected) {
+          ExpectNear(plan::ExtractQ14(bundle, res), expected);
+        });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PlanGoldenTest,
+                         ::testing::Values("Thrust", "Handwritten"),
+                         [](const auto& info) {
+                           return std::string(info.param) == "Thrust"
+                                      ? "Thrust"
+                                      : "Handwritten";
+                         });
+
+// ---------------------------------------------------------------------------
+// Hybrid dispatch
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, HybridIsNeverSlowerThanBestSingleBackend) {
+  auto& registry = core::BackendRegistry::Instance();
+  const std::vector<std::string> singles = {"Handwritten", "Thrust"};
+
+  struct QueryCase {
+    const char* name;
+    plan::QueryPlanBundle bundle;
+    bool join_query;
+  };
+  std::vector<QueryCase> cases;
+  cases.push_back({"q1", plan::BuildQ1Plan(*lineitem_), false});
+  cases.push_back({"q6", plan::BuildQ6Plan(*lineitem_), false});
+  cases.push_back({"q4", plan::BuildQ4Plan(*orders_, *lineitem_), true});
+  cases.push_back(
+      {"q14", plan::BuildQ14Plan(*part_, *lineitem_), true});
+
+  bool join_strict_win = false;
+  for (const QueryCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    uint64_t best = UINT64_MAX;
+    for (const std::string& name : singles) {
+      plan::OptimizerOptions opts;
+      opts.pin_backend = name;
+      const plan::PhysicalPlan phys = plan::Optimize(c.bundle.plan, opts);
+      auto backend = registry.Create(name);
+      best = std::min(best, plan::RunPinned(phys, *backend).total_ns);
+    }
+    const plan::PhysicalPlan hybrid =
+        plan::Optimize(c.bundle.plan, plan::OptimizerOptions());
+    const uint64_t hybrid_ns = plan::RunHybrid(hybrid).total_ns;
+    EXPECT_LE(hybrid_ns, best);
+    if (c.join_query && hybrid_ns < best) join_strict_win = true;
+  }
+  EXPECT_TRUE(join_strict_win)
+      << "hybrid should beat the best single backend outright on at least "
+         "one join query";
+}
+
+TEST_F(PlanTest, HybridQ6MatchesReferenceAnswer) {
+  const plan::QueryPlanBundle bundle = plan::BuildQ6Plan(*lineitem_);
+  const plan::PhysicalPlan phys =
+      plan::Optimize(bundle.plan, plan::OptimizerOptions());
+  EXPECT_TRUE(phys.hybrid);
+  const plan::ExecutionResult res = plan::RunHybrid(phys);
+
+  auto backend = core::BackendRegistry::Instance().Create("Handwritten");
+  ExpectNear(plan::ExtractQ6(bundle, res), tpch::RunQ6(*backend, *lineitem_));
+}
+
+TEST_F(PlanTest, HybridQ3MatchesReferenceAnswer) {
+  const plan::QueryPlanBundle bundle =
+      plan::BuildQ3Plan(*customer_, *orders_, *lineitem_);
+  const plan::ExecutionResult res =
+      plan::RunHybrid(plan::Optimize(bundle.plan, plan::OptimizerOptions()));
+
+  auto backend = core::BackendRegistry::Instance().Create("Handwritten");
+  ExpectQ3Equal(plan::ExtractQ3(bundle, res, tpch::Q3Params()),
+                tpch::RunQ3(*backend, *customer_, *orders_, *lineitem_));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler integration
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, PlanQueryRunsThroughScheduler) {
+  const plan::QueryPlanBundle bundle = plan::BuildQ6Plan(*lineitem_);
+  plan::OptimizerOptions opts;
+  opts.pin_backend = "Thrust";
+  auto phys = std::make_shared<const plan::PhysicalPlan>(
+      plan::Optimize(bundle.plan, opts));
+
+  auto backend = core::BackendRegistry::Instance().Create("Thrust");
+  const uint64_t direct_ns = plan::RunPinned(*phys, *backend).total_ns;
+
+  core::SchedulerOptions sched_opts;
+  sched_opts.backend_name = "Thrust";
+  sched_opts.num_clients = 2;
+  core::QueryScheduler scheduler(sched_opts);
+  for (int i = 0; i < 4; ++i) {
+    scheduler.Submit("plan/q6", plan::MakePlanQuery(phys));
+  }
+  scheduler.Drain();
+
+  const auto& records = scheduler.Records();
+  ASSERT_EQ(records.size(), 4u);
+  for (const core::QueryRecord& r : records) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.simulated_ns, direct_ns);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// EXPLAIN for TPC-H query plans: builds the logical plan, optimizes it
+// (hybrid per-operator dispatch by default, or pinned to one backend),
+// executes it on the simulated GPU, and prints each node with its chosen
+// backend, estimated cost, boundary-transfer share, and measured simulated
+// time.
+//
+//   build/tools/plan_explain [q1|q6|q3|q4|q14] [--pin=<backend>] [--sf=N]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/registry.h"
+#include "plan/executor.h"
+#include "plan/explain.h"
+#include "plan/optimizer.h"
+#include "plan/tpch_plans.h"
+#include "tpch/queries.h"
+
+int main(int argc, char** argv) {
+  core::RegisterBuiltinBackends();
+  std::string query = "q6";
+  std::string pin;
+  double sf = 0.01;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--pin=", 0) == 0) {
+      pin = arg.substr(6);
+    } else if (arg.rfind("--sf=", 0) == 0) {
+      sf = std::atof(arg.c_str() + 5);
+    } else if (arg == "q1" || arg == "q6" || arg == "q3" || arg == "q4" ||
+               arg == "q14") {
+      query = arg;
+    } else {
+      std::cerr << "usage: plan_explain [q1|q6|q3|q4|q14] [--pin=<backend>] "
+                   "[--sf=N]\n";
+      return 2;
+    }
+  }
+
+  tpch::Config config;
+  config.scale_factor = sf;
+  // One upload stream for the shared base tables; execution backends only
+  // read them.
+  auto upload_backend = core::BackendRegistry::Instance().Create("Thrust");
+  gpusim::Stream& up = upload_backend->stream();
+  const storage::DeviceTable lineitem =
+      storage::UploadTable(up, tpch::GenerateLineitem(config));
+
+  // Keep every uploaded table alive for the whole run: plan scans hold
+  // pointers into these DeviceTables.
+  storage::DeviceTable customer, orders, part;
+  plan::QueryPlanBundle bundle;
+  if (query == "q1") {
+    bundle = plan::BuildQ1Plan(lineitem);
+  } else if (query == "q6") {
+    bundle = plan::BuildQ6Plan(lineitem);
+  } else if (query == "q3") {
+    customer = storage::UploadTable(up, tpch::GenerateCustomer(config));
+    orders = storage::UploadTable(up, tpch::GenerateOrders(config));
+    bundle = plan::BuildQ3Plan(customer, orders, lineitem);
+  } else if (query == "q4") {
+    orders = storage::UploadTable(up, tpch::GenerateOrders(config));
+    bundle = plan::BuildQ4Plan(orders, lineitem);
+  } else {  // q14
+    part = storage::UploadTable(up, tpch::GeneratePart(config));
+    bundle = plan::BuildQ14Plan(part, lineitem);
+  }
+
+  plan::OptimizerOptions options;
+  options.pin_backend = pin;
+  plan::PhysicalPlan phys;
+  try {
+    phys = plan::Optimize(bundle.plan, options);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  plan::ExecutionResult result;
+  if (pin.empty()) {
+    result = plan::RunHybrid(phys);
+  } else {
+    auto backend = core::BackendRegistry::Instance().Create(pin);
+    result = plan::RunPinned(phys, *backend);
+  }
+
+  std::cout << "EXPLAIN " << query << " (sf=" << sf << ", "
+            << (pin.empty() ? std::string("hybrid dispatch")
+                            : "pinned to " + pin)
+            << ")\n\n";
+  std::cout << plan::Explain(phys, result);
+  return 0;
+}

@@ -2,7 +2,7 @@
 // writes it as Chrome trace-event JSON (open in chrome://tracing or
 // ui.perfetto.dev) — the simulated equivalent of an nvprof capture.
 //
-//   build/tools/trace_query [backend] [q1|q6] [out.json]
+//   build/tools/trace_query [backend] [q1|q6|q3|q4|q14] [out.json]
 #include <fstream>
 #include <iostream>
 
@@ -15,21 +15,41 @@ int main(int argc, char** argv) {
   const std::string backend_name = argc > 1 ? argv[1] : "Thrust";
   const std::string query = argc > 2 ? argv[2] : "q6";
   const std::string out_path = argc > 3 ? argv[3] : "trace.json";
+  if (query != "q1" && query != "q6" && query != "q3" && query != "q4" &&
+      query != "q14") {
+    std::cerr << "usage: trace_query [backend] [q1|q6|q3|q4|q14] [out.json]\n";
+    return 2;
+  }
 
   tpch::Config config;
   config.scale_factor = 0.01;
   const storage::Table lineitem = tpch::GenerateLineitem(config);
 
   auto backend = core::BackendRegistry::Instance().Create(backend_name);
-  const storage::DeviceTable dev =
-      storage::UploadTable(backend->stream(), lineitem);
+  gpusim::Stream& stream = backend->stream();
+  const storage::DeviceTable dev_lineitem =
+      storage::UploadTable(stream, lineitem);
 
   gpusim::Tracer tracer;
   gpusim::Device::Default().set_tracer(&tracer);
   if (query == "q1") {
-    tpch::RunQ1(*backend, dev);
-  } else {
-    tpch::RunQ6(*backend, dev);
+    tpch::RunQ1(*backend, dev_lineitem);
+  } else if (query == "q6") {
+    tpch::RunQ6(*backend, dev_lineitem);
+  } else if (query == "q3") {
+    const storage::DeviceTable dev_customer =
+        storage::UploadTable(stream, tpch::GenerateCustomer(config));
+    const storage::DeviceTable dev_orders =
+        storage::UploadTable(stream, tpch::GenerateOrders(config));
+    tpch::RunQ3(*backend, dev_customer, dev_orders, dev_lineitem);
+  } else if (query == "q4") {
+    const storage::DeviceTable dev_orders =
+        storage::UploadTable(stream, tpch::GenerateOrders(config));
+    tpch::RunQ4(*backend, dev_orders, dev_lineitem);
+  } else {  // q14
+    const storage::DeviceTable dev_part =
+        storage::UploadTable(stream, tpch::GeneratePart(config));
+    tpch::RunQ14(*backend, dev_part, dev_lineitem);
   }
   gpusim::Device::Default().set_tracer(nullptr);
 
