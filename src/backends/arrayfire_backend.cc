@@ -85,6 +85,12 @@ afsim::array PredicateExpr(const afsim::array& col, const Predicate& pred) {
 
 class ArrayFireBackend : public core::Backend {
  public:
+  ArrayFireBackend() {
+    // afsim funnels all work through one global stream; label it so fault
+    // rules can target ArrayFire specifically.
+    afsim::default_stream().set_label(kArrayFire);
+  }
+
   std::string name() const override { return kArrayFire; }
   gpusim::Stream& stream() override { return afsim::default_stream(); }
 

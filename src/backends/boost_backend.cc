@@ -43,7 +43,9 @@ const char* CmpSuffix(CompareOp op) {
 
 class BoostComputeBackend : public core::Backend {
  public:
-  BoostComputeBackend() : ctx_(bcsim::default_device()), queue_(ctx_) {}
+  BoostComputeBackend() : ctx_(bcsim::default_device()), queue_(ctx_) {
+    queue_.stream().set_label(kBoostCompute);
+  }
 
   std::string name() const override { return kBoostCompute; }
   gpusim::Stream& stream() override { return queue_.stream(); }

@@ -60,7 +60,9 @@ constexpr size_t kMaxFusedPredicates = 8;
 class HandwrittenBackend : public core::Backend {
  public:
   HandwrittenBackend()
-      : stream_(gpusim::Device::Default(), gpusim::ApiProfile::Cuda()) {}
+      : stream_(gpusim::Device::Default(), gpusim::ApiProfile::Cuda()) {
+    stream_.set_label(kHandwritten);
+  }
 
   std::string name() const override { return kHandwritten; }
   gpusim::Stream& stream() override { return stream_; }

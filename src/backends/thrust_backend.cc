@@ -37,7 +37,9 @@ using storage::DeviceColumn;
 class ThrustBackend : public core::Backend {
  public:
   ThrustBackend()
-      : stream_(gpusim::Device::Default(), gpusim::ApiProfile::Cuda()) {}
+      : stream_(gpusim::Device::Default(), gpusim::ApiProfile::Cuda()) {
+    stream_.set_label(kThrust);
+  }
 
   std::string name() const override { return kThrust; }
   gpusim::Stream& stream() override { return stream_; }

@@ -1,0 +1,147 @@
+#include "core/resilience.h"
+
+namespace core {
+
+const char* CircuitStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (++denied_ >= options_.open_cooldown_checks) {
+        state_ = State::kHalfOpen;
+        ++half_opens_;
+        return true;  // this call is the probe
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    ++closes_;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        denied_ = 0;
+        ++opens_;
+      }
+      break;
+    case State::kHalfOpen:
+      // Probe failed: back to open for a fresh cooldown.
+      state_ = State::kOpen;
+      denied_ = 0;
+      ++opens_;
+      break;
+    case State::kOpen:
+      // In-flight work failing while open neither extends nor shortens the
+      // cooldown.
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+uint64_t CircuitBreaker::half_opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return half_opens_;
+}
+
+uint64_t CircuitBreaker::closes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closes_;
+}
+
+ResilienceManager& ResilienceManager::Global() {
+  static ResilienceManager* manager = new ResilienceManager();
+  return *manager;
+}
+
+CircuitBreaker& ResilienceManager::BreakerFor(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = breakers_[backend];
+  if (!slot) slot = std::make_unique<CircuitBreaker>(breaker_options_);
+  return *slot;
+}
+
+bool ResilienceManager::Allow(const std::string& backend) {
+  return BreakerFor(backend).Allow();
+}
+
+void ResilienceManager::RecordSuccess(const std::string& backend) {
+  BreakerFor(backend).RecordSuccess();
+}
+
+void ResilienceManager::RecordFailure(const std::string& backend) {
+  BreakerFor(backend).RecordFailure();
+}
+
+CircuitBreaker::State ResilienceManager::StateOf(const std::string& backend) {
+  return BreakerFor(backend).state();
+}
+
+ResilienceStats ResilienceManager::Snapshot() const {
+  ResilienceStats stats;
+  stats.faults_seen = faults_seen_.load(relaxed);
+  stats.retries = retries_.load(relaxed);
+  stats.backoff_ns = backoff_ns_.load(relaxed);
+  stats.oom_reclaims = oom_reclaims_.load(relaxed);
+  stats.deadline_misses = deadline_misses_.load(relaxed);
+  stats.fallback_reroutes = reroutes_.load(relaxed);
+  stats.permanent_failures = permanent_failures_.load(relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, breaker] : breakers_) {
+    stats.breaker_opens += breaker->opens();
+    stats.breaker_half_opens += breaker->half_opens();
+    stats.breaker_closes += breaker->closes();
+    if (breaker->state() != CircuitBreaker::State::kClosed) {
+      stats.open_backends.push_back(name);
+    }
+  }
+  return stats;
+}
+
+void ResilienceManager::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  breakers_.clear();
+  faults_seen_.store(0, relaxed);
+  retries_.store(0, relaxed);
+  backoff_ns_.store(0, relaxed);
+  oom_reclaims_.store(0, relaxed);
+  deadline_misses_.store(0, relaxed);
+  reroutes_.store(0, relaxed);
+  permanent_failures_.store(0, relaxed);
+}
+
+}  // namespace core

@@ -1,0 +1,160 @@
+// Recovery policies shared by the scheduler, the Hybrid backend, and the
+// plan executor.
+//
+// RetryPolicy      capped exponential backoff for transient faults, plus the
+//                  reclaim budget for OutOfDeviceMemory (TrimPool + retry).
+// CircuitBreaker   per-backend health gate: N consecutive failures open the
+//                  circuit; after a cooldown counted in *denied calls* (not
+//                  wall time, so runs stay deterministic) one half-open
+//                  probe is admitted, and its outcome closes or re-opens
+//                  the circuit.
+// ResilienceManager one breaker per backend name plus process-wide
+//                  ResilienceStats counters. The Hybrid dispatcher and the
+//                  plan optimizer consult it to route cost dispatch around
+//                  unhealthy backends; the scheduler feeds it per-query
+//                  outcomes. A process-wide instance (Global()) is the
+//                  default so breaker state opened by a running query is
+//                  visible to the next plan optimization.
+#ifndef CORE_RESILIENCE_H_
+#define CORE_RESILIENCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace core {
+
+/// Retry budget + backoff curve for one query (or one operator).
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retry.
+  int max_attempts = 3;
+  /// Backoff before retry k (1-based) is min(base << (k-1), cap).
+  uint64_t backoff_base_ns = 1'000'000;  // 1 ms
+  uint64_t backoff_cap_ns = 8'000'000;   // 8 ms
+  /// TrimPool-and-retry budget per query for OutOfDeviceMemory. These
+  /// retries are not counted against max_attempts.
+  int max_reclaims = 1;
+
+  /// Backoff to sleep after the `failed_attempts`-th failed attempt.
+  uint64_t BackoffNs(int failed_attempts) const {
+    if (failed_attempts < 1 || backoff_base_ns == 0) return 0;
+    uint64_t backoff = backoff_base_ns;
+    for (int i = 1; i < failed_attempts && backoff < backoff_cap_ns; ++i) {
+      backoff <<= 1;
+    }
+    return backoff < backoff_cap_ns ? backoff : backoff_cap_ns;
+  }
+};
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that open the circuit.
+  int failure_threshold = 3;
+  /// Denied Allow() calls before one half-open probe is admitted. Counted
+  /// in calls rather than wall time so chaos runs are deterministic.
+  int open_cooldown_checks = 16;
+};
+
+/// Health gate for one backend. Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  /// True if a call may be routed to this backend right now. While open,
+  /// each denial counts toward the cooldown; the call that exhausts it is
+  /// admitted as the half-open probe.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  uint64_t opens() const;
+  uint64_t half_opens() const;
+  uint64_t closes() const;
+
+ private:
+  mutable std::mutex mu_;
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int denied_ = 0;
+  uint64_t opens_ = 0;
+  uint64_t half_opens_ = 0;
+  uint64_t closes_ = 0;
+};
+
+const char* CircuitStateName(CircuitBreaker::State state);
+
+/// Aggregate resilience counters (plain values, safe to copy around).
+struct ResilienceStats {
+  uint64_t faults_seen = 0;      ///< exceptions caught at a resilience boundary
+  uint64_t retries = 0;          ///< replays after a transient fault
+  uint64_t backoff_ns = 0;       ///< total backoff slept before retries
+  uint64_t oom_reclaims = 0;     ///< TrimPool-then-retry recoveries
+  uint64_t deadline_misses = 0;  ///< queries past their deadline
+  uint64_t fallback_reroutes = 0;  ///< ops re-routed to another backend
+  uint64_t permanent_failures = 0;  ///< queries failed after all recovery
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_half_opens = 0;
+  uint64_t breaker_closes = 0;
+  std::vector<std::string> open_backends;  ///< circuits not closed right now
+};
+
+/// One CircuitBreaker per backend name + shared ResilienceStats counters.
+/// Thread-safe; breakers are created on first touch.
+class ResilienceManager {
+ public:
+  explicit ResilienceManager(CircuitBreakerOptions breaker_options = {})
+      : breaker_options_(breaker_options) {}
+
+  /// Process-wide instance used by default everywhere.
+  static ResilienceManager& Global();
+
+  bool Allow(const std::string& backend);
+  void RecordSuccess(const std::string& backend);
+  void RecordFailure(const std::string& backend);
+  CircuitBreaker::State StateOf(const std::string& backend);
+
+  void NoteFaultSeen() { faults_seen_.fetch_add(1, relaxed); }
+  void NoteRetry(uint64_t backoff_ns) {
+    retries_.fetch_add(1, relaxed);
+    backoff_ns_.fetch_add(backoff_ns, relaxed);
+  }
+  void NoteOomReclaim() { oom_reclaims_.fetch_add(1, relaxed); }
+  void NoteDeadlineMiss() { deadline_misses_.fetch_add(1, relaxed); }
+  void NoteReroute() { reroutes_.fetch_add(1, relaxed); }
+  void NotePermanentFailure() { permanent_failures_.fetch_add(1, relaxed); }
+
+  ResilienceStats Snapshot() const;
+
+  /// Drops all breakers and zeroes the counters (tests and benches; the
+  /// process-wide instance is shared state).
+  void Reset();
+
+ private:
+  static constexpr std::memory_order relaxed = std::memory_order_relaxed;
+
+  CircuitBreaker& BreakerFor(const std::string& backend);
+
+  CircuitBreakerOptions breaker_options_;
+  mutable std::mutex mu_;  // guards breakers_ (map shape only)
+  std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+  std::atomic<uint64_t> faults_seen_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> backoff_ns_{0};
+  std::atomic<uint64_t> oom_reclaims_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> reroutes_{0};
+  std::atomic<uint64_t> permanent_failures_{0};
+};
+
+}  // namespace core
+
+#endif  // CORE_RESILIENCE_H_

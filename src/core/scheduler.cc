@@ -34,6 +34,8 @@ QueryScheduler::QueryScheduler(SchedulerOptions options)
     : options_(std::move(options)) {
   if (options_.num_clients == 0) options_.num_clients = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  resilience_ = options_.resilience != nullptr ? options_.resilience
+                                               : &ResilienceManager::Global();
 
   // Probe the backend on the construction thread: surfaces unknown-name
   // errors eagerly and lets us refuse multi-client use of backends that
@@ -57,20 +59,22 @@ QueryScheduler::QueryScheduler(SchedulerOptions options)
 
 QueryScheduler::~QueryScheduler() { Shutdown(); }
 
-uint64_t QueryScheduler::Submit(std::string label, QueryFn query) {
+ScheduledQueryStatus QueryScheduler::Submit(std::string label, QueryFn query,
+                                            uint64_t* id) {
   std::unique_lock<std::mutex> lock(mu_);
   queue_not_full_.wait(lock, [&] {
     return stop_ || queue_.size() < options_.queue_capacity;
   });
-  if (stop_) throw std::runtime_error("QueryScheduler is shut down");
+  if (stop_) return ScheduledQueryStatus::kShutDown;
   if (!saw_submit_) {
     saw_submit_ = true;
     first_submit_ = std::chrono::steady_clock::now();
   }
-  const uint64_t id = next_id_++;
-  queue_.push_back(Item{id, std::move(label), std::move(query)});
+  const uint64_t assigned = next_id_++;
+  if (id != nullptr) *id = assigned;
+  queue_.push_back(Item{assigned, std::move(label), std::move(query)});
   queue_not_empty_.notify_one();
-  return id;
+  return ScheduledQueryStatus::kAccepted;
 }
 
 bool QueryScheduler::TrySubmit(std::string label, QueryFn query,
@@ -154,6 +158,7 @@ SchedulerReport QueryScheduler::Report() const {
   for (const auto& c : client_sim_ns_) {
     r.client_simulated_ns.push_back(c->load());
   }
+  r.resilience = resilience_->Snapshot();
   return r;
 }
 
@@ -179,21 +184,68 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
     record.id = item.id;
     record.label = std::move(item.label);
     record.client = client_index;
+    const RetryPolicy& retry = options_.retry;
     const uint64_t sim_start = backend->stream().now_ns();
     const auto wall_start = std::chrono::steady_clock::now();
-    try {
-      item.fn(*backend);
-      record.ok = true;
-    } catch (const std::exception& e) {
-      record.error = e.what();
-    } catch (...) {
-      record.error = "unknown exception";
+    // Recovery loop: transient faults retry with capped exponential backoff,
+    // OutOfDeviceMemory gets TrimPool + retry (not charged against the
+    // attempt budget), fatal errors fail the query immediately. Queries are
+    // idempotent (QueryFn contract), so a replay recomputes from its inputs.
+    for (int attempt = 1;; ++attempt) {
+      record.attempts = attempt;
+      try {
+        item.fn(*backend);
+        record.ok = true;
+        record.error.clear();
+        break;
+      } catch (...) {
+        const std::exception_ptr error = std::current_exception();
+        const ErrorClass cls = Classify(error);
+        resilience_->NoteFaultSeen();
+        record.error = ErrorMessage(error);
+        record.error_class = cls;
+        const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() -
+                                      wall_start)
+                                      .count();
+        const bool within_deadline =
+            options_.deadline_ms == 0 ||
+            elapsed_ms < static_cast<double>(options_.deadline_ms);
+        if (within_deadline && cls == ErrorClass::kResource &&
+            record.oom_reclaims < retry.max_reclaims) {
+          backend->stream().device().TrimPool();
+          ++record.oom_reclaims;
+          resilience_->NoteOomReclaim();
+          continue;
+        }
+        if (within_deadline && cls == ErrorClass::kTransient &&
+            attempt < retry.max_attempts) {
+          const uint64_t backoff = retry.BackoffNs(attempt);
+          record.backoff_ns += backoff;
+          resilience_->NoteRetry(backoff);
+          if (backoff > 0) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+          }
+          continue;
+        }
+        if (!within_deadline) {
+          record.deadline_exceeded = true;
+          resilience_->NoteDeadlineMiss();
+        }
+        resilience_->NotePermanentFailure();
+        break;
+      }
     }
     const auto wall_end = std::chrono::steady_clock::now();
     record.simulated_ns = backend->stream().now_ns() - sim_start;
     record.wall_ms =
         std::chrono::duration<double, std::milli>(wall_end - wall_start)
             .count();
+    if (record.ok && options_.deadline_ms != 0 &&
+        record.wall_ms > static_cast<double>(options_.deadline_ms)) {
+      record.deadline_exceeded = true;
+      resilience_->NoteDeadlineMiss();
+    }
     client_sim_ns_[client_index]->fetch_add(record.simulated_ns);
 
     {

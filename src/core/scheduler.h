@@ -33,18 +33,35 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/error.h"
+#include "core/resilience.h"
 #include "gpusim/counters.h"
 
 namespace core {
 
 /// A unit of client work: runs against the client's private backend. The
-/// functor must not retain the Backend& beyond the call.
+/// functor must not retain the Backend& beyond the call. Queries may be
+/// re-run after a transient or resource fault, so they must be idempotent
+/// (recompute from their inputs; all TPC-H query fns are).
 using QueryFn = std::function<void(Backend&)>;
 
 struct SchedulerOptions {
   std::string backend_name;      ///< registry name (core/registry.h)
   unsigned num_clients = 1;      ///< concurrent clients, each with own stream
   size_t queue_capacity = 16;    ///< bound on queued (not yet running) queries
+  RetryPolicy retry;             ///< transient-retry / OOM-reclaim budget
+  /// Wall-clock budget per query, 0 = none. A query past its deadline gets
+  /// no further retry attempts and its record is flagged; a query that
+  /// finishes late but ok keeps ok = true.
+  uint64_t deadline_ms = 0;
+  /// Breakers + counters to report into; nullptr = ResilienceManager::Global().
+  ResilienceManager* resilience = nullptr;
+};
+
+/// Outcome of Submit(): whether the query was admitted.
+enum class ScheduledQueryStatus : uint8_t {
+  kAccepted = 0,
+  kShutDown = 1,  ///< scheduler stopped admitting; query was not enqueued
 };
 
 /// Outcome of one query.
@@ -56,6 +73,11 @@ struct QueryRecord {
   std::string error;         ///< exception message when !ok
   uint64_t simulated_ns = 0; ///< stream-timeline delta of the query
   double wall_ms = 0;        ///< host wall-clock latency
+  int attempts = 1;          ///< executions, > 1 when retried
+  ErrorClass error_class = ErrorClass::kFatal;  ///< of last failure, when !ok
+  uint64_t backoff_ns = 0;   ///< total backoff slept before retries
+  int oom_reclaims = 0;      ///< TrimPool-then-retry recoveries
+  bool deadline_exceeded = false;  ///< wall latency passed the deadline
 };
 
 /// p50/p95/p99/max over completed queries.
@@ -71,6 +93,7 @@ struct SchedulerReport {
   LatencySummary wall_ms;         ///< percentiles over wall-clock latency
   LatencySummary simulated_ms;    ///< percentiles over simulated latency
   std::vector<uint64_t> client_simulated_ns;  ///< per-client timeline totals
+  ResilienceStats resilience;     ///< retry/breaker/reclaim counters
 };
 
 /// Admits queries from any number of producer threads and executes them on
@@ -89,9 +112,11 @@ class QueryScheduler {
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
   /// Enqueues a query, blocking while the queue is at capacity
-  /// (backpressure). Returns the query id. Throws std::runtime_error after
-  /// Shutdown().
-  uint64_t Submit(std::string label, QueryFn query);
+  /// (backpressure). Returns kAccepted and (optionally) the assigned id, or
+  /// kShutDown when the scheduler has stopped admitting — a typed status, so
+  /// producers racing Shutdown() can tell "queue closed" from a failure.
+  ScheduledQueryStatus Submit(std::string label, QueryFn query,
+                              uint64_t* id = nullptr);
 
   /// Non-blocking Submit: returns false (and does not enqueue) when the
   /// queue is full or the scheduler is shut down.
@@ -126,6 +151,7 @@ class QueryScheduler {
   void ClientLoop(unsigned client_index);
 
   SchedulerOptions options_;
+  ResilienceManager* resilience_ = nullptr;  ///< never null after ctor
 
   mutable std::mutex mu_;  ///< guards queue_, in_flight_, stop_, timestamps
   std::condition_variable queue_not_full_;

@@ -5,6 +5,8 @@
 #include <functional>
 #include <string>
 
+#include "gpusim/fault.h"
+
 namespace gpusim {
 
 Device::Device(const DeviceProperties& props, unsigned host_threads)
@@ -75,10 +77,12 @@ void Device::PushFreeBlock(void* ptr, size_t block_bytes) {
 
 void Device::TrimPool() {
   size_t released = 0;
+  std::vector<void*> trimmed;
   for (auto& sc : size_classes_) {
     std::lock_guard<std::mutex> lock(sc.mu);
     const size_t block = kMinBlockBytes << (&sc - size_classes_);
     for (void* ptr : sc.blocks) {
+      trimmed.push_back(ptr);
       std::free(ptr);
       released += block;
     }
@@ -87,23 +91,43 @@ void Device::TrimPool() {
   {
     std::lock_guard<std::mutex> lock(large_mu_);
     for (auto& [size, ptr] : large_cache_) {
+      trimmed.push_back(ptr);
       std::free(ptr);
       released += size;
     }
     large_cache_.clear();
   }
   counters_.bytes_pooled.fetch_sub(released, std::memory_order_relaxed);
+  // Trimmed addresses went back to the host heap and may be re-issued by
+  // malloc; stop remembering them as "freed to pool" so a recycled address
+  // isn't misreported as a double free.
+  for (void* ptr : trimmed) {
+    PtrShard& shard = ShardFor(ptr);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.freed.erase(ptr);
+  }
 }
 
 void* Device::Allocate(size_t bytes) {
+  if (FaultInjector* injector =
+          fault_injector_.load(std::memory_order_relaxed)) {
+    const FaultKind kind = injector->Check(
+        FaultSite::kMalloc, FaultInjector::kDeviceScopeId, std::string());
+    if (kind != FaultKind::kNone) {
+      if (Tracer* t = tracer()) {
+        t->Record(TraceEvent{FaultKindName(kind), "fault", 0, 0,
+                             FaultInjector::kDeviceScopeId});
+      }
+      ThrowFault(kind, FaultSite::kMalloc);
+    }
+  }
+
   const size_t requested = bytes == 0 ? 1 : bytes;  // mirrors cudaMalloc(0)
   const size_t block = PoolBlockBytes(requested);
 
   void* ptr = PopFreeBlock(block);
-  if (ptr != nullptr) {
-    counters_.pool_hits.fetch_add(1, std::memory_order_relaxed);
-    counters_.bytes_pooled.fetch_sub(block, std::memory_order_relaxed);
-  } else {
+  const bool pool_hit = ptr != nullptr;
+  if (!pool_hit) {
     counters_.pool_misses.fetch_add(1, std::memory_order_relaxed);
     const size_t capacity = properties().global_memory_bytes;
     size_t live = bytes_live_.load(std::memory_order_relaxed);
@@ -123,10 +147,25 @@ void* Device::Allocate(size_t bytes) {
     if (ptr == nullptr) throw std::bad_alloc();
   }
 
-  {
+  // Register the pointer before touching the pooled-bytes gauge: if the
+  // table insert throws, the block is re-parked (or released) and every
+  // counter still matches the pool's actual contents.
+  try {
     PtrShard& shard = ShardFor(ptr);
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.blocks.emplace(ptr, block);
+    shard.freed.erase(ptr);
+  } catch (...) {
+    if (pool_hit) {
+      PushFreeBlock(ptr, block);  // bytes_pooled was never debited
+    } else {
+      std::free(ptr);
+    }
+    throw;
+  }
+  if (pool_hit) {
+    counters_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_pooled.fetch_sub(block, std::memory_order_relaxed);
   }
   bytes_live_.fetch_add(block, std::memory_order_relaxed);
   counters_.allocations.fetch_add(1, std::memory_order_relaxed);
@@ -142,10 +181,15 @@ void Device::Free(void* ptr) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.blocks.find(ptr);
     if (it == shard.blocks.end()) {
+      if (shard.freed.count(ptr) != 0) {
+        throw std::invalid_argument(
+            "Device::Free: double free (pointer already returned to pool)");
+      }
       throw std::invalid_argument("Device::Free of unknown pointer");
     }
     block = it->second;
     shard.blocks.erase(it);
+    shard.freed.insert(ptr);
   }
   bytes_live_.fetch_sub(block, std::memory_order_relaxed);
   PushFreeBlock(ptr, block);

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "gpusim/cost_model.h"
@@ -33,6 +34,8 @@
 #include "gpusim/trace.h"
 
 namespace gpusim {
+
+class FaultInjector;
 
 /// Thrown when a simulated allocation exceeds the device's global memory.
 class OutOfDeviceMemory : public std::runtime_error {
@@ -111,6 +114,17 @@ class Device {
     return next_stream_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Attaches (or detaches with nullptr) a fault injector; not owned, and it
+  /// must outlive the attachment. The instrumented paths — Allocate plus the
+  /// stream charge paths — consult it with a single relaxed load, so the
+  /// detached hot path pays one branch and nothing else.
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_relaxed);
+  }
+
  private:
   // 256 B .. 4 MiB inclusive, one class per power of two.
   static constexpr size_t kNumSizeClasses = 15;
@@ -126,9 +140,13 @@ class Device {
 
   /// Live-pointer tables, sharded by pointer hash to keep OwnsPointer / Free
   /// lookups off a single global lock. Maps pointer -> reserved block bytes.
+  /// `freed` remembers pointers currently parked in the pool's free lists so
+  /// Free() can distinguish a double free from a pointer this device never
+  /// allocated; entries leave the set when the block is reused or trimmed.
   struct PtrShard {
     mutable std::mutex mu;
     std::unordered_map<const void*, size_t> blocks;
+    std::unordered_set<const void*> freed;
   };
 
   static size_t SizeClassIndex(size_t block_bytes);
@@ -145,6 +163,7 @@ class Device {
   mutable PtrShard ptr_shards_[kNumPtrShards];
   std::atomic<size_t> bytes_live_{0};
   std::atomic<Tracer*> tracer_{nullptr};
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
   std::atomic<uint64_t> next_stream_id_{0};
 };
 

@@ -1,0 +1,176 @@
+#include "gpusim/fault.h"
+
+#include <string>
+
+#include "gpusim/device.h"
+
+namespace gpusim {
+namespace {
+
+// SplitMix64: tiny, well-mixed generator; one state word per stream keeps
+// probability draws independent of other streams' call interleavings.
+uint64_t NextRandom(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double NextUniform(uint64_t& state) {
+  return static_cast<double>(NextRandom(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kMalloc:
+      return "malloc";
+    case FaultSite::kKernel:
+      return "kernel";
+    case FaultSite::kTransfer:
+      return "transfer";
+  }
+  return "unknown";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransientKernel:
+      return "transient_kernel_fault";
+    case FaultKind::kTransfer:
+      return "transfer_fault";
+    case FaultKind::kOutOfMemory:
+      return "out_of_device_memory";
+    case FaultKind::kDeviceLost:
+      return "device_lost";
+  }
+  return "unknown";
+}
+
+void ThrowFault(FaultKind kind, FaultSite site) {
+  const std::string where = FaultSiteName(site);
+  switch (kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kTransientKernel:
+      throw TransientKernelFault("injected transient kernel fault at " +
+                                 where);
+    case FaultKind::kTransfer:
+      throw TransferFault("injected transfer fault at " + where);
+    case FaultKind::kOutOfMemory:
+      throw OutOfDeviceMemory("injected device OOM at " + where);
+    case FaultKind::kDeviceLost:
+      throw DeviceLost("injected device lost at " + where);
+  }
+}
+
+size_t FaultInjector::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(rule);
+  rule_fires_.push_back(0);
+  return rules_.size() - 1;
+}
+
+FaultKind FaultInjector::Check(FaultSite site, uint64_t stream_id,
+                               const std::string& stream_label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.checks;
+
+  // Sticky loss: once a label (or the whole device) is gone it stays gone.
+  if (device_lost_ ||
+      (!stream_label.empty() && lost_labels_.count(stream_label) != 0)) {
+    ++stats_.sticky_replays;
+    return FaultKind::kDeviceLost;
+  }
+
+  StreamState& st = streams_[stream_id];
+  if (!st.rng_seeded) {
+    st.rng = seed_ ^ (stream_id * 0xD6E8FEB86659FD93ull);
+    st.rng_seeded = true;
+  }
+
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& r = rules_[i];
+    if (r.site != site) continue;
+    if (!r.stream_label.empty() && r.stream_label != stream_label) continue;
+    const uint64_t calls = ++st.calls[i];
+    if (r.max_fires >= 0 &&
+        rule_fires_[i] >= static_cast<uint64_t>(r.max_fires)) {
+      continue;
+    }
+    bool fire = false;
+    if (r.at_call != 0) {
+      fire = calls == r.at_call;
+    } else if (r.every_calls != 0) {
+      fire = calls % r.every_calls == 0;
+    } else if (r.probability > 0.0) {
+      fire = NextUniform(st.rng) < r.probability;
+    }
+    if (!fire) continue;
+
+    ++rule_fires_[i];
+    switch (r.kind) {
+      case FaultKind::kTransientKernel:
+        ++stats_.injected_kernel;
+        break;
+      case FaultKind::kTransfer:
+        ++stats_.injected_transfer;
+        break;
+      case FaultKind::kOutOfMemory:
+        ++stats_.injected_oom;
+        break;
+      case FaultKind::kDeviceLost:
+        ++stats_.injected_device_lost;
+        if (r.stream_label.empty()) {
+          device_lost_ = true;
+        } else {
+          lost_labels_.insert(r.stream_label);
+        }
+        break;
+      case FaultKind::kNone:
+        break;
+    }
+    InjectedFault event;
+    event.site = site;
+    event.kind = r.kind;
+    event.stream_id = stream_id;
+    event.stream_label = stream_label;
+    event.call_index = calls;
+    event.rule = i;
+    log_.push_back(std::move(event));
+    return r.kind;
+  }
+  return FaultKind::kNone;
+}
+
+bool FaultInjector::IsLost(const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (device_lost_) return true;
+  return !label.empty() && lost_labels_.count(label) != 0;
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<InjectedFault> FaultInjector::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t& fires : rule_fires_) fires = 0;
+  streams_.clear();
+  lost_labels_.clear();
+  device_lost_ = false;
+  log_.clear();
+  stats_ = FaultInjectorStats{};
+}
+
+}  // namespace gpusim

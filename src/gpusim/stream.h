@@ -13,6 +13,7 @@
 #include <unordered_set>
 
 #include "gpusim/device.h"
+#include "gpusim/fault.h"
 
 namespace gpusim {
 
@@ -34,11 +35,18 @@ class Stream {
   Device& device() { return device_; }
   const ApiProfile& profile() const { return profile_; }
 
+  /// Free-form owner tag, set by backends to their registry name. Fault
+  /// rules scope on it, so one backend's streams can fail while others stay
+  /// healthy (see gpusim/fault.h).
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
   /// Simulated time elapsed on this stream since construction.
   uint64_t now_ns() const { return timeline_ns_; }
 
   /// Charges a kernel launch to the stream and device counters.
   void ChargeKernel(const KernelStats& stats) {
+    CheckFault(FaultSite::kKernel);
     const uint64_t t = device_.cost_model().KernelTime(stats, profile_);
     Trace(stats.name, "kernel", t);
     Advance(t);
@@ -51,6 +59,7 @@ class Stream {
   /// Charges an explicit host<->device transfer.
   enum class TransferKind { kHostToDevice, kDeviceToHost, kDeviceToDevice };
   void ChargeTransfer(TransferKind kind, uint64_t bytes) {
+    CheckFault(FaultSite::kTransfer);
     auto& c = device_.counters();
     uint64_t t = 0;
     switch (kind) {
@@ -102,6 +111,18 @@ class Stream {
   void Synchronize() {}
 
  private:
+  // Fires before the command is priced or charged, so a faulted call leaves
+  // the stream's timeline untouched and a replay charges it exactly once.
+  // With no injector attached this is one relaxed load and a branch.
+  void CheckFault(FaultSite site) {
+    FaultInjector* injector = device_.fault_injector();
+    if (injector == nullptr) return;
+    const FaultKind kind = injector->Check(site, id_, label_);
+    if (kind == FaultKind::kNone) return;
+    Trace(FaultKindName(kind), "fault", 0);
+    ThrowFault(kind, site);
+  }
+
   void Advance(uint64_t ns) {
     timeline_ns_ += ns;
     device_.counters().simulated_ns.fetch_add(ns, std::memory_order_relaxed);
@@ -118,6 +139,7 @@ class Stream {
   ApiProfile profile_;
   uint64_t id_ = 0;
   uint64_t timeline_ns_ = 0;
+  std::string label_;
 };
 
 }  // namespace gpusim

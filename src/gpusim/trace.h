@@ -19,7 +19,7 @@ namespace gpusim {
 /// One traced device command.
 struct TraceEvent {
   std::string name;
-  const char* category = "kernel";  ///< "kernel" | "transfer" | "compile"
+  const char* category = "kernel";  ///< "kernel"|"transfer"|"compile"|"fault"
   uint64_t start_ns = 0;            ///< stream-relative simulated time
   uint64_t duration_ns = 0;
   uint64_t stream_id = 0;

@@ -1,12 +1,15 @@
 #include "plan/executor.h"
 
+#include <exception>
 #include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
 
 #include "backends/common.h"
+#include "core/error.h"
 #include "core/registry.h"
+#include "core/resilience.h"
 #include "gpusim/algorithms.h"
 #include "gpusim/kernel.h"
 #include "handwritten/handwritten.h"
@@ -53,7 +56,7 @@ class Executor {
   /// `pinned`: run everything there. Null: hybrid mode, backends come from
   /// the registry per the plan's dispatch.
   Executor(const PhysicalPlan& phys, core::Backend* pinned)
-      : phys_(phys), pinned_(pinned) {
+      : phys_(phys), pinned_(pinned), assigned_(phys.node_backend) {
     result_.values.resize(phys.plan.nodes.size());
   }
 
@@ -72,13 +75,7 @@ class Executor {
         value.skipped = true;
         continue;
       }
-      core::Backend& backend = BackendFor(i);
-      gpusim::Stream& stream = backend.stream();
-      const uint64_t t0 = stream.now_ns();
-      value.boundary_ns = ChargeBoundaries(i, node, backend);
-      Execute(i, node, backend, value);
-      value.computed = true;
-      value.measured_ns = stream.now_ns() - t0;
+      RunNode(i, node, value);
       result_.total_ns += value.measured_ns;
     }
     return std::move(result_);
@@ -128,13 +125,7 @@ class Executor {
 
   // -- Backend resolution & boundary pricing --------------------------------
 
-  core::Backend& BackendFor(size_t i) {
-    if (pinned_ != nullptr) return *pinned_;
-    const std::string& name = phys_.node_backend[i];
-    if (name.empty()) {
-      throw std::logic_error("plan: node " + std::to_string(i) +
-                             " has no backend assignment");
-    }
+  core::Backend& BackendByName(const std::string& name) {
     auto it = backends_.find(name);
     if (it == backends_.end()) {
       it = backends_
@@ -144,8 +135,20 @@ class Executor {
     return *it->second;
   }
 
+  core::Backend& BackendFor(size_t i) {
+    if (pinned_ != nullptr) return *pinned_;
+    const std::string& name = assigned_[i];
+    if (name.empty()) {
+      throw std::logic_error("plan: node " + std::to_string(i) +
+                             " has no backend assignment");
+    }
+    return BackendByName(name);
+  }
+
   /// In hybrid mode, charges a device-to-device copy on `backend`'s stream
   /// for every input materialized by a differently-assigned backend.
+  /// Consults the *effective* assignment, so a node that fell back to
+  /// another backend prices boundaries against where its inputs really live.
   uint64_t ChargeBoundaries(size_t i, const PlanNode& node,
                             core::Backend& backend) {
     if (pinned_ != nullptr) return 0;
@@ -154,12 +157,86 @@ class Executor {
     for (const NodeInput& in : NodeInputs(node)) {
       if (in.node < 0) continue;
       if (phys_.plan.nodes[in.node].kind == NodeKind::kScan) continue;
-      const std::string& producer = phys_.node_backend[in.node];
-      if (producer.empty() || producer == phys_.node_backend[i]) continue;
+      const std::string& producer = assigned_[in.node];
+      if (producer.empty() || producer == assigned_[i]) continue;
       stream.ChargeTransfer(gpusim::Stream::TransferKind::kDeviceToDevice,
                             Col(in).byte_size());
     }
     return stream.now_ns() - t0;
+  }
+
+  // -- Resilient node execution ---------------------------------------------
+
+  /// A fallback candidate must actually be able to run the node: a join
+  /// already resolved to the hash algorithm needs hash-join support (kAuto
+  /// re-resolves per backend, and fused nodes run raw on any stream).
+  bool CanRun(const std::string& name, const PlanNode& node) {
+    if (node.kind == NodeKind::kJoin && node.join_algo == JoinAlgo::kHash) {
+      return BackendByName(name)
+                 .Realization(core::DbOperator::kHashJoin)
+                 .level != core::SupportLevel::kNone;
+    }
+    return true;
+  }
+
+  /// Executes one node with recovery: transient faults replay the node on
+  /// the same backend (up to the retry budget), device OOM trims the pool
+  /// and retries once, and a fatal failure feeds the backend's circuit
+  /// breaker and — in hybrid mode — falls the node back to the next capable
+  /// dispatch candidate. Simulated time of failed attempts stays charged
+  /// (the device really spent it), accumulated into measured_ns.
+  void RunNode(size_t i, const PlanNode& node, NodeValue& value) {
+    core::ResilienceManager& rm = core::ResilienceManager::Global();
+    std::exception_ptr last_error;
+    std::vector<std::string> fallbacks;
+    size_t next_fallback = 0;
+    bool enumerated = false;
+    for (;;) {
+      core::Backend& backend = BackendFor(i);
+      gpusim::Stream& stream = backend.stream();
+      bool reclaimed = false;
+      bool fatal = false;
+      for (int attempt = 1; !fatal; ++attempt) {
+        const uint64_t t0 = stream.now_ns();
+        try {
+          value.boundary_ns += ChargeBoundaries(i, node, backend);
+          Execute(i, node, backend, value);
+          value.computed = true;
+          value.measured_ns += stream.now_ns() - t0;
+          if (pinned_ == nullptr) rm.RecordSuccess(assigned_[i]);
+          return;
+        } catch (...) {
+          value.measured_ns += stream.now_ns() - t0;
+          last_error = std::current_exception();
+          const core::ErrorClass cls = core::Classify(last_error);
+          rm.NoteFaultSeen();
+          if (cls == core::ErrorClass::kTransient &&
+              attempt < retry_.max_attempts) {
+            rm.NoteRetry(0);  // node replay; backoff is the scheduler's job
+            continue;
+          }
+          if (cls == core::ErrorClass::kResource && !reclaimed) {
+            reclaimed = true;
+            stream.device().TrimPool();
+            rm.NoteOomReclaim();
+            continue;
+          }
+          fatal = true;
+        }
+      }
+      if (pinned_ != nullptr) break;  // pinned runs never re-route
+      rm.RecordFailure(assigned_[i]);
+      if (!enumerated) {
+        enumerated = true;
+        for (const std::string& c : phys_.candidates) {
+          if (c != assigned_[i] && CanRun(c, node)) fallbacks.push_back(c);
+        }
+      }
+      if (next_fallback >= fallbacks.size()) break;
+      assigned_[i] = fallbacks[next_fallback++];
+      rm.NoteReroute();
+    }
+    std::rethrow_exception(last_error);
   }
 
   // -- Node execution -------------------------------------------------------
@@ -372,6 +449,11 @@ class Executor {
 
   const PhysicalPlan& phys_;
   core::Backend* pinned_;
+  /// Effective per-node backend: starts as the optimizer's assignment and is
+  /// updated when a node falls back, so boundary pricing and downstream
+  /// consumers see where values were actually materialized.
+  std::vector<std::string> assigned_;
+  core::RetryPolicy retry_;
   std::map<std::string, std::unique_ptr<core::Backend>> backends_;
   ExecutionResult result_;
 };
@@ -389,6 +471,18 @@ ExecutionResult RunHybrid(const PhysicalPlan& plan) {
 core::QueryFn MakePlanQuery(std::shared_ptr<const PhysicalPlan> plan) {
   return [plan = std::move(plan)](core::Backend& backend) {
     RunPinned(*plan, backend);
+  };
+}
+
+core::QueryFn MakeAdaptivePlanQuery(std::shared_ptr<const Plan> logical,
+                                    OptimizerOptions options) {
+  return [logical = std::move(logical),
+          options = std::move(options)](core::Backend& backend) {
+    // Re-optimize per execution: with route_around_open_breakers set, a
+    // backend whose breaker opened after planning gets no nodes assigned.
+    PhysicalPlan phys = Optimize(*logical, options);
+    ExecutionResult r = RunHybrid(phys);
+    backend.stream().ChargeOverhead(r.total_ns);
   };
 }
 

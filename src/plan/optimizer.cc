@@ -406,13 +406,33 @@ class Dispatcher {
       }
 
       std::vector<std::string> cands;
-      if (node.kind == NodeKind::kFusedMap ||
-          node.kind == NodeKind::kFusedFilterSum) {
-        cands = {"Handwritten"};
-      } else if (!opts_.pin_backend.empty()) {
+      const bool fused = node.kind == NodeKind::kFusedMap ||
+                         node.kind == NodeKind::kFusedFilterSum;
+      if (!opts_.pin_backend.empty()) {
         cands = {opts_.pin_backend};
       } else {
-        cands = opts_.candidates;
+        // Fused nodes carry the handwritten kernels but execute raw on the
+        // assigned backend's stream, so any candidate can host them when
+        // the handwritten streams are unhealthy.
+        cands = fused ? std::vector<std::string>{"Handwritten"}
+                      : opts_.candidates;
+        if (opts_.route_around_open_breakers) {
+          // Skip candidates whose circuit breaker denies traffic; with all
+          // breakers closed this is a no-op and dispatch is unchanged.
+          core::ResilienceManager& rm =
+              opts_.resilience != nullptr ? *opts_.resilience
+                                          : core::ResilienceManager::Global();
+          std::vector<std::string> healthy;
+          for (const std::string& c : cands) {
+            if (rm.Allow(c)) healthy.push_back(c);
+          }
+          if (healthy.empty() && fused) {
+            for (const std::string& c : opts_.candidates) {
+              if (rm.Allow(c)) healthy.push_back(c);
+            }
+          }
+          if (!healthy.empty()) cands = std::move(healthy);
+        }
       }
 
       std::string best;
@@ -547,6 +567,7 @@ PhysicalPlan Optimize(const Plan& logical, const OptimizerOptions& options,
     }
   }
 
+  if (phys.hybrid) phys.candidates = options.candidates;
   MergeFilterChains(phys.plan);
   if (phys.hybrid && options.enable_fusion) ApplyFusion(phys.plan);
   phys.est_rows = EstimateRows(phys.plan);

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/resilience.h"
 #include "plan/cost_estimator.h"
 #include "plan/ir.h"
 
@@ -43,6 +44,15 @@ struct OptimizerOptions {
   /// Dispatch candidates in preference (tie-break) order.
   std::vector<std::string> candidates = {"Handwritten", "Thrust", "ArrayFire",
                                          "Boost.Compute"};
+
+  /// Hybrid dispatch skips candidates whose circuit breaker denies traffic
+  /// (unless every candidate is denied — then the full list is used). With
+  /// all breakers closed the assignment is identical to ignoring breakers,
+  /// so fault-free plans stay deterministic.
+  bool route_around_open_breakers = true;
+
+  /// Breaker source; nullptr = core::ResilienceManager::Global().
+  core::ResilienceManager* resilience = nullptr;
 };
 
 /// An optimized plan: the rewritten node list plus per-node backend
@@ -52,6 +62,10 @@ struct PhysicalPlan {
   Plan plan;
   bool hybrid = false;
   std::vector<std::string> node_backend;
+  /// Dispatch candidates the plan was optimized over (hybrid mode); the
+  /// executor uses them as fallback targets when an assigned backend fails
+  /// fatally at run time.
+  std::vector<std::string> candidates;
   std::vector<uint64_t> est_ns;           ///< operator + boundary estimate
   std::vector<uint64_t> est_boundary_ns;  ///< boundary share of est_ns
   std::vector<size_t> est_rows;           ///< estimated output cardinality

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -104,6 +105,59 @@ TEST(DevicePoolTest, DoubleFreeThrows) {
   void* a = device.Allocate(256);
   device.Free(a);
   EXPECT_THROW(device.Free(a), std::invalid_argument);
+}
+
+TEST(DevicePoolTest, DoubleFreeIsDistinguishedFromUnknownPointer) {
+  Device device;
+  void* a = device.Allocate(256);
+  device.Free(a);
+  // A pointer still parked in the pool is a double free, not a foreign
+  // pointer — the two bugs get distinct messages.
+  try {
+    device.Free(a);
+    FAIL() << "double free did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("double free"), std::string::npos)
+        << e.what();
+  }
+  int local = 0;
+  try {
+    device.Free(&local);
+    FAIL() << "foreign free did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown pointer"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DevicePoolTest, ReallocatedBlockFreesCleanlyAgain) {
+  Device device;
+  void* a = device.Allocate(256);
+  device.Free(a);
+  // Reusing the parked block clears its double-free marker: the second
+  // lifetime must free without complaint.
+  void* b = device.Allocate(256);
+  EXPECT_EQ(a, b);
+  device.Free(b);
+  EXPECT_THROW(device.Free(b), std::invalid_argument);
+}
+
+TEST(DevicePoolTest, TrimmedPointerReportsUnknownNotDoubleFree) {
+  Device device;
+  void* a = device.Allocate(256);
+  device.Free(a);
+  device.TrimPool();
+  // After the trim the block is returned to the host allocator; freeing it
+  // again is indistinguishable from a foreign pointer.
+  try {
+    device.Free(a);
+    FAIL() << "free after trim did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown pointer"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(DevicePoolTest, PooledBytesCountAgainstCapacity) {

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "core/registry.h"
+#include "core/resilience.h"
 #include "core/scheduler.h"
 #include "gpusim/device.h"
+#include "gpusim/fault.h"
 #include "plan/executor.h"
 #include "plan/optimizer.h"
 #include "plan/tpch_plans.h"
@@ -416,6 +418,99 @@ TEST_F(PlanTest, PlanQueryRunsThroughScheduler) {
     EXPECT_TRUE(r.ok) << r.error;
     EXPECT_EQ(r.simulated_ns, direct_ns);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: fallback execution and breaker-aware re-planning
+// ---------------------------------------------------------------------------
+
+/// Detaches the injector and clears global breaker state on every exit path
+/// so a failing assertion cannot poison the other plan tests.
+class PlanResilienceTest : public PlanTest {
+ protected:
+  void SetUp() override {
+    gpusim::Device::Default().set_fault_injector(nullptr);
+    core::ResilienceManager::Global().Reset();
+  }
+  void TearDown() override {
+    gpusim::Device::Default().set_fault_injector(nullptr);
+    core::ResilienceManager::Global().Reset();
+  }
+};
+
+TEST_F(PlanResilienceTest, ExecutorFallsBackWhenABackendDiesMidPlan) {
+  const plan::QueryPlanBundle bundle = plan::BuildQ6Plan(*lineitem_);
+  const plan::PhysicalPlan phys =
+      plan::Optimize(bundle.plan, plan::OptimizerOptions());
+  ASSERT_TRUE(phys.hybrid);
+  ASSERT_FALSE(phys.candidates.empty());
+
+  // Expected answer, computed before any fault is armed.
+  auto reference = core::BackendRegistry::Instance().Create("Handwritten");
+  const double expected = tpch::RunQ6(*reference, *lineitem_);
+
+  // Kill the dominant backend: every node dispatched there loses its device
+  // on the first kernel and must fall back to the next candidate.
+  gpusim::FaultInjector injector(17);
+  gpusim::FaultRule rule;
+  rule.site = gpusim::FaultSite::kKernel;
+  rule.kind = gpusim::FaultKind::kDeviceLost;
+  rule.stream_label = "Handwritten";
+  rule.at_call = 1;
+  injector.AddRule(rule);
+  gpusim::Device::Default().set_fault_injector(&injector);
+
+  // Three runs: enough fatal failures to trip the default breaker.
+  for (int round = 0; round < 3; ++round) {
+    const plan::ExecutionResult res = plan::RunHybrid(phys);
+    ExpectNear(plan::ExtractQ6(bundle, res), expected);
+  }
+  gpusim::Device::Default().set_fault_injector(nullptr);
+
+  core::ResilienceManager& rm = core::ResilienceManager::Global();
+  const core::ResilienceStats stats = rm.Snapshot();
+  EXPECT_GT(injector.stats().injected_device_lost, 0u);
+  EXPECT_GE(stats.fallback_reroutes, 3u);
+  EXPECT_EQ(rm.StateOf("Handwritten"), core::CircuitBreaker::State::kOpen);
+
+  // Re-optimizing now routes around the open breaker: no node is assigned
+  // to the dead backend, and the plan still answers correctly.
+  const plan::PhysicalPlan rerouted =
+      plan::Optimize(bundle.plan, plan::OptimizerOptions());
+  for (const std::string& b : rerouted.node_backend) {
+    EXPECT_NE(b, "Handwritten");
+  }
+  ExpectNear(plan::ExtractQ6(bundle, plan::RunHybrid(rerouted)), expected);
+
+  // Opting out of breaker-aware dispatch restores the original assignment.
+  plan::OptimizerOptions ignore;
+  ignore.route_around_open_breakers = false;
+  const plan::PhysicalPlan original = plan::Optimize(bundle.plan, ignore);
+  EXPECT_EQ(original.node_backend, phys.node_backend);
+}
+
+TEST_F(PlanResilienceTest, AdaptivePlanQueryReplansAroundOpenBreaker) {
+  const plan::QueryPlanBundle bundle = plan::BuildQ6Plan(*lineitem_);
+  auto logical = std::make_shared<const plan::Plan>(bundle.plan);
+
+  // Open the dominant backend's breaker by hand: the adaptive query must
+  // still succeed because each execution re-optimizes against breaker
+  // state instead of replaying the stale assignment.
+  core::ResilienceManager& rm = core::ResilienceManager::Global();
+  for (int i = 0; i < 3; ++i) rm.RecordFailure("Handwritten");
+  ASSERT_EQ(rm.StateOf("Handwritten"), core::CircuitBreaker::State::kOpen);
+
+  core::SchedulerOptions sched_opts;
+  sched_opts.backend_name = "Thrust";
+  sched_opts.num_clients = 1;
+  core::QueryScheduler scheduler(sched_opts);
+  scheduler.Submit("adaptive/q6", plan::MakeAdaptivePlanQuery(logical));
+  scheduler.Drain();
+
+  const auto records = scheduler.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].ok) << records[0].error;
+  EXPECT_GT(records[0].simulated_ns, 0u);
 }
 
 }  // namespace

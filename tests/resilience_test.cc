@@ -1,0 +1,543 @@
+// Resilience-layer tests: retry/backoff policy math, the circuit-breaker
+// state machine, fault-injector determinism, the error taxonomy, and the
+// scheduler's recovery behavior (transient retry, OOM reclaim, deadlines,
+// typed shutdown status) plus Hybrid's breaker-driven fallback. Built into
+// the concurrency_tests binary, which CI also runs under ThreadSanitizer —
+// the multi-client chaos sweep at the bottom is the data-race canary for
+// the whole fault path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backends/backends.h"
+#include "core/error.h"
+#include "core/registry.h"
+#include "core/resilience.h"
+#include "core/scheduler.h"
+#include "gpusim/device.h"
+#include "gpusim/fault.h"
+#include "gpusim/stream.h"
+#include "storage/device_column.h"
+
+namespace core {
+namespace {
+
+using gpusim::Device;
+using gpusim::FaultInjector;
+using gpusim::FaultKind;
+using gpusim::FaultRule;
+using gpusim::FaultSite;
+
+/// Detaches the injector and resets the global resilience manager on every
+/// exit path, so a failing assertion cannot poison later tests.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterBuiltinBackends();
+    Device::Default().set_fault_injector(nullptr);
+    ResilienceManager::Global().Reset();
+  }
+
+  void TearDown() override {
+    Device::Default().set_fault_injector(nullptr);
+    ResilienceManager::Global().Reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Policy math
+// ---------------------------------------------------------------------------
+
+TEST_F(ResilienceTest, RetryPolicyBackoffDoublesUpToCap) {
+  RetryPolicy p;  // base 1 ms, cap 8 ms
+  EXPECT_EQ(p.BackoffNs(0), 0u);
+  EXPECT_EQ(p.BackoffNs(1), 1'000'000u);
+  EXPECT_EQ(p.BackoffNs(2), 2'000'000u);
+  EXPECT_EQ(p.BackoffNs(3), 4'000'000u);
+  EXPECT_EQ(p.BackoffNs(4), 8'000'000u);
+  EXPECT_EQ(p.BackoffNs(20), 8'000'000u);  // capped, no overflow
+  p.backoff_base_ns = 0;
+  EXPECT_EQ(p.BackoffNs(3), 0u);
+}
+
+TEST_F(ResilienceTest, CircuitBreakerOpensProbesAndRecovers) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 2;
+  opts.open_cooldown_checks = 3;
+  CircuitBreaker b(opts);
+
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.Allow());
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.opens(), 1u);
+
+  // Two denials, then the exhausting call is admitted as the probe.
+  EXPECT_FALSE(b.Allow());
+  EXPECT_FALSE(b.Allow());
+  EXPECT_TRUE(b.Allow());
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+
+  // A failing probe re-opens.
+  b.RecordFailure();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.opens(), 2u);
+
+  // A succeeding probe closes.
+  EXPECT_FALSE(b.Allow());
+  EXPECT_FALSE(b.Allow());
+  EXPECT_TRUE(b.Allow());
+  b.RecordSuccess();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.closes(), 1u);
+  EXPECT_EQ(b.half_opens(), 2u);
+  EXPECT_TRUE(b.Allow());
+}
+
+TEST_F(ResilienceTest, SuccessResetsConsecutiveFailureCount) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 3;
+  CircuitBreaker b(opts);
+  for (int round = 0; round < 5; ++round) {
+    b.RecordFailure();
+    b.RecordFailure();
+    b.RecordSuccess();  // never three in a row
+  }
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.opens(), 0u);
+}
+
+TEST_F(ResilienceTest, ClassifyMapsTheFaultTaxonomy) {
+  EXPECT_EQ(Classify(std::make_exception_ptr(
+                gpusim::TransientKernelFault("k"))),
+            ErrorClass::kTransient);
+  EXPECT_EQ(Classify(std::make_exception_ptr(gpusim::TransferFault("t"))),
+            ErrorClass::kTransient);
+  EXPECT_EQ(Classify(std::make_exception_ptr(gpusim::OutOfDeviceMemory("o"))),
+            ErrorClass::kResource);
+  EXPECT_EQ(Classify(std::make_exception_ptr(gpusim::DeviceLost("d"))),
+            ErrorClass::kFatal);
+  EXPECT_EQ(Classify(std::make_exception_ptr(std::runtime_error("x"))),
+            ErrorClass::kFatal);
+  EXPECT_EQ(Classify(std::make_exception_ptr(
+                BackendError(ErrorClass::kResource, "capacity"))),
+            ErrorClass::kResource);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector
+// ---------------------------------------------------------------------------
+
+TEST_F(ResilienceTest, InjectorCountTriggersFireExactly) {
+  FaultInjector inj(1);
+  FaultRule at3;
+  at3.site = FaultSite::kKernel;
+  at3.kind = FaultKind::kTransientKernel;
+  at3.at_call = 3;
+  inj.AddRule(at3);
+  FaultRule every2;
+  every2.site = FaultSite::kTransfer;
+  every2.kind = FaultKind::kTransfer;
+  every2.every_calls = 2;
+  every2.max_fires = 2;
+  inj.AddRule(every2);
+
+  std::vector<FaultKind> kernel_fires;
+  for (int i = 0; i < 6; ++i) {
+    kernel_fires.push_back(inj.Check(FaultSite::kKernel, 1, "s"));
+  }
+  EXPECT_EQ(kernel_fires, (std::vector<FaultKind>{
+                              FaultKind::kNone, FaultKind::kNone,
+                              FaultKind::kTransientKernel, FaultKind::kNone,
+                              FaultKind::kNone, FaultKind::kNone}));
+
+  // every_calls fires on calls 2 and 4, then max_fires stops it.
+  std::vector<FaultKind> transfer_fires;
+  for (int i = 0; i < 8; ++i) {
+    transfer_fires.push_back(inj.Check(FaultSite::kTransfer, 1, "s"));
+  }
+  EXPECT_EQ(transfer_fires[1], FaultKind::kTransfer);
+  EXPECT_EQ(transfer_fires[3], FaultKind::kTransfer);
+  for (size_t i : {0u, 2u, 4u, 5u, 6u, 7u}) {
+    EXPECT_EQ(transfer_fires[i], FaultKind::kNone) << i;
+  }
+
+  const gpusim::FaultInjectorStats s = inj.stats();
+  EXPECT_EQ(s.injected_kernel, 1u);
+  EXPECT_EQ(s.injected_transfer, 2u);
+  EXPECT_EQ(s.injected_total(), 3u);
+  EXPECT_EQ(s.checks, 14u);
+  ASSERT_EQ(inj.log().size(), 3u);
+  EXPECT_EQ(inj.log()[0].rule, 0u);
+  EXPECT_EQ(inj.log()[0].call_index, 3u);
+
+  // Counts are per stream: a different stream id starts fresh.
+  EXPECT_EQ(inj.Check(FaultSite::kKernel, 2, "s"), FaultKind::kNone);
+
+  // Reset clears trigger state but keeps the rules.
+  inj.Reset();
+  EXPECT_EQ(inj.stats().injected_total(), 0u);
+  EXPECT_EQ(inj.log().size(), 0u);
+  inj.Check(FaultSite::kKernel, 1, "s");
+  inj.Check(FaultSite::kKernel, 1, "s");
+  EXPECT_EQ(inj.Check(FaultSite::kKernel, 1, "s"),
+            FaultKind::kTransientKernel);
+}
+
+TEST_F(ResilienceTest, InjectorProbabilityIsAPureFunctionOfSeedAndStream) {
+  const auto draw = [](uint64_t seed, uint64_t stream_id) {
+    FaultInjector inj(seed);
+    FaultRule r;
+    r.site = FaultSite::kKernel;
+    r.kind = FaultKind::kTransientKernel;
+    r.probability = 0.3;
+    inj.AddRule(r);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(inj.Check(FaultSite::kKernel, stream_id, "") !=
+                      FaultKind::kNone);
+    }
+    return fires;
+  };
+  const std::vector<bool> a = draw(7, 1);
+  EXPECT_EQ(a, draw(7, 1));       // same seed+stream: identical schedule
+  EXPECT_NE(a, draw(8, 1));       // seed changes the schedule
+  EXPECT_NE(a, draw(7, 2));       // so does the stream identity
+  const size_t fired = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fired, 20u);  // ~60 expected of 200
+  EXPECT_LT(fired, 140u);
+}
+
+TEST_F(ResilienceTest, StickyDeviceLostIsScopedToTheLabel) {
+  FaultInjector inj(3);
+  FaultRule r;
+  r.site = FaultSite::kKernel;
+  r.kind = FaultKind::kDeviceLost;
+  r.stream_label = "victim";
+  r.at_call = 2;
+  inj.AddRule(r);
+
+  EXPECT_EQ(inj.Check(FaultSite::kKernel, 1, "victim"), FaultKind::kNone);
+  EXPECT_EQ(inj.Check(FaultSite::kKernel, 1, "victim"),
+            FaultKind::kDeviceLost);
+  EXPECT_TRUE(inj.IsLost("victim"));
+  EXPECT_FALSE(inj.IsLost("healthy"));
+  // Sticky: every later check from the label replays the loss, at any site.
+  EXPECT_EQ(inj.Check(FaultSite::kTransfer, 9, "victim"),
+            FaultKind::kDeviceLost);
+  EXPECT_GT(inj.stats().sticky_replays, 0u);
+  // Other labels keep working.
+  EXPECT_EQ(inj.Check(FaultSite::kKernel, 1, "healthy"), FaultKind::kNone);
+  inj.Reset();
+  EXPECT_FALSE(inj.IsLost("victim"));
+}
+
+TEST_F(ResilienceTest, InjectedMallocOomIsIndistinguishableFromCapacityMiss) {
+  Device device;
+  FaultInjector inj(5);
+  FaultRule r;
+  r.site = FaultSite::kMalloc;
+  r.kind = FaultKind::kOutOfMemory;
+  r.at_call = 1;
+  inj.AddRule(r);
+  device.set_fault_injector(&inj);
+  EXPECT_THROW(device.Allocate(256), gpusim::OutOfDeviceMemory);
+  device.set_fault_injector(nullptr);
+  // The faulted call left no accounting residue.
+  EXPECT_EQ(device.bytes_in_use(), 0u);
+  void* p = device.Allocate(256);
+  EXPECT_NE(p, nullptr);
+  device.Free(p);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler recovery
+// ---------------------------------------------------------------------------
+
+class SchedulerRecoveryTest : public ResilienceTest {
+ protected:
+  void SetUp() override {
+    ResilienceTest::SetUp();
+    gpusim::Stream setup(Device::Default(), gpusim::ApiProfile::Cuda());
+    std::vector<double> host(4096);
+    std::iota(host.begin(), host.end(), 0.0);
+    expected_sum_ = std::accumulate(host.begin(), host.end(), 0.0) +
+                    static_cast<double>(host.size());
+    col_ = storage::UploadColumn(setup, storage::Column(host));
+  }
+
+  void TearDown() override {
+    col_ = storage::DeviceColumn();
+    ResilienceTest::TearDown();
+  }
+
+  /// Idempotent small query: sum(col + 1), checked against the host.
+  QueryFn SumQuery(std::atomic<int>* wrong) {
+    return [this, wrong](Backend& b) {
+      const storage::DeviceColumn shifted = b.AddScalar(col_, 1.0);
+      const double sum = b.ReduceColumn(shifted, AggOp::kSum);
+      if (sum != expected_sum_) wrong->fetch_add(1);
+    };
+  }
+
+  storage::DeviceColumn col_;
+  double expected_sum_ = 0;
+};
+
+TEST_F(SchedulerRecoveryTest, TransientKernelFaultIsRetriedToSuccess) {
+  FaultInjector inj(11);
+  FaultRule r;
+  r.site = FaultSite::kKernel;
+  r.kind = FaultKind::kTransientKernel;
+  r.at_call = 1;  // first kernel of the first query on the client stream
+  inj.AddRule(r);
+  Device::Default().set_fault_injector(&inj);
+
+  SchedulerOptions opts;
+  opts.backend_name = backends::kHandwritten;
+  opts.num_clients = 1;
+  std::atomic<int> wrong{0};
+  {
+    QueryScheduler scheduler(opts);
+    EXPECT_EQ(scheduler.Submit("sum", SumQuery(&wrong)),
+              ScheduledQueryStatus::kAccepted);
+    scheduler.Drain();
+    const auto records = scheduler.Records();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records[0].ok) << records[0].error;
+    EXPECT_EQ(records[0].attempts, 2);
+    EXPECT_GT(records[0].backoff_ns, 0u);
+    const SchedulerReport report = scheduler.Report();
+    EXPECT_GE(report.resilience.retries, 1u);
+    EXPECT_GE(report.resilience.faults_seen, 1u);
+    EXPECT_EQ(report.resilience.permanent_failures, 0u);
+  }
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(inj.stats().injected_kernel, 1u);
+}
+
+TEST_F(SchedulerRecoveryTest, InjectedOomIsAbsorbedByAPoolReclaim) {
+  FaultInjector inj(12);
+  FaultRule r;
+  r.site = FaultSite::kMalloc;
+  r.kind = FaultKind::kOutOfMemory;
+  r.at_call = 1;
+  inj.AddRule(r);
+  Device::Default().set_fault_injector(&inj);
+
+  SchedulerOptions opts;
+  opts.backend_name = backends::kHandwritten;
+  opts.num_clients = 1;
+  std::atomic<int> wrong{0};
+  QueryScheduler scheduler(opts);
+  scheduler.Submit("sum", SumQuery(&wrong));
+  scheduler.Drain();
+  const auto records = scheduler.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].ok) << records[0].error;
+  EXPECT_EQ(records[0].oom_reclaims, 1);
+  EXPECT_GE(scheduler.Report().resilience.oom_reclaims, 1u);
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST_F(SchedulerRecoveryTest, PermanentFailureAfterRetryBudgetExhausts) {
+  SchedulerOptions opts;
+  opts.backend_name = backends::kHandwritten;
+  opts.num_clients = 1;
+  opts.retry.max_attempts = 3;
+  opts.retry.backoff_base_ns = 1000;  // keep the test fast
+  QueryScheduler scheduler(opts);
+  scheduler.Submit("always-transient", [](Backend&) {
+    throw gpusim::TransientKernelFault("injected forever");
+  });
+  scheduler.Drain();
+  const auto records = scheduler.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_EQ(records[0].attempts, 3);
+  EXPECT_EQ(records[0].error_class, ErrorClass::kTransient);
+  EXPECT_GE(scheduler.Report().resilience.permanent_failures, 1u);
+}
+
+TEST_F(SchedulerRecoveryTest, FatalErrorsAreNotRetried) {
+  SchedulerOptions opts;
+  opts.backend_name = backends::kHandwritten;
+  opts.num_clients = 1;
+  QueryScheduler scheduler(opts);
+  scheduler.Submit("fatal", [](Backend&) {
+    throw std::logic_error("plan bug");
+  });
+  scheduler.Drain();
+  const auto records = scheduler.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_EQ(records[0].attempts, 1);
+  EXPECT_EQ(records[0].error_class, ErrorClass::kFatal);
+}
+
+TEST_F(SchedulerRecoveryTest, DeadlineStopsRetryAndFlagsTheRecord) {
+  SchedulerOptions opts;
+  opts.backend_name = backends::kHandwritten;
+  opts.num_clients = 1;
+  opts.deadline_ms = 1;
+  opts.retry.max_attempts = 5;
+  QueryScheduler scheduler(opts);
+  scheduler.Submit("slow-then-faulty", [](Backend&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    throw gpusim::TransientKernelFault("too late to matter");
+  });
+  scheduler.Drain();
+  const auto records = scheduler.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].ok);
+  EXPECT_EQ(records[0].attempts, 1);  // no retry past the deadline
+  EXPECT_TRUE(records[0].deadline_exceeded);
+  EXPECT_GE(scheduler.Report().resilience.deadline_misses, 1u);
+}
+
+TEST_F(SchedulerRecoveryTest, LateSuccessKeepsOkButFlagsDeadline) {
+  SchedulerOptions opts;
+  opts.backend_name = backends::kHandwritten;
+  opts.num_clients = 1;
+  opts.deadline_ms = 1;
+  QueryScheduler scheduler(opts);
+  scheduler.Submit("slow-but-fine", [](Backend&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  scheduler.Drain();
+  const auto records = scheduler.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_TRUE(records[0].deadline_exceeded);
+}
+
+TEST_F(SchedulerRecoveryTest, SubmitAfterShutdownReturnsTypedStatus) {
+  SchedulerOptions opts;
+  opts.backend_name = backends::kHandwritten;
+  opts.num_clients = 1;
+  QueryScheduler scheduler(opts);
+  uint64_t id = 123;
+  EXPECT_EQ(scheduler.Submit("ok", [](Backend&) {}, &id),
+            ScheduledQueryStatus::kAccepted);
+  EXPECT_EQ(id, 0u);
+  scheduler.Shutdown();
+  EXPECT_EQ(scheduler.Submit("rejected", [](Backend&) {}),
+            ScheduledQueryStatus::kShutDown);
+  EXPECT_FALSE(scheduler.TrySubmit("rejected", [](Backend&) {}));
+  EXPECT_EQ(scheduler.Records().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid fallback + chaos sweep
+// ---------------------------------------------------------------------------
+
+TEST_F(SchedulerRecoveryTest, HybridRoutesAroundAStickyDeviceLoss) {
+  // Kill the backend that wins essentially every cost dispatch. Each use
+  // must fault exactly once per operation, reroute to the runner-up, and
+  // after failure_threshold losses the breaker opens and stops routing
+  // there at all.
+  FaultInjector inj(21);
+  FaultRule r;
+  r.site = FaultSite::kKernel;
+  r.kind = FaultKind::kDeviceLost;
+  r.stream_label = backends::kHandwritten;
+  r.at_call = 1;
+  inj.AddRule(r);
+  Device::Default().set_fault_injector(&inj);
+
+  auto hybrid = BackendRegistry::Instance().Create(backends::kHybrid);
+  for (int round = 0; round < 4; ++round) {
+    const double sum = hybrid->ReduceColumn(col_, AggOp::kSum);
+    EXPECT_EQ(sum, expected_sum_ - static_cast<double>(col_.size()))
+        << "round " << round;
+  }
+  Device::Default().set_fault_injector(nullptr);
+
+  ResilienceManager& rm = ResilienceManager::Global();
+  const ResilienceStats stats = rm.Snapshot();
+  EXPECT_GE(stats.fallback_reroutes, 3u);
+  EXPECT_GE(stats.faults_seen, 3u);
+  EXPECT_EQ(rm.StateOf(backends::kHandwritten), CircuitBreaker::State::kOpen);
+  EXPECT_GE(inj.stats().injected_device_lost +
+                inj.stats().sticky_replays, 3u);
+  // The breaker list in the snapshot names the open backend.
+  ASSERT_EQ(stats.open_backends.size(), 1u);
+  EXPECT_EQ(stats.open_backends[0], backends::kHandwritten);
+}
+
+TEST_F(SchedulerRecoveryTest, AttachedInjectorWithoutRulesIsTimingInvisible) {
+  const auto measure = [&] {
+    auto backend = BackendRegistry::Instance().Create(backends::kThrust);
+    const uint64_t t0 = backend->stream().now_ns();
+    const storage::DeviceColumn shifted = backend->AddScalar(col_, 1.0);
+    backend->ReduceColumn(shifted, AggOp::kSum);
+    return backend->stream().now_ns() - t0;
+  };
+  const uint64_t detached_ns = measure();
+  FaultInjector inj(99);  // no rules
+  Device::Default().set_fault_injector(&inj);
+  const uint64_t attached_ns = measure();
+  Device::Default().set_fault_injector(nullptr);
+  EXPECT_EQ(attached_ns, detached_ns);
+  EXPECT_GT(inj.stats().checks, 0u);
+}
+
+TEST_F(SchedulerRecoveryTest, EightClientChaosSweepRecoversEveryQuery) {
+  // Transient-only fault budget far below the retry budget: every query
+  // must complete correctly. Run under TSan in CI, this is the data-race
+  // canary for the injector + breaker + scheduler recovery path.
+  FaultInjector inj(31);
+  FaultRule kernel;
+  kernel.site = FaultSite::kKernel;
+  kernel.kind = FaultKind::kTransientKernel;
+  kernel.probability = 0.01;
+  kernel.max_fires = 12;
+  inj.AddRule(kernel);
+  FaultRule transfer;
+  transfer.site = FaultSite::kTransfer;
+  transfer.kind = FaultKind::kTransfer;
+  transfer.probability = 0.01;
+  transfer.max_fires = 6;
+  inj.AddRule(transfer);
+  FaultRule oom;
+  oom.site = FaultSite::kMalloc;
+  oom.kind = FaultKind::kOutOfMemory;
+  oom.at_call = 20;
+  oom.max_fires = 1;
+  inj.AddRule(oom);
+  Device::Default().set_fault_injector(&inj);
+
+  SchedulerOptions opts;
+  opts.backend_name = backends::kHandwritten;
+  opts.num_clients = 8;
+  opts.queue_capacity = 16;
+  opts.retry.max_attempts = 24;
+  opts.retry.backoff_base_ns = 10'000;  // keep the storm fast
+  std::atomic<int> wrong{0};
+  {
+    QueryScheduler scheduler(opts);
+    for (int i = 0; i < 48; ++i) {
+      scheduler.Submit("chaos/" + std::to_string(i), SumQuery(&wrong));
+    }
+    scheduler.Drain();
+    for (const QueryRecord& q : scheduler.Records()) {
+      EXPECT_TRUE(q.ok) << q.label << ": " << q.error;
+    }
+    EXPECT_EQ(scheduler.Report().resilience.permanent_failures, 0u);
+  }
+  Device::Default().set_fault_injector(nullptr);
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+}  // namespace
+}  // namespace core

@@ -8,9 +8,11 @@
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "gpusim/fault.h"
 #include "gpusim/thread_pool.h"
 
 namespace gpusim {
@@ -97,6 +99,62 @@ TEST(ThreadPoolTest, ErrorsArePerJobAndDoNotLeakAcrossSubmitters) {
   // never observes an exception.
   EXPECT_EQ(caught, kRounds);
   EXPECT_EQ(good_failures.load(), 0);
+}
+
+TEST(ThreadPoolTest, ConcurrentFaultingJobsKeepTypedErrorsIsolated) {
+  // Many submitters throwing the gpusim fault taxonomy at once: each
+  // submitter must catch exactly its own fault type on every round, never a
+  // neighbor's — the per-slot error channel cannot cross wires even when
+  // every job in flight is failing.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kRounds = 25;
+  std::atomic<int> wrong_type{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kRounds; ++j) {
+        try {
+          pool.ParallelFor(16, [&](size_t i) {
+            if (i != 5) return;
+            switch (t % 3) {
+              case 0: throw TransientKernelFault("kernel " +
+                                                 std::to_string(t));
+              case 1: throw TransferFault("transfer " + std::to_string(t));
+              default: throw DeviceLost("lost " + std::to_string(t));
+            }
+          });
+          wrong_type.fetch_add(1);  // must not complete cleanly
+        } catch (const TransientKernelFault& e) {
+          if (t % 3 != 0 || std::string(e.what()) !=
+                                "kernel " + std::to_string(t)) {
+            wrong_type.fetch_add(1);
+          }
+        } catch (const TransferFault& e) {
+          if (t % 3 != 1 || std::string(e.what()) !=
+                                "transfer " + std::to_string(t)) {
+            wrong_type.fetch_add(1);
+          }
+        } catch (const DeviceLost& e) {
+          if (t % 3 != 2 ||
+              std::string(e.what()) != "lost " + std::to_string(t)) {
+            wrong_type.fetch_add(1);
+          }
+        } catch (...) {
+          wrong_type.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(wrong_type.load(), 0);
+
+  // The pool stays serviceable after the fault storm.
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(64, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 64u * 63u / 2);
 }
 
 TEST(ThreadPoolTest, NestedDispatchFromAChunkBodyCompletes) {

@@ -2,22 +2,53 @@
 // writes it as Chrome trace-event JSON (open in chrome://tracing or
 // ui.perfetto.dev) — the simulated equivalent of an nvprof capture.
 //
+// With --chaos-seed=N a seeded gpusim::FaultInjector is attached for the
+// query: transient kernel and transfer faults fire probabilistically, the
+// query is retried like the scheduler would, and the injected-fault /
+// retry event stream is printed inline (fault events also appear in the
+// exported trace under the "fault" category).
+//
 //   build/tools/trace_query [backend] [q1|q6|q3|q4|q14] [out.json]
+//                           [--chaos-seed=N]
 #include <fstream>
 #include <iostream>
+#include <string>
 
+#include "core/error.h"
 #include "core/registry.h"
+#include "core/resilience.h"
+#include "gpusim/fault.h"
 #include "gpusim/trace.h"
 #include "tpch/queries.h"
 
 int main(int argc, char** argv) {
   core::RegisterBuiltinBackends();
-  const std::string backend_name = argc > 1 ? argv[1] : "Thrust";
-  const std::string query = argc > 2 ? argv[2] : "q6";
-  const std::string out_path = argc > 3 ? argv[3] : "trace.json";
+  std::string backend_name = "Thrust";
+  std::string query = "q6";
+  std::string out_path = "trace.json";
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--chaos-seed=", 0) == 0) {
+      chaos = true;
+      chaos_seed = std::stoull(arg.substr(13));
+      continue;
+    }
+    switch (positional++) {
+      case 0: backend_name = arg; break;
+      case 1: query = arg; break;
+      case 2: out_path = arg; break;
+      default:
+        std::cerr << "unexpected argument: " << arg << "\n";
+        return 2;
+    }
+  }
   if (query != "q1" && query != "q6" && query != "q3" && query != "q4" &&
       query != "q14") {
-    std::cerr << "usage: trace_query [backend] [q1|q6|q3|q4|q14] [out.json]\n";
+    std::cerr << "usage: trace_query [backend] [q1|q6|q3|q4|q14] [out.json] "
+                 "[--chaos-seed=N]\n";
     return 2;
   }
 
@@ -29,34 +60,95 @@ int main(int argc, char** argv) {
   gpusim::Stream& stream = backend->stream();
   const storage::DeviceTable dev_lineitem =
       storage::UploadTable(stream, lineitem);
+  storage::DeviceTable dev_customer, dev_orders, dev_part;
+  if (query == "q3") {
+    dev_customer = storage::UploadTable(stream, tpch::GenerateCustomer(config));
+    dev_orders = storage::UploadTable(stream, tpch::GenerateOrders(config));
+  } else if (query == "q4") {
+    dev_orders = storage::UploadTable(stream, tpch::GenerateOrders(config));
+  } else if (query == "q14") {
+    dev_part = storage::UploadTable(stream, tpch::GeneratePart(config));
+  }
+
+  const auto run = [&] {
+    if (query == "q1") {
+      tpch::RunQ1(*backend, dev_lineitem);
+    } else if (query == "q6") {
+      tpch::RunQ6(*backend, dev_lineitem);
+    } else if (query == "q3") {
+      tpch::RunQ3(*backend, dev_customer, dev_orders, dev_lineitem);
+    } else if (query == "q4") {
+      tpch::RunQ4(*backend, dev_orders, dev_lineitem);
+    } else {
+      tpch::RunQ14(*backend, dev_part, dev_lineitem);
+    }
+  };
+
+  // Faults are armed after the uploads: the chaos run perturbs the query,
+  // not the fixture.
+  gpusim::FaultInjector injector(chaos_seed);
+  if (chaos) {
+    gpusim::FaultRule kernel_rule;
+    kernel_rule.site = gpusim::FaultSite::kKernel;
+    kernel_rule.kind = gpusim::FaultKind::kTransientKernel;
+    kernel_rule.probability = 0.02;
+    injector.AddRule(kernel_rule);
+    gpusim::FaultRule transfer_rule;
+    transfer_rule.site = gpusim::FaultSite::kTransfer;
+    transfer_rule.kind = gpusim::FaultKind::kTransfer;
+    transfer_rule.probability = 0.02;
+    injector.AddRule(transfer_rule);
+    gpusim::Device::Default().set_fault_injector(&injector);
+    std::cout << "chaos: seed=" << chaos_seed
+              << " kernel/transfer fault probability 0.02\n";
+  }
 
   gpusim::Tracer tracer;
   gpusim::Device::Default().set_tracer(&tracer);
-  if (query == "q1") {
-    tpch::RunQ1(*backend, dev_lineitem);
-  } else if (query == "q6") {
-    tpch::RunQ6(*backend, dev_lineitem);
-  } else if (query == "q3") {
-    const storage::DeviceTable dev_customer =
-        storage::UploadTable(stream, tpch::GenerateCustomer(config));
-    const storage::DeviceTable dev_orders =
-        storage::UploadTable(stream, tpch::GenerateOrders(config));
-    tpch::RunQ3(*backend, dev_customer, dev_orders, dev_lineitem);
-  } else if (query == "q4") {
-    const storage::DeviceTable dev_orders =
-        storage::UploadTable(stream, tpch::GenerateOrders(config));
-    tpch::RunQ4(*backend, dev_orders, dev_lineitem);
-  } else {  // q14
-    const storage::DeviceTable dev_part =
-        storage::UploadTable(stream, tpch::GeneratePart(config));
-    tpch::RunQ14(*backend, dev_part, dev_lineitem);
+  const core::RetryPolicy retry{.max_attempts = 64};
+  int attempts = 0;
+  for (int attempt = 1;; ++attempt) {
+    attempts = attempt;
+    size_t faults_before = injector.log().size();
+    try {
+      run();
+      break;
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      const auto& log = injector.log();
+      for (size_t k = faults_before; k < log.size(); ++k) {
+        const gpusim::InjectedFault& f = log[k];
+        std::cout << "  fault[" << k << "] " << gpusim::FaultKindName(f.kind)
+                  << " at " << gpusim::FaultSiteName(f.site) << " (stream "
+                  << f.stream_id << ", call " << f.call_index << ", rule "
+                  << f.rule << ") -> " << core::ErrorMessage(err) << "\n";
+      }
+      if (core::Classify(err) == core::ErrorClass::kTransient &&
+          attempt < retry.max_attempts) {
+        std::cout << "  retry " << attempt << ": replaying " << query
+                  << " after transient fault\n";
+        continue;
+      }
+      gpusim::Device::Default().set_tracer(nullptr);
+      gpusim::Device::Default().set_fault_injector(nullptr);
+      std::cerr << "permanent failure after " << attempt
+                << " attempts: " << core::ErrorMessage(err) << "\n";
+      return 3;
+    }
   }
   gpusim::Device::Default().set_tracer(nullptr);
+  gpusim::Device::Default().set_fault_injector(nullptr);
 
   std::ofstream out(out_path);
   tracer.ExportChromeTrace(out);
   std::cout << "Wrote " << tracer.size() << " events ("
             << backend->name() << ", " << query << ") to " << out_path
             << "\n";
+  if (chaos) {
+    const gpusim::FaultInjectorStats fs = injector.stats();
+    std::cout << "chaos: " << fs.injected_total() << " faults injected over "
+              << fs.checks << " checks, query succeeded on attempt "
+              << attempts << "\n";
+  }
   return 0;
 }
