@@ -324,6 +324,11 @@ int Run(const Options& opts) {
               "max attempts %d, %zu permanent failures\n",
               report.completed - failed, retried_queries, max_attempts_seen,
               failed);
+  std::printf("device memory:    peak %.2f MiB (live+reserved), %llu bytes "
+              "still reserved\n",
+              static_cast<double>(report.device_peak_bytes) /
+                  (1024.0 * 1024.0),
+              static_cast<unsigned long long>(report.device_reserved_bytes));
 
   bool answers_ok = true;
   for (size_t i = 0; i < total; ++i) {
@@ -376,6 +381,8 @@ int Run(const Options& opts) {
         << ", \"deadline_misses\": " << res.deadline_misses
         << ", \"permanent_failures\": " << res.permanent_failures
         << ", \"breaker_opens\": " << res.breaker_opens << "},\n"
+        << "  \"peak_bytes\": " << report.device_peak_bytes << ",\n"
+        << "  \"reserved_bytes\": " << report.device_reserved_bytes << ",\n"
         << "  \"recovered_queries\": " << retried_queries << ",\n"
         << "  \"max_attempts\": " << max_attempts_seen << ",\n"
         << "  \"permanent_failures\": " << failed << ",\n"

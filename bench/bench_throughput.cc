@@ -106,6 +106,8 @@ struct SweepPoint {
   uint64_t kernels = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  uint64_t peak_bytes = 0;      ///< device high-water of live+reserved bytes
+  uint64_t reserved_bytes = 0;  ///< admission reservations at run end
 };
 
 int Run(const Options& opts) {
@@ -230,6 +232,8 @@ int Run(const Options& opts) {
     p.kernels = dev_delta.kernels_launched;
     p.pool_hits = dev_delta.pool_hits;
     p.pool_misses = dev_delta.pool_misses;
+    p.peak_bytes = report.device_peak_bytes;
+    p.reserved_bytes = report.device_reserved_bytes;
     points.push_back(p);
 
     std::printf("%8u %8zu %9.3f %9.1f %7.2fx %5.2f %9.3f %9.3f %9.3f %7llu "
@@ -267,7 +271,9 @@ int Run(const Options& opts) {
           << ", \"pool_max_live_jobs\": " << p.pool_max_live_jobs
           << ", \"kernels\": " << p.kernels
           << ", \"pool_hits\": " << p.pool_hits
-          << ", \"pool_misses\": " << p.pool_misses << "}"
+          << ", \"pool_misses\": " << p.pool_misses
+          << ", \"peak_bytes\": " << p.peak_bytes
+          << ", \"reserved_bytes\": " << p.reserved_bytes << "}"
           << (i + 1 < points.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

@@ -46,6 +46,7 @@ QueryScheduler::QueryScheduler(SchedulerOptions options)
         "backend '" + options_.backend_name +
         "' is not concurrency-safe; run it with num_clients == 1");
   }
+  device_ = &probe->stream().device();
 
   client_sim_ns_.reserve(options_.num_clients);
   for (unsigned i = 0; i < options_.num_clients; ++i) {
@@ -61,6 +62,12 @@ QueryScheduler::~QueryScheduler() { Shutdown(); }
 
 ScheduledQueryStatus QueryScheduler::Submit(std::string label, QueryFn query,
                                             uint64_t* id) {
+  return Submit(std::move(label), std::move(query), 0, id);
+}
+
+ScheduledQueryStatus QueryScheduler::Submit(std::string label, QueryFn query,
+                                            uint64_t footprint_bytes,
+                                            uint64_t* id) {
   std::unique_lock<std::mutex> lock(mu_);
   queue_not_full_.wait(lock, [&] {
     return stop_ || queue_.size() < options_.queue_capacity;
@@ -72,7 +79,8 @@ ScheduledQueryStatus QueryScheduler::Submit(std::string label, QueryFn query,
   }
   const uint64_t assigned = next_id_++;
   if (id != nullptr) *id = assigned;
-  queue_.push_back(Item{assigned, std::move(label), std::move(query)});
+  queue_.push_back(
+      Item{assigned, std::move(label), std::move(query), footprint_bytes});
   queue_not_empty_.notify_one();
   return ScheduledQueryStatus::kAccepted;
 }
@@ -87,7 +95,7 @@ bool QueryScheduler::TrySubmit(std::string label, QueryFn query,
   }
   const uint64_t assigned = next_id_++;
   if (id != nullptr) *id = assigned;
-  queue_.push_back(Item{assigned, std::move(label), std::move(query)});
+  queue_.push_back(Item{assigned, std::move(label), std::move(query), 0});
   queue_not_empty_.notify_one();
   return true;
 }
@@ -159,6 +167,11 @@ SchedulerReport QueryScheduler::Report() const {
     r.client_simulated_ns.push_back(c->load());
   }
   r.resilience = resilience_->Snapshot();
+  if (device_ != nullptr) {
+    r.device_peak_bytes = device_->peak_bytes();
+    r.device_reserved_bytes = device_->reserved_bytes();
+  }
+  if (options_.governor != nullptr) r.governor = options_.governor->Stats();
   return r;
 }
 
@@ -187,11 +200,37 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
     const RetryPolicy& retry = options_.retry;
     const uint64_t sim_start = backend->stream().now_ns();
     const auto wall_start = std::chrono::steady_clock::now();
+
+    // Memory admission: footprint-declaring queries pass through the
+    // governor on this thread before they run; a rejected query fails as a
+    // resource error without ever executing. The grant lives on the client's
+    // stream as a device reservation until the query finishes.
+    MemoryGovernor* governor =
+        item.footprint_bytes > 0 ? options_.governor : nullptr;
+    bool admitted = true;
+    if (governor != nullptr) {
+      const AdmissionTicket ticket = governor->Admit(
+          backend->stream().id(), item.footprint_bytes, options_.deadline_ms);
+      record.footprint_bytes = item.footprint_bytes;
+      record.granted_bytes = ticket.granted_bytes;
+      record.admission_wait_ms = ticket.wait_ms;
+      record.admission_queued =
+          ticket.decision == AdmissionDecision::kQueuedThenGranted;
+      if (!ticket.admitted()) {
+        admitted = false;
+        record.ok = false;
+        record.admission_rejected = true;
+        record.error = "memory admission rejected (queue timeout)";
+        record.error_class = ErrorClass::kResource;
+        resilience_->NotePermanentFailure();
+      }
+    }
+
     // Recovery loop: transient faults retry with capped exponential backoff,
     // OutOfDeviceMemory gets TrimPool + retry (not charged against the
     // attempt budget), fatal errors fail the query immediately. Queries are
     // idempotent (QueryFn contract), so a replay recomputes from its inputs.
-    for (int attempt = 1;; ++attempt) {
+    for (int attempt = 1; admitted; ++attempt) {
       record.attempts = attempt;
       try {
         item.fn(*backend);
@@ -211,8 +250,18 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
         const bool within_deadline =
             options_.deadline_ms == 0 ||
             elapsed_ms < static_cast<double>(options_.deadline_ms);
+        // A reclaim-then-retry only makes sense while reclaiming can change
+        // the memory state: the first OOM always gets one (the pool may
+        // hide exactly the bytes needed, and an injected one-shot OOM is
+        // indistinguishable from that), but repeats require a non-empty
+        // pool — under real, persistent pressure TrimPool frees nothing and
+        // the old unconditional retry was a livelock that burned the whole
+        // reclaim budget. Queries built for degradation absorb recurring
+        // OOM themselves by partitioning (plan/partition.h).
         if (within_deadline && cls == ErrorClass::kResource &&
-            record.oom_reclaims < retry.max_reclaims) {
+            record.oom_reclaims < retry.max_reclaims &&
+            (record.oom_reclaims == 0 ||
+             backend->stream().device().bytes_pooled() > 0)) {
           backend->stream().device().TrimPool();
           ++record.oom_reclaims;
           resilience_->NoteOomReclaim();
@@ -235,6 +284,9 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
         resilience_->NotePermanentFailure();
         break;
       }
+    }
+    if (governor != nullptr && admitted) {
+      governor->Release(backend->stream().id());
     }
     const auto wall_end = std::chrono::steady_clock::now();
     record.simulated_ns = backend->stream().now_ns() - sim_start;

@@ -34,6 +34,7 @@
 
 #include "core/backend.h"
 #include "core/error.h"
+#include "core/governor.h"
 #include "core/resilience.h"
 #include "gpusim/counters.h"
 
@@ -56,6 +57,11 @@ struct SchedulerOptions {
   uint64_t deadline_ms = 0;
   /// Breakers + counters to report into; nullptr = ResilienceManager::Global().
   ResilienceManager* resilience = nullptr;
+  /// Memory admission control; nullptr = none (queries run unconditionally).
+  /// Queries submitted with a footprint pass through MemoryGovernor::Admit
+  /// on their client thread before executing, and the grant is released when
+  /// they finish. Must outlive the scheduler.
+  MemoryGovernor* governor = nullptr;
 };
 
 /// Outcome of Submit(): whether the query was admitted.
@@ -78,6 +84,11 @@ struct QueryRecord {
   uint64_t backoff_ns = 0;   ///< total backoff slept before retries
   int oom_reclaims = 0;      ///< TrimPool-then-retry recoveries
   bool deadline_exceeded = false;  ///< wall latency passed the deadline
+  uint64_t footprint_bytes = 0;    ///< declared estimate (0 = ungoverned)
+  uint64_t granted_bytes = 0;      ///< admission grant (may be partial)
+  double admission_wait_ms = 0;    ///< time queued for admission
+  bool admission_queued = false;   ///< waited in the governor's FIFO queue
+  bool admission_rejected = false; ///< rejected: query never ran
 };
 
 /// p50/p95/p99/max over completed queries.
@@ -94,6 +105,9 @@ struct SchedulerReport {
   LatencySummary simulated_ms;    ///< percentiles over simulated latency
   std::vector<uint64_t> client_simulated_ns;  ///< per-client timeline totals
   ResilienceStats resilience;     ///< retry/breaker/reclaim counters
+  uint64_t device_peak_bytes = 0;      ///< high-water of live+reserved bytes
+  uint64_t device_reserved_bytes = 0;  ///< reservation gauge at report time
+  GovernorStats governor;  ///< admission stats (zeros without a governor)
 };
 
 /// Admits queries from any number of producer threads and executes them on
@@ -117,6 +131,13 @@ class QueryScheduler {
   /// producers racing Shutdown() can tell "queue closed" from a failure.
   ScheduledQueryStatus Submit(std::string label, QueryFn query,
                               uint64_t* id = nullptr);
+
+  /// Submit with a declared memory footprint: when the scheduler has a
+  /// governor, the query passes through memory admission (grant / FIFO
+  /// queue / reject) on its client thread before executing. footprint 0 is
+  /// equivalent to the ungoverned overload.
+  ScheduledQueryStatus Submit(std::string label, QueryFn query,
+                              uint64_t footprint_bytes, uint64_t* id);
 
   /// Non-blocking Submit: returns false (and does not enqueue) when the
   /// queue is full or the scheduler is shut down.
@@ -146,12 +167,14 @@ class QueryScheduler {
     uint64_t id = 0;
     std::string label;
     QueryFn fn;
+    uint64_t footprint_bytes = 0;
   };
 
   void ClientLoop(unsigned client_index);
 
   SchedulerOptions options_;
   ResilienceManager* resilience_ = nullptr;  ///< never null after ctor
+  gpusim::Device* device_ = nullptr;  ///< the clients' device (for report)
 
   mutable std::mutex mu_;  ///< guards queue_, in_flight_, stop_, timestamps
   std::condition_variable queue_not_full_;

@@ -40,9 +40,10 @@ static_assert(sizeof(PaddedCounter) == 64,
               "each counter must own a full cache line");
 
 /// Aggregate work counters for a device. All members are monotonically
-/// increasing except `bytes_pooled`, which is a gauge of the bytes currently
-/// cached by the device's pooling allocator; use Snapshot() and Delta() to
-/// measure a region.
+/// increasing except `bytes_pooled` / `bytes_reserved`, which are gauges of
+/// the bytes currently cached by the pooling allocator / held by admission
+/// reservations, and `peak_bytes`, a monotone high-water mark of
+/// live + reserved demand; use Snapshot() and Delta() to measure a region.
 struct Counters {
   PaddedCounter kernels_launched;
   PaddedCounter bytes_read;         ///< device memory read by kernels
@@ -56,6 +57,8 @@ struct Counters {
   PaddedCounter pool_hits;          ///< allocations served from the pool
   PaddedCounter pool_misses;        ///< allocations that hit malloc
   PaddedCounter bytes_pooled;       ///< gauge: bytes cached in the pool
+  PaddedCounter bytes_reserved;     ///< gauge: unconverted reservation bytes
+  PaddedCounter peak_bytes;         ///< high-water of live + reserved bytes
   PaddedCounter programs_compiled;  ///< OpenCL-style JIT compiles
   PaddedCounter compile_ns;         ///< simulated time spent compiling
   PaddedCounter simulated_ns;       ///< total simulated device time
@@ -74,7 +77,9 @@ struct CounterSnapshot {
   uint64_t bytes_allocated = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
-  uint64_t bytes_pooled = 0;  ///< gauge (see Counters::bytes_pooled)
+  uint64_t bytes_pooled = 0;    ///< gauge (see Counters::bytes_pooled)
+  uint64_t bytes_reserved = 0;  ///< gauge (see Counters::bytes_reserved)
+  uint64_t peak_bytes = 0;      ///< high-water (see Counters::peak_bytes)
   uint64_t programs_compiled = 0;
   uint64_t compile_ns = 0;
   uint64_t simulated_ns = 0;
@@ -93,6 +98,8 @@ struct CounterSnapshot {
     s.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
     s.pool_misses = c.pool_misses.load(std::memory_order_relaxed);
     s.bytes_pooled = c.bytes_pooled.load(std::memory_order_relaxed);
+    s.bytes_reserved = c.bytes_reserved.load(std::memory_order_relaxed);
+    s.peak_bytes = c.peak_bytes.load(std::memory_order_relaxed);
     s.programs_compiled = c.programs_compiled.load(std::memory_order_relaxed);
     s.compile_ns = c.compile_ns.load(std::memory_order_relaxed);
     s.simulated_ns = c.simulated_ns.load(std::memory_order_relaxed);
@@ -113,9 +120,12 @@ struct CounterSnapshot {
     d.bytes_allocated = bytes_allocated - earlier.bytes_allocated;
     d.pool_hits = pool_hits - earlier.pool_hits;
     d.pool_misses = pool_misses - earlier.pool_misses;
-    // bytes_pooled is a gauge (can shrink); a wrapped difference would be
+    // bytes_pooled / bytes_reserved are gauges (can shrink) and peak_bytes
+    // is an all-time high-water mark; a wrapped difference would be
     // meaningless, so Delta carries the later snapshot's value.
     d.bytes_pooled = bytes_pooled;
+    d.bytes_reserved = bytes_reserved;
+    d.peak_bytes = peak_bytes;
     d.programs_compiled = programs_compiled - earlier.programs_compiled;
     d.compile_ns = compile_ns - earlier.compile_ns;
     d.simulated_ns = simulated_ns - earlier.simulated_ns;

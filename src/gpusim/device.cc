@@ -9,15 +9,20 @@
 
 namespace gpusim {
 
+thread_local std::shared_ptr<Device::Reservation>* Device::tls_reservation_ =
+    nullptr;
+
 Device::Device(const DeviceProperties& props, unsigned host_threads)
-    : cost_model_(props), pool_(host_threads) {}
+    : cost_model_(props),
+      pool_(host_threads),
+      capacity_bytes_(props.global_memory_bytes) {}
 
 Device::~Device() {
   TrimPool();
   for (auto& shard : ptr_shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (auto& [ptr, size] : shard.blocks) {
-      (void)size;
+    for (auto& [ptr, entry] : shard.blocks) {
+      (void)entry;
       std::free(const_cast<void*>(ptr));
     }
     shard.blocks.clear();
@@ -98,6 +103,7 @@ void Device::TrimPool() {
     large_cache_.clear();
   }
   counters_.bytes_pooled.fetch_sub(released, std::memory_order_relaxed);
+  committed_.fetch_sub(released, std::memory_order_relaxed);
   // Trimmed addresses went back to the host heap and may be re-issued by
   // malloc; stop remembering them as "freed to pool" so a recycled address
   // isn't misreported as a double free.
@@ -127,24 +133,50 @@ void* Device::Allocate(size_t bytes) {
 
   void* ptr = PopFreeBlock(block);
   const bool pool_hit = ptr != nullptr;
+  std::shared_ptr<Reservation> backing;
   if (!pool_hit) {
     counters_.pool_misses.fetch_add(1, std::memory_order_relaxed);
-    const size_t capacity = properties().global_memory_bytes;
-    size_t live = bytes_live_.load(std::memory_order_relaxed);
-    if (live + bytes_pooled() + block > capacity) {
+    // Reservation conversion: a thread bound to a reservation with enough
+    // balance turns reserved bytes into live ones — committed is untouched,
+    // so an admitted query cannot be beaten to its own memory. The CAS loop
+    // loses cleanly against a concurrent ReleaseReservation (remaining
+    // drops to 0 and we fall through to the global admission path).
+    if (std::shared_ptr<Reservation>* bound = tls_reservation_) {
+      Reservation* r = bound->get();
+      size_t rem = r->remaining.load(std::memory_order_relaxed);
+      while (rem >= block) {
+        if (r->remaining.compare_exchange_weak(rem, rem - block,
+                                               std::memory_order_relaxed)) {
+          backing = *bound;
+          counters_.bytes_reserved.fetch_sub(block,
+                                             std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    if (backing == nullptr && !TryCommit(block)) {
       // Cached blocks of the wrong class are still backed by simulated
       // memory; give them back before declaring the device full.
       TrimPool();
-      live = bytes_live_.load(std::memory_order_relaxed);
-    }
-    if (live + block > capacity) {
-      throw OutOfDeviceMemory("device allocation of " + std::to_string(bytes) +
-                              " bytes (reserving " + std::to_string(block) +
-                              ") exceeds simulated global memory (" +
-                              std::to_string(live) + " bytes in use)");
+      if (!TryCommit(block)) {
+        throw OutOfDeviceMemory(
+            "device allocation of " + std::to_string(bytes) +
+            " bytes (reserving " + std::to_string(block) +
+            ") exceeds simulated global memory (" +
+            std::to_string(committed_bytes()) + " of " +
+            std::to_string(memory_capacity()) + " bytes committed)");
+      }
     }
     ptr = std::malloc(block);
-    if (ptr == nullptr) throw std::bad_alloc();
+    if (ptr == nullptr) {
+      if (backing != nullptr) {
+        backing->remaining.fetch_add(block, std::memory_order_relaxed);
+        counters_.bytes_reserved.fetch_add(block, std::memory_order_relaxed);
+      } else {
+        committed_.fetch_sub(block, std::memory_order_relaxed);
+      }
+      throw std::bad_alloc();
+    }
   }
 
   // Register the pointer before touching the pooled-bytes gauge: if the
@@ -153,13 +185,19 @@ void* Device::Allocate(size_t bytes) {
   try {
     PtrShard& shard = ShardFor(ptr);
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.blocks.emplace(ptr, block);
+    shard.blocks.emplace(ptr, PtrEntry{block, backing});
     shard.freed.erase(ptr);
   } catch (...) {
     if (pool_hit) {
       PushFreeBlock(ptr, block);  // bytes_pooled was never debited
     } else {
       std::free(ptr);
+      if (backing != nullptr) {
+        backing->remaining.fetch_add(block, std::memory_order_relaxed);
+        counters_.bytes_reserved.fetch_add(block, std::memory_order_relaxed);
+      } else {
+        committed_.fetch_sub(block, std::memory_order_relaxed);
+      }
     }
     throw;
   }
@@ -170,12 +208,13 @@ void* Device::Allocate(size_t bytes) {
   bytes_live_.fetch_add(block, std::memory_order_relaxed);
   counters_.allocations.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_allocated.fetch_add(requested, std::memory_order_relaxed);
+  NotePeak();
   return ptr;
 }
 
 void Device::Free(void* ptr) {
   if (ptr == nullptr) return;
-  size_t block = 0;
+  PtrEntry entry;
   {
     PtrShard& shard = ShardFor(ptr);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -187,14 +226,116 @@ void Device::Free(void* ptr) {
       }
       throw std::invalid_argument("Device::Free of unknown pointer");
     }
-    block = it->second;
+    entry = it->second;
     shard.blocks.erase(it);
-    shard.freed.insert(ptr);
+    // Reservation-backed blocks go straight back to the host heap (below),
+    // so — like trimmed blocks — their addresses may be recycled by malloc
+    // and must not be remembered as "freed to pool".
+    if (entry.backing == nullptr) shard.freed.insert(ptr);
   }
-  bytes_live_.fetch_sub(block, std::memory_order_relaxed);
-  PushFreeBlock(ptr, block);
-  counters_.bytes_pooled.fetch_add(block, std::memory_order_relaxed);
+  bytes_live_.fetch_sub(entry.bytes, std::memory_order_relaxed);
+  if (entry.backing != nullptr) {
+    // Credit the reservation back (live -> reserved, committed unchanged) so
+    // an admitted query can cycle alloc/free within its grant; once the
+    // reservation is released, the bytes instead leave committed entirely.
+    // Parking backed blocks in the pool would double-count them (pooled and
+    // reserved at once), so they bypass it.
+    bool credited = false;
+    {
+      std::lock_guard<std::mutex> lock(res_mu_);
+      if (entry.backing->active.load(std::memory_order_relaxed)) {
+        entry.backing->remaining.fetch_add(entry.bytes,
+                                           std::memory_order_relaxed);
+        counters_.bytes_reserved.fetch_add(entry.bytes,
+                                           std::memory_order_relaxed);
+        credited = true;
+      }
+    }
+    if (!credited) committed_.fetch_sub(entry.bytes, std::memory_order_relaxed);
+    std::free(ptr);
+    return;
+  }
+  PushFreeBlock(ptr, entry.bytes);
+  counters_.bytes_pooled.fetch_add(entry.bytes, std::memory_order_relaxed);
 }
+
+bool Device::TryCommit(size_t bytes) {
+  const size_t capacity = capacity_bytes_.load(std::memory_order_relaxed);
+  size_t cur = committed_.load(std::memory_order_relaxed);
+  while (cur + bytes <= capacity) {
+    if (committed_.compare_exchange_weak(cur, cur + bytes,
+                                         std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Device::NotePeak() {
+  const uint64_t demand =
+      bytes_live_.load(std::memory_order_relaxed) +
+      counters_.bytes_reserved.load(std::memory_order_relaxed);
+  uint64_t peak = counters_.peak_bytes.load(std::memory_order_relaxed);
+  while (demand > peak &&
+         !counters_.peak_bytes.v.compare_exchange_weak(
+             peak, demand, std::memory_order_relaxed)) {
+  }
+}
+
+bool Device::TryReserve(uint64_t stream_id, size_t bytes) {
+  if (bytes == 0) return true;
+  if (!TryCommit(bytes)) {
+    TrimPool();
+    if (!TryCommit(bytes)) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(res_mu_);
+    std::shared_ptr<Reservation>& slot = reservations_[stream_id];
+    if (slot == nullptr) {
+      slot = std::make_shared<Reservation>();
+      slot->stream_id = stream_id;
+    }
+    slot->remaining.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  counters_.bytes_reserved.fetch_add(bytes, std::memory_order_relaxed);
+  NotePeak();
+  return true;
+}
+
+void Device::ReleaseReservation(uint64_t stream_id) {
+  std::lock_guard<std::mutex> lock(res_mu_);
+  auto it = reservations_.find(stream_id);
+  if (it == reservations_.end()) return;
+  std::shared_ptr<Reservation> res = it->second;
+  reservations_.erase(it);
+  res->active.store(false, std::memory_order_relaxed);
+  const size_t rem = res->remaining.exchange(0, std::memory_order_relaxed);
+  counters_.bytes_reserved.fetch_sub(rem, std::memory_order_relaxed);
+  committed_.fetch_sub(rem, std::memory_order_relaxed);
+}
+
+size_t Device::ReservationRemaining(uint64_t stream_id) const {
+  std::lock_guard<std::mutex> lock(res_mu_);
+  auto it = reservations_.find(stream_id);
+  return it == reservations_.end()
+             ? 0
+             : it->second->remaining.load(std::memory_order_relaxed);
+}
+
+Device::ReservationScope::ReservationScope(Device& device, uint64_t stream_id)
+    : previous_(tls_reservation_) {
+  {
+    std::lock_guard<std::mutex> lock(device.res_mu_);
+    auto it = device.reservations_.find(stream_id);
+    if (it != device.reservations_.end()) reservation_ = it->second;
+  }
+  // A stream without a reservation unbinds the thread rather than
+  // inheriting the enclosing scope's (that would charge a different
+  // stream's grant).
+  tls_reservation_ = reservation_ != nullptr ? &reservation_ : nullptr;
+}
+
+Device::ReservationScope::~ReservationScope() { tls_reservation_ = previous_; }
 
 bool Device::OwnsPointer(const void* ptr) const {
   PtrShard& shard = ShardFor(ptr);

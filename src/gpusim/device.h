@@ -15,6 +15,21 @@
 // are never charged for allocation, hit or miss — so simulated timings are
 // bit-identical with a cold or warm pool. Hit/miss/pooled-bytes statistics
 // are exported through Counters.
+//
+// Capacity accounting is centralized in one authoritative committed-bytes
+// atomic (live + pooled + reserved): every true increase — a pool-miss
+// allocation or an admission reservation — admits via a CAS against the
+// (settable) capacity, while the frequent state transitions (pool hit,
+// free-to-pool, reservation conversion) are committed-neutral swaps. This
+// closes the window where two concurrent pool-miss allocations could both
+// pass a racy check and overshoot the simulated capacity.
+//
+// Per-stream reservations (TryReserve / ReleaseReservation) let an admission
+// controller (core::MemoryGovernor) set memory aside for a query before it
+// runs: a thread that binds itself to a stream's reservation with
+// ReservationScope converts reserved bytes into live allocations without a
+// second capacity check, so an admitted query cannot lose its memory to a
+// concurrent client between admission and allocation.
 #ifndef GPUSIM_DEVICE_H_
 #define GPUSIM_DEVICE_H_
 
@@ -46,6 +61,8 @@ class OutOfDeviceMemory : public std::runtime_error {
 
 /// A simulated GPU. Thread-safe.
 class Device {
+  struct Reservation;  // per-stream admission reservation (private)
+
  public:
   explicit Device(const DeviceProperties& props = DeviceProperties(),
                   unsigned host_threads = 0);
@@ -85,6 +102,63 @@ class Device {
   /// Releases every cached block back to the host heap. Called automatically
   /// when an allocation would otherwise exceed the simulated capacity.
   void TrimPool();
+
+  /// Simulated memory capacity allocations and reservations are admitted
+  /// against. Defaults to properties().global_memory_bytes; benches and
+  /// tools shrink it to model memory pressure. Capacity only gates
+  /// admission — it never feeds the cost model, so simulated timings are
+  /// unchanged by any setting that still lets allocations succeed.
+  size_t memory_capacity() const {
+    return capacity_bytes_.load(std::memory_order_relaxed);
+  }
+  void set_memory_capacity(size_t bytes) {
+    capacity_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Bytes counted against capacity right now: live + pooled + reserved.
+  size_t committed_bytes() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+
+  /// Unconverted reservation bytes across all streams.
+  size_t reserved_bytes() const {
+    return counters_.bytes_reserved.load(std::memory_order_relaxed);
+  }
+
+  /// All-time high-water mark of live + reserved bytes.
+  uint64_t peak_bytes() const {
+    return counters_.peak_bytes.load(std::memory_order_relaxed);
+  }
+
+  /// Sets `bytes` aside for `stream_id`, counted against capacity. Trims the
+  /// pool when that is what admission needs; returns false when the bytes
+  /// do not fit even with an empty pool. A stream's reservations accumulate;
+  /// ReleaseReservation drops whatever remains unconverted.
+  bool TryReserve(uint64_t stream_id, size_t bytes);
+
+  /// Returns a stream's unconverted reservation balance to the capacity pool
+  /// (live allocations drawn from it stay live). No-op without a reservation.
+  void ReleaseReservation(uint64_t stream_id);
+
+  /// Unconverted bytes remaining in a stream's reservation (0 = none).
+  size_t ReservationRemaining(uint64_t stream_id) const;
+
+  /// Binds the current thread's allocations to a stream's reservation: while
+  /// in scope, pool-miss allocations draw down the reservation balance
+  /// instead of re-checking capacity, and frees of those blocks credit the
+  /// balance back. Scopes nest (the innermost wins); cheap to construct when
+  /// the stream holds no reservation.
+  class ReservationScope {
+   public:
+    ReservationScope(Device& device, uint64_t stream_id);
+    ~ReservationScope();
+    ReservationScope(const ReservationScope&) = delete;
+    ReservationScope& operator=(const ReservationScope&) = delete;
+
+   private:
+    std::shared_ptr<Reservation> reservation_;  // keeps the binding alive
+    std::shared_ptr<Reservation>* previous_;    // enclosing scope's binding
+  };
 
   /// The reserved block size a request of `bytes` maps to: power-of-two size
   /// classes in [kMinBlockBytes, kLargeBlockBytes], exact size above.
@@ -138,14 +212,36 @@ class Device {
     std::vector<void*> blocks;
   };
 
+  /// One stream's admission reservation. `remaining` is drawn down by
+  /// reservation-backed allocations (CAS decrement) and credited back when
+  /// those blocks are freed; ReleaseReservation zeroes it (exchange), so a
+  /// racing conversion either wins before the release or observes 0 and
+  /// falls back to the global admission path.
+  struct Reservation {
+    uint64_t stream_id = 0;
+    std::atomic<size_t> remaining{0};
+    std::atomic<bool> active{true};
+  };
+
+  /// The reservation the current thread's allocations draw from (set by
+  /// ReservationScope; null when unbound).
+  static thread_local std::shared_ptr<Reservation>* tls_reservation_;
+
+  /// One live pointer's bookkeeping: the reserved block size plus, for
+  /// reservation-backed allocations, the reservation to credit on Free.
+  struct PtrEntry {
+    size_t bytes = 0;
+    std::shared_ptr<Reservation> backing;  // null for unbacked blocks
+  };
+
   /// Live-pointer tables, sharded by pointer hash to keep OwnsPointer / Free
-  /// lookups off a single global lock. Maps pointer -> reserved block bytes.
+  /// lookups off a single global lock. Maps pointer -> block bookkeeping.
   /// `freed` remembers pointers currently parked in the pool's free lists so
   /// Free() can distinguish a double free from a pointer this device never
   /// allocated; entries leave the set when the block is reused or trimmed.
   struct PtrShard {
     mutable std::mutex mu;
-    std::unordered_map<const void*, size_t> blocks;
+    std::unordered_map<const void*, PtrEntry> blocks;
     std::unordered_set<const void*> freed;
   };
 
@@ -153,6 +249,11 @@ class Device {
   PtrShard& ShardFor(const void* ptr) const;
   void* PopFreeBlock(size_t block_bytes);
   void PushFreeBlock(void* ptr, size_t block_bytes);
+
+  /// CAS-admits `bytes` of new committed memory against the capacity.
+  bool TryCommit(size_t bytes);
+  /// Raises the live+reserved high-water mark after an increase.
+  void NotePeak();
 
   CostModel cost_model_;
   Counters counters_;
@@ -162,6 +263,12 @@ class Device {
   std::unordered_multimap<size_t, void*> large_cache_;
   mutable PtrShard ptr_shards_[kNumPtrShards];
   std::atomic<size_t> bytes_live_{0};
+  std::atomic<size_t> capacity_bytes_;
+  /// Authoritative capacity gauge: live + pooled + reserved. Every increase
+  /// goes through TryCommit; committed-neutral transitions never touch it.
+  std::atomic<size_t> committed_{0};
+  mutable std::mutex res_mu_;  ///< guards reservations_
+  std::unordered_map<uint64_t, std::shared_ptr<Reservation>> reservations_;
   std::atomic<Tracer*> tracer_{nullptr};
   std::atomic<FaultInjector*> fault_injector_{nullptr};
   std::atomic<uint64_t> next_stream_id_{0};

@@ -19,7 +19,9 @@ namespace gpusim {
 /// One traced device command.
 struct TraceEvent {
   std::string name;
-  const char* category = "kernel";  ///< "kernel"|"transfer"|"compile"|"fault"
+  /// "kernel"|"transfer"|"compile"|"fault", or "memory" for admission /
+  /// partition / spill markers (plan/partition.h), which carry zero duration.
+  const char* category = "kernel";
   uint64_t start_ns = 0;            ///< stream-relative simulated time
   uint64_t duration_ns = 0;
   uint64_t stream_id = 0;

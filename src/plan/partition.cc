@@ -1,0 +1,566 @@
+#include "plan/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "gpusim/device.h"
+#include "gpusim/trace.h"
+#include "plan/executor.h"
+#include "plan/optimizer.h"
+#include "plan/tpch_plans.h"
+#include "storage/device_column.h"
+
+namespace plan {
+namespace {
+
+bool NeedsOrders(TpchQuery q) {
+  return q == TpchQuery::kQ3 || q == TpchQuery::kQ4;
+}
+bool NeedsCustomer(TpchQuery q) { return q == TpchQuery::kQ3; }
+bool NeedsPart(TpchQuery q) { return q == TpchQuery::kQ14; }
+
+void RequireTables(TpchQuery q, const TpchHostTables& tables) {
+  auto require = [&](const storage::Table* t, const char* name) {
+    if (t == nullptr) {
+      throw std::invalid_argument(std::string(TpchQueryName(q)) +
+                                  " requires the " + name + " table");
+    }
+  };
+  require(tables.lineitem, "lineitem");
+  if (NeedsOrders(q)) require(tables.orders, "orders");
+  if (NeedsCustomer(q)) require(tables.customer, "customer");
+  if (NeedsPart(q)) require(tables.part, "part");
+}
+
+QueryPlanBundle BuildBundle(TpchQuery q, const storage::DeviceTable& lineitem,
+                            const storage::DeviceTable& orders,
+                            const storage::DeviceTable& customer,
+                            const storage::DeviceTable& part) {
+  switch (q) {
+    case TpchQuery::kQ1:
+      return BuildQ1Plan(lineitem);
+    case TpchQuery::kQ3:
+      return BuildQ3Plan(customer, orders, lineitem);
+    case TpchQuery::kQ4:
+      return BuildQ4Plan(orders, lineitem);
+    case TpchQuery::kQ6:
+      return BuildQ6Plan(lineitem);
+    case TpchQuery::kQ14:
+      return BuildQ14Plan(part, lineitem);
+  }
+  throw std::logic_error("unknown TpchQuery");
+}
+
+/// A device table whose columns carry type and row count but no storage —
+/// enough for plan building and cost estimation, with zero device traffic.
+storage::DeviceTable MetaTable(const storage::Table& table, size_t rows) {
+  storage::DeviceTable out;
+  for (const std::string& name : table.column_names()) {
+    out.AddColumn(name, storage::DeviceColumn(
+                            table.column(name).type(), rows,
+                            std::make_shared<gpusim::DeviceBuffer>()));
+  }
+  return out;
+}
+
+/// Host-side row-range copy [lo, hi) of every column.
+storage::Table SliceTable(const storage::Table& table, size_t lo, size_t hi) {
+  storage::Table out(table.name());
+  for (const std::string& name : table.column_names()) {
+    const storage::Column& c = table.column(name);
+    switch (c.type()) {
+      case storage::DataType::kInt32: {
+        const auto& v = c.values<int32_t>();
+        out.AddColumn(name, storage::Column(std::vector<int32_t>(
+                                v.begin() + lo, v.begin() + hi)));
+        break;
+      }
+      case storage::DataType::kInt64: {
+        const auto& v = c.values<int64_t>();
+        out.AddColumn(name, storage::Column(std::vector<int64_t>(
+                                v.begin() + lo, v.begin() + hi)));
+        break;
+      }
+      case storage::DataType::kFloat64: {
+        const auto& v = c.values<double>();
+        out.AddColumn(name, storage::Column(std::vector<double>(
+                                v.begin() + lo, v.begin() + hi)));
+        break;
+      }
+      case storage::DataType::kFloat32: {
+        const auto& v = c.values<float>();
+        out.AddColumn(name, storage::Column(std::vector<float>(
+                                v.begin() + lo, v.begin() + hi)));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// K+1 partition boundaries over lineitem. With `align_orderkey`, each
+/// boundary moves forward to the next l_orderkey change point, so no order's
+/// lineitems straddle two partitions (the generator emits them contiguously
+/// with nondecreasing keys) — which keeps per-partition group-key sets
+/// disjoint for Q3's group-by and Q4's semi-join. Pure function of (rows,
+/// keys, k): partition shapes — and with them simulated timings — replay.
+std::vector<size_t> PartitionBounds(const storage::Table& lineitem, size_t k,
+                                    bool align_orderkey) {
+  const size_t n = lineitem.num_rows();
+  const std::vector<int32_t>* keys =
+      align_orderkey ? &lineitem.column("l_orderkey").values<int32_t>()
+                     : nullptr;
+  std::vector<size_t> bounds{0};
+  for (size_t p = 1; p < k; ++p) {
+    size_t b = std::min(n, n * p / k);
+    if (keys != nullptr) {
+      while (b > 0 && b < n && (*keys)[b] == (*keys)[b - 1]) ++b;
+    }
+    bounds.push_back(std::max(b, bounds.back()));
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+/// Worst-case device footprint of one pinned plan execution: upload bytes of
+/// every scanned column plus materialized intermediates with row counts
+/// propagated pessimistically (filters and joins pass every row), each
+/// rounded to the allocator's block granularity. The x2 headroom covers
+/// operator scratch the plan does not name — hash-table fills (2n slots),
+/// sort ping-pong buffers, selection scan temporaries.
+uint64_t FootprintOfPlan(const PhysicalPlan& phys) {
+  const std::vector<PlanNode>& nodes = phys.plan.nodes;
+  std::vector<size_t> rows(nodes.size(), 0);
+  std::vector<size_t> width(nodes.size(), 0);
+  std::unordered_set<const storage::DeviceColumn*> scanned;
+  uint64_t scan_bytes = 0;
+  uint64_t intermediate_bytes = 0;
+
+  const auto block = [](uint64_t b) -> uint64_t {
+    return b == 0 ? 0 : gpusim::Device::PoolBlockBytes(b);
+  };
+  const auto in_rows = [&](const NodeInput& in) -> size_t {
+    return in.node >= 0 ? rows[in.node] : 0;
+  };
+  const auto in_width = [&](const NodeInput& in) -> size_t {
+    return in.node >= 0 ? width[in.node] : sizeof(double);
+  };
+
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const PlanNode& n = nodes[i];
+    if (n.dead) continue;
+    switch (n.kind) {
+      case NodeKind::kScan:
+        rows[i] = n.scan_col != nullptr ? n.scan_col->size() : 0;
+        width[i] = n.scan_col != nullptr
+                       ? storage::DataTypeSize(n.scan_col->type())
+                       : sizeof(int32_t);
+        if (n.scan_col != nullptr && scanned.insert(n.scan_col).second) {
+          scan_bytes += block(n.scan_col->byte_size());
+        }
+        break;
+      case NodeKind::kFilter:
+        rows[i] = n.pred_cols.empty() ? 0 : in_rows(n.pred_cols[0]);
+        width[i] = sizeof(int32_t);  // matching row ids
+        intermediate_bytes += block(rows[i] * width[i]);
+        break;
+      case NodeKind::kFilterCompare:
+        rows[i] = in_rows(n.cmp_lhs);
+        width[i] = sizeof(int32_t);
+        intermediate_bytes += block(rows[i] * width[i]);
+        break;
+      case NodeKind::kGather:
+        rows[i] = in_rows(n.gather_indices);
+        width[i] = in_width(n.gather_src);
+        intermediate_bytes += block(rows[i] * width[i]);
+        break;
+      case NodeKind::kMap:
+      case NodeKind::kFusedMap:
+        rows[i] = in_rows(n.map_a);
+        width[i] = sizeof(double);
+        intermediate_bytes += block(rows[i] * width[i]);
+        break;
+      case NodeKind::kJoin:
+        // Build sides are unique keys, so each probe row matches at most
+        // once: output is two int32 row-id columns of probe length.
+        rows[i] = in_rows(n.join_probe);
+        width[i] = sizeof(int32_t);
+        intermediate_bytes += 2 * block(rows[i] * sizeof(int32_t));
+        break;
+      case NodeKind::kUnique:
+        rows[i] = in_rows(n.unary_in);
+        width[i] = in_width(n.unary_in);
+        intermediate_bytes += block(rows[i] * width[i]);
+        break;
+      case NodeKind::kGroupBy:
+        rows[i] = in_rows(n.group_keys);
+        width[i] = sizeof(double);  // consumers mostly read the aggregate
+        intermediate_bytes += block(rows[i] * sizeof(int32_t)) +
+                              block(rows[i] * sizeof(double));
+        break;
+      case NodeKind::kSort:
+        rows[i] = in_rows(n.unary_in);
+        width[i] = in_width(n.unary_in);
+        intermediate_bytes += block(rows[i] * width[i]);
+        break;
+      case NodeKind::kSortByKey:
+        rows[i] = in_rows(n.sort_keys);
+        width[i] = sizeof(double);
+        intermediate_bytes += block(rows[i] * sizeof(double)) +
+                              block(rows[i] * sizeof(int32_t));
+        break;
+      case NodeKind::kReduce:
+      case NodeKind::kFusedFilterSum:
+        rows[i] = 1;
+        width[i] = sizeof(double);
+        break;
+      case NodeKind::kFetchGroups:
+      case NodeKind::kFetchPair:
+        rows[i] = in_rows(n.fetch_from);  // host download, no device bytes
+        break;
+    }
+  }
+  return scan_bytes + 2 * intermediate_bytes;
+}
+
+void Emit(const GovernedQueryOptions& options, gpusim::Stream& stream,
+          PressureEvent::Kind kind, std::string detail, uint64_t bytes,
+          size_t partitions) {
+  gpusim::Tracer* tracer = stream.device().tracer();
+  if (tracer != nullptr) {
+    gpusim::TraceEvent e;
+    e.name = std::string(PressureEventKindName(kind)) + ": " + detail;
+    e.category = "memory";
+    e.start_ns = stream.now_ns();
+    e.stream_id = stream.id();
+    tracer->Record(std::move(e));
+  }
+  if (!options.on_event) return;
+  PressureEvent event;
+  event.kind = kind;
+  event.detail = std::move(detail);
+  event.bytes = bytes;
+  event.partitions = partitions;
+  options.on_event(event);
+}
+
+/// Mergeable per-partition state across the five queries.
+struct Partials {
+  Q1Partials q1;
+  std::vector<tpch::Q3Row> q3_groups;
+  std::map<int32_t, int64_t> q4_counts;
+  double q6_sum = 0;
+  double q14_total = 0;
+  double q14_promo = 0;
+};
+
+void Accumulate(TpchQuery q, const QueryPlanBundle& bundle,
+                const ExecutionResult& res, Partials& acc) {
+  switch (q) {
+    case TpchQuery::kQ1:
+      acc.q1.Merge(ExtractQ1Partials(bundle, res));
+      break;
+    case TpchQuery::kQ3: {
+      const std::vector<tpch::Q3Row> groups = ExtractQ3Groups(bundle, res);
+      acc.q3_groups.insert(acc.q3_groups.end(), groups.begin(), groups.end());
+      break;
+    }
+    case TpchQuery::kQ4:
+      for (const tpch::Q4Row& row : ExtractQ4(bundle, res)) {
+        acc.q4_counts[row.orderpriority] += row.order_count;
+      }
+      break;
+    case TpchQuery::kQ6:
+      acc.q6_sum += ExtractQ6(bundle, res);
+      break;
+    case TpchQuery::kQ14: {
+      const NodeValue& total = res.values[bundle.marks.at("total")];
+      const NodeValue& promo = res.values[bundle.marks.at("promo")];
+      if (total.computed) acc.q14_total += total.scalar;
+      if (promo.computed) acc.q14_promo += promo.scalar;
+      break;
+    }
+  }
+}
+
+TpchQueryResult Finalize(TpchQuery q, Partials acc) {
+  TpchQueryResult r;
+  switch (q) {
+    case TpchQuery::kQ1:
+      r.q1 = FinalizeQ1(acc.q1);
+      break;
+    case TpchQuery::kQ3:
+      r.q3 = FinalizeQ3(std::move(acc.q3_groups), tpch::Q3Params());
+      break;
+    case TpchQuery::kQ4:
+      for (const auto& [prio, count] : acc.q4_counts) {
+        r.q4.push_back(tpch::Q4Row{prio, count});
+      }
+      break;
+    case TpchQuery::kQ6:
+      r.scalar = acc.q6_sum;
+      break;
+    case TpchQuery::kQ14:
+      r.scalar = acc.q14_total == 0.0
+                     ? 0.0
+                     : 100.0 * acc.q14_promo / acc.q14_total;
+      break;
+  }
+  return r;
+}
+
+/// Host bytes the marked fetch/reduce nodes downloaded from the device.
+uint64_t DownloadedBytes(const QueryPlanBundle& bundle,
+                         const ExecutionResult& res) {
+  uint64_t bytes = 0;
+  for (const auto& [name, node] : bundle.marks) {
+    const NodeValue& v = res.values[node];
+    if (!v.computed) continue;
+    bytes += v.host_keys.size() * sizeof(int32_t) +
+             v.host_vals_f.size() * sizeof(double) +
+             v.host_vals_i.size() * sizeof(int64_t) +
+             v.host_first.size() * sizeof(double) +
+             v.host_second.size() * sizeof(int32_t);
+    if (bundle.plan.nodes[node].kind == NodeKind::kReduce) {
+      bytes += sizeof(double);  // the scalar itself comes down
+    }
+  }
+  return bytes;
+}
+
+uint64_t HostTableBytes(const storage::Table& t) {
+  uint64_t bytes = 0;
+  for (const std::string& name : t.column_names()) {
+    bytes += t.column(name).byte_size();
+  }
+  return bytes;
+}
+
+/// One execution attempt at a fixed partition count. Throws
+/// gpusim::OutOfDeviceMemory when K is still too coarse for the live memory
+/// state; the caller owns the repartitioning ladder.
+TpchQueryResult RunAttempt(TpchQuery q, const TpchHostTables& tables,
+                           core::Backend& backend, size_t k,
+                           const GovernedQueryOptions& options,
+                           GovernedRunStats& stats) {
+  gpusim::Stream& stream = backend.stream();
+  OptimizerOptions opt;
+  opt.pin_backend = backend.name();
+
+  storage::DeviceTable orders, customer, part;
+  if (NeedsOrders(q)) orders = storage::UploadTable(stream, *tables.orders);
+  if (NeedsCustomer(q)) {
+    customer = storage::UploadTable(stream, *tables.customer);
+  }
+  if (NeedsPart(q)) part = storage::UploadTable(stream, *tables.part);
+
+  if (k <= 1) {
+    // Unpartitioned: byte-for-byte the ordinary upload + pinned-plan run.
+    const storage::DeviceTable lineitem =
+        storage::UploadTable(stream, *tables.lineitem);
+    const QueryPlanBundle bundle =
+        BuildBundle(q, lineitem, orders, customer, part);
+    const PhysicalPlan phys = Optimize(bundle.plan, opt);
+    const ExecutionResult res = RunPinned(phys, backend);
+    TpchQueryResult r;
+    switch (q) {
+      case TpchQuery::kQ1:
+        r.q1 = ExtractQ1(bundle, res);
+        break;
+      case TpchQuery::kQ3:
+        r.q3 = ExtractQ3(bundle, res, tpch::Q3Params());
+        break;
+      case TpchQuery::kQ4:
+        r.q4 = ExtractQ4(bundle, res);
+        break;
+      case TpchQuery::kQ6:
+        r.scalar = ExtractQ6(bundle, res);
+        break;
+      case TpchQuery::kQ14:
+        r.scalar = ExtractQ14(bundle, res);
+        break;
+    }
+    return r;
+  }
+
+  const bool align = NeedsOrders(q);  // q3/q4 group or join on l_orderkey
+  const std::vector<size_t> bounds =
+      PartitionBounds(*tables.lineitem, k, align);
+  Partials acc;
+  for (size_t p = 0; p + 1 < bounds.size(); ++p) {
+    const size_t lo = bounds[p];
+    const size_t hi = bounds[p + 1];
+    if (lo >= hi) continue;  // orderkey alignment emptied this range
+    const storage::Table slice = SliceTable(*tables.lineitem, lo, hi);
+    const uint64_t slice_bytes = HostTableBytes(slice);
+    // Slice upload, per-partition plan, partial extraction; the slice's
+    // device memory is freed (credited back to the reservation) when the
+    // scope ends, before the next slice uploads.
+    const storage::DeviceTable lineitem = storage::UploadTable(stream, slice);
+    const QueryPlanBundle bundle =
+        BuildBundle(q, lineitem, orders, customer, part);
+    const PhysicalPlan phys = Optimize(bundle.plan, opt);
+    const ExecutionResult res = RunPinned(phys, backend);
+    Accumulate(q, bundle, res, acc);
+    const uint64_t down = DownloadedBytes(bundle, res);
+    stats.spill_h2d_bytes += slice_bytes;
+    stats.spill_d2h_bytes += down;
+    Emit(options, stream, PressureEvent::Kind::kSpill,
+         "partition " + std::to_string(p) + "/" + std::to_string(k) +
+             " rows [" + std::to_string(lo) + ", " + std::to_string(hi) +
+             ") h2d " + std::to_string(slice_bytes) + " B, d2h " +
+             std::to_string(down) + " B",
+         slice_bytes + down, k);
+  }
+  return Finalize(q, std::move(acc));
+}
+
+}  // namespace
+
+const char* TpchQueryName(TpchQuery query) {
+  switch (query) {
+    case TpchQuery::kQ1: return "q1";
+    case TpchQuery::kQ3: return "q3";
+    case TpchQuery::kQ4: return "q4";
+    case TpchQuery::kQ6: return "q6";
+    case TpchQuery::kQ14: return "q14";
+  }
+  return "?";
+}
+
+TpchQuery ParseTpchQuery(const std::string& name) {
+  if (name == "q1") return TpchQuery::kQ1;
+  if (name == "q3") return TpchQuery::kQ3;
+  if (name == "q4") return TpchQuery::kQ4;
+  if (name == "q6") return TpchQuery::kQ6;
+  if (name == "q14") return TpchQuery::kQ14;
+  throw std::invalid_argument("unknown TPC-H query '" + name +
+                              "' (expected q1|q3|q4|q6|q14)");
+}
+
+const char* PressureEventKindName(PressureEvent::Kind kind) {
+  switch (kind) {
+    case PressureEvent::Kind::kAdmission: return "admission";
+    case PressureEvent::Kind::kPartition: return "partition";
+    case PressureEvent::Kind::kSpill: return "spill";
+    case PressureEvent::Kind::kFallback: return "fallback";
+  }
+  return "?";
+}
+
+uint64_t EstimateQueryFootprint(TpchQuery query, const TpchHostTables& tables,
+                                const std::string& backend_name,
+                                size_t partitions) {
+  RequireTables(query, tables);
+  if (partitions == 0) partitions = 1;
+  const size_t li_rows = tables.lineitem->num_rows();
+  const size_t slice_rows = (li_rows + partitions - 1) / partitions;
+  const storage::DeviceTable lineitem =
+      MetaTable(*tables.lineitem, slice_rows);
+  storage::DeviceTable orders, customer, part;
+  if (NeedsOrders(query)) {
+    orders = MetaTable(*tables.orders, tables.orders->num_rows());
+  }
+  if (NeedsCustomer(query)) {
+    customer = MetaTable(*tables.customer, tables.customer->num_rows());
+  }
+  if (NeedsPart(query)) {
+    part = MetaTable(*tables.part, tables.part->num_rows());
+  }
+  const QueryPlanBundle bundle =
+      BuildBundle(query, lineitem, orders, customer, part);
+  OptimizerOptions opt;
+  opt.pin_backend = backend_name;
+  return FootprintOfPlan(Optimize(bundle.plan, opt));
+}
+
+TpchQueryResult RunGoverned(TpchQuery query, const TpchHostTables& tables,
+                            core::Backend& backend,
+                            const GovernedQueryOptions& options,
+                            GovernedRunStats* stats) {
+  RequireTables(query, tables);
+  gpusim::Stream& stream = backend.stream();
+  gpusim::Device& device = stream.device();
+  const size_t max_k =
+      options.max_partitions == 0 ? 256 : options.max_partitions;
+
+  GovernedRunStats local;
+  GovernedRunStats& st = stats != nullptr ? *stats : local;
+  st = GovernedRunStats();
+
+  const uint64_t footprint =
+      EstimateQueryFootprint(query, tables, backend.name(), 1);
+  const uint64_t grant = device.ReservationRemaining(stream.id());
+  const uint64_t budget = grant > 0 ? grant : device.memory_capacity();
+  st.footprint_bytes = footprint;
+  st.grant_bytes = grant;
+
+  size_t k = 1;
+  if (options.force_partitions > 0) {
+    k = options.force_partitions;
+  } else {
+    while (k < max_k &&
+           EstimateQueryFootprint(query, tables, backend.name(), k) >
+               budget) {
+      k *= 2;
+    }
+    k = std::min(k, max_k);
+  }
+  Emit(options, stream, PressureEvent::Kind::kAdmission,
+       std::string(TpchQueryName(query)) + " footprint " +
+           std::to_string(footprint) + " B, budget " +
+           std::to_string(budget) + " B (" +
+           (grant > 0 ? "granted" : "ungoverned") + ") -> " +
+           std::to_string(k) + " partition(s)",
+       budget, k);
+
+  // Bind this thread's allocations to the stream's admission reservation
+  // (no-op without one): every pool-miss upload/intermediate below draws
+  // from the grant instead of racing concurrent clients for capacity.
+  gpusim::Device::ReservationScope scope(device, stream.id());
+  const uint64_t sim_start = stream.now_ns();
+  for (;;) {
+    if (k > 1) {
+      Emit(options, stream, PressureEvent::Kind::kPartition,
+           std::string(TpchQueryName(query)) + " executing in " +
+               std::to_string(k) + " row-range partitions",
+           0, k);
+    }
+    try {
+      st.spill_h2d_bytes = 0;  // an abandoned attempt's traffic is not spill
+      st.spill_d2h_bytes = 0;
+      TpchQueryResult result =
+          RunAttempt(query, tables, backend, k, options, st);
+      st.partitions = k;
+      st.simulated_ns = stream.now_ns() - sim_start;
+      return result;
+    } catch (const gpusim::OutOfDeviceMemory&) {
+      device.TrimPool();
+      if (options.force_partitions > 0 || k >= max_k) throw;
+      k = std::min(max_k, k * 2);
+      ++st.oom_fallbacks;
+      Emit(options, stream, PressureEvent::Kind::kFallback,
+           std::string(TpchQueryName(query)) +
+               " hit device OOM; repartitioning to " + std::to_string(k),
+           0, k);
+    }
+  }
+}
+
+core::QueryFn MakeGovernedQuery(TpchQuery query, TpchHostTables tables,
+                                GovernedQueryOptions options,
+                                TpchQueryResult* out,
+                                GovernedRunStats* stats) {
+  return [query, tables, options = std::move(options), out,
+          stats](core::Backend& backend) {
+    TpchQueryResult result =
+        RunGoverned(query, tables, backend, options, stats);
+    if (out != nullptr) *out = std::move(result);
+  };
+}
+
+}  // namespace plan

@@ -1,0 +1,132 @@
+// Partitioned (spill-to-host) query execution under memory pressure.
+//
+// The paper's whole-query measurements assume every working set fits in
+// device memory. This module is the degradation path for when it does not:
+// a query whose estimated footprint exceeds its admission grant
+// (core::MemoryGovernor) re-runs morsel-wise — the scan side is split into K
+// row-range partitions, the operator DAG executes per partition against a
+// sliced upload, and per-partition partials merge host-side. Host tables
+// stay the source of truth, so the only extra cost is the priced
+// host<->device traffic of the slices and partial downloads ("spill" bytes).
+//
+// Correctness: partials merge by addition (Q1/Q4/Q6/Q14 sums and counts) or
+// disjoint concatenation (Q3 per-orderkey groups; lineitem is generated
+// grouped by order with nondecreasing l_orderkey, and partition boundaries
+// snap to orderkey change points, so per-partition key sets are disjoint).
+// Integer results are exact; float sums are re-associated and compared with
+// tolerance. Simulated time stays deterministic: partition sizes and counts
+// are pure functions of the inputs, so a partitioned run's simulated-ns is
+// as replayable as an unpartitioned one.
+#ifndef PLAN_PARTITION_H_
+#define PLAN_PARTITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/scheduler.h"
+#include "storage/table.h"
+#include "tpch/queries.h"
+
+namespace plan {
+
+/// The five TPC-H queries of the paper's query experiments.
+enum class TpchQuery { kQ1, kQ3, kQ4, kQ6, kQ14 };
+
+const char* TpchQueryName(TpchQuery query);
+
+/// Parses "q1"/"q3"/"q4"/"q6"/"q14" (throws std::invalid_argument).
+TpchQuery ParseTpchQuery(const std::string& name);
+
+/// Host-side inputs of a query; only the tables the query reads need be set.
+struct TpchHostTables {
+  const storage::Table* lineitem = nullptr;  ///< all queries
+  const storage::Table* orders = nullptr;    ///< q3, q4
+  const storage::Table* customer = nullptr;  ///< q3
+  const storage::Table* part = nullptr;      ///< q14
+};
+
+/// Result of any of the five queries (the member matching the query is set).
+struct TpchQueryResult {
+  std::vector<tpch::Q1Row> q1;
+  std::vector<tpch::Q3Row> q3;
+  std::vector<tpch::Q4Row> q4;
+  double scalar = 0.0;  ///< q6 revenue / q14 promo share
+};
+
+/// Estimated device footprint in bytes of running `query` split into
+/// `partitions` row ranges of lineitem: upload bytes of every scanned column
+/// plus worst-case materialized intermediates (a headroom factor covers
+/// operator scratch like hash-table fills and sort ping-pong buffers). Row
+/// counts propagate worst-case (filters pass everything), so the estimate is
+/// a deliberate over-bound: a query admitted at its estimate does not OOM.
+/// Deterministic for fixed inputs — admission decisions built on it replay.
+uint64_t EstimateQueryFootprint(TpchQuery query, const TpchHostTables& tables,
+                                const std::string& backend_name,
+                                size_t partitions = 1);
+
+/// One memory-pressure event of a governed run, for inline reporting
+/// (tools/trace_query) and the tracer's "memory" category.
+struct PressureEvent {
+  enum class Kind {
+    kAdmission,  ///< grant observed at query start
+    kPartition,  ///< a partitioned execution attempt begins
+    kSpill,      ///< one partition's host<->device traffic
+    kFallback,   ///< recurring OOM absorbed by repartitioning
+  };
+  Kind kind = Kind::kAdmission;
+  std::string detail;   ///< human-readable summary
+  uint64_t bytes = 0;   ///< grant / slice / spill bytes (kind-dependent)
+  size_t partitions = 0;
+};
+
+const char* PressureEventKindName(PressureEvent::Kind kind);
+
+struct GovernedQueryOptions {
+  /// Skip grant-driven sizing and use exactly this many partitions (0 =
+  /// derive from the grant). Used by the timing-invariance golden test.
+  size_t force_partitions = 0;
+  /// Upper bound on the repartitioning ladder; past it OOM propagates.
+  size_t max_partitions = 256;
+  /// Observer for admission/partition/spill events; may be null. Called on
+  /// the executing thread.
+  std::function<void(const PressureEvent&)> on_event;
+};
+
+/// Accounting of one governed run.
+struct GovernedRunStats {
+  uint64_t footprint_bytes = 0;  ///< estimated unpartitioned footprint
+  uint64_t grant_bytes = 0;      ///< reservation observed (0 = ungoverned)
+  size_t partitions = 1;         ///< K of the successful attempt
+  size_t oom_fallbacks = 0;      ///< attempts abandoned to a larger K
+  uint64_t spill_h2d_bytes = 0;  ///< partition-slice upload traffic (K > 1)
+  uint64_t spill_d2h_bytes = 0;  ///< partial-result download traffic (K > 1)
+  uint64_t simulated_ns = 0;     ///< stream-timeline delta of the whole run
+};
+
+/// Runs `query` on `backend`, degrading to partitioned execution when the
+/// stream's admission grant (gpusim::Device::ReservationRemaining) — or, for
+/// ungoverned streams, the device capacity — is smaller than the estimated
+/// footprint. Recurring OutOfDeviceMemory doubles K and restarts (the
+/// partials accumulated so far are discarded; queries are idempotent) until
+/// max_partitions, then propagates. K == 1 is byte-for-byte the ordinary
+/// unpartitioned plan execution.
+TpchQueryResult RunGoverned(TpchQuery query, const TpchHostTables& tables,
+                            core::Backend& backend,
+                            const GovernedQueryOptions& options = {},
+                            GovernedRunStats* stats = nullptr);
+
+/// Adapts RunGoverned for core::QueryScheduler submission. `tables` is
+/// captured by value (a struct of pointers — the caller keeps the host
+/// tables alive); `out` and `stats` may be null and are written on the
+/// client thread when the query completes.
+core::QueryFn MakeGovernedQuery(TpchQuery query, TpchHostTables tables,
+                                GovernedQueryOptions options = {},
+                                TpchQueryResult* out = nullptr,
+                                GovernedRunStats* stats = nullptr);
+
+}  // namespace plan
+
+#endif  // PLAN_PARTITION_H_

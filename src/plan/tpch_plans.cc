@@ -25,6 +25,12 @@ std::map<int32_t, double> GroupMap(const NodeValue& fetch) {
   return out;
 }
 
+/// Map lookup defaulting to 0 (a group missing from one partial sum).
+double Lookup(const std::map<int32_t, double>& m, int32_t key) {
+  const auto it = m.find(key);
+  return it == m.end() ? 0.0 : it->second;
+}
+
 }  // namespace
 
 QueryPlanBundle BuildQ1Plan(const storage::DeviceTable& lineitem,
@@ -71,31 +77,48 @@ QueryPlanBundle BuildQ1Plan(const storage::DeviceTable& lineitem,
   return b;
 }
 
-std::vector<tpch::Q1Row> ExtractQ1(const QueryPlanBundle& bundle,
-                                   const ExecutionResult& result) {
+void Q1Partials::Merge(const Q1Partials& other) {
+  auto add = [](std::map<int32_t, double>& into,
+                const std::map<int32_t, double>& from) {
+    for (const auto& [k, v] : from) into[k] += v;
+  };
+  add(sum_qty, other.sum_qty);
+  add(sum_base_price, other.sum_base_price);
+  add(sum_disc_price, other.sum_disc_price);
+  add(sum_charge, other.sum_charge);
+  add(sum_disc, other.sum_disc);
+  add(count_order, other.count_order);
+}
+
+Q1Partials ExtractQ1Partials(const QueryPlanBundle& bundle,
+                             const ExecutionResult& result) {
   auto fetch = [&](const char* name) {
     return GroupMap(result.values[bundle.marks.at(name)]);
   };
-  auto sum_qty = fetch("sum_qty");
-  auto sum_price = fetch("sum_base_price");
-  auto sum_disc_price = fetch("sum_disc_price");
-  auto sum_charge = fetch("sum_charge");
-  auto sum_disc = fetch("sum_disc");
-  auto counts = fetch("count_order");
+  Q1Partials p;
+  p.sum_qty = fetch("sum_qty");
+  p.sum_base_price = fetch("sum_base_price");
+  p.sum_disc_price = fetch("sum_disc_price");
+  p.sum_charge = fetch("sum_charge");
+  p.sum_disc = fetch("sum_disc");
+  p.count_order = fetch("count_order");
+  return p;
+}
 
+std::vector<tpch::Q1Row> FinalizeQ1(const Q1Partials& partials) {
   std::vector<tpch::Q1Row> rows;
-  for (const auto& [k, count] : counts) {
+  for (const auto& [k, count] : partials.count_order) {
     tpch::Q1Row row;
     row.returnflag = k / 2;
     row.linestatus = k % 2;
     row.count_order = static_cast<int64_t>(count);
-    row.sum_qty = sum_qty[k];
-    row.sum_base_price = sum_price[k];
-    row.sum_disc_price = sum_disc_price[k];
-    row.sum_charge = sum_charge[k];
+    row.sum_qty = Lookup(partials.sum_qty, k);
+    row.sum_base_price = Lookup(partials.sum_base_price, k);
+    row.sum_disc_price = Lookup(partials.sum_disc_price, k);
+    row.sum_charge = Lookup(partials.sum_charge, k);
     row.avg_qty = row.sum_qty / count;
     row.avg_price = row.sum_base_price / count;
-    row.avg_disc = sum_disc[k] / count;
+    row.avg_disc = Lookup(partials.sum_disc, k) / count;
     rows.push_back(row);
   }
   std::sort(rows.begin(), rows.end(),
@@ -104,6 +127,11 @@ std::vector<tpch::Q1Row> ExtractQ1(const QueryPlanBundle& bundle,
                      std::pair(b.returnflag, b.linestatus);
             });
   return rows;
+}
+
+std::vector<tpch::Q1Row> ExtractQ1(const QueryPlanBundle& bundle,
+                                   const ExecutionResult& result) {
+  return FinalizeQ1(ExtractQ1Partials(bundle, result));
 }
 
 QueryPlanBundle BuildQ6Plan(const storage::DeviceTable& lineitem,
@@ -231,6 +259,33 @@ std::vector<tpch::Q3Row> ExtractQ3(const QueryPlanBundle& bundle,
   for (size_t i = 0; i < k; ++i) {
     const size_t j = rev.size() - 1 - i;
     rows.push_back(tpch::Q3Row{key[j], rev[j]});
+  }
+  return rows;
+}
+
+std::vector<tpch::Q3Row> ExtractQ3Groups(const QueryPlanBundle& bundle,
+                                         const ExecutionResult& result) {
+  const NodeValue& fetch = result.values[bundle.marks.at("fetch")];
+  std::vector<tpch::Q3Row> groups;
+  if (!fetch.computed) return groups;
+  groups.reserve(fetch.host_first.size());
+  for (size_t i = 0; i < fetch.host_first.size(); ++i) {
+    groups.push_back(tpch::Q3Row{fetch.host_second[i], fetch.host_first[i]});
+  }
+  return groups;
+}
+
+std::vector<tpch::Q3Row> FinalizeQ3(std::vector<tpch::Q3Row> groups,
+                                    const tpch::Q3Params& params) {
+  std::sort(groups.begin(), groups.end(),
+            [](const tpch::Q3Row& a, const tpch::Q3Row& b) {
+              return std::pair(a.revenue, a.orderkey) <
+                     std::pair(b.revenue, b.orderkey);
+            });
+  std::vector<tpch::Q3Row> rows;
+  const size_t k = std::min(params.limit, groups.size());
+  for (size_t i = 0; i < k; ++i) {
+    rows.push_back(groups[groups.size() - 1 - i]);
   }
   return rows;
 }

@@ -48,12 +48,48 @@ QueryPlanBundle BuildQ14Plan(const storage::DeviceTable& part,
 std::vector<tpch::Q1Row> ExtractQ1(const QueryPlanBundle& bundle,
                                    const ExecutionResult& result);
 
+/// Mergeable partial state of Q1: the six per-group running sums. A
+/// partitioned run (plan/partition.h) extracts one Q1Partials per row-range
+/// partition and merges them by per-key addition — associative and exact for
+/// the integer counts, re-associated (tolerance-compared) for the float
+/// sums.
+struct Q1Partials {
+  std::map<int32_t, double> sum_qty;
+  std::map<int32_t, double> sum_base_price;
+  std::map<int32_t, double> sum_disc_price;
+  std::map<int32_t, double> sum_charge;
+  std::map<int32_t, double> sum_disc;
+  std::map<int32_t, double> count_order;
+
+  /// Adds `other`'s per-key sums into this one.
+  void Merge(const Q1Partials& other);
+};
+
+Q1Partials ExtractQ1Partials(const QueryPlanBundle& bundle,
+                             const ExecutionResult& result);
+
+/// Assembles final Q1 rows (averages, sort order) from merged partials.
+/// FinalizeQ1(ExtractQ1Partials(b, r)) == ExtractQ1(b, r).
+std::vector<tpch::Q1Row> FinalizeQ1(const Q1Partials& partials);
+
 double ExtractQ6(const QueryPlanBundle& bundle,
                  const ExecutionResult& result);
 
 std::vector<tpch::Q3Row> ExtractQ3(const QueryPlanBundle& bundle,
                                    const ExecutionResult& result,
                                    const tpch::Q3Params& params);
+
+/// Every (orderkey, revenue) group of a Q3 run, before the top-k cut.
+/// Partitioned runs concatenate these across partitions (row ranges aligned
+/// to orderkey boundaries keep the key sets disjoint) and apply FinalizeQ3.
+std::vector<tpch::Q3Row> ExtractQ3Groups(const QueryPlanBundle& bundle,
+                                         const ExecutionResult& result);
+
+/// Top-k cut over merged groups: sorts by (revenue, orderkey) ascending and
+/// returns the top `params.limit` rows in descending-revenue order — the
+/// same back-to-front read ExtractQ3 performs on the device-sorted result.
+std::vector<tpch::Q3Row> FinalizeQ3(std::vector<tpch::Q3Row> groups,
+                                    const tpch::Q3Params& params);
 
 std::vector<tpch::Q4Row> ExtractQ4(const QueryPlanBundle& bundle,
                                    const ExecutionResult& result);

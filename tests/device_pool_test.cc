@@ -200,6 +200,142 @@ TEST(DevicePoolTest, TrimPoolReleasesCachedBlocks) {
   EXPECT_EQ(device.bytes_in_use(), 0u);
 }
 
+TEST(DeviceReservationTest, ReserveCountsAgainstCapacity) {
+  DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;  // 1 MiB device
+  Device device(props);
+  EXPECT_TRUE(device.TryReserve(/*stream_id=*/7, 600 * 1024));
+  EXPECT_EQ(device.reserved_bytes(), 600u * 1024u);
+  EXPECT_EQ(device.committed_bytes(), 600u * 1024u);
+  EXPECT_EQ(device.ReservationRemaining(7), 600u * 1024u);
+  // A second reservation that would overshoot capacity is refused...
+  EXPECT_FALSE(device.TryReserve(/*stream_id=*/8, 600 * 1024));
+  // ...but one that fits in the remainder is admitted and accumulates.
+  EXPECT_TRUE(device.TryReserve(/*stream_id=*/8, 300 * 1024));
+  EXPECT_EQ(device.reserved_bytes(), 900u * 1024u);
+  device.ReleaseReservation(7);
+  EXPECT_EQ(device.ReservationRemaining(7), 0u);
+  EXPECT_EQ(device.reserved_bytes(), 300u * 1024u);
+  device.ReleaseReservation(8);
+  EXPECT_EQ(device.committed_bytes(), 0u);
+}
+
+TEST(DeviceReservationTest, ReserveTrimsPoolToMakeRoom) {
+  DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;
+  Device device(props);
+  void* a = device.Allocate(768 * 1024);
+  device.Free(a);  // parked: pooled bytes count against capacity
+  EXPECT_GT(device.bytes_pooled(), 0u);
+  // The reservation only fits if the pool is released first.
+  EXPECT_TRUE(device.TryReserve(1, 512 * 1024));
+  EXPECT_EQ(device.bytes_pooled(), 0u);
+  device.ReleaseReservation(1);
+}
+
+TEST(DeviceReservationTest, ScopeConvertsReservedBytesToLive) {
+  DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;
+  Device device(props);
+  ASSERT_TRUE(device.TryReserve(/*stream_id=*/3, 512 * 1024));
+  {
+    Device::ReservationScope scope(device, 3);
+    void* p = device.Allocate(100 * 1024);  // rounds to a 128 KiB block
+    // The allocation drew from the reservation, not fresh capacity:
+    // committed bytes are unchanged, the balance shrank by the block size.
+    EXPECT_EQ(device.committed_bytes(), 512u * 1024u);
+    EXPECT_EQ(device.ReservationRemaining(3), (512 - 128) * 1024u);
+    // Freeing a reservation-backed block credits the balance back instead
+    // of parking the block in the pool.
+    device.Free(p);
+    EXPECT_EQ(device.ReservationRemaining(3), 512u * 1024u);
+    EXPECT_EQ(device.bytes_pooled(), 0u);
+  }
+  device.ReleaseReservation(3);
+  EXPECT_EQ(device.committed_bytes(), 0u);
+}
+
+TEST(DeviceReservationTest, BackedFreeAfterReleaseReturnsCapacity) {
+  DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;
+  Device device(props);
+  ASSERT_TRUE(device.TryReserve(5, 512 * 1024));
+  void* p = nullptr;
+  {
+    Device::ReservationScope scope(device, 5);
+    p = device.Allocate(256 * 1024);
+  }
+  // The query's reservation is released while one of its blocks is still
+  // live; the late Free must return capacity (the reservation is inactive,
+  // so there is no balance to credit).
+  device.ReleaseReservation(5);
+  EXPECT_EQ(device.committed_bytes(), 256u * 1024u);
+  device.Free(p);
+  EXPECT_EQ(device.committed_bytes(), 0u);
+  EXPECT_EQ(device.reserved_bytes(), 0u);
+}
+
+TEST(DeviceReservationTest, PeakBytesTracksHighWater) {
+  DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;
+  Device device(props);
+  EXPECT_EQ(device.peak_bytes(), 0u);
+  ASSERT_TRUE(device.TryReserve(1, 256 * 1024));
+  void* p = device.Allocate(128 * 1024);
+  const uint64_t high = device.peak_bytes();
+  EXPECT_GE(high, (256u + 128u) * 1024u);
+  device.Free(p);
+  device.ReleaseReservation(1);
+  // The high-water mark never recedes.
+  EXPECT_EQ(device.peak_bytes(), high);
+}
+
+// Satellite regression: threads racing Reserve / reservation-backed Allocate
+// / Free / TrimPool must never drive committed bytes past capacity, and the
+// books must balance once everything is released.
+TEST(DeviceReservationTest, ConcurrentReservationAccountingStress) {
+  DeviceProperties props;
+  props.global_memory_bytes = 4 << 20;  // 4 MiB: forces admission conflicts
+  Device device(props);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  const size_t capacity = device.memory_capacity();
+  std::atomic<bool> overshoot{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const uint64_t stream_id = 100 + static_cast<uint64_t>(t);
+      uint32_t rng = 0x9e3779b9u * static_cast<uint32_t>(t + 1);
+      for (int i = 0; i < kIters; ++i) {
+        rng = rng * 1664525u + 1013904223u;
+        const size_t want = 4096 + (rng % (256 * 1024));
+        if (!device.TryReserve(stream_id, want)) {
+          if ((rng >> 8) % 4 == 0) device.TrimPool();
+          continue;
+        }
+        {
+          Device::ReservationScope scope(device, stream_id);
+          void* p = nullptr;
+          try {
+            p = device.Allocate(want / 2);
+          } catch (const OutOfDeviceMemory&) {
+            // Unbacked fallback can legitimately lose an admission race.
+          }
+          if (device.committed_bytes() > capacity) overshoot.store(true);
+          if (p != nullptr) device.Free(p);
+        }
+        device.ReleaseReservation(stream_id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(overshoot.load());
+  EXPECT_EQ(device.bytes_in_use(), 0u);
+  EXPECT_EQ(device.reserved_bytes(), 0u);
+  device.TrimPool();
+  EXPECT_EQ(device.committed_bytes(), 0u);
+}
+
 TEST(DevicePoolTest, MultithreadedAllocFreeStress) {
   Device device;
   constexpr int kThreads = 8;

@@ -8,17 +8,25 @@
 // retry event stream is printed inline (fault events also appear in the
 // exported trace under the "fault" category).
 //
+// With --capacity-bytes=N the simulated device capacity shrinks to N and
+// the query runs through memory admission (core::MemoryGovernor) and the
+// governed spill path (plan/partition.h): admission, partition, and spill
+// events print inline and appear in the exported trace under the "memory"
+// category.
+//
 //   build/tools/trace_query [backend] [q1|q6|q3|q4|q14] [out.json]
-//                           [--chaos-seed=N]
+//                           [--chaos-seed=N] [--capacity-bytes=N]
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/error.h"
+#include "core/governor.h"
 #include "core/registry.h"
 #include "core/resilience.h"
 #include "gpusim/fault.h"
 #include "gpusim/trace.h"
+#include "plan/partition.h"
 #include "tpch/queries.h"
 
 int main(int argc, char** argv) {
@@ -28,12 +36,19 @@ int main(int argc, char** argv) {
   std::string out_path = "trace.json";
   bool chaos = false;
   uint64_t chaos_seed = 0;
+  bool governed = false;
+  uint64_t capacity_bytes = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--chaos-seed=", 0) == 0) {
       chaos = true;
       chaos_seed = std::stoull(arg.substr(13));
+      continue;
+    }
+    if (arg.rfind("--capacity-bytes=", 0) == 0) {
+      governed = true;
+      capacity_bytes = std::stoull(arg.substr(17));
       continue;
     }
     switch (positional++) {
@@ -48,29 +63,89 @@ int main(int argc, char** argv) {
   if (query != "q1" && query != "q6" && query != "q3" && query != "q4" &&
       query != "q14") {
     std::cerr << "usage: trace_query [backend] [q1|q6|q3|q4|q14] [out.json] "
-                 "[--chaos-seed=N]\n";
+                 "[--chaos-seed=N] [--capacity-bytes=N]\n";
     return 2;
   }
 
   tpch::Config config;
   config.scale_factor = 0.01;
   const storage::Table lineitem = tpch::GenerateLineitem(config);
+  storage::Table customer, orders, part;
+  if (query == "q3") {
+    customer = tpch::GenerateCustomer(config);
+    orders = tpch::GenerateOrders(config);
+  } else if (query == "q4") {
+    orders = tpch::GenerateOrders(config);
+  } else if (query == "q14") {
+    part = tpch::GeneratePart(config);
+  }
 
   auto backend = core::BackendRegistry::Instance().Create(backend_name);
   gpusim::Stream& stream = backend->stream();
-  const storage::DeviceTable dev_lineitem =
-      storage::UploadTable(stream, lineitem);
-  storage::DeviceTable dev_customer, dev_orders, dev_part;
-  if (query == "q3") {
-    dev_customer = storage::UploadTable(stream, tpch::GenerateCustomer(config));
-    dev_orders = storage::UploadTable(stream, tpch::GenerateOrders(config));
-  } else if (query == "q4") {
-    dev_orders = storage::UploadTable(stream, tpch::GenerateOrders(config));
-  } else if (query == "q14") {
-    dev_part = storage::UploadTable(stream, tpch::GeneratePart(config));
+  gpusim::Device& device = gpusim::Device::Default();
+
+  // Governed mode uploads inside the governed run (slices and all), so the
+  // fixture tables stay host-side; ungoverned mode pre-uploads as before.
+  storage::DeviceTable dev_lineitem, dev_customer, dev_orders, dev_part;
+  if (governed) {
+    device.set_memory_capacity(capacity_bytes);
+    std::cout << "memory: capacity constrained to " << capacity_bytes
+              << " bytes\n";
+  } else {
+    dev_lineitem = storage::UploadTable(stream, lineitem);
+    if (query == "q3") {
+      dev_customer = storage::UploadTable(stream, customer);
+      dev_orders = storage::UploadTable(stream, orders);
+    } else if (query == "q4") {
+      dev_orders = storage::UploadTable(stream, orders);
+    } else if (query == "q14") {
+      dev_part = storage::UploadTable(stream, part);
+    }
   }
 
+  plan::TpchHostTables tables;
+  tables.lineitem = &lineitem;
+  tables.orders = &orders;
+  tables.customer = &customer;
+  tables.part = &part;
+  core::GovernorOptions governor_opts;
+  governor_opts.device = &device;
+  core::MemoryGovernor governor(governor_opts);
+
   const auto run = [&] {
+    if (governed) {
+      const plan::TpchQuery q = plan::ParseTpchQuery(query);
+      const uint64_t footprint =
+          plan::EstimateQueryFootprint(q, tables, backend->name());
+      const core::AdmissionTicket ticket =
+          governor.Admit(stream.id(), footprint);
+      std::cout << "  admission: requested " << ticket.requested_bytes
+                << " B, granted " << ticket.granted_bytes << " B"
+                << (ticket.partial() ? " (partial — must partition)" : "")
+                << "\n";
+      if (!ticket.admitted()) {
+        throw std::runtime_error("memory admission rejected");
+      }
+      plan::GovernedQueryOptions gq;
+      gq.on_event = [](const plan::PressureEvent& e) {
+        std::cout << "  [" << plan::PressureEventKindName(e.kind) << "] "
+                  << e.detail << "\n";
+      };
+      plan::GovernedRunStats stats;
+      try {
+        plan::RunGoverned(q, tables, *backend, gq, &stats);
+      } catch (...) {
+        governor.Release(stream.id());
+        throw;
+      }
+      governor.Release(stream.id());
+      std::cout << "  governed run: " << stats.partitions
+                << " partition(s), " << stats.oom_fallbacks
+                << " OOM fallback(s), spill " << stats.spill_h2d_bytes
+                << " B h2d / " << stats.spill_d2h_bytes << " B d2h, "
+                << stats.simulated_ns << " simulated ns\n";
+      return;
+    }
     if (query == "q1") {
       tpch::RunQ1(*backend, dev_lineitem);
     } else if (query == "q6") {
