@@ -1,0 +1,430 @@
+// Compressed columnar storage: what do the lightweight encodings buy?
+//
+// For every query in the sweep this binary runs the same workload twice —
+// once with raw uploads (storage::UploadTable) and once with automatic
+// per-column encoding (storage::UploadTableEncoded) — on a fresh backend
+// instance each time, and reports per column the chosen encoding and
+// compression ratio, per query the transfer bytes saved and the end-to-end
+// simulated speedup, across a scale-factor sweep. Q1 and Q6 go through the
+// hand-coded operator chains (tpch/queries.h), whose hot paths evaluate
+// predicates in the encoded domain; Q3/Q4/Q14 go through the plan path
+// pinned to the same backend.
+//
+// Not a google-benchmark binary: like bench_pressure it doubles as the CI
+// acceptance gate for the storage/encoding layer. The process exits
+// non-zero when an encoded-path answer diverges from the raw-path answer
+// (exact for integers and counts, 1e-9 relative for re-associated float
+// sums) or when a dictionary/RLE-encoded column compresses worse than 1.0x.
+//
+// Usage:
+//   bench_compression [--backend=Handwritten] [--queries=q1,q3,q4,q6,q14]
+//                     [--sf=0.01,0.02,0.04] [--json=FILE]
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backends/backends.h"
+#include "core/metrics.h"
+#include "core/registry.h"
+#include "plan/executor.h"
+#include "plan/optimizer.h"
+#include "plan/tpch_plans.h"
+#include "storage/encoded_column.h"
+#include "storage/encoding.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+struct Options {
+  std::string backend = backends::kHandwritten;
+  std::vector<std::string> queries = {"q1", "q3", "q4", "q6", "q14"};
+  std::vector<double> scale_factors = {0.01, 0.02, 0.04};
+  std::string json_path;
+};
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    const size_t comma = s.find(',', pos);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--backend=")) {
+      opts->backend = v;
+    } else if (const char* v = value("--queries=")) {
+      opts->queries = SplitCsv(v);
+    } else if (const char* v = value("--sf=")) {
+      opts->scale_factors.clear();
+      for (const auto& s : SplitCsv(v)) {
+        opts->scale_factors.push_back(std::stod(s));
+      }
+    } else if (const char* v = value("--json=")) {
+      opts->json_path = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opts->queries.empty() && !opts->scale_factors.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Per-column encoding report (and the dictionary/RLE ratio gate)
+// ---------------------------------------------------------------------------
+
+struct ColumnReport {
+  std::string table;
+  std::string column;
+  storage::Encoding encoding = storage::Encoding::kNone;
+  uint64_t raw_bytes = 0;
+  uint64_t encoded_bytes = 0;
+  double ratio() const {
+    return encoded_bytes == 0 ? 1.0
+                              : static_cast<double>(raw_bytes) / encoded_bytes;
+  }
+};
+
+void ReportTable(const std::string& name, const storage::Table& table,
+                 std::vector<ColumnReport>* out) {
+  for (const std::string& col : table.column_names()) {
+    const storage::Column& c = table.column(col);
+    const storage::EncodingChoice choice =
+        storage::ChooseEncoding(storage::AnalyzeColumn(c), c.size(), c.type());
+    ColumnReport r;
+    r.table = name;
+    r.column = col;
+    r.encoding = choice.encoding;
+    r.raw_bytes = c.byte_size();
+    r.encoded_bytes = choice.encoding == storage::Encoding::kNone
+                          ? r.raw_bytes
+                          : choice.encoded_bytes;
+    out->push_back(r);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Raw vs encoded query runs
+// ---------------------------------------------------------------------------
+
+struct HostTables {
+  storage::Table lineitem, orders, customer, part;
+};
+
+/// The result of one query run, whatever its shape.
+struct RunOut {
+  std::vector<tpch::Q1Row> q1;
+  std::vector<tpch::Q3Row> q3;
+  std::vector<tpch::Q4Row> q4;
+  double scalar = 0;
+};
+
+/// Uploads what the query needs (raw or encoded) and runs it end to end on
+/// one fresh backend, measuring the whole region on the backend's stream.
+RunOut RunOnce(const std::string& query, const std::string& backend_name,
+               const HostTables& host, bool encoded, core::Measurement* m) {
+  std::unique_ptr<core::Backend> backend =
+      core::BackendRegistry::Instance().Create(backend_name);
+  gpusim::Stream& stream = backend->stream();
+  const auto upload = [&](const storage::Table& t) {
+    return encoded ? storage::UploadTableEncoded(stream, t)
+                   : storage::UploadTable(stream, t);
+  };
+  const auto run_plan = [&](plan::QueryPlanBundle bundle) {
+    plan::OptimizerOptions options;
+    options.pin_backend = backend_name;
+    const plan::PhysicalPlan phys = plan::Optimize(bundle.plan, options);
+    return plan::RunPinned(phys, *backend);
+  };
+
+  core::ScopedMeasurement sm(stream, query + (encoded ? "/enc" : "/raw"));
+  RunOut out;
+  if (query == "q1") {
+    const storage::DeviceTable lineitem = upload(host.lineitem);
+    out.q1 = tpch::RunQ1(*backend, lineitem);
+  } else if (query == "q6") {
+    const storage::DeviceTable lineitem = upload(host.lineitem);
+    out.scalar = tpch::RunQ6(*backend, lineitem);
+  } else if (query == "q3") {
+    const storage::DeviceTable customer = upload(host.customer);
+    const storage::DeviceTable orders = upload(host.orders);
+    const storage::DeviceTable lineitem = upload(host.lineitem);
+    const plan::QueryPlanBundle bundle =
+        plan::BuildQ3Plan(customer, orders, lineitem);
+    out.q3 = plan::ExtractQ3(bundle, run_plan(bundle), tpch::Q3Params());
+  } else if (query == "q4") {
+    const storage::DeviceTable orders = upload(host.orders);
+    const storage::DeviceTable lineitem = upload(host.lineitem);
+    const plan::QueryPlanBundle bundle = plan::BuildQ4Plan(orders, lineitem);
+    out.q4 = plan::ExtractQ4(bundle, run_plan(bundle));
+  } else if (query == "q14") {
+    const storage::DeviceTable part = upload(host.part);
+    const storage::DeviceTable lineitem = upload(host.lineitem);
+    const plan::QueryPlanBundle bundle = plan::BuildQ14Plan(part, lineitem);
+    out.scalar = plan::ExtractQ14(bundle, run_plan(bundle));
+  } else {
+    throw std::invalid_argument("unknown query: " + query);
+  }
+  *m = sm.Stop();
+  return out;
+}
+
+bool Near(double got, double want) {
+  return std::abs(got - want) <= std::abs(want) * 1e-9 + 1e-6;
+}
+
+/// Encoded-path vs raw-path answers: integers and counts exact, float sums
+/// with 1e-9 relative tolerance (the handwritten backend's atomic-ticket
+/// aggregation makes row order — hence float association — run-dependent).
+bool SameAnswer(const std::string& query, const RunOut& raw, const RunOut& enc,
+                std::string* why) {
+  if (query == "q1") {
+    if (raw.q1.size() != enc.q1.size()) {
+      *why = "row count";
+      return false;
+    }
+    for (size_t i = 0; i < raw.q1.size(); ++i) {
+      const tpch::Q1Row& a = raw.q1[i];
+      const tpch::Q1Row& b = enc.q1[i];
+      if (a.returnflag != b.returnflag || a.linestatus != b.linestatus ||
+          a.count_order != b.count_order || !Near(b.sum_qty, a.sum_qty) ||
+          !Near(b.sum_base_price, a.sum_base_price) ||
+          !Near(b.sum_disc_price, a.sum_disc_price) ||
+          !Near(b.sum_charge, a.sum_charge) || !Near(b.avg_qty, a.avg_qty) ||
+          !Near(b.avg_price, a.avg_price) || !Near(b.avg_disc, a.avg_disc)) {
+        *why = "row " + std::to_string(i);
+        return false;
+      }
+    }
+    return true;
+  }
+  if (query == "q3") {
+    if (raw.q3.size() != enc.q3.size()) {
+      *why = "row count";
+      return false;
+    }
+    for (size_t i = 0; i < raw.q3.size(); ++i) {
+      if (raw.q3[i].orderkey != enc.q3[i].orderkey ||
+          !Near(enc.q3[i].revenue, raw.q3[i].revenue)) {
+        *why = "row " + std::to_string(i);
+        return false;
+      }
+    }
+    return true;
+  }
+  if (query == "q4") {
+    if (raw.q4.size() != enc.q4.size()) {
+      *why = "row count";
+      return false;
+    }
+    for (size_t i = 0; i < raw.q4.size(); ++i) {
+      if (raw.q4[i].orderpriority != enc.q4[i].orderpriority ||
+          raw.q4[i].order_count != enc.q4[i].order_count) {
+        *why = "row " + std::to_string(i);
+        return false;
+      }
+    }
+    return true;
+  }
+  // q6 / q14: one scalar.
+  if (!Near(enc.scalar, raw.scalar)) {
+    *why = "scalar " + std::to_string(raw.scalar) + " vs " +
+           std::to_string(enc.scalar);
+    return false;
+  }
+  return true;
+}
+
+struct QueryPoint {
+  double scale_factor = 0;
+  std::string query;
+  double raw_ms = 0;
+  double enc_ms = 0;
+  uint64_t raw_h2d = 0;
+  uint64_t enc_h2d = 0;
+  uint64_t enc_h2d_encoded = 0;
+  uint64_t bytes_saved = 0;
+  bool match = false;
+  double speedup() const { return enc_ms == 0 ? 0 : raw_ms / enc_ms; }
+};
+
+int Run(const Options& opts) {
+  core::RegisterBuiltinBackends();
+
+  std::printf("bench_compression: backend=%s queries=", opts.backend.c_str());
+  for (size_t i = 0; i < opts.queries.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", opts.queries[i].c_str());
+  }
+  std::printf("\n\n");
+
+  bool all_match = true;
+  bool ratios_ok = true;
+  std::vector<ColumnReport> columns;  // at the largest scale factor
+  std::vector<QueryPoint> points;
+
+  for (size_t si = 0; si < opts.scale_factors.size(); ++si) {
+    const double sf = opts.scale_factors[si];
+    tpch::Config config;
+    config.scale_factor = sf;
+    HostTables host;
+    host.lineitem = tpch::GenerateLineitem(config);
+    host.orders = tpch::GenerateOrders(config);
+    host.customer = tpch::GenerateCustomer(config);
+    host.part = tpch::GeneratePart(config);
+
+    // Per-column encoding selection (the dict/RLE >= 1.0x gate runs at every
+    // scale factor; the printed/JSON column table is the largest one).
+    std::vector<ColumnReport> cols;
+    ReportTable("lineitem", host.lineitem, &cols);
+    ReportTable("orders", host.orders, &cols);
+    ReportTable("customer", host.customer, &cols);
+    ReportTable("part", host.part, &cols);
+    for (const ColumnReport& c : cols) {
+      if ((c.encoding == storage::Encoding::kDictionary ||
+           c.encoding == storage::Encoding::kRle) &&
+          c.ratio() < 1.0) {
+        ratios_ok = false;
+        std::fprintf(stderr,
+                     "  RATIO sf=%g %s.%s: %s compresses %.2fx (< 1.0x)\n",
+                     sf, c.table.c_str(), c.column.c_str(),
+                     storage::EncodingName(c.encoding), c.ratio());
+      }
+    }
+    if (si + 1 == opts.scale_factors.size()) columns = cols;
+
+    std::printf("sf=%g rows(lineitem)=%zu\n", sf, host.lineitem.num_rows());
+    std::printf("%6s %12s %12s %9s %12s %12s %12s %7s\n", "query", "raw_ms",
+                "enc_ms", "speedup", "raw_h2d", "enc_h2d", "saved", "match");
+
+    for (const std::string& query : opts.queries) {
+      core::Measurement raw_m, enc_m;
+      const RunOut raw = RunOnce(query, opts.backend, host, false, &raw_m);
+      const RunOut enc = RunOnce(query, opts.backend, host, true, &enc_m);
+      std::string why;
+      const bool match = SameAnswer(query, raw, enc, &why);
+      if (!match) {
+        all_match = false;
+        std::fprintf(stderr, "  DIVERGED sf=%g %s: %s\n", sf, query.c_str(),
+                     why.c_str());
+      }
+      QueryPoint p;
+      p.scale_factor = sf;
+      p.query = query;
+      p.raw_ms = raw_m.simulated_ms();
+      p.enc_ms = enc_m.simulated_ms();
+      p.raw_h2d = raw_m.bytes_h2d;
+      p.enc_h2d = enc_m.bytes_h2d;
+      p.enc_h2d_encoded = enc_m.bytes_h2d_encoded;
+      p.bytes_saved = enc_m.bytes_saved_vs_raw;
+      p.match = match;
+      points.push_back(p);
+      std::printf("%6s %12.3f %12.3f %8.2fx %12llu %12llu %12llu %7s\n",
+                  query.c_str(), p.raw_ms, p.enc_ms, p.speedup(),
+                  static_cast<unsigned long long>(p.raw_h2d),
+                  static_cast<unsigned long long>(p.enc_h2d),
+                  static_cast<unsigned long long>(p.bytes_saved),
+                  match ? "ok" : "DIVERGED");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("column encodings (sf=%g)\n",
+              opts.scale_factors.back());
+  std::printf("%-26s %-12s %12s %12s %8s\n", "column", "encoding",
+              "raw_bytes", "enc_bytes", "ratio");
+  uint64_t total_raw = 0, total_enc = 0;
+  for (const ColumnReport& c : columns) {
+    total_raw += c.raw_bytes;
+    total_enc += c.encoded_bytes;
+    std::printf("%-26s %-12s %12llu %12llu %7.2fx\n",
+                (c.table + "." + c.column).c_str(),
+                storage::EncodingName(c.encoding),
+                static_cast<unsigned long long>(c.raw_bytes),
+                static_cast<unsigned long long>(c.encoded_bytes), c.ratio());
+  }
+  std::printf("%-26s %-12s %12llu %12llu %7.2fx\n", "TOTAL", "-",
+              static_cast<unsigned long long>(total_raw),
+              static_cast<unsigned long long>(total_enc),
+              total_enc == 0 ? 1.0
+                             : static_cast<double>(total_raw) / total_enc);
+
+  std::printf("\nencoded answers match raw answers: %s\n",
+              all_match ? "OK" : "FAILED");
+  std::printf("dictionary/RLE columns compress >= 1.0x: %s\n",
+              ratios_ok ? "OK" : "FAILED");
+
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path);
+    out << "{\n  \"backend\": \"" << opts.backend << "\",\n"
+        << "  \"all_match\": " << (all_match ? "true" : "false") << ",\n"
+        << "  \"ratios_ok\": " << (ratios_ok ? "true" : "false") << ",\n"
+        << "  \"columns\": [\n";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      const ColumnReport& c = columns[i];
+      out << "    {\"table\": \"" << c.table << "\", \"column\": \""
+          << c.column << "\", \"encoding\": \""
+          << storage::EncodingName(c.encoding)
+          << "\", \"raw_bytes\": " << c.raw_bytes
+          << ", \"encoded_bytes\": " << c.encoded_bytes
+          << ", \"ratio\": " << c.ratio() << "}"
+          << (i + 1 < columns.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"queries\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const QueryPoint& p = points[i];
+      out << "    {\"scale_factor\": " << p.scale_factor << ", \"query\": \""
+          << p.query << "\", \"raw_sim_ms\": " << p.raw_ms
+          << ", \"enc_sim_ms\": " << p.enc_ms
+          << ", \"speedup\": " << p.speedup()
+          << ", \"raw_h2d_bytes\": " << p.raw_h2d
+          << ", \"enc_h2d_bytes\": " << p.enc_h2d
+          << ", \"enc_h2d_encoded_bytes\": " << p.enc_h2d_encoded
+          << ", \"bytes_saved_vs_raw\": " << p.bytes_saved
+          << ", \"match\": " << (p.match ? "true" : "false") << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", opts.json_path.c_str());
+  }
+
+  return all_match && ratios_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    std::fprintf(stderr,
+                 "usage: %s [--backend=NAME] [--queries=q1,q3,q4,q6,q14] "
+                 "[--sf=0.01,0.02,0.04] [--json=FILE]\n",
+                 argv[0]);
+    return 64;
+  }
+  try {
+    return Run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compression: %s\n", e.what());
+    return 3;
+  }
+}

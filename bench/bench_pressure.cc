@@ -19,6 +19,13 @@
 //   bench_pressure [--backend=Handwritten] [--queries=q1,q3,q4,q6,q14]
 //                  [--capacity=1.0,0.75,0.5,0.25,0.10] [--clients=1,4]
 //                  [--per-client=2] [--sf=0.01] [--json=FILE]
+//                  [--encoding=on|off]
+//
+// --encoding=on uploads tables (and spill slices) compressed and admits
+// queries at their encoded footprint. The capacity baseline (working set)
+// stays raw-sized in both modes so sweep points are comparable: at a fixed
+// capacity fraction, encoding should show fewer partitions / higher
+// immediate-admission rates than off.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -50,6 +57,7 @@ struct Options {
   unsigned per_client = 2;
   double scale_factor = 0.01;
   std::string json_path;
+  bool use_encoding = false;
 };
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -92,6 +100,13 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->scale_factor = std::stod(v);
     } else if (const char* v = value("--json=")) {
       opts->json_path = v;
+    } else if (const char* v = value("--encoding=")) {
+      const std::string mode = v;
+      if (mode != "on" && mode != "off") {
+        std::fprintf(stderr, "--encoding must be on or off\n");
+        return false;
+      }
+      opts->use_encoding = mode == "on";
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -236,8 +251,9 @@ int Run(const Options& opts) {
   ref.q6 = tpch::ReferenceQ6(lineitem);
   ref.q14 = tpch::ReferenceQ14(part, lineitem);
 
-  // The pressure baseline: the largest single-query footprint. 100% capacity
-  // admits every query unpartitioned; 10% forces deep partitioning.
+  // The pressure baseline: the largest single-query footprint, always
+  // RAW-sized — capacity fractions must mean the same bytes whether encoding
+  // is on or off, or the sweep points would not be comparable.
   uint64_t working_set = 0;
   for (const plan::TpchQuery q : queries) {
     working_set = std::max(
@@ -248,10 +264,10 @@ int Run(const Options& opts) {
   const size_t original_capacity = device.memory_capacity();
 
   std::printf("bench_pressure: backend=%s sf=%g rows(lineitem)=%zu "
-              "working_set=%.1f MiB queries/client=%u\n\n",
+              "working_set=%.1f MiB queries/client=%u encoding=%s\n\n",
               opts.backend.c_str(), opts.scale_factor, lineitem.num_rows(),
               static_cast<double>(working_set) / (1024.0 * 1024.0),
-              opts.per_client);
+              opts.per_client, opts.use_encoding ? "on" : "off");
   std::printf("%9s %8s %8s %7s %7s %6s %7s %7s %10s %10s %9s %9s\n",
               "capacity", "clients", "queries", "failed", "reject", "wrong",
               "parts", "maxK", "spill_h2d", "spill_d2h", "p95_ms",
@@ -289,10 +305,14 @@ int Run(const Options& opts) {
         for (size_t i = 0; i < total; ++i) {
           const plan::TpchQuery q = queries[i % queries.size()];
           submitted[i] = q;
+          plan::GovernedQueryOptions gq;
+          gq.use_encoding = opts.use_encoding;
           scheduler.Submit(
               plan::TpchQueryName(q),
-              plan::MakeGovernedQuery(q, tables, {}, &results[i], &stats[i]),
-              plan::EstimateQueryFootprint(q, tables, opts.backend), nullptr);
+              plan::MakeGovernedQuery(q, tables, gq, &results[i], &stats[i]),
+              plan::EstimateQueryFootprint(q, tables, opts.backend, 1,
+                                           opts.use_encoding),
+              nullptr);
         }
         scheduler.Drain();
 
@@ -362,6 +382,8 @@ int Run(const Options& opts) {
     std::ofstream out(opts.json_path);
     out << "{\n  \"backend\": \"" << opts.backend << "\",\n"
         << "  \"scale_factor\": " << opts.scale_factor << ",\n"
+        << "  \"encoding\": " << (opts.use_encoding ? "true" : "false")
+        << ",\n"
         << "  \"working_set_bytes\": " << working_set << ",\n"
         << "  \"all_ok\": " << (all_ok ? "true" : "false") << ",\n"
         << "  \"sweep\": [\n";
@@ -402,7 +424,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--backend=NAME] [--queries=q1,q3,q4,q6,q14] "
                  "[--capacity=1.0,0.5,0.25] [--clients=1,4] "
-                 "[--per-client=N] [--sf=F] [--json=FILE]\n",
+                 "[--per-client=N] [--sf=F] [--json=FILE] "
+                 "[--encoding=on|off]\n",
                  argv[0]);
     return 64;
   }

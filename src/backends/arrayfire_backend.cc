@@ -313,6 +313,15 @@ class ArrayFireBackend : public core::Backend {
     return Unwrap(alpha - Wrap(a));
   }
 
+ protected:
+  /// Every encoded-domain kernel is an af JIT node on the global stream;
+  /// charge the lazy-graph bookkeeping the library pays per node.
+  void EncodedOpPrologue(const char* op, int kernels) override {
+    (void)op;
+    afsim::default_stream().ChargeOverhead(
+        static_cast<uint64_t>(kernels) * afsim::kJitNodeOverheadNs);
+  }
+
  private:
   /// Converts a u32 where()-style index array into a SelectionResult.
   SelectionResult ToSelection(const afsim::array& idx) {

@@ -389,6 +389,15 @@ class BoostComputeBackend : public core::Backend {
     return out;
   }
 
+ protected:
+  /// Each encoded-domain operator is a distinct OpenCL program; the queue's
+  /// program cache charges its one-time clBuildProgram before the default
+  /// pipeline's kernels run, exactly as the raw operators do.
+  void EncodedOpPrologue(const char* op, int kernels) override {
+    (void)kernels;
+    queue_.ensure_program(std::string("bcsim.encoded.") + op);
+  }
+
  private:
   gpusim::Device& device() { return queue_.get_context().get_device(); }
 

@@ -5,6 +5,7 @@
 // library supports. This backend is what the paper's "handwritten operator
 // implementations" compare against.
 #include <array>
+#include <functional>
 #include <limits>
 
 #include "backends/backends.h"
@@ -12,6 +13,8 @@
 #include "core/backend.h"
 #include "gpusim/algorithms.h"
 #include "handwritten/handwritten.h"
+#include "storage/encoded_column.h"
+#include "storage/encoding.h"
 
 namespace backends {
 namespace {
@@ -160,6 +163,53 @@ class HandwrittenBackend : public core::Backend {
     return out;
   }
 
+  /// Encoded conjunctive selection as ONE fused kernel over the encoded
+  /// payloads (atomic-ticket compaction), mirroring SelectFused: predicates
+  /// on packed columns compare codes via core::RewritePredicate, RLE
+  /// predicates compare run values. One 4-byte count readback.
+  SelectionResult SelectConjunctiveEncoded(
+      const std::vector<core::ScanColumnRef>& columns,
+      const std::vector<Predicate>& preds) override {
+    if (columns.empty() || columns.size() != preds.size()) {
+      throw std::invalid_argument(
+          "SelectConjunctiveEncoded: bad predicate list");
+    }
+    const size_t n = columns[0].size();
+    std::vector<std::function<bool(size_t)>> matchers;
+    matchers.reserve(preds.size());
+    uint64_t bytes_per_row_scan = 0;
+    for (size_t p = 0; p < preds.size(); ++p) {
+      matchers.push_back(core::MakeScanMatcher(columns[p], preds[p]));
+      bytes_per_row_scan += core::ScanColumnSeqBytes(columns[p]);
+    }
+
+    SelectionResult out;
+    out.row_ids = DeviceColumn(DataType::kInt32, n, device());
+    gpusim::DeviceArray<uint32_t> counter(1, device());
+    gpusim::MemsetDevice(stream_, counter.data(), 0, sizeof(uint32_t));
+    gpusim::KernelStats stats;
+    stats.name = "hw::select_encoded_fused";
+    stats.bytes_read = bytes_per_row_scan;
+    stats.bytes_written = n * sizeof(uint32_t);
+    stats.ops = n * preds.size();
+    uint32_t* c = counter.data();
+    uint32_t* rows = reinterpret_cast<uint32_t*>(out.row_ids.data<int32_t>());
+    const auto* ms = matchers.data();
+    const size_t num_preds = matchers.size();
+    gpusim::ParallelFor(stream_, n, stats, [=](size_t i) {
+      for (size_t p = 0; p < num_preds; ++p) {
+        if (!ms[p](i)) return;
+      }
+      rows[gpusim::AtomicAdd(c, uint32_t{1})] = static_cast<uint32_t>(i);
+    });
+    uint32_t count = 0;
+    gpusim::CopyDeviceToHost(stream_, &count, counter.data(),
+                             sizeof(uint32_t));
+    out.count = count;
+    out.row_ids = Shrink(out.row_ids, count);
+    return out;
+  }
+
   JoinResult NestedLoopsJoin(const DeviceColumn& left_keys,
                              const DeviceColumn& right_keys) override {
     gpusim::DeviceArray<uint32_t> rights, lefts;
@@ -242,6 +292,119 @@ class HandwrittenBackend : public core::Backend {
       });
       out.aggregate = std::move(agg);
     });
+    return out;
+  }
+
+  /// Encoded group keys over a small dense code domain (Q1's dictionary- or
+  /// bit-packed l_rfls): ONE combining pass into a domain-sized dense table —
+  /// no hash probes, no flag/scan/compact pipeline, and no count readback,
+  /// since every code is a group (absent codes come back with identity
+  /// aggregates, as the interface allows). Wide or RLE key domains fall back
+  /// to the decode-then-hash default.
+  GroupByResult GroupByAggregateEncoded(
+      const storage::EncodedDeviceColumn& keys,
+      const SelectionResult& rows, const DeviceColumn& values,
+      AggOp op) override {
+    const bool dict = keys.encoding == storage::Encoding::kDictionary;
+    const bool packed = keys.encoding == storage::Encoding::kBitPack ||
+                        keys.encoding == storage::Encoding::kFor;
+    size_t domain = 0;
+    if (dict) {
+      domain = keys.host_dict_i64.size();
+    } else if (packed && keys.bit_width <= 12) {
+      domain = size_t{1} << keys.bit_width;
+    }
+    if (keys.type != DataType::kInt32 || domain == 0 || domain > 4096) {
+      return core::Backend::GroupByAggregateEncoded(keys, rows, values, op);
+    }
+
+    const size_t n = rows.count;
+    const int32_t* row_ids = n > 0 ? rows.row_ids.data<int32_t>() : nullptr;
+    const uint64_t* words = keys.words_data();
+    const unsigned bits = keys.bit_width;
+    const uint64_t key_bytes = (bits + 7) / 8;
+
+    GroupByResult out;
+    out.num_groups = domain;
+
+    // Group keys: dictionary entries are already device-resident at the
+    // logical type; packed domains materialize reference + code.
+    out.keys = DeviceColumn(DataType::kInt32, domain, device());
+    if (dict) {
+      gpusim::CopyDeviceToDevice(stream_, out.keys.raw_data(),
+                                 keys.dict.raw_data(),
+                                 domain * sizeof(int32_t));
+    } else {
+      int32_t* kp = out.keys.data<int32_t>();
+      const int64_t reference = keys.reference;
+      gpusim::KernelStats kstats;
+      kstats.name = "hw::dense_group_keys";
+      kstats.bytes_written = domain * sizeof(int32_t);
+      gpusim::ParallelFor(stream_, domain, kstats, [=](size_t g) {
+        kp[g] = static_cast<int32_t>(reference + static_cast<int64_t>(g));
+      });
+    }
+
+    if (op == AggOp::kCount) {
+      gpusim::DeviceArray<int64_t> sums(domain, device());
+      gpusim::Fill(stream_, sums.data(), domain, int64_t{0});
+      gpusim::KernelStats stats;
+      stats.name = "hw::dense_group_count";
+      stats.bytes_read = n * (sizeof(int32_t) + key_bytes);
+      stats.bytes_written = n * sizeof(int64_t);
+      stats.ops = 2 * n;
+      int64_t* sp = sums.data();
+      gpusim::ParallelFor(stream_, n, stats, [=](size_t i) {
+        const size_t row = static_cast<size_t>(row_ids[i]);
+        const uint64_t code = storage::UnpackBit(words, bits, row);
+        gpusim::detail::AtomicCombine(
+            &sp[code], int64_t{1},
+            [](int64_t a, int64_t b) { return a + b; });
+      });
+      DeviceColumn agg(DataType::kInt64, domain, device());
+      gpusim::CopyDeviceToDevice(stream_, agg.raw_data(), sums.data(),
+                                 domain * sizeof(int64_t));
+      out.aggregate = std::move(agg);
+      return out;
+    }
+
+    // Sum/min/max accumulate straight into the f64 aggregate layout the
+    // hash realization also produces (no separate conversion kernel).
+    gpusim::DeviceArray<double> sums(domain, device());
+    double identity = 0.0;
+    if (op == AggOp::kMin) identity = std::numeric_limits<double>::max();
+    if (op == AggOp::kMax) identity = std::numeric_limits<double>::lowest();
+    gpusim::Fill(stream_, sums.data(), domain, identity);
+    BACKENDS_DISPATCH(values.type(), {
+      const T* pv = n > 0 ? values.data<T>() : nullptr;
+      const AggOp aop = op;
+      gpusim::KernelStats stats;
+      stats.name = "hw::dense_group_reduce";
+      stats.bytes_read = n * (sizeof(int32_t) + key_bytes + sizeof(T));
+      stats.bytes_written = n * sizeof(double);
+      stats.ops = 3 * n;
+      double* sp = sums.data();
+      gpusim::ParallelFor(stream_, n, stats, [=](size_t i) {
+        const size_t row = static_cast<size_t>(row_ids[i]);
+        const uint64_t code = storage::UnpackBit(words, bits, row);
+        const double v = static_cast<double>(pv[i]);
+        gpusim::detail::AtomicCombine(&sp[code], v,
+                                      [aop](double a, double b) {
+                                        switch (aop) {
+                                          case AggOp::kMin:
+                                            return b < a ? b : a;
+                                          case AggOp::kMax:
+                                            return a < b ? b : a;
+                                          default:
+                                            return a + b;
+                                        }
+                                      });
+      });
+    });
+    DeviceColumn agg(DataType::kFloat64, domain, device());
+    gpusim::CopyDeviceToDevice(stream_, agg.raw_data(), sums.data(),
+                               domain * sizeof(double));
+    out.aggregate = std::move(agg);
     return out;
   }
 

@@ -1,5 +1,13 @@
 #include "core/backend.h"
 
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "gpusim/algorithms.h"
+#include "gpusim/kernel.h"
+#include "gpusim/memory.h"
+
 namespace core {
 
 const std::vector<DbOperator>& AllDbOperators() {
@@ -54,6 +62,650 @@ const char* AggOpName(AggOp op) {
     case AggOp::kMax: return "max";
   }
   return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Encoded-domain predicate rewriting
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using storage::DataType;
+using storage::DeviceColumn;
+using storage::EncodedDeviceColumn;
+using storage::Encoding;
+
+EncodedPredicate AlwaysTrue() {
+  EncodedPredicate p;
+  p.kind = EncodedPredicate::Kind::kAlwaysTrue;
+  return p;
+}
+
+EncodedPredicate AlwaysFalse() {
+  EncodedPredicate p;
+  p.kind = EncodedPredicate::Kind::kAlwaysFalse;
+  return p;
+}
+
+EncodedPredicate CodeCompare(CompareOp op, uint64_t code) {
+  EncodedPredicate p;
+  p.op = op;
+  p.code = code;
+  return p;
+}
+
+/// Canonicalizes an int64 threshold comparison into code space [0, max_code].
+/// `t` is the literal translated into code space (kLt means code < t).
+EncodedPredicate FoldThreshold(CompareOp op, int64_t t, uint64_t max_code) {
+  switch (op) {
+    case CompareOp::kLe: return FoldThreshold(CompareOp::kLt, t + 1, max_code);
+    case CompareOp::kGt: return FoldThreshold(CompareOp::kGe, t + 1, max_code);
+    case CompareOp::kLt:
+      if (t <= 0) return AlwaysFalse();
+      if (static_cast<uint64_t>(t) > max_code) return AlwaysTrue();
+      return CodeCompare(CompareOp::kLt, static_cast<uint64_t>(t));
+    case CompareOp::kGe:
+      if (t <= 0) return AlwaysTrue();
+      if (static_cast<uint64_t>(t) > max_code) return AlwaysFalse();
+      return CodeCompare(CompareOp::kGe, static_cast<uint64_t>(t));
+    case CompareOp::kEq:
+      if (t < 0 || static_cast<uint64_t>(t) > max_code) return AlwaysFalse();
+      return CodeCompare(CompareOp::kEq, static_cast<uint64_t>(t));
+    case CompareOp::kNe:
+      if (t < 0 || static_cast<uint64_t>(t) > max_code) return AlwaysTrue();
+      return CodeCompare(CompareOp::kNe, static_cast<uint64_t>(t));
+  }
+  return AlwaysTrue();
+}
+
+/// Dictionary rewrite in terms of the literal's lower/upper bound rank.
+/// `lb`/`ub` are lower_bound/upper_bound indexes of the literal in the
+/// sorted dictionary of `n` entries; `found` whether the literal is present.
+EncodedPredicate FoldDictionary(CompareOp op, size_t lb, size_t ub, bool found,
+                                size_t n) {
+  switch (op) {
+    case CompareOp::kLt:  // value < lit <=> code < lb
+      if (lb == 0) return AlwaysFalse();
+      if (lb >= n) return AlwaysTrue();
+      return CodeCompare(CompareOp::kLt, lb);
+    case CompareOp::kGe:  // value >= lit <=> code >= lb
+      if (lb == 0) return AlwaysTrue();
+      if (lb >= n) return AlwaysFalse();
+      return CodeCompare(CompareOp::kGe, lb);
+    case CompareOp::kLe:  // value <= lit <=> code < ub
+      if (ub == 0) return AlwaysFalse();
+      if (ub >= n) return AlwaysTrue();
+      return CodeCompare(CompareOp::kLt, ub);
+    case CompareOp::kGt:  // value > lit <=> code >= ub
+      if (ub == 0) return AlwaysTrue();
+      if (ub >= n) return AlwaysFalse();
+      return CodeCompare(CompareOp::kGe, ub);
+    case CompareOp::kEq:
+      return found ? CodeCompare(CompareOp::kEq, lb) : AlwaysFalse();
+    case CompareOp::kNe:
+      return found ? CodeCompare(CompareOp::kNe, lb) : AlwaysTrue();
+  }
+  return AlwaysTrue();
+}
+
+/// Ceil(log2(n)), at least 1 — probe count of a binary search over n runs.
+uint64_t SearchSteps(size_t n) {
+  uint64_t steps = 1;
+  while ((size_t{1} << steps) < n) ++steps;
+  return steps;
+}
+
+/// Device bytes one random access into the encoded payload reads.
+uint64_t RandAccessBytes(const EncodedDeviceColumn& e) {
+  switch (e.encoding) {
+    case Encoding::kRle:
+      return (SearchSteps(e.num_runs()) + 1) * sizeof(uint32_t);
+    case Encoding::kDictionary:
+      return sizeof(uint64_t) + storage::DataTypeSize(e.type);
+    default:
+      return sizeof(uint64_t);
+  }
+}
+
+/// Index of the run containing `row` (rle_ends is cumulative, ascending).
+size_t RunIndex(const uint32_t* ends, size_t num_runs, size_t row) {
+  return static_cast<size_t>(
+      std::upper_bound(ends, ends + num_runs, static_cast<uint32_t>(row)) -
+      ends);
+}
+
+}  // namespace
+
+uint64_t ScanColumnSeqBytes(const ScanColumnRef& ref) {
+  if (ref.raw != nullptr) return ref.raw->byte_size();
+  const EncodedDeviceColumn& e = *ref.enc;
+  if (e.encoding == Encoding::kRle) {
+    // Row-major access binary-searches the run ends per row.
+    return ref.size() * (SearchSteps(e.num_runs()) + 1) * sizeof(uint32_t);
+  }
+  return e.encoded_byte_size();
+}
+
+std::function<bool(size_t)> MakeScanMatcher(const ScanColumnRef& ref,
+                                            const Predicate& pred) {
+  if (ref.raw != nullptr) {
+    const DeviceColumn& c = *ref.raw;
+    const CompareOp op = pred.op;
+    switch (c.type()) {
+      case DataType::kInt32: {
+        const int32_t* p = c.data<int32_t>();
+        const int64_t lit = pred.value_i;
+        return [=](size_t i) {
+          return ApplyCompareOp(op, static_cast<int64_t>(p[i]), lit);
+        };
+      }
+      case DataType::kInt64: {
+        const int64_t* p = c.data<int64_t>();
+        const int64_t lit = pred.value_i;
+        return [=](size_t i) { return ApplyCompareOp(op, p[i], lit); };
+      }
+      case DataType::kFloat64: {
+        const double* p = c.data<double>();
+        const double lit = pred.value_f;
+        return [=](size_t i) { return ApplyCompareOp(op, p[i], lit); };
+      }
+      case DataType::kFloat32: {
+        const float* p = c.data<float>();
+        const double lit = pred.value_f;
+        return [=](size_t i) {
+          return ApplyCompareOp(op, static_cast<double>(p[i]), lit);
+        };
+      }
+    }
+    throw std::invalid_argument("MakeMatcher: bad column type");
+  }
+
+  const EncodedDeviceColumn& e = *ref.enc;
+  if (e.encoding == Encoding::kRle) {
+    // RLE holds raw values per run; the predicate applies to the run value
+    // found by binary search. Still never decodes a row.
+    const int32_t* vals = e.rle_values.data<int32_t>();
+    const uint32_t* ends = e.rle_ends_data();
+    const size_t runs = e.num_runs();
+    const CompareOp op = pred.op;
+    const int64_t lit = pred.value_i;
+    return [=](size_t i) {
+      const size_t r = RunIndex(ends, runs, i);
+      return ApplyCompareOp(op, static_cast<int64_t>(vals[r]), lit);
+    };
+  }
+
+  const EncodedPredicate ep = RewritePredicate(e, pred);
+  const uint64_t* words = e.words_data();
+  const unsigned bits = e.bit_width;
+  return [=](size_t i) {
+    return ep.Matches(storage::UnpackBit(words, bits, i));
+  };
+}
+
+namespace {
+
+/// Per-row decoded value of an integer-typed raw/encoded column, as int64.
+std::function<int64_t(size_t)> MakeIntReader(const ScanColumnRef& ref) {
+  if (ref.raw != nullptr) {
+    const DeviceColumn& c = *ref.raw;
+    if (c.type() == DataType::kInt32) {
+      const int32_t* p = c.data<int32_t>();
+      return [=](size_t i) { return static_cast<int64_t>(p[i]); };
+    }
+    const int64_t* p = c.data<int64_t>();
+    return [=](size_t i) { return p[i]; };
+  }
+  const EncodedDeviceColumn& e = *ref.enc;
+  switch (e.encoding) {
+    case Encoding::kBitPack:
+    case Encoding::kFor: {
+      const uint64_t* words = e.words_data();
+      const unsigned bits = e.bit_width;
+      const int64_t base = e.reference;
+      return [=](size_t i) {
+        return base +
+               static_cast<int64_t>(storage::UnpackBit(words, bits, i));
+      };
+    }
+    case Encoding::kDictionary: {
+      const uint64_t* words = e.words_data();
+      const unsigned bits = e.bit_width;
+      if (e.type == DataType::kInt32) {
+        const int32_t* dict = e.dict.data<int32_t>();
+        return [=](size_t i) {
+          return static_cast<int64_t>(
+              dict[storage::UnpackBit(words, bits, i)]);
+        };
+      }
+      const int64_t* dict = e.dict.data<int64_t>();
+      return [=](size_t i) {
+        return dict[storage::UnpackBit(words, bits, i)];
+      };
+    }
+    case Encoding::kRle: {
+      const int32_t* vals = e.rle_values.data<int32_t>();
+      const uint32_t* ends = e.rle_ends_data();
+      const size_t runs = e.num_runs();
+      return [=](size_t i) {
+        return static_cast<int64_t>(vals[RunIndex(ends, runs, i)]);
+      };
+    }
+    case Encoding::kNone: break;
+  }
+  throw std::invalid_argument("MakeIntReader: bad encoding");
+}
+
+/// Per-row decoded value of a float-typed raw/encoded column, as double.
+std::function<double(size_t)> MakeFloatReader(const ScanColumnRef& ref) {
+  if (ref.raw != nullptr) {
+    const DeviceColumn& c = *ref.raw;
+    if (c.type() == DataType::kFloat64) {
+      const double* p = c.data<double>();
+      return [=](size_t i) { return p[i]; };
+    }
+    const float* p = c.data<float>();
+    return [=](size_t i) { return static_cast<double>(p[i]); };
+  }
+  const EncodedDeviceColumn& e = *ref.enc;
+  if (e.encoding != Encoding::kDictionary) {
+    throw std::invalid_argument(
+        "MakeFloatReader: float columns only dictionary-encode");
+  }
+  const uint64_t* words = e.words_data();
+  const unsigned bits = e.bit_width;
+  if (e.type == DataType::kFloat64) {
+    const double* dict = e.dict.data<double>();
+    return [=](size_t i) {
+      return dict[storage::UnpackBit(words, bits, i)];
+    };
+  }
+  const float* dict = e.dict.data<float>();
+  return [=](size_t i) {
+    return static_cast<double>(dict[storage::UnpackBit(words, bits, i)]);
+  };
+}
+
+bool IsFloat(DataType t) {
+  return t == DataType::kFloat64 || t == DataType::kFloat32;
+}
+
+/// Library-shaped tail of a selection over per-row flags: exclusive scan,
+/// count readback over the link, scatter of matching row ids.
+SelectionResult FinishFlagSelection(gpusim::Stream& stream,
+                                    const uint32_t* flags, size_t n) {
+  gpusim::Device& device = stream.device();
+  gpusim::DeviceArray<uint32_t> positions(n, device);
+  gpusim::ExclusiveScan(stream, flags, positions.data(), n, uint32_t{0},
+                        [](uint32_t a, uint32_t b) { return a + b; });
+  uint32_t last_pos = 0, last_flag = 0;
+  if (n > 0) {
+    gpusim::CopyDeviceToHost(stream, &last_pos, positions.data() + n - 1,
+                             sizeof(uint32_t));
+    gpusim::CopyDeviceToHost(stream, &last_flag, flags + n - 1,
+                             sizeof(uint32_t));
+  }
+  const size_t count = last_pos + last_flag;
+
+  SelectionResult out;
+  out.count = count;
+  out.row_ids = DeviceColumn(DataType::kInt32, count, device);
+  int32_t* rows = count > 0 ? out.row_ids.data<int32_t>() : nullptr;
+  const uint32_t* pos = positions.data();
+  gpusim::KernelStats stats;
+  stats.name = "enc::scatter_row_ids";
+  stats.bytes_read = n * 2 * sizeof(uint32_t);
+  stats.bytes_written = count * sizeof(int32_t);
+  gpusim::ParallelFor(stream, n, stats, [=](size_t i) {
+    if (flags[i] != 0) rows[pos[i]] = static_cast<int32_t>(i);
+  });
+  return out;
+}
+
+}  // namespace
+
+EncodedPredicate RewritePredicate(const EncodedDeviceColumn& column,
+                                  const Predicate& pred) {
+  switch (column.encoding) {
+    case Encoding::kBitPack:
+    case Encoding::kFor: {
+      const uint64_t max_code = column.bit_width >= 64
+                                    ? ~uint64_t{0}
+                                    : (uint64_t{1} << column.bit_width) - 1;
+      return FoldThreshold(pred.op, pred.value_i - column.reference,
+                           max_code);
+    }
+    case Encoding::kDictionary: {
+      size_t lb = 0, ub = 0, n = 0;
+      bool found = false;
+      if (IsFloat(column.type)) {
+        const auto& dict = column.host_dict_f64;
+        n = dict.size();
+        lb = std::lower_bound(dict.begin(), dict.end(), pred.value_f) -
+             dict.begin();
+        ub = std::upper_bound(dict.begin(), dict.end(), pred.value_f) -
+             dict.begin();
+        found = lb < n && dict[lb] == pred.value_f;
+      } else {
+        const auto& dict = column.host_dict_i64;
+        n = dict.size();
+        lb = std::lower_bound(dict.begin(), dict.end(), pred.value_i) -
+             dict.begin();
+        ub = std::upper_bound(dict.begin(), dict.end(), pred.value_i) -
+             dict.begin();
+        found = lb < n && dict[lb] == pred.value_i;
+      }
+      return FoldDictionary(pred.op, lb, ub, found, n);
+    }
+    case Encoding::kRle:
+    case Encoding::kNone:
+      throw std::invalid_argument(
+          "RewritePredicate: no code domain for this encoding");
+  }
+  throw std::invalid_argument("RewritePredicate: bad encoding");
+}
+
+// ---------------------------------------------------------------------------
+// Default encoded-operator realizations (library pipeline shape)
+// ---------------------------------------------------------------------------
+
+SelectionResult Backend::SelectConjunctiveEncoded(
+    const std::vector<ScanColumnRef>& columns,
+    const std::vector<Predicate>& preds) {
+  if (columns.empty() || columns.size() != preds.size()) {
+    throw std::invalid_argument(
+        "SelectConjunctiveEncoded: bad predicate list");
+  }
+  EncodedOpPrologue("select_conjunctive_encoded", 3);
+  gpusim::Stream& s = stream();
+  const size_t n = columns[0].size();
+
+  std::vector<std::function<bool(size_t)>> matchers;
+  matchers.reserve(preds.size());
+  uint64_t bytes_per_scan = 0;
+  for (size_t p = 0; p < preds.size(); ++p) {
+    matchers.push_back(MakeScanMatcher(columns[p], preds[p]));
+    bytes_per_scan += ScanColumnSeqBytes(columns[p]);
+  }
+
+  gpusim::DeviceArray<uint32_t> flags(n, s.device());
+  uint32_t* f = flags.data();
+  const auto* ms = matchers.data();
+  const size_t num_preds = matchers.size();
+  gpusim::KernelStats stats;
+  stats.name = "enc::pred_flags";
+  stats.bytes_read = bytes_per_scan;
+  stats.bytes_written = n * sizeof(uint32_t);
+  stats.ops = n * num_preds;
+  gpusim::ParallelFor(s, n, stats, [=](size_t i) {
+    bool keep = true;
+    for (size_t p = 0; p < num_preds && keep; ++p) keep = ms[p](i);
+    f[i] = keep ? 1u : 0u;
+  });
+  return FinishFlagSelection(s, f, n);
+}
+
+SelectionResult Backend::SelectCompareColumnsEncoded(const ScanColumnRef& a,
+                                                     CompareOp op,
+                                                     const ScanColumnRef& b) {
+  if (IsFloat(a.type()) != IsFloat(b.type())) {
+    throw std::invalid_argument(
+        "SelectCompareColumnsEncoded: mixed float/int operands");
+  }
+  EncodedOpPrologue("select_compare_encoded", 3);
+  gpusim::Stream& s = stream();
+  const size_t n = a.size();
+
+  std::function<bool(size_t)> match;
+  if (IsFloat(a.type())) {
+    auto ra = MakeFloatReader(a);
+    auto rb = MakeFloatReader(b);
+    match = [=](size_t i) { return ApplyCompareOp(op, ra(i), rb(i)); };
+  } else {
+    // Integer sides decode to int64 on the fly; for FOR-vs-FOR this is the
+    // folded pa + (refA - refB) vs pb comparison, wide enough not to wrap.
+    auto ra = MakeIntReader(a);
+    auto rb = MakeIntReader(b);
+    match = [=](size_t i) { return ApplyCompareOp(op, ra(i), rb(i)); };
+  }
+
+  gpusim::DeviceArray<uint32_t> flags(n, s.device());
+  uint32_t* f = flags.data();
+  gpusim::KernelStats stats;
+  stats.name = "enc::cmp_cols_flags";
+  stats.bytes_read = ScanColumnSeqBytes(a) + ScanColumnSeqBytes(b);
+  stats.bytes_written = n * sizeof(uint32_t);
+  gpusim::ParallelFor(s, n, stats,
+                      [=](size_t i) { f[i] = match(i) ? 1u : 0u; });
+  return FinishFlagSelection(s, f, n);
+}
+
+storage::DeviceColumn Backend::GatherDecode(
+    const storage::EncodedDeviceColumn& src,
+    const storage::DeviceColumn& indices) {
+  EncodedOpPrologue("gather_decode", 1);
+  gpusim::Stream& s = stream();
+  const size_t m = indices.size();
+  const int32_t* map = indices.data<int32_t>();
+  DeviceColumn out(src.type, m, s.device());
+
+  gpusim::KernelStats stats;
+  stats.name = "enc::gather_decode";
+  stats.bytes_read = m * (sizeof(int32_t) + RandAccessBytes(src));
+  stats.bytes_written = m * storage::DataTypeSize(src.type);
+
+  const ScanColumnRef ref = ScanColumnRef::Encoded(src);
+  switch (src.type) {
+    case DataType::kInt32: {
+      auto rd = MakeIntReader(ref);
+      int32_t* po = m > 0 ? out.data<int32_t>() : nullptr;
+      gpusim::ParallelFor(s, m, stats, [=](size_t i) {
+        po[i] = static_cast<int32_t>(rd(map[i]));
+      });
+      break;
+    }
+    case DataType::kInt64: {
+      auto rd = MakeIntReader(ref);
+      int64_t* po = m > 0 ? out.data<int64_t>() : nullptr;
+      gpusim::ParallelFor(s, m, stats,
+                          [=](size_t i) { po[i] = rd(map[i]); });
+      break;
+    }
+    case DataType::kFloat64: {
+      auto rd = MakeFloatReader(ref);
+      double* po = m > 0 ? out.data<double>() : nullptr;
+      gpusim::ParallelFor(s, m, stats,
+                          [=](size_t i) { po[i] = rd(map[i]); });
+      break;
+    }
+    case DataType::kFloat32: {
+      auto rd = MakeFloatReader(ref);
+      float* po = m > 0 ? out.data<float>() : nullptr;
+      gpusim::ParallelFor(s, m, stats, [=](size_t i) {
+        po[i] = static_cast<float>(rd(map[i]));
+      });
+      break;
+    }
+  }
+  return out;
+}
+
+storage::DeviceColumn Backend::DecodeColumn(
+    const storage::EncodedDeviceColumn& src) {
+  EncodedOpPrologue("decode_column", 1);
+  gpusim::Stream& s = stream();
+  const size_t n = src.size;
+  DeviceColumn out(src.type, n, s.device());
+
+  gpusim::KernelStats stats;
+  stats.name = "enc::decode_column";
+  stats.bytes_read = src.encoded_byte_size();
+  stats.bytes_written = n * storage::DataTypeSize(src.type);
+
+  const ScanColumnRef ref = ScanColumnRef::Encoded(src);
+  switch (src.type) {
+    case DataType::kInt32: {
+      auto rd = MakeIntReader(ref);
+      int32_t* po = n > 0 ? out.data<int32_t>() : nullptr;
+      gpusim::ParallelFor(s, n, stats, [=](size_t i) {
+        po[i] = static_cast<int32_t>(rd(i));
+      });
+      break;
+    }
+    case DataType::kInt64: {
+      auto rd = MakeIntReader(ref);
+      int64_t* po = n > 0 ? out.data<int64_t>() : nullptr;
+      gpusim::ParallelFor(s, n, stats, [=](size_t i) { po[i] = rd(i); });
+      break;
+    }
+    case DataType::kFloat64: {
+      auto rd = MakeFloatReader(ref);
+      double* po = n > 0 ? out.data<double>() : nullptr;
+      gpusim::ParallelFor(s, n, stats, [=](size_t i) { po[i] = rd(i); });
+      break;
+    }
+    case DataType::kFloat32: {
+      auto rd = MakeFloatReader(ref);
+      float* po = n > 0 ? out.data<float>() : nullptr;
+      gpusim::ParallelFor(s, n, stats, [=](size_t i) {
+        po[i] = static_cast<float>(rd(i));
+      });
+      break;
+    }
+  }
+  return out;
+}
+
+double Backend::ReduceEncoded(const storage::EncodedDeviceColumn& values,
+                              AggOp op) {
+  if (op == AggOp::kCount) return static_cast<double>(values.size);
+  gpusim::Stream& s = stream();
+
+  switch (values.encoding) {
+    case Encoding::kRle: {
+      const size_t runs = values.num_runs();
+      const int32_t* vals =
+          runs > 0 ? values.rle_values.data<int32_t>() : nullptr;
+      if (op == AggOp::kMin || op == AggOp::kMax) {
+        // Runs carry every distinct neighborhood; min/max over runs is
+        // min/max over rows.
+        EncodedOpPrologue("reduce_encoded_rle", 1);
+        if (runs == 0) return 0.0;
+        const int32_t init = op == AggOp::kMin
+                                 ? std::numeric_limits<int32_t>::max()
+                                 : std::numeric_limits<int32_t>::lowest();
+        const AggOp aop = op;
+        return static_cast<double>(gpusim::Reduce(
+            s, vals, runs, init,
+            [aop](int32_t a, int32_t b) {
+              return aop == AggOp::kMin ? (b < a ? b : a) : (a < b ? b : a);
+            },
+            "enc::reduce_rle_minmax"));
+      }
+      // RLE-aware sum: one pass over the runs, each contributing
+      // value * run_length — never touches per-row data.
+      EncodedOpPrologue("reduce_encoded_rle", 2);
+      if (runs == 0) return 0.0;
+      const uint32_t* ends = values.rle_ends_data();
+      gpusim::DeviceArray<double> contrib(runs, s.device());
+      double* c = contrib.data();
+      gpusim::KernelStats stats;
+      stats.name = "enc::rle_run_weights";
+      stats.bytes_read = runs * (sizeof(int32_t) + 2 * sizeof(uint32_t));
+      stats.bytes_written = runs * sizeof(double);
+      gpusim::ParallelFor(s, runs, stats, [=](size_t r) {
+        const uint32_t begin = r == 0 ? 0 : ends[r - 1];
+        c[r] = static_cast<double>(vals[r]) *
+               static_cast<double>(ends[r] - begin);
+      });
+      return gpusim::Reduce(s, c, runs, 0.0,
+                            [](double a, double b) { return a + b; },
+                            "enc::rle_run_sum");
+    }
+
+    case Encoding::kDictionary: {
+      if (op == AggOp::kMin || op == AggOp::kMax) {
+        // The sorted dictionary holds only present values: min/max is its
+        // first/last entry — one element over the link.
+        EncodedOpPrologue("reduce_encoded_dict", 0);
+        if (values.host_dict_f64.empty() && values.host_dict_i64.empty()) {
+          return 0.0;
+        }
+        s.ChargeTransfer(gpusim::Stream::TransferKind::kDeviceToHost,
+                         storage::DataTypeSize(values.type));
+        if (!values.host_dict_f64.empty()) {
+          return op == AggOp::kMin ? values.host_dict_f64.front()
+                                   : values.host_dict_f64.back();
+        }
+        return static_cast<double>(op == AggOp::kMin
+                                       ? values.host_dict_i64.front()
+                                       : values.host_dict_i64.back());
+      }
+      break;  // sum: decode fallback below
+    }
+
+    case Encoding::kBitPack:
+    case Encoding::kFor: {
+      // Unpack codes into per-row contributions, then tree-reduce. Sum folds
+      // the reference analytically: sum = n * ref + sum(codes).
+      EncodedOpPrologue("reduce_encoded_packed", 2);
+      const size_t n = values.size;
+      if (n == 0) return 0.0;
+      const uint64_t* words = values.words_data();
+      const unsigned bits = values.bit_width;
+      if (op == AggOp::kSum) {
+        gpusim::DeviceArray<int64_t> codes(n, s.device());
+        int64_t* c = codes.data();
+        gpusim::KernelStats stats;
+        stats.name = "enc::unpack_codes";
+        stats.bytes_read = values.encoded_byte_size();
+        stats.bytes_written = n * sizeof(int64_t);
+        gpusim::ParallelFor(s, n, stats, [=](size_t i) {
+          c[i] = static_cast<int64_t>(storage::UnpackBit(words, bits, i));
+        });
+        const int64_t code_sum = gpusim::Reduce(
+            s, c, n, int64_t{0},
+            [](int64_t a, int64_t b) { return a + b; }, "enc::code_sum");
+        return static_cast<double>(code_sum) +
+               static_cast<double>(n) * static_cast<double>(values.reference);
+      }
+      // min/max: codes are order-isomorphic to values.
+      gpusim::DeviceArray<int64_t> codes(n, s.device());
+      int64_t* c = codes.data();
+      gpusim::KernelStats stats;
+      stats.name = "enc::unpack_codes";
+      stats.bytes_read = values.encoded_byte_size();
+      stats.bytes_written = n * sizeof(int64_t);
+      gpusim::ParallelFor(s, n, stats, [=](size_t i) {
+        c[i] = static_cast<int64_t>(storage::UnpackBit(words, bits, i));
+      });
+      const AggOp aop = op;
+      const int64_t code = gpusim::Reduce(
+          s, c, n,
+          aop == AggOp::kMin ? std::numeric_limits<int64_t>::max()
+                             : std::numeric_limits<int64_t>::lowest(),
+          [aop](int64_t a, int64_t b) {
+            return aop == AggOp::kMin ? (b < a ? b : a) : (a < b ? b : a);
+          },
+          "enc::code_minmax");
+      return static_cast<double>(values.reference + code);
+    }
+
+    case Encoding::kNone:
+      throw std::invalid_argument("ReduceEncoded: column is not encoded");
+  }
+
+  // No encoded-domain shortcut (e.g. dictionary sum): decode, then reduce.
+  return ReduceColumn(DecodeColumn(values), op);
+}
+
+GroupByResult Backend::GroupByAggregateEncoded(
+    const storage::EncodedDeviceColumn& keys, const SelectionResult& rows,
+    const storage::DeviceColumn& values, AggOp op) {
+  // Library pipeline shape: the keys materialize once for the survivors
+  // (reading only packed codes), then the ordinary grouped aggregation
+  // runs — so only the present keys come back as groups.
+  return GroupByAggregate(GatherDecode(keys, rows.row_ids), values, op);
 }
 
 }  // namespace core

@@ -12,6 +12,7 @@
 #define CORE_BACKEND_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "gpusim/stream.h"
 #include "storage/device_column.h"
+#include "storage/encoded_column.h"
 
 namespace core {
 
@@ -75,6 +77,20 @@ enum class AggOp { kSum, kCount, kMin, kMax };
 const char* CompareOpName(CompareOp op);
 const char* AggOpName(AggOp op);
 
+/// Evaluates `a <op> b` for ordered operand types.
+template <typename T>
+inline bool ApplyCompareOp(CompareOp op, T a, T b) {
+  switch (op) {
+    case CompareOp::kLt: return a < b;
+    case CompareOp::kLe: return a <= b;
+    case CompareOp::kGt: return a > b;
+    case CompareOp::kGe: return a >= b;
+    case CompareOp::kEq: return a == b;
+    case CompareOp::kNe: return a != b;
+  }
+  return false;
+}
+
 /// A predicate `column <op> value` on a named column. The literal carries
 /// both integral and floating representations; backends pick per column type.
 struct Predicate {
@@ -95,6 +111,65 @@ struct Predicate {
     return p;
   }
 };
+
+/// A scan input that is either a raw device column or an encoded one.
+/// Exactly one of the pointers is set.
+struct ScanColumnRef {
+  const storage::DeviceColumn* raw = nullptr;
+  const storage::EncodedDeviceColumn* enc = nullptr;
+
+  static ScanColumnRef Raw(const storage::DeviceColumn& c) {
+    ScanColumnRef r;
+    r.raw = &c;
+    return r;
+  }
+  static ScanColumnRef Encoded(const storage::EncodedDeviceColumn& c) {
+    ScanColumnRef r;
+    r.enc = &c;
+    return r;
+  }
+
+  size_t size() const { return raw != nullptr ? raw->size() : enc->size; }
+  storage::DataType type() const {
+    return raw != nullptr ? raw->type() : enc->type;
+  }
+  /// Device bytes a full scan of this column reads.
+  uint64_t scan_bytes() const {
+    return raw != nullptr ? raw->byte_size() : enc->encoded_byte_size();
+  }
+};
+
+/// A predicate rewritten into the encoded code domain. Because all packed
+/// encodings (bit-pack, FOR, sorted dictionary) are order-isomorphic to the
+/// decoded values, `column <op> literal` constant-folds into a comparison
+/// against a code threshold — or vanishes entirely when the literal falls
+/// outside the column's frame.
+struct EncodedPredicate {
+  enum class Kind { kAlwaysTrue, kAlwaysFalse, kCodeCompare };
+  Kind kind = Kind::kCodeCompare;
+  CompareOp op = CompareOp::kLt;  ///< canonical: kLt, kGe, kEq, or kNe
+  uint64_t code = 0;              ///< folded threshold in code space
+
+  bool Matches(uint64_t c) const {
+    if (kind == Kind::kAlwaysTrue) return true;
+    if (kind == Kind::kAlwaysFalse) return false;
+    return ApplyCompareOp(op, c, code);
+  }
+};
+
+/// Folds `pred` through the column's encoding (host-side metadata only;
+/// nothing is decoded). Valid for kBitPack/kFor/kDictionary columns.
+EncodedPredicate RewritePredicate(const storage::EncodedDeviceColumn& column,
+                                  const Predicate& pred);
+
+/// Kernel building blocks for encoded scans, shared by backends that fuse
+/// their own selection kernels: a per-row matcher evaluating `pred` against
+/// a raw or encoded scan column (predicates on packed encodings go through
+/// RewritePredicate; RLE binary-searches its run ends), and the device bytes
+/// one sequential scan of the column reads.
+std::function<bool(size_t)> MakeScanMatcher(const ScanColumnRef& ref,
+                                            const Predicate& pred);
+uint64_t ScanColumnSeqBytes(const ScanColumnRef& ref);
 
 /// Result of a selection: matching row ids (int32, device-resident).
 struct SelectionResult {
@@ -247,6 +322,69 @@ class Backend {
   /// out[i] = alpha - a[i] (projection arithmetic, e.g. 1 - l_discount).
   virtual storage::DeviceColumn SubtractFromScalar(
       double alpha, const storage::DeviceColumn& a) = 0;
+
+  // -- Encoded-domain operators --------------------------------------------
+  //
+  // The compressed-scan path: predicates are constant-folded into code-space
+  // comparisons (RewritePredicate), the selection kernels read only the
+  // encoded payload, and survivors are decoded late by GatherDecode. The
+  // base-class defaults realize the library pipeline shape (flags ->
+  // exclusive scan -> scatter, with the count read back over PCIe); backends
+  // override to reflect their own idiom and pricing.
+
+  /// Conjunctive selection over mixed raw/encoded scan columns. Predicates
+  /// on encoded columns are evaluated in the encoded domain; nothing is
+  /// decoded.
+  virtual SelectionResult SelectConjunctiveEncoded(
+      const std::vector<ScanColumnRef>& columns,
+      const std::vector<Predicate>& preds);
+
+  /// Column-vs-column selection where either side may be encoded (e.g. Q4's
+  /// l_commitdate < l_receiptdate with both dates frame-of-reference
+  /// encoded: the comparison folds to pa + (refA - refB) vs pb in int64).
+  virtual SelectionResult SelectCompareColumnsEncoded(const ScanColumnRef& a,
+                                                      CompareOp op,
+                                                      const ScanColumnRef& b);
+
+  /// Late materialization: out[i] = decode(src[indices[i]]). Reads only the
+  /// codes (or RLE runs, via binary search) for the surviving rows.
+  virtual storage::DeviceColumn GatherDecode(
+      const storage::EncodedDeviceColumn& src,
+      const storage::DeviceColumn& indices);
+
+  /// Full decode of an encoded column to its logical type (the fallback for
+  /// operators with no encoded-domain realization, e.g. a join build side).
+  virtual storage::DeviceColumn DecodeColumn(
+      const storage::EncodedDeviceColumn& src);
+
+  /// Encoded-domain reduction. RLE sums run as one pass over the runs
+  /// (sum += value * run_length); dictionary min/max touch only the
+  /// dictionary. Falls back to DecodeColumn + ReduceColumn where no
+  /// encoded-domain shortcut exists.
+  virtual double ReduceEncoded(const storage::EncodedDeviceColumn& values,
+                               AggOp op);
+
+  /// Grouped aggregation whose keys never decode: group codes are read
+  /// straight from the packed payload for the selected rows (`rows.row_ids`
+  /// aligned with `values`), and each output group carries the decoded key
+  /// value. Realizations over a small dense code domain may return EVERY
+  /// code as a group, including ones absent from the selection (identity
+  /// aggregate, zero count) — callers must treat absent and empty groups
+  /// alike. The default decodes the surviving keys (one gather-decode
+  /// kernel) and runs the ordinary grouped aggregation.
+  virtual GroupByResult GroupByAggregateEncoded(
+      const storage::EncodedDeviceColumn& keys, const SelectionResult& rows,
+      const storage::DeviceColumn& values, AggOp op);
+
+ protected:
+  /// Per-operator hook the defaults call once before launching encoded
+  /// kernels; backends charge their library's fixed costs here (OpenCL
+  /// program compiles, lazy-JIT graph nodes). `kernels` is the number of
+  /// device kernels the default pipeline will launch for the op.
+  virtual void EncodedOpPrologue(const char* op, int kernels) {
+    (void)op;
+    (void)kernels;
+  }
 };
 
 }  // namespace core

@@ -14,6 +14,11 @@ void PrintMeasurement(std::ostream& os, const Measurement& m) {
     os << "  " << m.programs_compiled << " programs compiled ("
        << std::setprecision(1) << m.compile_ns / 1e6 << " ms)";
   }
+  if (m.bytes_h2d_encoded > 0) {
+    os << "  " << std::setprecision(2)
+       << m.bytes_h2d_encoded / (1024.0 * 1024.0) << " MiB h2d encoded ("
+       << m.bytes_saved_vs_raw / (1024.0 * 1024.0) << " MiB saved)";
+  }
   if (m.pool_hits + m.pool_misses > 0) {
     os << "  pool " << m.pool_hits << "/" << (m.pool_hits + m.pool_misses)
        << " hits (" << std::setprecision(2)

@@ -20,6 +20,8 @@ struct Measurement {
   uint64_t bytes_written = 0;
   uint64_t bytes_h2d = 0;
   uint64_t bytes_d2h = 0;
+  uint64_t bytes_h2d_encoded = 0;   ///< share of h2d moved compressed
+  uint64_t bytes_saved_vs_raw = 0;  ///< raw-minus-encoded transfer savings
   uint64_t bytes_d2d = 0;
   uint64_t programs_compiled = 0;
   uint64_t compile_ns = 0;
@@ -50,6 +52,8 @@ class ScopedMeasurement {
     m.bytes_written = delta.bytes_written;
     m.bytes_h2d = delta.bytes_h2d;
     m.bytes_d2h = delta.bytes_d2h;
+    m.bytes_h2d_encoded = delta.bytes_h2d_encoded;
+    m.bytes_saved_vs_raw = delta.bytes_saved_vs_raw;
     m.bytes_d2d = delta.bytes_d2d;
     m.programs_compiled = delta.programs_compiled;
     m.compile_ns = delta.compile_ns;

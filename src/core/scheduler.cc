@@ -170,6 +170,9 @@ SchedulerReport QueryScheduler::Report() const {
   if (device_ != nullptr) {
     r.device_peak_bytes = device_->peak_bytes();
     r.device_reserved_bytes = device_->reserved_bytes();
+    const gpusim::CounterSnapshot counters = device_->Snapshot();
+    r.bytes_h2d_encoded = counters.bytes_h2d_encoded;
+    r.bytes_saved_vs_raw = counters.bytes_saved_vs_raw;
   }
   if (options_.governor != nullptr) r.governor = options_.governor->Stats();
   return r;

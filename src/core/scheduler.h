@@ -107,6 +107,8 @@ struct SchedulerReport {
   ResilienceStats resilience;     ///< retry/breaker/reclaim counters
   uint64_t device_peak_bytes = 0;      ///< high-water of live+reserved bytes
   uint64_t device_reserved_bytes = 0;  ///< reservation gauge at report time
+  uint64_t bytes_h2d_encoded = 0;   ///< h2d bytes that crossed compressed
+  uint64_t bytes_saved_vs_raw = 0;  ///< transfer bytes encoding saved
   GovernorStats governor;  ///< admission stats (zeros without a governor)
 };
 

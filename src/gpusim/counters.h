@@ -49,6 +49,8 @@ struct Counters {
   PaddedCounter bytes_read;         ///< device memory read by kernels
   PaddedCounter bytes_written;      ///< device memory written by kernels
   PaddedCounter bytes_h2d;          ///< host -> device transfers
+  PaddedCounter bytes_h2d_encoded;  ///< H2D bytes that moved in encoded form
+  PaddedCounter bytes_saved_vs_raw; ///< raw bytes minus encoded bytes shipped
   PaddedCounter bytes_d2h;          ///< device -> host transfers
   PaddedCounter bytes_d2d;          ///< device -> device copies
   PaddedCounter transfers;          ///< number of explicit transfers
@@ -70,6 +72,8 @@ struct CounterSnapshot {
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t bytes_h2d = 0;
+  uint64_t bytes_h2d_encoded = 0;
+  uint64_t bytes_saved_vs_raw = 0;
   uint64_t bytes_d2h = 0;
   uint64_t bytes_d2d = 0;
   uint64_t transfers = 0;
@@ -90,6 +94,10 @@ struct CounterSnapshot {
     s.bytes_read = c.bytes_read.load(std::memory_order_relaxed);
     s.bytes_written = c.bytes_written.load(std::memory_order_relaxed);
     s.bytes_h2d = c.bytes_h2d.load(std::memory_order_relaxed);
+    s.bytes_h2d_encoded =
+        c.bytes_h2d_encoded.load(std::memory_order_relaxed);
+    s.bytes_saved_vs_raw =
+        c.bytes_saved_vs_raw.load(std::memory_order_relaxed);
     s.bytes_d2h = c.bytes_d2h.load(std::memory_order_relaxed);
     s.bytes_d2d = c.bytes_d2d.load(std::memory_order_relaxed);
     s.transfers = c.transfers.load(std::memory_order_relaxed);
@@ -113,6 +121,8 @@ struct CounterSnapshot {
     d.bytes_read = bytes_read - earlier.bytes_read;
     d.bytes_written = bytes_written - earlier.bytes_written;
     d.bytes_h2d = bytes_h2d - earlier.bytes_h2d;
+    d.bytes_h2d_encoded = bytes_h2d_encoded - earlier.bytes_h2d_encoded;
+    d.bytes_saved_vs_raw = bytes_saved_vs_raw - earlier.bytes_saved_vs_raw;
     d.bytes_d2h = bytes_d2h - earlier.bytes_d2h;
     d.bytes_d2d = bytes_d2d - earlier.bytes_d2d;
     d.transfers = transfers - earlier.transfers;

@@ -98,6 +98,20 @@ class Stream {
   /// Charges host-side API/framework overhead (e.g. lazy-graph bookkeeping).
   void ChargeOverhead(uint64_t ns) { Advance(ns); }
 
+  /// Attributes an H2D transfer that moved `encoded_bytes` on the wire in
+  /// place of `raw_bytes` of decoded data. The copy itself is priced by
+  /// ChargeTransfer (which already saw only the encoded bytes); this merely
+  /// records the encoded traffic and the savings for reporting, so it
+  /// advances no simulated time.
+  void NoteEncodedTransfer(uint64_t encoded_bytes, uint64_t raw_bytes) {
+    auto& c = device_.counters();
+    c.bytes_h2d_encoded.fetch_add(encoded_bytes, std::memory_order_relaxed);
+    if (raw_bytes > encoded_bytes) {
+      c.bytes_saved_vs_raw.fetch_add(raw_bytes - encoded_bytes,
+                                     std::memory_order_relaxed);
+    }
+  }
+
   /// Records the current position of the stream's timeline.
   Event Record() const { return Event{timeline_ns_}; }
 

@@ -68,7 +68,9 @@ class Executor {
       NodeValue& value = result_.values[i];
       if (node.kind == NodeKind::kScan) {
         value.computed = true;
-        value.out_rows = node.scan_col ? node.scan_col->size() : 0;
+        value.out_rows = node.scan_col   ? node.scan_col->size()
+                         : node.scan_enc ? node.scan_enc->size
+                                         : 0;
         continue;
       }
       if (ShouldSkip(node)) {
@@ -101,6 +103,29 @@ class Executor {
       case Part::kPairSecond: return v.pair.second;
     }
     throw std::logic_error("plan: bad NodeInput part");
+  }
+
+  /// The encoded column behind `in`, or null when the input is not an
+  /// encoded base-table scan.
+  const storage::EncodedDeviceColumn* EncOf(NodeInput in) const {
+    if (in.node < 0 || in.part != Part::kValue) return nullptr;
+    const PlanNode& n = phys_.plan.nodes[in.node];
+    return n.kind == NodeKind::kScan ? n.scan_enc : nullptr;
+  }
+
+  /// Like Col, but materializes encoded scans: consumers with no
+  /// encoded-domain realization (join build sides, disjunctive filters, map
+  /// inputs) get the column decoded in full — once, cached in the scan
+  /// node's value so later consumers reuse it.
+  const DeviceColumn& ColDecoded(NodeInput in, core::Backend& backend) {
+    const storage::EncodedDeviceColumn* enc = EncOf(in);
+    if (enc == nullptr) return Col(in);
+    NodeValue& v = result_.values[in.node];
+    if (!v.decoded) {
+      v.column = backend.DecodeColumn(*enc);
+      v.decoded = true;
+    }
+    return v.column;
   }
 
   // -- Guard / skip handling ------------------------------------------------
@@ -252,12 +277,30 @@ class Executor {
               "plan: unmerged filter chain at node " + std::to_string(i) +
               " — run Optimize() before executing");
         }
-        if (node.preds.size() == 1 && node.conjunctive) {
-          value.sel = backend.Select(Col(node.pred_cols[0]), node.preds[0]);
+        bool any_enc = false;
+        for (const NodeInput& pc : node.pred_cols) {
+          if (EncOf(pc) != nullptr) any_enc = true;
+        }
+        if (any_enc && node.conjunctive) {
+          // Encoded-domain selection: predicates fold into code-space
+          // comparisons, nothing decodes.
+          std::vector<core::ScanColumnRef> cols;
+          cols.reserve(node.pred_cols.size());
+          for (const NodeInput& pc : node.pred_cols) {
+            const storage::EncodedDeviceColumn* e = EncOf(pc);
+            cols.push_back(e != nullptr ? core::ScanColumnRef::Encoded(*e)
+                                        : core::ScanColumnRef::Raw(Col(pc)));
+          }
+          value.sel = backend.SelectConjunctiveEncoded(cols, node.preds);
+        } else if (node.preds.size() == 1 && node.conjunctive) {
+          value.sel = backend.Select(ColDecoded(node.pred_cols[0], backend),
+                                     node.preds[0]);
         } else {
           std::vector<const DeviceColumn*> cols;
           cols.reserve(node.pred_cols.size());
-          for (const NodeInput& pc : node.pred_cols) cols.push_back(&Col(pc));
+          for (const NodeInput& pc : node.pred_cols) {
+            cols.push_back(&ColDecoded(pc, backend));
+          }
           value.sel = node.conjunctive
                           ? backend.SelectConjunctive(cols, node.preds)
                           : backend.SelectDisjunctive(cols, node.preds);
@@ -265,35 +308,56 @@ class Executor {
         value.out_rows = value.sel.count;
         break;
       }
-      case NodeKind::kFilterCompare:
-        value.sel = backend.SelectCompareColumns(Col(node.cmp_lhs),
-                                                 node.cmp_op,
-                                                 Col(node.cmp_rhs));
+      case NodeKind::kFilterCompare: {
+        const storage::EncodedDeviceColumn* el = EncOf(node.cmp_lhs);
+        const storage::EncodedDeviceColumn* er = EncOf(node.cmp_rhs);
+        if (el != nullptr || er != nullptr) {
+          const core::ScanColumnRef lhs =
+              el != nullptr ? core::ScanColumnRef::Encoded(*el)
+                            : core::ScanColumnRef::Raw(Col(node.cmp_lhs));
+          const core::ScanColumnRef rhs =
+              er != nullptr ? core::ScanColumnRef::Encoded(*er)
+                            : core::ScanColumnRef::Raw(Col(node.cmp_rhs));
+          value.sel = backend.SelectCompareColumnsEncoded(lhs, node.cmp_op,
+                                                          rhs);
+        } else {
+          value.sel = backend.SelectCompareColumns(Col(node.cmp_lhs),
+                                                   node.cmp_op,
+                                                   Col(node.cmp_rhs));
+        }
         value.out_rows = value.sel.count;
         break;
-      case NodeKind::kGather:
+      }
+      case NodeKind::kGather: {
+        const storage::EncodedDeviceColumn* e = EncOf(node.gather_src);
         value.column =
-            backend.Gather(Col(node.gather_src), Col(node.gather_indices));
+            e != nullptr
+                ? backend.GatherDecode(*e, Col(node.gather_indices))
+                : backend.Gather(ColDecoded(node.gather_src, backend),
+                                 Col(node.gather_indices));
         value.out_rows = value.column.size();
         break;
+      }
       case NodeKind::kMap:
         switch (node.map_op) {
           case MapOp::kMul:
-            value.column = backend.Product(Col(node.map_a), Col(node.map_b));
+            value.column = backend.Product(ColDecoded(node.map_a, backend),
+                                           ColDecoded(node.map_b, backend));
             break;
           case MapOp::kAddScalar:
-            value.column = backend.AddScalar(Col(node.map_a), node.alpha);
+            value.column =
+                backend.AddScalar(ColDecoded(node.map_a, backend), node.alpha);
             break;
           case MapOp::kSubFromScalar:
-            value.column =
-                backend.SubtractFromScalar(node.alpha, Col(node.map_a));
+            value.column = backend.SubtractFromScalar(
+                node.alpha, ColDecoded(node.map_a, backend));
             break;
         }
         value.out_rows = value.column.size();
         break;
       case NodeKind::kJoin: {
-        const DeviceColumn& build = Col(node.join_build);
-        const DeviceColumn& probe = Col(node.join_probe);
+        const DeviceColumn& build = ColDecoded(node.join_build, backend);
+        const DeviceColumn& probe = ColDecoded(node.join_probe, backend);
         JoinAlgo algo = node.join_algo;
         if (algo == JoinAlgo::kAuto) {
           algo = backend.Realization(core::DbOperator::kHashJoin).level !=
@@ -308,26 +372,32 @@ class Executor {
         break;
       }
       case NodeKind::kUnique:
-        value.column = backend.Unique(Col(node.unary_in));
+        value.column = backend.Unique(ColDecoded(node.unary_in, backend));
         value.out_rows = value.column.size();
         break;
       case NodeKind::kGroupBy:
-        value.groups = backend.GroupByAggregate(Col(node.group_keys),
-                                                Col(node.group_values),
-                                                node.agg);
+        value.groups = backend.GroupByAggregate(
+            ColDecoded(node.group_keys, backend),
+            ColDecoded(node.group_values, backend), node.agg);
         value.out_rows = value.groups.num_groups;
         break;
-      case NodeKind::kReduce:
-        value.scalar = backend.ReduceColumn(Col(node.unary_in), node.agg);
+      case NodeKind::kReduce: {
+        const storage::EncodedDeviceColumn* e = EncOf(node.unary_in);
+        value.scalar =
+            e != nullptr
+                ? backend.ReduceEncoded(*e, node.agg)
+                : backend.ReduceColumn(ColDecoded(node.unary_in, backend),
+                                       node.agg);
         value.out_rows = 1;
         break;
+      }
       case NodeKind::kSort:
-        value.column = backend.Sort(Col(node.unary_in));
+        value.column = backend.Sort(ColDecoded(node.unary_in, backend));
         value.out_rows = value.column.size();
         break;
       case NodeKind::kSortByKey:
-        value.pair =
-            backend.SortByKey(Col(node.sort_keys), Col(node.sort_values));
+        value.pair = backend.SortByKey(ColDecoded(node.sort_keys, backend),
+                                       ColDecoded(node.sort_values, backend));
         value.out_rows = value.pair.first.size();
         break;
       case NodeKind::kFetchGroups: {

@@ -35,6 +35,7 @@ namespace plan {
 struct NodeValue {
   bool computed = false;  ///< ran (false: scan, dead, or skipped)
   bool skipped = false;   ///< guard was falsy or an input was skipped
+  bool decoded = false;   ///< encoded scan materialized into `column` (once)
 
   core::SelectionResult sel;                              // filter kinds
   core::JoinResult join;                                  // join

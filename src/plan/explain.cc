@@ -1,7 +1,11 @@
 #include "plan/explain.h"
 
 #include <iomanip>
+#include <set>
 #include <sstream>
+
+#include "gpusim/cost_model.h"
+#include "storage/encoding.h"
 
 namespace plan {
 namespace {
@@ -24,10 +28,49 @@ std::string NodeTitle(const PlanNode& n) {
   return title;
 }
 
+/// One line per distinct base-table scan: storage encoding, encoded vs raw
+/// bytes, and the estimated PCIe upload time those bytes cost (the default
+/// device profile at CUDA latency — indicative, not a stream measurement).
+void RenderScans(const PhysicalPlan& phys, std::ostringstream& os) {
+  const gpusim::CostModel model{gpusim::DeviceProperties{}};
+  const gpusim::ApiProfile api = gpusim::ApiProfile::Cuda();
+  std::set<std::string> seen;
+  bool header = false;
+  for (const PlanNode& n : phys.plan.nodes) {
+    if (n.dead || n.kind != NodeKind::kScan) continue;
+    if (!seen.insert(n.table + "." + n.column).second) continue;
+    if (!header) {
+      header = true;
+      os << "scans\n"
+         << std::left << std::setw(28) << "  column" << std::setw(12)
+         << "encoding" << std::right << std::setw(12) << "bytes"
+         << std::setw(12) << "raw_bytes" << std::setw(10) << "ratio"
+         << std::setw(13) << "transfer_ns" << "\n";
+    }
+    uint64_t bytes = 0, raw = 0;
+    const char* enc = "raw";
+    if (n.scan_enc != nullptr) {
+      enc = storage::EncodingName(n.scan_enc->encoding);
+      bytes = n.scan_enc->encoded_byte_size();
+      raw = n.scan_enc->raw_byte_size();
+    } else if (n.scan_col != nullptr) {
+      bytes = raw = n.scan_col->byte_size();
+    }
+    os << std::left << "  " << std::setw(26)
+       << (n.table + "." + n.column).substr(0, 25) << std::setw(12) << enc
+       << std::right << std::setw(12) << bytes << std::setw(12) << raw
+       << std::setw(10) << std::fixed << std::setprecision(2)
+       << (bytes == 0 ? 1.0 : static_cast<double>(raw) / bytes)
+       << std::setw(13) << model.TransferTime(bytes, api) << "\n";
+    os.unsetf(std::ios::fixed);
+  }
+}
+
 std::string Render(const PhysicalPlan& phys, const ExecutionResult* result) {
   std::ostringstream os;
   os << (phys.hybrid ? "hybrid plan" : "pinned plan") << " ("
      << phys.plan.nodes.size() << " nodes)\n";
+  RenderScans(phys, os);
   os << std::left << std::setw(4) << "id" << std::setw(44) << "operator"
      << std::setw(15) << "backend" << std::right << std::setw(8) << "rows"
      << std::setw(13) << "est_ns" << std::setw(12) << "boundary";

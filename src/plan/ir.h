@@ -81,9 +81,13 @@ struct PlanNode {
   NodeKind kind = NodeKind::kScan;
   std::string label;  ///< short human-readable tag for EXPLAIN output
 
-  // kScan
+  // kScan. Exactly one of scan_col / scan_enc is set: a table column lives
+  // on the device either raw or encoded (storage/encoded_column.h), and the
+  // executor picks the encoded-domain operator realizations when scan_enc
+  // feeds a filter, gather, or reduce.
   std::string table, column;
   const storage::DeviceColumn* scan_col = nullptr;
+  const storage::EncodedDeviceColumn* scan_enc = nullptr;
 
   // kFilter: pred_cols[i] produces the column pred[i] applies to.
   std::vector<NodeInput> pred_cols;
@@ -158,6 +162,28 @@ struct Plan {
     n.scan_col = &col;
     n.label = n.table + "." + n.column;
     return Add(std::move(n));
+  }
+
+  int ScanEncoded(std::string table, std::string column,
+                  const storage::EncodedDeviceColumn& col) {
+    PlanNode n;
+    n.kind = NodeKind::kScan;
+    n.table = std::move(table);
+    n.column = std::move(column);
+    n.scan_enc = &col;
+    n.label = n.table + "." + n.column;
+    return Add(std::move(n));
+  }
+
+  /// Scans `column` however the device table holds it — encoded when an
+  /// encoded-resident copy exists, raw otherwise. Plan builders use this so
+  /// the same builder works over raw and encoded uploads.
+  int Scan(std::string table, std::string column,
+           const storage::DeviceTable& from) {
+    if (from.HasEncoded(column)) {
+      return ScanEncoded(std::move(table), column, from.encoded(column));
+    }
+    return Scan(std::move(table), column, from.column(column));
   }
 
   int Filter(NodeInput col, core::Predicate pred, int source = -1) {

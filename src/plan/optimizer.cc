@@ -92,8 +92,9 @@ std::optional<storage::DataType> InferType(const Plan& p, NodeInput in) {
   const PlanNode& n = p.nodes[in.node];
   switch (n.kind) {
     case NodeKind::kScan:
-      return n.scan_col ? std::optional<storage::DataType>(n.scan_col->type())
-                        : std::nullopt;
+      if (n.scan_col != nullptr) return n.scan_col->type();
+      if (n.scan_enc != nullptr) return n.scan_enc->type;
+      return std::nullopt;
     case NodeKind::kGather:
       return InferType(p, n.gather_src);
     case NodeKind::kMap:
@@ -110,6 +111,23 @@ std::optional<storage::DataType> InferType(const Plan& p, NodeInput in) {
 uint64_t ElemBytes(const Plan& p, NodeInput in) {
   auto t = InferType(p, in);
   return t ? storage::DataTypeSize(*t) : 8;
+}
+
+bool IsEncodedScan(const Plan& p, NodeInput in) {
+  return in.node >= 0 && in.part == Part::kValue &&
+         p.nodes[in.node].kind == NodeKind::kScan &&
+         p.nodes[in.node].scan_enc != nullptr;
+}
+
+/// Bytes one sequential scan of the edge reads per row — the encoded payload
+/// width for compressed base columns, the element size otherwise.
+uint64_t ScanElemBytes(const Plan& p, NodeInput in) {
+  if (IsEncodedScan(p, in)) {
+    const storage::EncodedDeviceColumn* e = p.nodes[in.node].scan_enc;
+    if (e->size == 0) return 1;
+    return std::max<uint64_t>(1, e->encoded_byte_size() / e->size);
+  }
+  return ElemBytes(p, in);
 }
 
 /// Collects the single guard governing a set of nodes; nullopt when two
@@ -167,9 +185,13 @@ void MergeFilterChains(Plan& p) {
 
 // -- Pass 2: fusion rewrites (hybrid only) ----------------------------------
 
+/// Fusion requires *raw* base-table scans: the fused kernels read typed
+/// device pointers directly, so encoded scans stay on the encoded operator
+/// path instead.
 bool IsScanValue(const Plan& p, NodeInput in) {
   return in.node >= 0 && in.part == Part::kValue &&
-         p.nodes[in.node].kind == NodeKind::kScan;
+         p.nodes[in.node].kind == NodeKind::kScan &&
+         p.nodes[in.node].scan_enc == nullptr;
 }
 
 /// Reduce(sum, Product(Gather(scan, F), Gather(scan, F))) over a merged
@@ -240,6 +262,9 @@ bool TryFuseFilterSum(Plan& p, int i) {
   if (fi < 0) return false;
   const PlanNode& f = p.nodes[fi];
   if (f.kind != NodeKind::kFilter || f.filter_source >= 0) return false;
+  for (const NodeInput& pc : f.pred_cols)
+    if (IsEncodedScan(p, pc)) return false;
+  if (IsEncodedScan(p, v.gather_src)) return false;
   if (InferType(p, v.gather_src) != storage::DataType::kFloat64) return false;
   if (!UsedOnlyBy(p, fi, {vi}) || !UsedOnlyBy(p, vi, {i})) return false;
   auto guard = MergedGuard(p, {fi, vi, i});
@@ -267,6 +292,8 @@ bool TryFuseMapChain(Plan& p, int i) {
   const int mi = m2.map_b.node;
   const PlanNode& inner = p.nodes[mi];
   if (inner.kind != NodeKind::kMap || inner.map_op == MapOp::kMul)
+    return false;
+  if (IsEncodedScan(p, m2.map_a) || IsEncodedScan(p, inner.map_a))
     return false;
   if (InferType(p, m2.map_a) != storage::DataType::kFloat64 ||
       InferType(p, inner.map_a) != storage::DataType::kFloat64)
@@ -319,7 +346,9 @@ std::vector<size_t> EstimateRows(const Plan& p) {
     if (n.dead) continue;
     switch (n.kind) {
       case NodeKind::kScan:
-        rows[i] = n.scan_col ? n.scan_col->size() : 0;
+        rows[i] = n.scan_col   ? n.scan_col->size()
+                  : n.scan_enc ? n.scan_enc->size
+                               : 0;
         break;
       case NodeKind::kFilter: {
         const size_t domain = in_rows(n.pred_cols.empty() ? NodeInput{}
@@ -483,13 +512,13 @@ class Dispatcher {
     switch (n.kind) {
       case NodeKind::kFilter: {
         uint64_t bpr = 0;
-        for (const NodeInput& pc : n.pred_cols) bpr += ElemBytes(p, pc);
+        for (const NodeInput& pc : n.pred_cols) bpr += ScanElemBytes(p, pc);
         return est_.Select(c, Rows(n.pred_cols[0].node), phys_.est_rows[i],
                            bpr, n.preds.size());
       }
       case NodeKind::kFilterCompare:
         return est_.SelectCompare(c, Rows(n.cmp_lhs.node), phys_.est_rows[i],
-                                  ElemBytes(p, n.cmp_lhs));
+                                  ScanElemBytes(p, n.cmp_lhs));
       case NodeKind::kGather:
         return est_.Gather(c, phys_.est_rows[i], ElemBytes(p, n.gather_src));
       case NodeKind::kMap:

@@ -13,6 +13,8 @@
 #include "plan/optimizer.h"
 #include "plan/tpch_plans.h"
 #include "storage/device_column.h"
+#include "storage/encoded_column.h"
+#include "storage/encoding.h"
 
 namespace plan {
 namespace {
@@ -63,6 +65,60 @@ storage::DeviceTable MetaTable(const storage::Table& table, size_t rows) {
     out.AddColumn(name, storage::DeviceColumn(
                             table.column(name).type(), rows,
                             std::make_shared<gpusim::DeviceBuffer>()));
+  }
+  return out;
+}
+
+/// Like MetaTable, but sized as UploadTableEncoded would upload it: columns
+/// whose ChooseEncoding beats raw become metadata-only encoded columns. The
+/// whole-table encoding decision is reused for slices (per-slice bytes scale
+/// by row count at the whole-table code width), so a K-partition footprint
+/// prices slice uploads without re-analyzing K sub-columns.
+storage::DeviceTable MetaTableEncoded(const storage::Table& table,
+                                      size_t rows) {
+  storage::DeviceTable out;
+  const size_t n = table.num_rows();
+  for (const std::string& name : table.column_names()) {
+    const storage::Column& c = table.column(name);
+    const storage::EncodingChoice choice =
+        storage::ChooseEncoding(storage::AnalyzeColumn(c), n, c.type());
+    if (choice.encoding == storage::Encoding::kNone) {
+      out.AddColumn(name, storage::DeviceColumn(
+                              c.type(), rows,
+                              std::make_shared<gpusim::DeviceBuffer>()));
+      continue;
+    }
+    uint64_t bytes = 0;
+    switch (choice.encoding) {
+      case storage::Encoding::kBitPack:
+      case storage::Encoding::kFor:
+        bytes = storage::PackedWordCount(rows, choice.bit_width) * 8;
+        break;
+      case storage::Encoding::kDictionary: {
+        // The dictionary itself is a fixed cost every slice repeats.
+        const uint64_t full_packed =
+            storage::PackedWordCount(n, choice.bit_width) * 8;
+        const uint64_t dict_bytes =
+            choice.encoded_bytes > full_packed
+                ? choice.encoded_bytes - full_packed
+                : 0;
+        bytes = storage::PackedWordCount(rows, choice.bit_width) * 8 +
+                dict_bytes;
+        break;
+      }
+      case storage::Encoding::kRle:
+        // Runs scale with row count to first order.
+        bytes = n == 0 ? 8
+                       : std::max<uint64_t>(
+                             8, choice.encoded_bytes * rows / n);
+        break;
+      case storage::Encoding::kNone:
+        break;
+    }
+    out.AddEncodedColumn(
+        name, std::make_shared<storage::EncodedDeviceColumn>(
+                  storage::MakeEncodedMeta(choice.encoding, c.type(), rows,
+                                           choice.bit_width, bytes)));
   }
   return out;
 }
@@ -131,12 +187,18 @@ std::vector<size_t> PartitionBounds(const storage::Table& lineitem, size_t k,
 /// propagated pessimistically (filters and joins pass every row), each
 /// rounded to the allocator's block granularity. The x2 headroom covers
 /// operator scratch the plan does not name — hash-table fills (2n slots),
-/// sort ping-pong buffers, selection scan temporaries.
+/// sort ping-pong buffers, selection scan temporaries — and applies to the
+/// intermediates only: base-table uploads are exact (and encoded scans are
+/// priced at their encoded size, the whole point of compressed admission).
+/// An encoded scan consumed by an operator with no encoded-domain
+/// realization additionally contributes one full raw decode as an
+/// intermediate, mirroring the executor's ColDecoded fallback.
 uint64_t FootprintOfPlan(const PhysicalPlan& phys) {
   const std::vector<PlanNode>& nodes = phys.plan.nodes;
   std::vector<size_t> rows(nodes.size(), 0);
   std::vector<size_t> width(nodes.size(), 0);
   std::unordered_set<const storage::DeviceColumn*> scanned;
+  std::unordered_set<const storage::EncodedDeviceColumn*> scanned_enc;
   uint64_t scan_bytes = 0;
   uint64_t intermediate_bytes = 0;
 
@@ -155,6 +217,14 @@ uint64_t FootprintOfPlan(const PhysicalPlan& phys) {
     if (n.dead) continue;
     switch (n.kind) {
       case NodeKind::kScan:
+        if (n.scan_enc != nullptr) {
+          rows[i] = n.scan_enc->size;
+          width[i] = storage::DataTypeSize(n.scan_enc->type);
+          if (scanned_enc.insert(n.scan_enc).second) {
+            scan_bytes += block(n.scan_enc->encoded_byte_size());
+          }
+          break;
+        }
         rows[i] = n.scan_col != nullptr ? n.scan_col->size() : 0;
         width[i] = n.scan_col != nullptr
                        ? storage::DataTypeSize(n.scan_col->type())
@@ -222,6 +292,28 @@ uint64_t FootprintOfPlan(const PhysicalPlan& phys) {
       case NodeKind::kFetchPair:
         rows[i] = in_rows(n.fetch_from);  // host download, no device bytes
         break;
+    }
+  }
+
+  // Encoded scans feeding operators without an encoded realization decode in
+  // full on first use (the executor caches one raw copy).
+  std::unordered_set<const storage::EncodedDeviceColumn*> decoded;
+  for (const PlanNode& n : nodes) {
+    if (n.dead || n.kind == NodeKind::kScan) continue;
+    const bool encoded_aware = n.kind == NodeKind::kFilter ||
+                               n.kind == NodeKind::kFilterCompare ||
+                               n.kind == NodeKind::kReduce;
+    for (const NodeInput& in : NodeInputs(n)) {
+      if (in.node < 0 || in.part != Part::kValue) continue;
+      const PlanNode& src = nodes[in.node];
+      if (src.kind != NodeKind::kScan || src.scan_enc == nullptr) continue;
+      if (encoded_aware) continue;
+      if (n.kind == NodeKind::kGather && in.node == n.gather_src.node) {
+        continue;  // GatherDecode materializes survivors only
+      }
+      if (decoded.insert(src.scan_enc).second) {
+        intermediate_bytes += block(src.scan_enc->raw_byte_size());
+      }
     }
   }
   return scan_bytes + 2 * intermediate_bytes;
@@ -351,17 +443,20 @@ TpchQueryResult RunAttempt(TpchQuery q, const TpchHostTables& tables,
   OptimizerOptions opt;
   opt.pin_backend = backend.name();
 
+  const auto upload = [&](const storage::Table& t,
+                          uint64_t* bytes = nullptr) {
+    return options.use_encoding ? storage::UploadTableEncoded(stream, t, bytes)
+                                : storage::UploadTable(stream, t);
+  };
+
   storage::DeviceTable orders, customer, part;
-  if (NeedsOrders(q)) orders = storage::UploadTable(stream, *tables.orders);
-  if (NeedsCustomer(q)) {
-    customer = storage::UploadTable(stream, *tables.customer);
-  }
-  if (NeedsPart(q)) part = storage::UploadTable(stream, *tables.part);
+  if (NeedsOrders(q)) orders = upload(*tables.orders);
+  if (NeedsCustomer(q)) customer = upload(*tables.customer);
+  if (NeedsPart(q)) part = upload(*tables.part);
 
   if (k <= 1) {
     // Unpartitioned: byte-for-byte the ordinary upload + pinned-plan run.
-    const storage::DeviceTable lineitem =
-        storage::UploadTable(stream, *tables.lineitem);
+    const storage::DeviceTable lineitem = upload(*tables.lineitem);
     const QueryPlanBundle bundle =
         BuildBundle(q, lineitem, orders, customer, part);
     const PhysicalPlan phys = Optimize(bundle.plan, opt);
@@ -396,11 +491,13 @@ TpchQueryResult RunAttempt(TpchQuery q, const TpchHostTables& tables,
     const size_t hi = bounds[p + 1];
     if (lo >= hi) continue;  // orderkey alignment emptied this range
     const storage::Table slice = SliceTable(*tables.lineitem, lo, hi);
-    const uint64_t slice_bytes = HostTableBytes(slice);
     // Slice upload, per-partition plan, partial extraction; the slice's
     // device memory is freed (credited back to the reservation) when the
-    // scope ends, before the next slice uploads.
-    const storage::DeviceTable lineitem = storage::UploadTable(stream, slice);
+    // scope ends, before the next slice uploads. With encoding on, the
+    // slice crosses the link (and counts as spill) at its encoded size.
+    uint64_t slice_bytes = 0;
+    const storage::DeviceTable lineitem = upload(slice, &slice_bytes);
+    if (!options.use_encoding) slice_bytes = HostTableBytes(slice);
     const QueryPlanBundle bundle =
         BuildBundle(q, lineitem, orders, customer, part);
     const PhysicalPlan phys = Optimize(bundle.plan, opt);
@@ -454,22 +551,24 @@ const char* PressureEventKindName(PressureEvent::Kind kind) {
 
 uint64_t EstimateQueryFootprint(TpchQuery query, const TpchHostTables& tables,
                                 const std::string& backend_name,
-                                size_t partitions) {
+                                size_t partitions, bool use_encoding) {
   RequireTables(query, tables);
   if (partitions == 0) partitions = 1;
+  const auto meta = [&](const storage::Table& t, size_t rows) {
+    return use_encoding ? MetaTableEncoded(t, rows) : MetaTable(t, rows);
+  };
   const size_t li_rows = tables.lineitem->num_rows();
   const size_t slice_rows = (li_rows + partitions - 1) / partitions;
-  const storage::DeviceTable lineitem =
-      MetaTable(*tables.lineitem, slice_rows);
+  const storage::DeviceTable lineitem = meta(*tables.lineitem, slice_rows);
   storage::DeviceTable orders, customer, part;
   if (NeedsOrders(query)) {
-    orders = MetaTable(*tables.orders, tables.orders->num_rows());
+    orders = meta(*tables.orders, tables.orders->num_rows());
   }
   if (NeedsCustomer(query)) {
-    customer = MetaTable(*tables.customer, tables.customer->num_rows());
+    customer = meta(*tables.customer, tables.customer->num_rows());
   }
   if (NeedsPart(query)) {
-    part = MetaTable(*tables.part, tables.part->num_rows());
+    part = meta(*tables.part, tables.part->num_rows());
   }
   const QueryPlanBundle bundle =
       BuildBundle(query, lineitem, orders, customer, part);
@@ -492,8 +591,8 @@ TpchQueryResult RunGoverned(TpchQuery query, const TpchHostTables& tables,
   GovernedRunStats& st = stats != nullptr ? *stats : local;
   st = GovernedRunStats();
 
-  const uint64_t footprint =
-      EstimateQueryFootprint(query, tables, backend.name(), 1);
+  const uint64_t footprint = EstimateQueryFootprint(
+      query, tables, backend.name(), 1, options.use_encoding);
   const uint64_t grant = device.ReservationRemaining(stream.id());
   const uint64_t budget = grant > 0 ? grant : device.memory_capacity();
   st.footprint_bytes = footprint;
@@ -504,8 +603,8 @@ TpchQueryResult RunGoverned(TpchQuery query, const TpchHostTables& tables,
     k = options.force_partitions;
   } else {
     while (k < max_k &&
-           EstimateQueryFootprint(query, tables, backend.name(), k) >
-               budget) {
+           EstimateQueryFootprint(query, tables, backend.name(), k,
+                                  options.use_encoding) > budget) {
       k *= 2;
     }
     k = std::min(k, max_k);

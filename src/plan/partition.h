@@ -63,9 +63,16 @@ struct TpchQueryResult {
 /// counts propagate worst-case (filters pass everything), so the estimate is
 /// a deliberate over-bound: a query admitted at its estimate does not OOM.
 /// Deterministic for fixed inputs — admission decisions built on it replay.
+///
+/// With `use_encoding`, base-table scan terms are priced at their encoded
+/// size (the same ChooseEncoding decision the upload path takes) while
+/// materialized intermediates stay raw-sized — including a full raw decode
+/// for encoded columns consumed by operators with no encoded realization —
+/// and only the intermediates carry the x2 scratch headroom.
 uint64_t EstimateQueryFootprint(TpchQuery query, const TpchHostTables& tables,
                                 const std::string& backend_name,
-                                size_t partitions = 1);
+                                size_t partitions = 1,
+                                bool use_encoding = false);
 
 /// One memory-pressure event of a governed run, for inline reporting
 /// (tools/trace_query) and the tracer's "memory" category.
@@ -93,6 +100,11 @@ struct GovernedQueryOptions {
   /// Observer for admission/partition/spill events; may be null. Called on
   /// the executing thread.
   std::function<void(const PressureEvent&)> on_event;
+  /// Upload tables (and partition slices) compressed: columns where a
+  /// lightweight encoding beats the raw layout cross the link encoded and
+  /// run on the encoded operator path. Shrinks both the admission footprint
+  /// and the spill traffic.
+  bool use_encoding = false;
 };
 
 /// Accounting of one governed run.

@@ -37,16 +37,12 @@ QueryPlanBundle BuildQ1Plan(const storage::DeviceTable& lineitem,
                             const tpch::Q1Params& params) {
   QueryPlanBundle b;
   Plan& p = b.plan;
-  const int s_ship = p.Scan("lineitem", "l_shipdate",
-                            lineitem.column("l_shipdate"));
-  const int s_rfls = p.Scan("lineitem", "l_rfls", lineitem.column("l_rfls"));
-  const int s_qty = p.Scan("lineitem", "l_quantity",
-                           lineitem.column("l_quantity"));
-  const int s_price = p.Scan("lineitem", "l_extendedprice",
-                             lineitem.column("l_extendedprice"));
-  const int s_disc = p.Scan("lineitem", "l_discount",
-                            lineitem.column("l_discount"));
-  const int s_tax = p.Scan("lineitem", "l_tax", lineitem.column("l_tax"));
+  const int s_ship = p.Scan("lineitem", "l_shipdate", lineitem);
+  const int s_rfls = p.Scan("lineitem", "l_rfls", lineitem);
+  const int s_qty = p.Scan("lineitem", "l_quantity", lineitem);
+  const int s_price = p.Scan("lineitem", "l_extendedprice", lineitem);
+  const int s_disc = p.Scan("lineitem", "l_discount", lineitem);
+  const int s_tax = p.Scan("lineitem", "l_tax", lineitem);
 
   const int f = p.Filter(
       V(s_ship), Predicate::Make("l_shipdate", CompareOp::kLe,
@@ -138,14 +134,10 @@ QueryPlanBundle BuildQ6Plan(const storage::DeviceTable& lineitem,
                             const tpch::Q6Params& params) {
   QueryPlanBundle b;
   Plan& p = b.plan;
-  const int s_ship = p.Scan("lineitem", "l_shipdate",
-                            lineitem.column("l_shipdate"));
-  const int s_disc = p.Scan("lineitem", "l_discount",
-                            lineitem.column("l_discount"));
-  const int s_qty = p.Scan("lineitem", "l_quantity",
-                           lineitem.column("l_quantity"));
-  const int s_price = p.Scan("lineitem", "l_extendedprice",
-                             lineitem.column("l_extendedprice"));
+  const int s_ship = p.Scan("lineitem", "l_shipdate", lineitem);
+  const int s_disc = p.Scan("lineitem", "l_discount", lineitem);
+  const int s_qty = p.Scan("lineitem", "l_quantity", lineitem);
+  const int s_price = p.Scan("lineitem", "l_extendedprice", lineitem);
 
   // Five chained single-predicate sigmas; the optimizer folds them into one
   // SelectConjunctive (same column/predicate order as the hand-coded query).
@@ -185,24 +177,15 @@ QueryPlanBundle BuildQ3Plan(const storage::DeviceTable& customer,
                             const tpch::Q3Params& params) {
   QueryPlanBundle b;
   Plan& p = b.plan;
-  const int s_cseg = p.Scan("customer", "c_mktsegment",
-                            customer.column("c_mktsegment"));
-  const int s_ckey = p.Scan("customer", "c_custkey",
-                            customer.column("c_custkey"));
-  const int s_odate = p.Scan("orders", "o_orderdate",
-                             orders.column("o_orderdate"));
-  const int s_okey = p.Scan("orders", "o_orderkey",
-                            orders.column("o_orderkey"));
-  const int s_ocust = p.Scan("orders", "o_custkey",
-                             orders.column("o_custkey"));
-  const int s_lship = p.Scan("lineitem", "l_shipdate",
-                             lineitem.column("l_shipdate"));
-  const int s_lkey = p.Scan("lineitem", "l_orderkey",
-                            lineitem.column("l_orderkey"));
-  const int s_lprice = p.Scan("lineitem", "l_extendedprice",
-                              lineitem.column("l_extendedprice"));
-  const int s_ldisc = p.Scan("lineitem", "l_discount",
-                             lineitem.column("l_discount"));
+  const int s_cseg = p.Scan("customer", "c_mktsegment", customer);
+  const int s_ckey = p.Scan("customer", "c_custkey", customer);
+  const int s_odate = p.Scan("orders", "o_orderdate", orders);
+  const int s_okey = p.Scan("orders", "o_orderkey", orders);
+  const int s_ocust = p.Scan("orders", "o_custkey", orders);
+  const int s_lship = p.Scan("lineitem", "l_shipdate", lineitem);
+  const int s_lkey = p.Scan("lineitem", "l_orderkey", lineitem);
+  const int s_lprice = p.Scan("lineitem", "l_extendedprice", lineitem);
+  const int s_ldisc = p.Scan("lineitem", "l_discount", lineitem);
 
   const int f_cust = p.Filter(
       V(s_cseg), Predicate::Make("c_mktsegment", CompareOp::kEq,
@@ -295,18 +278,12 @@ QueryPlanBundle BuildQ4Plan(const storage::DeviceTable& orders,
                             const tpch::Q4Params& params) {
   QueryPlanBundle b;
   Plan& p = b.plan;
-  const int s_commit = p.Scan("lineitem", "l_commitdate",
-                              lineitem.column("l_commitdate"));
-  const int s_receipt = p.Scan("lineitem", "l_receiptdate",
-                               lineitem.column("l_receiptdate"));
-  const int s_lkey = p.Scan("lineitem", "l_orderkey",
-                            lineitem.column("l_orderkey"));
-  const int s_odate = p.Scan("orders", "o_orderdate",
-                             orders.column("o_orderdate"));
-  const int s_okey = p.Scan("orders", "o_orderkey",
-                            orders.column("o_orderkey"));
-  const int s_oprio = p.Scan("orders", "o_orderpriority",
-                             orders.column("o_orderpriority"));
+  const int s_commit = p.Scan("lineitem", "l_commitdate", lineitem);
+  const int s_receipt = p.Scan("lineitem", "l_receiptdate", lineitem);
+  const int s_lkey = p.Scan("lineitem", "l_orderkey", lineitem);
+  const int s_odate = p.Scan("orders", "o_orderdate", orders);
+  const int s_okey = p.Scan("orders", "o_orderkey", orders);
+  const int s_oprio = p.Scan("orders", "o_orderpriority", orders);
 
   const int late = p.FilterCompare(V(s_commit), CompareOp::kLt, V(s_receipt),
                                    "commit<receipt");
@@ -351,16 +328,12 @@ QueryPlanBundle BuildQ14Plan(const storage::DeviceTable& part,
                              const tpch::Q14Params& params) {
   QueryPlanBundle b;
   Plan& p = b.plan;
-  const int s_ship = p.Scan("lineitem", "l_shipdate",
-                            lineitem.column("l_shipdate"));
-  const int s_lpart = p.Scan("lineitem", "l_partkey",
-                             lineitem.column("l_partkey"));
-  const int s_price = p.Scan("lineitem", "l_extendedprice",
-                             lineitem.column("l_extendedprice"));
-  const int s_disc = p.Scan("lineitem", "l_discount",
-                            lineitem.column("l_discount"));
-  const int s_pkey = p.Scan("part", "p_partkey", part.column("p_partkey"));
-  const int s_promo = p.Scan("part", "p_promo", part.column("p_promo"));
+  const int s_ship = p.Scan("lineitem", "l_shipdate", lineitem);
+  const int s_lpart = p.Scan("lineitem", "l_partkey", lineitem);
+  const int s_price = p.Scan("lineitem", "l_extendedprice", lineitem);
+  const int s_disc = p.Scan("lineitem", "l_discount", lineitem);
+  const int s_pkey = p.Scan("part", "p_partkey", part);
+  const int s_promo = p.Scan("part", "p_promo", part);
 
   const int f1 = p.Filter(
       V(s_ship), Predicate::Make("l_shipdate", CompareOp::kGe,

@@ -1,6 +1,30 @@
 #include "storage/device_column.h"
 
+#include "storage/encoded_column.h"
+
 namespace storage {
+
+void DeviceTable::AddEncodedColumn(
+    const std::string& name,
+    std::shared_ptr<const EncodedDeviceColumn> column) {
+  if (column->size > num_rows_hint_) num_rows_hint_ = column->size;
+  encoded_.emplace(name, std::move(column));
+}
+
+const EncodedDeviceColumn& DeviceTable::encoded(
+    const std::string& name) const {
+  return *encoded_ptr(name);
+}
+
+const std::shared_ptr<const EncodedDeviceColumn>& DeviceTable::encoded_ptr(
+    const std::string& name) const {
+  auto it = encoded_.find(name);
+  if (it == encoded_.end()) {
+    throw std::out_of_range("DeviceTable::encoded: no encoded column named " +
+                            name);
+  }
+  return it->second;
+}
 
 Column DeviceColumn::ToHost(gpusim::Stream& stream) const {
   switch (type_) {

@@ -16,6 +16,8 @@
 
 namespace storage {
 
+struct EncodedDeviceColumn;  // storage/encoded_column.h
+
 /// A device-resident typed column.
 class DeviceColumn {
  public:
@@ -90,11 +92,37 @@ class DeviceTable {
   }
 
   size_t num_rows() const {
-    return columns_.empty() ? 0 : columns_.begin()->second.size();
+    return columns_.empty() ? num_rows_hint_
+                            : columns_.begin()->second.size();
   }
+
+  // ----- encoded columns (storage/encoded_column.h) -----
+  //
+  // A column lives in the table either raw (columns_) or encoded
+  // (encoded_), never both: encoded uploads keep no raw device copy, that
+  // is the point. Consumers check HasEncoded() first and fall back to
+  // column().
+
+  /// Registers an encoded column (defined in device_column.cc so the header
+  /// can keep EncodedDeviceColumn incomplete).
+  void AddEncodedColumn(const std::string& name,
+                        std::shared_ptr<const EncodedDeviceColumn> column);
+
+  bool HasEncoded(const std::string& name) const {
+    return encoded_.count(name) > 0;
+  }
+
+  /// Throws std::out_of_range when the column is not encoded-resident.
+  const EncodedDeviceColumn& encoded(const std::string& name) const;
+
+  const std::shared_ptr<const EncodedDeviceColumn>& encoded_ptr(
+      const std::string& name) const;
 
  private:
   std::unordered_map<std::string, DeviceColumn> columns_;
+  std::unordered_map<std::string, std::shared_ptr<const EncodedDeviceColumn>>
+      encoded_;
+  size_t num_rows_hint_ = 0;  ///< row count when only encoded columns exist
 };
 
 /// Uploads every column of a host table.

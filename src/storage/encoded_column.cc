@@ -1,0 +1,117 @@
+#include "storage/encoded_column.h"
+
+#include <cstring>
+
+namespace storage {
+namespace {
+
+/// Uploads a raw host buffer into a fresh device column of `type`.
+DeviceColumn UploadBytes(gpusim::Stream& stream, DataType type, size_t n,
+                         const void* src, size_t bytes) {
+  DeviceColumn out(type, n, stream.device());
+  if (bytes > 0) gpusim::CopyHostToDevice(stream, out.raw_data(), src, bytes);
+  return out;
+}
+
+}  // namespace
+
+EncodedDeviceColumn MakeEncodedMeta(Encoding encoding, DataType type,
+                                    size_t rows, unsigned bit_width,
+                                    uint64_t encoded_bytes) {
+  EncodedDeviceColumn out;
+  out.encoding = encoding;
+  out.type = type;
+  out.size = rows;
+  out.bit_width = bit_width;
+  out.encoded_bytes = encoded_bytes;
+  return out;
+}
+
+EncodedDeviceColumn UploadColumnEncoded(gpusim::Stream& stream,
+                                        const EncodedColumn& encoded) {
+  EncodedDeviceColumn out;
+  out.encoding = encoded.encoding;
+  out.type = encoded.type;
+  out.size = encoded.size;
+  out.bit_width = encoded.bit_width;
+  out.reference = encoded.reference;
+  out.encoded_bytes = encoded.encoded_byte_size();
+
+  if (!encoded.words.empty()) {
+    out.words = UploadBytes(stream, DataType::kInt64, encoded.words.size(),
+                            encoded.words.data(),
+                            encoded.words.size() * sizeof(uint64_t));
+  }
+  if (encoded.encoding == Encoding::kDictionary) {
+    // The device dictionary is stored at the logical type so decode kernels
+    // gather straight from it.
+    switch (encoded.type) {
+      case DataType::kInt32: {
+        std::vector<int32_t> d(encoded.dict_i64.begin(),
+                               encoded.dict_i64.end());
+        out.dict = UploadBytes(stream, DataType::kInt32, d.size(), d.data(),
+                               d.size() * sizeof(int32_t));
+        break;
+      }
+      case DataType::kInt64:
+        out.dict = UploadBytes(stream, DataType::kInt64,
+                               encoded.dict_i64.size(),
+                               encoded.dict_i64.data(),
+                               encoded.dict_i64.size() * sizeof(int64_t));
+        break;
+      case DataType::kFloat64:
+        out.dict = UploadBytes(stream, DataType::kFloat64,
+                               encoded.dict_f64.size(),
+                               encoded.dict_f64.data(),
+                               encoded.dict_f64.size() * sizeof(double));
+        break;
+      case DataType::kFloat32: {
+        std::vector<float> d(encoded.dict_f64.begin(),
+                             encoded.dict_f64.end());
+        out.dict = UploadBytes(stream, DataType::kFloat32, d.size(), d.data(),
+                               d.size() * sizeof(float));
+        break;
+      }
+    }
+    out.host_dict_i64 = encoded.dict_i64;
+    out.host_dict_f64 = encoded.dict_f64;
+  }
+  if (encoded.encoding == Encoding::kRle) {
+    out.rle_values = UploadBytes(stream, DataType::kInt32,
+                                 encoded.rle_values.size(),
+                                 encoded.rle_values.data(),
+                                 encoded.rle_values.size() * sizeof(int32_t));
+    out.rle_ends = UploadBytes(stream, DataType::kInt32,
+                               encoded.rle_ends.size(),
+                               encoded.rle_ends.data(),
+                               encoded.rle_ends.size() * sizeof(uint32_t));
+  }
+
+  stream.NoteEncodedTransfer(out.encoded_bytes, out.raw_byte_size());
+  return out;
+}
+
+DeviceTable UploadTableEncoded(gpusim::Stream& stream, const Table& table,
+                               uint64_t* uploaded_bytes) {
+  DeviceTable out;
+  uint64_t bytes = 0;
+  for (const std::string& name : table.column_names()) {
+    const Column& column = table.column(name);
+    const EncodingChoice choice =
+        ChooseEncoding(AnalyzeColumn(column), column.size(), column.type());
+    if (choice.encoding == Encoding::kNone) {
+      out.AddColumn(name, UploadColumn(stream, column));
+      bytes += column.byte_size();
+      continue;
+    }
+    const EncodedColumn host = EncodeColumn(column, choice);
+    auto device = std::make_shared<EncodedDeviceColumn>(
+        UploadColumnEncoded(stream, host));
+    bytes += device->encoded_bytes;
+    out.AddEncodedColumn(name, std::move(device));
+  }
+  if (uploaded_bytes != nullptr) *uploaded_bytes += bytes;
+  return out;
+}
+
+}  // namespace storage

@@ -34,23 +34,44 @@ std::vector<Q1Row> RunQ1(core::Backend& backend,
   using core::CompareOp;
   using core::Predicate;
 
+  // Encoded-resident columns stay encoded: the predicate folds into code
+  // space and survivors decode during the gather (late materialization).
+  const auto gather = [&](const char* name,
+                          const storage::DeviceColumn& rows) {
+    return lineitem.HasEncoded(name)
+               ? backend.GatherDecode(lineitem.encoded(name), rows)
+               : backend.Gather(lineitem.column(name), rows);
+  };
+
   // sigma: l_shipdate <= cutoff.
-  const core::SelectionResult sel = backend.Select(
-      lineitem.column("l_shipdate"),
+  const Predicate ship_pred =
       Predicate::Make("l_shipdate", CompareOp::kLe,
-                      static_cast<double>(params.CutoffDays())));
+                      static_cast<double>(params.CutoffDays()));
+  const core::SelectionResult sel =
+      lineitem.HasEncoded("l_shipdate")
+          ? backend.SelectConjunctiveEncoded(
+                {core::ScanColumnRef::Encoded(lineitem.encoded("l_shipdate"))},
+                {ship_pred})
+          : backend.Select(lineitem.column("l_shipdate"), ship_pred);
+
+  // Group keys stay encoded when the column went up dictionary- or
+  // bit-packed: the grouped aggregations read packed codes directly (no key
+  // gather, no decode — dense-domain aggregation on backends that support
+  // it). Raw-resident keys materialize through the ordinary gather.
+  const bool encoded_keys = lineitem.HasEncoded("l_rfls");
+  const storage::DeviceColumn key =
+      encoded_keys ? storage::DeviceColumn() : gather("l_rfls", sel.row_ids);
+  const auto group_by = [&](const storage::DeviceColumn& vals, AggOp op) {
+    return encoded_keys ? backend.GroupByAggregateEncoded(
+                              lineitem.encoded("l_rfls"), sel, vals, op)
+                        : backend.GroupByAggregate(key, vals, op);
+  };
 
   // Materialize the selected rows of every referenced column.
-  const storage::DeviceColumn key =
-      backend.Gather(lineitem.column("l_rfls"), sel.row_ids);
-  const storage::DeviceColumn qty =
-      backend.Gather(lineitem.column("l_quantity"), sel.row_ids);
-  const storage::DeviceColumn price =
-      backend.Gather(lineitem.column("l_extendedprice"), sel.row_ids);
-  const storage::DeviceColumn disc =
-      backend.Gather(lineitem.column("l_discount"), sel.row_ids);
-  const storage::DeviceColumn tax =
-      backend.Gather(lineitem.column("l_tax"), sel.row_ids);
+  const storage::DeviceColumn qty = gather("l_quantity", sel.row_ids);
+  const storage::DeviceColumn price = gather("l_extendedprice", sel.row_ids);
+  const storage::DeviceColumn disc = gather("l_discount", sel.row_ids);
+  const storage::DeviceColumn tax = gather("l_tax", sel.row_ids);
 
   // Projection arithmetic: disc_price = price*(1-disc); charge =
   // disc_price*(1+tax). Every step is a separate library call that
@@ -64,21 +85,20 @@ std::vector<Q1Row> RunQ1(core::Backend& backend,
       backend.Product(disc_price, one_plus_tax);
 
   // Grouped aggregation per measure.
-  auto sum_qty = DownloadGroups(
-      backend, backend.GroupByAggregate(key, qty, AggOp::kSum));
-  auto sum_price = DownloadGroups(
-      backend, backend.GroupByAggregate(key, price, AggOp::kSum));
-  auto sum_disc_price = DownloadGroups(
-      backend, backend.GroupByAggregate(key, disc_price, AggOp::kSum));
-  auto sum_charge = DownloadGroups(
-      backend, backend.GroupByAggregate(key, charge, AggOp::kSum));
-  auto sum_disc = DownloadGroups(
-      backend, backend.GroupByAggregate(key, disc, AggOp::kSum));
-  auto counts = DownloadGroups(
-      backend, backend.GroupByAggregate(key, qty, AggOp::kCount));
+  auto sum_qty = DownloadGroups(backend, group_by(qty, AggOp::kSum));
+  auto sum_price = DownloadGroups(backend, group_by(price, AggOp::kSum));
+  auto sum_disc_price =
+      DownloadGroups(backend, group_by(disc_price, AggOp::kSum));
+  auto sum_charge = DownloadGroups(backend, group_by(charge, AggOp::kSum));
+  auto sum_disc = DownloadGroups(backend, group_by(disc, AggOp::kSum));
+  auto counts = DownloadGroups(backend, group_by(qty, AggOp::kCount));
 
   std::vector<Q1Row> rows;
   for (const auto& [k, count] : counts) {
+    // Dense encoded-domain realizations report every key code, including
+    // ones with no surviving rows: an empty group is the same as an absent
+    // one.
+    if (count == 0) continue;
     Q1Row row;
     row.returnflag = k / 2;
     row.linestatus = k % 2;

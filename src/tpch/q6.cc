@@ -11,15 +11,8 @@ double RunQ6(core::Backend& backend, const storage::DeviceTable& lineitem,
   using core::CompareOp;
   using core::Predicate;
 
-  const storage::DeviceColumn& shipdate = lineitem.column("l_shipdate");
-  const storage::DeviceColumn& discount = lineitem.column("l_discount");
-  const storage::DeviceColumn& quantity = lineitem.column("l_quantity");
-  const storage::DeviceColumn& price = lineitem.column("l_extendedprice");
-
   // sigma: shipdate in [date_lo, date_hi) AND discount in [lo, hi] AND
   // quantity < 24 — a 5-way conjunctive selection.
-  const std::vector<const storage::DeviceColumn*> columns = {
-      &shipdate, &shipdate, &discount, &discount, &quantity};
   const std::vector<Predicate> preds = {
       Predicate::Make("l_shipdate", CompareOp::kGe,
                       static_cast<double>(params.date_lo)),
@@ -29,12 +22,42 @@ double RunQ6(core::Backend& backend, const storage::DeviceTable& lineitem,
       Predicate::Make("l_discount", CompareOp::kLe, params.discount_hi),
       Predicate::Make("l_quantity", CompareOp::kLt, params.quantity_hi),
   };
-  const core::SelectionResult sel = backend.SelectConjunctive(columns, preds);
 
-  // revenue = sum(l_extendedprice * l_discount) over the selection.
-  const storage::DeviceColumn price_sel = backend.Gather(price, sel.row_ids);
-  const storage::DeviceColumn disc_sel =
-      backend.Gather(discount, sel.row_ids);
+  core::SelectionResult sel;
+  if (lineitem.HasEncoded("l_shipdate") || lineitem.HasEncoded("l_discount") ||
+      lineitem.HasEncoded("l_quantity")) {
+    // Compressed scan: predicates fold to code-space comparisons, the
+    // selection never decodes a value.
+    const auto ref = [&](const char* name) {
+      return lineitem.HasEncoded(name)
+                 ? core::ScanColumnRef::Encoded(lineitem.encoded(name))
+                 : core::ScanColumnRef::Raw(lineitem.column(name));
+    };
+    const std::vector<core::ScanColumnRef> columns = {
+        ref("l_shipdate"), ref("l_shipdate"), ref("l_discount"),
+        ref("l_discount"), ref("l_quantity")};
+    sel = backend.SelectConjunctiveEncoded(columns, preds);
+  } else {
+    const storage::DeviceColumn& shipdate = lineitem.column("l_shipdate");
+    const storage::DeviceColumn& discount = lineitem.column("l_discount");
+    const storage::DeviceColumn& quantity = lineitem.column("l_quantity");
+    const std::vector<const storage::DeviceColumn*> columns = {
+        &shipdate, &shipdate, &discount, &discount, &quantity};
+    sel = backend.SelectConjunctive(columns, preds);
+  }
+
+  // revenue = sum(l_extendedprice * l_discount) over the selection; only
+  // survivors materialize (l_extendedprice stays raw, l_discount decodes
+  // late when encoded).
+  const auto gather = [&](const char* name,
+                          const storage::DeviceColumn& rows) {
+    return lineitem.HasEncoded(name)
+               ? backend.GatherDecode(lineitem.encoded(name), rows)
+               : backend.Gather(lineitem.column(name), rows);
+  };
+  const storage::DeviceColumn price_sel =
+      gather("l_extendedprice", sel.row_ids);
+  const storage::DeviceColumn disc_sel = gather("l_discount", sel.row_ids);
   const storage::DeviceColumn revenue = backend.Product(price_sel, disc_sel);
   return backend.ReduceColumn(revenue, AggOp::kSum);
 }

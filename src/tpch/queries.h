@@ -43,8 +43,12 @@ struct Q1Params {
 };
 
 /// Runs Q1 on a device-resident lineitem through the backend's operators:
-/// selection, 6x gather, projection arithmetic, 6x grouped aggregation.
-/// Rows are returned sorted by (returnflag, linestatus).
+/// selection, gathers, projection arithmetic, 6x grouped aggregation.
+/// Rows are returned sorted by (returnflag, linestatus). When the table
+/// uploaded encoded (storage::UploadTableEncoded) the shipdate predicate
+/// folds into the encoded domain, survivors decode during the gathers, and
+/// the group keys never decode at all (GroupByAggregateEncoded reads packed
+/// key codes directly).
 std::vector<Q1Row> RunQ1(core::Backend& backend,
                          const storage::DeviceTable& lineitem,
                          const Q1Params& params = Q1Params());
@@ -68,6 +72,9 @@ struct Q6Params {
 
 /// Runs Q6 through the backend's operators: conjunctive selection (5
 /// predicates), 2x gather, product, reduction. Returns the revenue sum.
+/// When the table uploaded encoded, the selection compares bit-packed codes
+/// in place (no decode) and only the surviving price/discount rows
+/// materialize through GatherDecode.
 double RunQ6(core::Backend& backend, const storage::DeviceTable& lineitem,
              const Q6Params& params = Q6Params());
 

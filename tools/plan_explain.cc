@@ -5,6 +5,11 @@
 // time.
 //
 //   build/tools/plan_explain [q1|q6|q3|q4|q14] [--pin=<backend>] [--sf=N]
+//                            [--encoded]
+//
+// With --encoded the base tables upload compressed (storage/encoding.h) and
+// the scans section shows each scan's encoding, encoded vs raw bytes, and
+// the estimated transfer cost of the encoded upload.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -14,6 +19,7 @@
 #include "plan/explain.h"
 #include "plan/optimizer.h"
 #include "plan/tpch_plans.h"
+#include "storage/encoded_column.h"
 #include "tpch/queries.h"
 
 int main(int argc, char** argv) {
@@ -21,18 +27,21 @@ int main(int argc, char** argv) {
   std::string query = "q6";
   std::string pin;
   double sf = 0.01;
+  bool encoded = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--pin=", 0) == 0) {
       pin = arg.substr(6);
     } else if (arg.rfind("--sf=", 0) == 0) {
       sf = std::atof(arg.c_str() + 5);
+    } else if (arg == "--encoded") {
+      encoded = true;
     } else if (arg == "q1" || arg == "q6" || arg == "q3" || arg == "q4" ||
                arg == "q14") {
       query = arg;
     } else {
       std::cerr << "usage: plan_explain [q1|q6|q3|q4|q14] [--pin=<backend>] "
-                   "[--sf=N]\n";
+                   "[--sf=N] [--encoded]\n";
       return 2;
     }
   }
@@ -43,8 +52,11 @@ int main(int argc, char** argv) {
   // read them.
   auto upload_backend = core::BackendRegistry::Instance().Create("Thrust");
   gpusim::Stream& up = upload_backend->stream();
-  const storage::DeviceTable lineitem =
-      storage::UploadTable(up, tpch::GenerateLineitem(config));
+  const auto upload = [&](const storage::Table& t) {
+    return encoded ? storage::UploadTableEncoded(up, t)
+                   : storage::UploadTable(up, t);
+  };
+  const storage::DeviceTable lineitem = upload(tpch::GenerateLineitem(config));
 
   // Keep every uploaded table alive for the whole run: plan scans hold
   // pointers into these DeviceTables.
@@ -55,14 +67,14 @@ int main(int argc, char** argv) {
   } else if (query == "q6") {
     bundle = plan::BuildQ6Plan(lineitem);
   } else if (query == "q3") {
-    customer = storage::UploadTable(up, tpch::GenerateCustomer(config));
-    orders = storage::UploadTable(up, tpch::GenerateOrders(config));
+    customer = upload(tpch::GenerateCustomer(config));
+    orders = upload(tpch::GenerateOrders(config));
     bundle = plan::BuildQ3Plan(customer, orders, lineitem);
   } else if (query == "q4") {
-    orders = storage::UploadTable(up, tpch::GenerateOrders(config));
+    orders = upload(tpch::GenerateOrders(config));
     bundle = plan::BuildQ4Plan(orders, lineitem);
   } else {  // q14
-    part = storage::UploadTable(up, tpch::GeneratePart(config));
+    part = upload(tpch::GeneratePart(config));
     bundle = plan::BuildQ14Plan(part, lineitem);
   }
 

@@ -14,8 +14,13 @@
 // events print inline and appear in the exported trace under the "memory"
 // category.
 //
+// With --encoded the base tables upload compressed (storage/encoding.h):
+// selections run in the encoded domain, survivors decode late, and the
+// encoded-transfer counters (bytes moved encoded / bytes saved vs raw)
+// print after the run.
+//
 //   build/tools/trace_query [backend] [q1|q6|q3|q4|q14] [out.json]
-//                           [--chaos-seed=N] [--capacity-bytes=N]
+//                           [--chaos-seed=N] [--capacity-bytes=N] [--encoded]
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -27,6 +32,7 @@
 #include "gpusim/fault.h"
 #include "gpusim/trace.h"
 #include "plan/partition.h"
+#include "storage/encoded_column.h"
 #include "tpch/queries.h"
 
 int main(int argc, char** argv) {
@@ -38,6 +44,7 @@ int main(int argc, char** argv) {
   uint64_t chaos_seed = 0;
   bool governed = false;
   uint64_t capacity_bytes = 0;
+  bool encoded = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,6 +56,10 @@ int main(int argc, char** argv) {
     if (arg.rfind("--capacity-bytes=", 0) == 0) {
       governed = true;
       capacity_bytes = std::stoull(arg.substr(17));
+      continue;
+    }
+    if (arg == "--encoded") {
+      encoded = true;
       continue;
     }
     switch (positional++) {
@@ -63,7 +74,7 @@ int main(int argc, char** argv) {
   if (query != "q1" && query != "q6" && query != "q3" && query != "q4" &&
       query != "q14") {
     std::cerr << "usage: trace_query [backend] [q1|q6|q3|q4|q14] [out.json] "
-                 "[--chaos-seed=N] [--capacity-bytes=N]\n";
+                 "[--chaos-seed=N] [--capacity-bytes=N] [--encoded]\n";
     return 2;
   }
 
@@ -92,14 +103,18 @@ int main(int argc, char** argv) {
     std::cout << "memory: capacity constrained to " << capacity_bytes
               << " bytes\n";
   } else {
-    dev_lineitem = storage::UploadTable(stream, lineitem);
+    const auto upload = [&](const storage::Table& t) {
+      return encoded ? storage::UploadTableEncoded(stream, t)
+                     : storage::UploadTable(stream, t);
+    };
+    dev_lineitem = upload(lineitem);
     if (query == "q3") {
-      dev_customer = storage::UploadTable(stream, customer);
-      dev_orders = storage::UploadTable(stream, orders);
+      dev_customer = upload(customer);
+      dev_orders = upload(orders);
     } else if (query == "q4") {
-      dev_orders = storage::UploadTable(stream, orders);
+      dev_orders = upload(orders);
     } else if (query == "q14") {
-      dev_part = storage::UploadTable(stream, part);
+      dev_part = upload(part);
     }
   }
 
@@ -116,7 +131,8 @@ int main(int argc, char** argv) {
     if (governed) {
       const plan::TpchQuery q = plan::ParseTpchQuery(query);
       const uint64_t footprint =
-          plan::EstimateQueryFootprint(q, tables, backend->name());
+          plan::EstimateQueryFootprint(q, tables, backend->name(),
+                                       /*partitions=*/1, encoded);
       const core::AdmissionTicket ticket =
           governor.Admit(stream.id(), footprint);
       std::cout << "  admission: requested " << ticket.requested_bytes
@@ -127,6 +143,7 @@ int main(int argc, char** argv) {
         throw std::runtime_error("memory admission rejected");
       }
       plan::GovernedQueryOptions gq;
+      gq.use_encoding = encoded;
       gq.on_event = [](const plan::PressureEvent& e) {
         std::cout << "  [" << plan::PressureEventKindName(e.kind) << "] "
                   << e.detail << "\n";
@@ -213,6 +230,13 @@ int main(int argc, char** argv) {
   }
   gpusim::Device::Default().set_tracer(nullptr);
   gpusim::Device::Default().set_fault_injector(nullptr);
+
+  if (encoded) {
+    const gpusim::CounterSnapshot counters = device.Snapshot();
+    std::cout << "encoded transfers: " << counters.bytes_h2d_encoded
+              << " B crossed h2d compressed, " << counters.bytes_saved_vs_raw
+              << " B saved vs raw\n";
+  }
 
   std::ofstream out(out_path);
   tracer.ExportChromeTrace(out);
