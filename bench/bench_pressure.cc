@@ -380,7 +380,11 @@ int Run(const Options& opts) {
 
   if (!opts.json_path.empty()) {
     std::ofstream out(opts.json_path);
+    uint64_t peak = 0;
+    for (const SweepPoint& p : points) peak = std::max(peak, p.peak_bytes);
     out << "{\n  \"backend\": \"" << opts.backend << "\",\n"
+        << "  \"devices\": 1,\n"
+        << "  \"per_device_peak_bytes\": [" << peak << "],\n"
         << "  \"scale_factor\": " << opts.scale_factor << ",\n"
         << "  \"encoding\": " << (opts.use_encoding ? "true" : "false")
         << ",\n"

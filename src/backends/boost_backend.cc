@@ -43,7 +43,8 @@ const char* CmpSuffix(CompareOp op) {
 
 class BoostComputeBackend : public core::Backend {
  public:
-  BoostComputeBackend() : ctx_(bcsim::default_device()), queue_(ctx_) {
+  BoostComputeBackend()
+      : ctx_(bcsim::device(gpusim::Device::Current())), queue_(ctx_) {
     queue_.stream().set_label(kBoostCompute);
   }
 

@@ -63,7 +63,7 @@ constexpr size_t kMaxFusedPredicates = 8;
 class HandwrittenBackend : public core::Backend {
  public:
   HandwrittenBackend()
-      : stream_(gpusim::Device::Default(), gpusim::ApiProfile::Cuda()) {
+      : stream_(gpusim::Device::Current(), gpusim::ApiProfile::Cuda()) {
     stream_.set_label(kHandwritten);
   }
 

@@ -58,7 +58,7 @@ const std::vector<std::string>& Candidates() {
 class HybridBackend : public core::Backend {
  public:
   HybridBackend()
-      : stream_(gpusim::Device::Default(), gpusim::ApiProfile::Cuda()),
+      : stream_(gpusim::Device::Current(), gpusim::ApiProfile::Cuda()),
         resilience_(&core::ResilienceManager::Global()) {
     stream_.set_label(kHybrid);
     subs_.emplace(kHandwritten, CreateHandwrittenBackend());

@@ -37,7 +37,7 @@ using storage::DeviceColumn;
 class ThrustBackend : public core::Backend {
  public:
   ThrustBackend()
-      : stream_(gpusim::Device::Default(), gpusim::ApiProfile::Cuda()) {
+      : stream_(gpusim::Device::Current(), gpusim::ApiProfile::Cuda()) {
     stream_.set_label(kThrust);
   }
 

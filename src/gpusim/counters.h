@@ -53,6 +53,9 @@ struct Counters {
   PaddedCounter bytes_saved_vs_raw; ///< raw bytes minus encoded bytes shipped
   PaddedCounter bytes_d2h;          ///< device -> host transfers
   PaddedCounter bytes_d2d;          ///< device -> device copies
+  PaddedCounter bytes_p2p;          ///< exchange bytes over peer links
+  PaddedCounter bytes_via_host;     ///< exchange bytes routed through host
+  PaddedCounter exchanges;          ///< number of cross-device exchanges
   PaddedCounter transfers;          ///< number of explicit transfers
   PaddedCounter allocations;
   PaddedCounter bytes_allocated;
@@ -76,6 +79,9 @@ struct CounterSnapshot {
   uint64_t bytes_saved_vs_raw = 0;
   uint64_t bytes_d2h = 0;
   uint64_t bytes_d2d = 0;
+  uint64_t bytes_p2p = 0;
+  uint64_t bytes_via_host = 0;
+  uint64_t exchanges = 0;
   uint64_t transfers = 0;
   uint64_t allocations = 0;
   uint64_t bytes_allocated = 0;
@@ -100,6 +106,9 @@ struct CounterSnapshot {
         c.bytes_saved_vs_raw.load(std::memory_order_relaxed);
     s.bytes_d2h = c.bytes_d2h.load(std::memory_order_relaxed);
     s.bytes_d2d = c.bytes_d2d.load(std::memory_order_relaxed);
+    s.bytes_p2p = c.bytes_p2p.load(std::memory_order_relaxed);
+    s.bytes_via_host = c.bytes_via_host.load(std::memory_order_relaxed);
+    s.exchanges = c.exchanges.load(std::memory_order_relaxed);
     s.transfers = c.transfers.load(std::memory_order_relaxed);
     s.allocations = c.allocations.load(std::memory_order_relaxed);
     s.bytes_allocated = c.bytes_allocated.load(std::memory_order_relaxed);
@@ -125,6 +134,9 @@ struct CounterSnapshot {
     d.bytes_saved_vs_raw = bytes_saved_vs_raw - earlier.bytes_saved_vs_raw;
     d.bytes_d2h = bytes_d2h - earlier.bytes_d2h;
     d.bytes_d2d = bytes_d2d - earlier.bytes_d2d;
+    d.bytes_p2p = bytes_p2p - earlier.bytes_p2p;
+    d.bytes_via_host = bytes_via_host - earlier.bytes_via_host;
+    d.exchanges = exchanges - earlier.exchanges;
     d.transfers = transfers - earlier.transfers;
     d.allocations = allocations - earlier.allocations;
     d.bytes_allocated = bytes_allocated - earlier.bytes_allocated;

@@ -12,6 +12,8 @@ namespace gpusim {
 thread_local std::shared_ptr<Device::Reservation>* Device::tls_reservation_ =
     nullptr;
 
+thread_local Device* Device::tls_current_ = nullptr;
+
 Device::Device(const DeviceProperties& props, unsigned host_threads)
     : cost_model_(props),
       pool_(host_threads),
@@ -33,6 +35,16 @@ Device& Device::Default() {
   static Device* device = new Device();
   return *device;
 }
+
+Device& Device::Current() {
+  return tls_current_ != nullptr ? *tls_current_ : Default();
+}
+
+Device::DeviceGuard::DeviceGuard(Device& device) : previous_(tls_current_) {
+  tls_current_ = &device;
+}
+
+Device::DeviceGuard::~DeviceGuard() { tls_current_ = previous_; }
 
 size_t Device::PoolBlockBytes(size_t bytes) {
   if (bytes <= kMinBlockBytes) return kMinBlockBytes;

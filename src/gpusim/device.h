@@ -74,6 +74,25 @@ class Device {
   /// Process-wide default device (created on first use).
   static Device& Default();
 
+  /// The calling thread's current device: the innermost DeviceGuard's target,
+  /// or Default() when no guard is active. Backends resolve their device
+  /// through this at construction, so a multi-device driver can bind each
+  /// worker thread's backend to its shard's device without any backend-API
+  /// change (the cudaSetDevice idiom).
+  static Device& Current();
+
+  /// RAII device binding for the current thread (nests; innermost wins).
+  class DeviceGuard {
+   public:
+    explicit DeviceGuard(Device& device);
+    ~DeviceGuard();
+    DeviceGuard(const DeviceGuard&) = delete;
+    DeviceGuard& operator=(const DeviceGuard&) = delete;
+
+   private:
+    Device* previous_;
+  };
+
   /// Allocates `bytes` of simulated device memory, rounded up to the pool's
   /// block granularity (see PoolBlockBytes). Served from the pool's free
   /// lists when a cached block of the right class exists. Throws
@@ -226,6 +245,10 @@ class Device {
   /// The reservation the current thread's allocations draw from (set by
   /// ReservationScope; null when unbound).
   static thread_local std::shared_ptr<Reservation>* tls_reservation_;
+
+  /// The device Current() resolves to on this thread (set by DeviceGuard;
+  /// null = Default()).
+  static thread_local Device* tls_current_;
 
   /// One live pointer's bookkeeping: the reserved block size plus, for
   /// reservation-backed allocations, the reservation to credit on Free.

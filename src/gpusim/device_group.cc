@@ -1,0 +1,119 @@
+#include "gpusim/device_group.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpusim {
+
+namespace {
+/// Per-hop launch latency of a staged copy through host memory. Matches the
+/// CUDA-profile transfer latency so a via-host exchange prices exactly like
+/// the two explicit cudaMemcpy calls it stands in for.
+constexpr uint64_t kHostHopLatencyNs = 10'000;
+}  // namespace
+
+DeviceGroup::DeviceGroup(int num_devices, const GroupTopology& topology,
+                         const DeviceProperties& props,
+                         unsigned host_threads_per_device)
+    : topology_(topology) {
+  if (num_devices < 1) {
+    throw std::invalid_argument("DeviceGroup needs at least one device");
+  }
+  devices_.reserve(static_cast<size_t>(num_devices));
+  for (int i = 0; i < num_devices; ++i) {
+    devices_.push_back(
+        std::make_unique<Device>(props, host_threads_per_device));
+  }
+  exchanged_.reserve(static_cast<size_t>(num_devices) * num_devices);
+  for (int i = 0; i < num_devices * num_devices; ++i) {
+    exchanged_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+bool DeviceGroup::IsPeer(int src, int dst) const {
+  if (src == dst) return false;
+  const int island = std::max(topology_.peer_island_size, 1);
+  return src / island == dst / island;
+}
+
+LinkPath DeviceGroup::Link(int src, int dst) const {
+  LinkPath path;
+  if (src == dst) {
+    path.same_device = true;
+    path.bandwidth_bps = device(src).properties().memory_bandwidth_bps;
+    path.hops = 0;
+    return path;
+  }
+  if (IsPeer(src, dst)) {
+    path.peer = true;
+    path.bandwidth_bps = topology_.p2p_bandwidth_bps;
+    path.latency_ns = topology_.p2p_latency_ns;
+    path.hops = 1;
+    return path;
+  }
+  // Through host: store-and-forward over both PCIe links. The effective
+  // end-to-end bandwidth is the harmonic combination (each byte crosses
+  // both links serially); latency is one hop's worth per link.
+  const double src_bw = device(src).properties().pcie_bandwidth_bps;
+  const double dst_bw = device(dst).properties().pcie_bandwidth_bps;
+  path.bandwidth_bps = 1.0 / (1.0 / src_bw + 1.0 / dst_bw);
+  path.latency_ns = 2 * kHostHopLatencyNs;
+  path.hops = 2;
+  return path;
+}
+
+uint64_t DeviceGroup::TransferNs(int src, int dst, uint64_t bytes) const {
+  const LinkPath path = Link(src, dst);
+  if (path.same_device) {
+    // An ordinary on-device copy: read + write through global memory.
+    return device(src).cost_model().DeviceCopyTime(bytes, ApiProfile::Cuda());
+  }
+  const double body = static_cast<double>(bytes) / path.bandwidth_bps * 1e9;
+  return path.latency_ns + static_cast<uint64_t>(body);
+}
+
+void DeviceGroup::ChargeExchange(int src, Stream& src_stream, int dst,
+                                 Stream& dst_stream, uint64_t bytes) {
+  if (&src_stream.device() != &device(src) ||
+      &dst_stream.device() != &device(dst)) {
+    throw std::invalid_argument(
+        "ChargeExchange: stream does not belong to the named device");
+  }
+  if (src == dst) {
+    src_stream.ChargeTransfer(Stream::TransferKind::kDeviceToDevice, bytes);
+    return;
+  }
+  const LinkPath path = Link(src, dst);
+  const uint64_t t = TransferNs(src, dst, bytes);
+  // The sender's queue pays the wire time; the receiver's queue may not run
+  // ahead of the data (event sync), but is charged no additional time.
+  src_stream.ChargeOverhead(t);
+  dst_stream.Wait(src_stream.Record());
+
+  auto& sc = device(src).counters();
+  auto& dc = device(dst).counters();
+  if (path.peer) {
+    sc.bytes_p2p.fetch_add(bytes, std::memory_order_relaxed);
+    dc.bytes_p2p.fetch_add(bytes, std::memory_order_relaxed);
+  } else {
+    sc.bytes_via_host.fetch_add(bytes, std::memory_order_relaxed);
+    dc.bytes_via_host.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  sc.exchanges.fetch_add(1, std::memory_order_relaxed);
+  dc.exchanges.fetch_add(1, std::memory_order_relaxed);
+  exchanged_[PairIndex(src, dst)]->fetch_add(bytes,
+                                             std::memory_order_relaxed);
+}
+
+uint64_t DeviceGroup::ExchangedBytes(int src, int dst) const {
+  return exchanged_[PairIndex(src, dst)]->load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> DeviceGroup::PerDevicePeakBytes() const {
+  std::vector<uint64_t> peaks;
+  peaks.reserve(devices_.size());
+  for (const auto& d : devices_) peaks.push_back(d->peak_bytes());
+  return peaks;
+}
+
+}  // namespace gpusim

@@ -192,6 +192,32 @@ uint64_t CostEstimator::Gather(const std::string& b, size_t m,
   return t;
 }
 
+uint64_t CostEstimator::GatherDecode(const std::string& b, size_t m,
+                                     uint64_t encoded_elem_bytes,
+                                     uint64_t decoded_elem_bytes) const {
+  // One fused kernel: read the row ids + the packed payload of each
+  // survivor, decode (shift/mask or dictionary lookup — a few ops per
+  // element), write decoded values. Library backends without the fused
+  // kernel still issue a single gather-shaped launch over the packed data.
+  const auto api = ProfileFor(b);
+  uint64_t t = K(api, m * (4 + encoded_elem_bytes), m * decoded_elem_bytes,
+                 4 * m);
+  if (Is(b, backends::kArrayFire)) t += kAfJitNodeOverheadNs;
+  if (Is(b, backends::kBoostCompute)) t += Compile(api);
+  return t;
+}
+
+uint64_t CostEstimator::DecodeColumn(const std::string& b, size_t n,
+                                     uint64_t encoded_bytes,
+                                     uint64_t decoded_bytes) const {
+  // Full-column materialization: read the packed payload once, write the
+  // decoded column, a few decode ops per element.
+  const auto api = ProfileFor(b);
+  uint64_t t = K(api, encoded_bytes, decoded_bytes, 4 * n);
+  if (Is(b, backends::kBoostCompute)) t += Compile(api);
+  return t;
+}
+
 uint64_t CostEstimator::Map(const std::string& b, size_t n,
                             uint64_t elem_bytes, int inputs) const {
   const auto api = ProfileFor(b);
@@ -335,6 +361,10 @@ uint64_t CostEstimator::FusedFilterSum(size_t n, uint64_t bytes_per_row) const {
 uint64_t CostEstimator::BoundaryTransfer(const std::string& consumer,
                                          uint64_t bytes) const {
   return D2D(ProfileFor(consumer), bytes);
+}
+
+uint64_t CostEstimator::Exchange(const std::string& b, uint64_t bytes) const {
+  return D2H(ProfileFor(b), bytes);  // one PCIe hop, either direction
 }
 
 }  // namespace plan

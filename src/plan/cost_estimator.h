@@ -46,6 +46,23 @@ class CostEstimator {
 
   uint64_t Gather(const std::string& b, size_t m, uint64_t elem_bytes) const;
 
+  /// Late-materializing gather out of an encoded base column
+  /// (Backend::GatherDecode): reads the packed payload per survivor, pays
+  /// per-element decode arithmetic, writes decoded values. Pricing this —
+  /// instead of assuming encoded == raw — is what lets dispatch weigh an
+  /// encoded scan's cheaper selection against its decode tail.
+  uint64_t GatherDecode(const std::string& b, size_t m,
+                        uint64_t encoded_elem_bytes,
+                        uint64_t decoded_elem_bytes) const;
+
+  /// Full-column decode (Backend::DecodeColumn), charged when an encoded
+  /// scan feeds an operator with no encoded-domain realization. The executor
+  /// caches the decode per column; the estimator prices it per consuming
+  /// node (a deliberate over-bound, like the footprint estimator's).
+  uint64_t DecodeColumn(const std::string& b, size_t n,
+                        uint64_t encoded_bytes,
+                        uint64_t decoded_bytes) const;
+
   /// Element-wise arithmetic with `inputs` (1 or 2) input columns.
   uint64_t Map(const std::string& b, size_t n, uint64_t elem_bytes,
                int inputs) const;
@@ -79,6 +96,13 @@ class CostEstimator {
   /// a different backend: a device-to-device copy on the consumer's profile.
   uint64_t BoundaryTransfer(const std::string& consumer,
                             uint64_t bytes) const;
+
+  /// One host<->device hop of an exchange operator (scatter shard upload,
+  /// partial gather, broadcast replica) executed on a single stream. The
+  /// multi-device runner prices cross-device routes with
+  /// gpusim::DeviceGroup::TransferNs instead; this is the degenerate
+  /// single-stream realization the executor charges.
+  uint64_t Exchange(const std::string& b, uint64_t bytes) const;
 
  private:
   uint64_t K(const gpusim::ApiProfile& api, uint64_t read, uint64_t written,

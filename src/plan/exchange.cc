@@ -1,0 +1,443 @@
+#include "plan/exchange.h"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/registry.h"
+#include "plan/explain.h"
+#include "plan/optimizer.h"
+#include "plan/partition_detail.h"
+#include "storage/encoded_column.h"
+
+namespace plan {
+namespace {
+
+/// Host bytes of one device's accumulated partials — the payload the gather
+/// exchange moves. Exact for the run that produced the partials, so the
+/// charged exchange traffic is deterministic for fixed inputs.
+uint64_t PartialBytes(TpchQuery q, const detail::Partials& p) {
+  switch (q) {
+    case TpchQuery::kQ1:
+      return p.q1.sum_qty.size() * (sizeof(int32_t) + 6 * sizeof(double));
+    case TpchQuery::kQ3:
+      return p.q3_groups.size() * sizeof(tpch::Q3Row);
+    case TpchQuery::kQ4:
+      return p.q4_counts.size() * (sizeof(int32_t) + sizeof(int64_t));
+    case TpchQuery::kQ6:
+      return sizeof(double);
+    case TpchQuery::kQ14:
+      return 2 * sizeof(double);
+  }
+  return 0;
+}
+
+/// Planning-time estimate of PartialBytes (before anything runs): group
+/// counts are bounded by the query shape — Q1 groups on two flag columns
+/// (a handful of combinations), Q4 on five priorities, Q3's join survivors
+/// are a small fraction of the shard.
+uint64_t EstimatePartialBytes(TpchQuery q, size_t shard_rows) {
+  switch (q) {
+    case TpchQuery::kQ1:
+      return 4 * (sizeof(int32_t) + 6 * sizeof(double));
+    case TpchQuery::kQ3:
+      return std::max<uint64_t>(shard_rows / 50, 1) * sizeof(tpch::Q3Row);
+    case TpchQuery::kQ4:
+      return 5 * (sizeof(int32_t) + sizeof(int64_t));
+    case TpchQuery::kQ6:
+      return sizeof(double);
+    case TpchQuery::kQ14:
+      return 2 * sizeof(double);
+  }
+  return 0;
+}
+
+/// Per-device state of one sharded run; the backend outlives the worker
+/// thread so the coordinator can charge exchanges against its stream.
+struct WorkerState {
+  std::unique_ptr<core::Backend> backend;
+  detail::Partials partials;
+  DeviceShardStats stats;
+  uint64_t broadcast_bytes = 0;
+  uint64_t start_ns = 0;
+  std::exception_ptr error;
+};
+
+/// Runs one device's shard list: bind the device, build a private backend,
+/// admit against the device's governor, broadcast the build-side tables,
+/// then execute each slice exactly as the single-device partitioned path
+/// does (upload, pinned plan, accumulate).
+void RunDeviceShards(TpchQuery q, const TpchHostTables& tables,
+                     gpusim::DeviceGroup& group, int d,
+                     const std::string& backend_name,
+                     const std::vector<std::pair<size_t, size_t>>& ranges,
+                     const ShardedQueryOptions& options, uint64_t footprint,
+                     WorkerState& ws) {
+  bool admitted = false;
+  uint64_t stream_id = 0;
+  try {
+    gpusim::Device& dev = group.device(d);
+    gpusim::Device::DeviceGuard guard(dev);
+    ws.backend = core::BackendRegistry::Instance().Create(backend_name);
+    gpusim::Stream& stream = ws.backend->stream();
+    stream_id = stream.id();
+    ws.start_ns = stream.now_ns();
+
+    if (options.governor != nullptr) {
+      const core::AdmissionTicket ticket = options.governor->Admit(
+          d, stream_id, footprint, options.admit_timeout_ms);
+      if (!ticket.admitted()) {
+        throw std::runtime_error("device " + std::to_string(d) +
+                                 " admission rejected for " +
+                                 TpchQueryName(q));
+      }
+      admitted = true;
+      ws.stats.granted_bytes = ticket.granted_bytes;
+    }
+    {
+      gpusim::Device::ReservationScope scope(dev, stream_id);
+      const auto upload = [&](const storage::Table& t, uint64_t* bytes) {
+        if (options.use_encoding) {
+          return storage::UploadTableEncoded(stream, t, bytes);
+        }
+        if (bytes != nullptr) *bytes = detail::HostTableBytes(t);
+        return storage::UploadTable(stream, t);
+      };
+
+      storage::DeviceTable orders, customer, part;
+      uint64_t b = 0;
+      if (detail::NeedsOrders(q)) {
+        orders = upload(*tables.orders, &b);
+        ws.broadcast_bytes += b;
+      }
+      if (detail::NeedsCustomer(q)) {
+        customer = upload(*tables.customer, &b);
+        ws.broadcast_bytes += b;
+      }
+      if (detail::NeedsPart(q)) {
+        part = upload(*tables.part, &b);
+        ws.broadcast_bytes += b;
+      }
+      ws.stats.upload_bytes += ws.broadcast_bytes;
+
+      OptimizerOptions opt;
+      opt.pin_backend = ws.backend->name();
+      for (const auto& [lo, hi] : ranges) {
+        if (lo >= hi) continue;  // orderkey alignment emptied this range
+        const storage::Table slice = detail::SliceTable(*tables.lineitem, lo, hi);
+        uint64_t slice_bytes = 0;
+        const storage::DeviceTable lineitem = upload(slice, &slice_bytes);
+        const QueryPlanBundle bundle =
+            detail::BuildBundle(q, lineitem, orders, customer, part);
+        const PhysicalPlan phys = Optimize(bundle.plan, opt);
+        const ExecutionResult res = RunPinned(phys, *ws.backend);
+        detail::Accumulate(q, bundle, res, ws.partials);
+        ws.stats.upload_bytes += slice_bytes;
+        ws.stats.download_bytes += detail::DownloadedBytes(bundle, res);
+        ws.stats.rows += hi - lo;
+        ++ws.stats.shards;
+      }
+    }
+    ws.stats.busy_ns = ws.backend->stream().now_ns() - ws.start_ns;
+    if (admitted) options.governor->Release(d, stream_id);
+  } catch (...) {
+    if (admitted) options.governor->Release(d, stream_id);
+    ws.error = std::current_exception();
+  }
+}
+
+}  // namespace
+
+const char* ExchangeEdgeKindName(ExchangeEdge::Kind kind) {
+  switch (kind) {
+    case ExchangeEdge::Kind::kScatter: return "scatter";
+    case ExchangeEdge::Kind::kBroadcast: return "broadcast";
+    case ExchangeEdge::Kind::kGather: return "gather";
+  }
+  return "?";
+}
+
+ShardedPlanSpec PlanShardedExecution(TpchQuery query,
+                                     const TpchHostTables& tables,
+                                     const gpusim::DeviceGroup& group,
+                                     size_t force_shards) {
+  detail::RequireTables(query, tables);
+  ShardedPlanSpec spec;
+  spec.devices = group.size();
+  spec.shards = force_shards > 0 ? force_shards
+                                 : static_cast<size_t>(group.size());
+  const bool align = detail::NeedsOrders(query);
+  const std::vector<size_t> bounds =
+      detail::PartitionBounds(*tables.lineitem, spec.shards, align);
+  const size_t li_rows = tables.lineitem->num_rows();
+  const uint64_t li_bytes = detail::HostTableBytes(*tables.lineitem);
+  const uint64_t row_bytes = li_rows > 0 ? li_bytes / li_rows : 0;
+
+  // Shard s lands on device s % N (round-robin, same as RunSharded).
+  for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+    ShardPlacement p;
+    p.device = static_cast<int>(s % static_cast<size_t>(group.size()));
+    p.row_begin = bounds[s];
+    p.row_end = bounds[s + 1];
+    p.upload_bytes = (p.row_end - p.row_begin) * row_bytes;
+    spec.placements.push_back(p);
+
+    ExchangeEdge e;
+    e.kind = ExchangeEdge::Kind::kScatter;
+    e.device = p.device;
+    e.bytes = p.upload_bytes;
+    e.rows = p.row_end - p.row_begin;
+    e.what = "lineitem[" + std::to_string(p.row_begin) + "," +
+             std::to_string(p.row_end) + ")";
+    spec.edges.push_back(e);
+    spec.exchange_plan.ExchangeScatter(e.device, e.bytes, e.rows, e.what);
+  }
+
+  // Devices that received at least one shard get the build-side broadcasts.
+  std::vector<bool> used(static_cast<size_t>(group.size()), false);
+  for (const ShardPlacement& p : spec.placements) {
+    used[static_cast<size_t>(p.device)] = true;
+  }
+  const auto broadcast = [&](const char* name, const storage::Table& t) {
+    for (int d = 0; d < group.size(); ++d) {
+      if (!used[static_cast<size_t>(d)]) continue;
+      ExchangeEdge e;
+      e.kind = ExchangeEdge::Kind::kBroadcast;
+      e.device = d;
+      e.bytes = detail::HostTableBytes(t);
+      e.rows = t.num_rows();
+      e.what = name;
+      spec.edges.push_back(e);
+      spec.exchange_plan.ExchangeBroadcast(d, e.bytes, e.rows,
+                                           std::string(name) + "->dev" +
+                                               std::to_string(d));
+    }
+  };
+  if (detail::NeedsOrders(query)) broadcast("orders", *tables.orders);
+  if (detail::NeedsCustomer(query)) broadcast("customer", *tables.customer);
+  if (detail::NeedsPart(query)) broadcast("part", *tables.part);
+
+  // One gather edge per non-coordinator device, routed by the topology.
+  const size_t shard_rows =
+      spec.shards > 0 ? (li_rows + spec.shards - 1) / spec.shards : li_rows;
+  for (int d = 1; d < group.size(); ++d) {
+    if (!used[static_cast<size_t>(d)]) continue;
+    const gpusim::LinkPath link = group.Link(d, 0);
+    ExchangeEdge e;
+    e.kind = ExchangeEdge::Kind::kGather;
+    e.device = d;
+    e.bytes = EstimatePartialBytes(query, shard_rows);
+    e.rows = shard_rows;
+    e.what = "partials";
+    e.peer = link.peer;
+    e.hops = link.hops;
+    spec.edges.push_back(e);
+    spec.exchange_plan.ExchangeGather(d, e.bytes, e.rows,
+                                      "partials dev" + std::to_string(d) +
+                                          "->dev0");
+  }
+  return spec;
+}
+
+std::string ExplainSharded(const ShardedPlanSpec& spec,
+                           const gpusim::DeviceGroup& group,
+                           const std::string& backend_name) {
+  std::ostringstream os;
+  os << "sharded execution: " << spec.devices << " device(s), " << spec.shards
+     << " shard(s), peer islands of " << group.topology().peer_island_size
+     << "\n";
+  os << "shard placement:\n";
+  for (size_t s = 0; s < spec.placements.size(); ++s) {
+    const ShardPlacement& p = spec.placements[s];
+    os << "  shard " << s << " -> device " << p.device << "  rows ["
+       << p.row_begin << ", " << p.row_end << ")  " << p.upload_bytes
+       << " B\n";
+  }
+  os << "exchange edges:\n";
+  for (const ExchangeEdge& e : spec.edges) {
+    os << "  " << ExchangeEdgeKindName(e.kind) << "  " << e.what;
+    if (e.kind == ExchangeEdge::Kind::kGather) {
+      os << "  dev" << e.device << " -> dev0  " << e.bytes << " B  "
+         << (e.peer ? "p2p link (1 hop)" : "via host (2 hops)");
+    } else {
+      os << "  host -> dev" << e.device << "  " << e.bytes << " B  pcie";
+    }
+    os << "\n";
+  }
+  os << "exchange plan (cost-estimated, " << backend_name << "):\n";
+  OptimizerOptions opt;
+  opt.pin_backend = backend_name;
+  os << Explain(Optimize(spec.exchange_plan, opt));
+  return os.str();
+}
+
+TpchQueryResult RunSharded(TpchQuery query, const TpchHostTables& tables,
+                           gpusim::DeviceGroup& group,
+                           const std::string& backend_name,
+                           const ShardedQueryOptions& options,
+                           ShardedRunStats* stats) {
+  detail::RequireTables(query, tables);
+  const int nd = group.size();
+  if (nd <= 0) throw std::invalid_argument("empty device group");
+
+  ShardedRunStats local;
+  ShardedRunStats& st = stats != nullptr ? *stats : local;
+  st = ShardedRunStats();
+  st.devices = nd;
+
+  if (nd == 1) {
+    // Degenerate case: exactly the governed single-device path (bit-identical
+    // simulated timeline), with the group's device bound for the backend.
+    gpusim::Device::DeviceGuard guard(group.device(0));
+    std::unique_ptr<core::Backend> backend =
+        core::BackendRegistry::Instance().Create(backend_name);
+    gpusim::Stream& stream = backend->stream();
+    bool admitted = false;
+    uint64_t granted = 0;
+    if (options.governor != nullptr) {
+      const uint64_t footprint = EstimateQueryFootprint(
+          query, tables, backend_name, 1, options.use_encoding);
+      const core::AdmissionTicket ticket = options.governor->Admit(
+          0, stream.id(), footprint, options.admit_timeout_ms);
+      if (!ticket.admitted()) {
+        throw std::runtime_error("device 0 admission rejected for " +
+                                 std::string(TpchQueryName(query)));
+      }
+      admitted = true;
+      granted = ticket.granted_bytes;
+    }
+    GovernedQueryOptions gopt;
+    gopt.force_partitions = options.force_shards;
+    gopt.use_encoding = options.use_encoding;
+    GovernedRunStats gstats;
+    TpchQueryResult result;
+    try {
+      result = RunGoverned(query, tables, *backend, gopt, &gstats);
+    } catch (...) {
+      if (admitted) options.governor->Release(0, stream.id());
+      throw;
+    }
+    if (admitted) options.governor->Release(0, stream.id());
+    st.shards = gstats.partitions;
+    st.simulated_ns = gstats.simulated_ns;
+    DeviceShardStats ds;
+    ds.device = 0;
+    ds.shards = gstats.partitions;
+    ds.rows = tables.lineitem->num_rows();
+    ds.upload_bytes = gstats.spill_h2d_bytes;
+    ds.download_bytes = gstats.spill_d2h_bytes;
+    ds.busy_ns = gstats.simulated_ns;
+    ds.granted_bytes = granted;
+    ds.peak_bytes = group.PerDevicePeakBytes()[0];
+    st.per_device.push_back(ds);
+    return result;
+  }
+
+  {
+    // Probe once: a backend routed through process-global library state
+    // (ArrayFire's implicit JIT stream, the adaptive hybrid) cannot run one
+    // instance per device-thread.
+    gpusim::Device::DeviceGuard guard(group.device(0));
+    const std::unique_ptr<core::Backend> probe =
+        core::BackendRegistry::Instance().Create(backend_name);
+    if (!probe->concurrency_safe()) {
+      throw std::invalid_argument(
+          "backend '" + backend_name +
+          "' is not concurrency-safe and cannot shard across " +
+          std::to_string(nd) + " devices");
+    }
+  }
+
+  const size_t shards =
+      options.force_shards > 0 ? options.force_shards : static_cast<size_t>(nd);
+  st.shards = shards;
+  const bool align = detail::NeedsOrders(query);
+  const std::vector<size_t> bounds =
+      detail::PartitionBounds(*tables.lineitem, shards, align);
+  std::vector<std::vector<std::pair<size_t, size_t>>> assigned(
+      static_cast<size_t>(nd));
+  for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+    assigned[s % static_cast<size_t>(nd)].emplace_back(bounds[s],
+                                                       bounds[s + 1]);
+  }
+  // Each device's grant covers its largest single slice plus the broadcast
+  // tables — the same per-slice footprint the governed ladder would size.
+  const uint64_t footprint = EstimateQueryFootprint(
+      query, tables, backend_name, shards, options.use_encoding);
+
+  std::vector<WorkerState> workers(static_cast<size_t>(nd));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    if (assigned[static_cast<size_t>(d)].empty()) continue;
+    threads.emplace_back([&, d] {
+      RunDeviceShards(query, tables, group, d, backend_name,
+                      assigned[static_cast<size_t>(d)], options, footprint,
+                      workers[static_cast<size_t>(d)]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const WorkerState& ws : workers) {
+    if (ws.error != nullptr) std::rethrow_exception(ws.error);
+  }
+
+  // Gather: every non-coordinator device ships its partials to device 0 over
+  // the fabric (in fixed device order, so the coordinator stream's timeline
+  // is deterministic); the host merge itself is free.
+  detail::Partials acc = std::move(workers[0].partials);
+  gpusim::Stream& dst = workers[0].backend->stream();
+  for (int d = 1; d < nd; ++d) {
+    WorkerState& ws = workers[static_cast<size_t>(d)];
+    if (ws.backend == nullptr) continue;  // no shards landed on this device
+    const uint64_t bytes = std::max<uint64_t>(PartialBytes(query, ws.partials),
+                                              sizeof(double));
+    group.ChargeExchange(d, ws.backend->stream(), 0, dst, bytes);
+    st.exchange_bytes += bytes;
+    if (group.IsPeer(d, 0)) {
+      st.exchange_p2p_bytes += bytes;
+    } else {
+      st.exchange_via_host_bytes += bytes;
+    }
+    detail::MergePartials(query, acc, ws.partials);
+  }
+
+  const std::vector<uint64_t> peaks = group.PerDevicePeakBytes();
+  uint64_t makespan = 0;
+  for (int d = 0; d < nd; ++d) {
+    WorkerState& ws = workers[static_cast<size_t>(d)];
+    if (ws.backend == nullptr) continue;
+    DeviceShardStats ds = ws.stats;
+    ds.device = d;
+    ds.peak_bytes = peaks[static_cast<size_t>(d)];
+    st.broadcast_bytes += ws.broadcast_bytes;
+    makespan = std::max(makespan, ws.backend->stream().now_ns() - ws.start_ns);
+    st.per_device.push_back(ds);
+  }
+  st.simulated_ns = makespan;
+  return detail::Finalize(query, std::move(acc));
+}
+
+core::QueryFn MakeShardedQuery(TpchQuery query, TpchHostTables tables,
+                               gpusim::DeviceGroup& group,
+                               ShardedQueryOptions options,
+                               TpchQueryResult* out, ShardedRunStats* stats) {
+  // `group` is captured by reference: the caller keeps it (and the host
+  // tables) alive until the scheduler drains.
+  return [query, tables, &group, options = std::move(options), out,
+          stats](core::Backend& backend) {
+    ShardedRunStats local;
+    ShardedRunStats& st = stats != nullptr ? *stats : local;
+    TpchQueryResult result =
+        RunSharded(query, tables, group, backend.name(), options, &st);
+    // The sharded run happened on the group's own streams; advance the
+    // client's timeline by its makespan so scheduler latency percentiles
+    // price the query at its true simulated cost.
+    backend.stream().ChargeOverhead(st.simulated_ns);
+    if (out != nullptr) *out = std::move(result);
+  };
+}
+
+}  // namespace plan

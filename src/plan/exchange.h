@@ -1,0 +1,154 @@
+// Multi-device sharded query execution over a gpusim::DeviceGroup.
+//
+// The partitioned path (plan/partition.h) runs K lineitem slices one after
+// another on one device; this module places the same slices across N devices
+// and runs them in parallel, one host thread per device, each against a
+// private backend instance bound to its device (gpusim::Device::DeviceGuard).
+// Small build-side tables (orders/customer/part) are broadcast to every
+// device; each device's partial result is exchanged to device 0 over the
+// group's fabric — a direct peer link inside an island, a two-hop via-host
+// path across islands — before the host merges partials exactly as the
+// single-device spill path does (plan/partition_detail.h).
+//
+// Correctness inherits from the partitioned path: shard boundaries snap to
+// l_orderkey change points for the join/group queries, so per-shard partials
+// merge by addition or disjoint concatenation regardless of which device
+// computed them. Simulated time stays deterministic: each device's stream
+// timeline is a pure function of the commands charged to it, the exchange
+// charges happen in fixed device order, and the reported makespan is the
+// maximum per-device timeline delta — independent of host thread scheduling.
+// A 1-device group degenerates to RunGoverned and is bit-identical to it.
+#ifndef PLAN_EXCHANGE_H_
+#define PLAN_EXCHANGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/governor.h"
+#include "core/scheduler.h"
+#include "gpusim/device_group.h"
+#include "plan/ir.h"
+#include "plan/partition.h"
+
+namespace plan {
+
+/// One shard's placement: a lineitem row range pinned to a device.
+struct ShardPlacement {
+  int device = 0;
+  size_t row_begin = 0;
+  size_t row_end = 0;
+  uint64_t upload_bytes = 0;  ///< estimated slice upload (raw host bytes)
+};
+
+/// One exchange edge of a sharded plan, for EXPLAIN and the benches.
+struct ExchangeEdge {
+  enum class Kind { kScatter, kBroadcast, kGather };
+  Kind kind = Kind::kScatter;
+  int device = 0;        ///< destination (scatter/broadcast) or source (gather)
+  uint64_t bytes = 0;    ///< estimated payload
+  size_t rows = 0;
+  std::string what;      ///< payload description ("lineitem[0,8192)", "orders")
+  bool peer = false;     ///< gather edges: routed over a direct peer link?
+  int hops = 0;          ///< gather edges: 1 = p2p, 2 = via host
+};
+
+const char* ExchangeEdgeKindName(ExchangeEdge::Kind kind);
+
+/// Static placement + exchange structure of a sharded execution, computed
+/// without touching a device. `exchange_plan` realizes the edges as IR nodes
+/// (kExchangeScatter/kExchangeBroadcast/kExchangeGather) so the optimizer's
+/// cost estimator can price them for EXPLAIN output.
+struct ShardedPlanSpec {
+  int devices = 1;
+  size_t shards = 1;
+  std::vector<ShardPlacement> placements;
+  std::vector<ExchangeEdge> edges;
+  Plan exchange_plan;
+};
+
+/// Plans a sharded execution: orderkey-snapped shard bounds (one shard per
+/// device unless `force_shards` overrides), round-robin shard->device
+/// placement, broadcast edges for every non-lineitem table the query reads,
+/// and one gather edge per non-coordinator device routed per the group
+/// topology. Pure function of its inputs.
+ShardedPlanSpec PlanShardedExecution(TpchQuery query,
+                                     const TpchHostTables& tables,
+                                     const gpusim::DeviceGroup& group,
+                                     size_t force_shards = 0);
+
+/// Renders the spec: placement table, exchange edges with link routes, and
+/// the cost-estimated exchange plan pinned to `backend_name`.
+std::string ExplainSharded(const ShardedPlanSpec& spec,
+                           const gpusim::DeviceGroup& group,
+                           const std::string& backend_name);
+
+struct ShardedQueryOptions {
+  /// Number of lineitem shards; 0 = one per device. Shards are dealt
+  /// round-robin to devices, so forcing more shards than devices makes each
+  /// device run several slices in sequence (the differential tests use this
+  /// to decouple shard count from device count).
+  size_t force_shards = 0;
+  /// Upload tables (and shard slices) compressed, as in GovernedQueryOptions.
+  bool use_encoding = false;
+  /// Per-device admission control; nullptr = ungoverned. Each device thread
+  /// admits its own footprint against its own device's governor before
+  /// uploading anything, and releases on completion.
+  core::MultiGovernor* governor = nullptr;
+  /// Admission timeout passed to MultiGovernor::Admit (0 = governor default).
+  uint64_t admit_timeout_ms = 0;
+};
+
+/// Per-device accounting of one sharded run.
+struct DeviceShardStats {
+  int device = 0;
+  size_t shards = 0;          ///< slices this device executed
+  size_t rows = 0;            ///< lineitem rows across those slices
+  uint64_t upload_bytes = 0;  ///< h2d: broadcast tables + shard slices
+  uint64_t download_bytes = 0;  ///< d2h: partial-result fetches
+  uint64_t busy_ns = 0;       ///< stream delta of the device's own work
+  uint64_t granted_bytes = 0; ///< admission grant (0 = ungoverned)
+  uint64_t peak_bytes = 0;    ///< device allocator high-water over the run
+};
+
+/// Accounting of one sharded run.
+struct ShardedRunStats {
+  int devices = 1;
+  size_t shards = 1;
+  /// Makespan: max per-device timeline delta, including the partial-result
+  /// exchanges into device 0. For a 1-device group this equals
+  /// GovernedRunStats::simulated_ns of the equivalent governed run.
+  uint64_t simulated_ns = 0;
+  uint64_t exchange_bytes = 0;           ///< partials moved between devices
+  uint64_t exchange_p2p_bytes = 0;       ///< share over direct peer links
+  uint64_t exchange_via_host_bytes = 0;  ///< share routed through the host
+  uint64_t broadcast_bytes = 0;  ///< build-side tables replicated per device
+  std::vector<DeviceShardStats> per_device;
+};
+
+/// Runs `query` sharded across every device of `group` on `backend_name`
+/// instances (one per device, each on its own host thread). Throws
+/// std::invalid_argument when the backend is not concurrency-safe and the
+/// group has more than one device, and std::runtime_error when a device's
+/// admission is rejected. A 1-device group delegates to RunGoverned
+/// (force_shards becomes force_partitions), so its simulated timeline is
+/// bit-identical to the governed single-device path.
+TpchQueryResult RunSharded(TpchQuery query, const TpchHostTables& tables,
+                           gpusim::DeviceGroup& group,
+                           const std::string& backend_name,
+                           const ShardedQueryOptions& options = {},
+                           ShardedRunStats* stats = nullptr);
+
+/// Adapts RunSharded for core::QueryScheduler submission: the sharded run
+/// executes on the client thread (spawning its own device threads) and the
+/// client's stream is advanced by the run's makespan, so scheduler latency
+/// percentiles see the multi-device query at its true simulated cost.
+core::QueryFn MakeShardedQuery(TpchQuery query, TpchHostTables tables,
+                               gpusim::DeviceGroup& group,
+                               ShardedQueryOptions options = {},
+                               TpchQueryResult* out = nullptr,
+                               ShardedRunStats* stats = nullptr);
+
+}  // namespace plan
+
+#endif  // PLAN_EXCHANGE_H_

@@ -36,6 +36,7 @@ void RemapNode(PlanNode& node, Fn fn, FnId fn_id) {
   fn(node.fetch_from);
   fn(node.fused_value_a);
   fn(node.fused_value_b);
+  fn(node.exch_in);
   fn_id(node.guard);
   fn_id(node.filter_source);
 }
@@ -398,6 +399,11 @@ std::vector<size_t> EstimateRows(const Plan& p) {
       case NodeKind::kFetchPair:
         rows[i] = in_rows(n.fetch_from);
         break;
+      case NodeKind::kExchangeScatter:
+      case NodeKind::kExchangeGather:
+      case NodeKind::kExchangeBroadcast:
+        rows[i] = n.exch_rows;
+        break;
     }
   }
   return rows;
@@ -508,6 +514,58 @@ class Dispatcher {
 
   uint64_t OpEstimate(size_t i, const PlanNode& n, const std::string& c,
                       JoinAlgo algo) const {
+    return OpBase(i, n, c, algo) + DecodeExtra(n, c);
+  }
+
+  /// Full-decode cost for encoded base columns this node consumes through an
+  /// operator with no encoded-domain realization (the executor's ColDecoded
+  /// path). Selection and gather stay in code space and are priced by their
+  /// own encoded-aware estimates; group-by keys stay encoded only on the
+  /// handwritten backend (GroupByAggregateEncoded).
+  uint64_t DecodeExtra(const PlanNode& n, const std::string& c) const {
+    const Plan& p = phys_.plan;
+    uint64_t extra = 0;
+    auto add = [&](NodeInput in) {
+      if (!IsEncodedScan(p, in)) return;
+      const storage::EncodedDeviceColumn* e = p.nodes[in.node].scan_enc;
+      extra += est_.DecodeColumn(
+          c, e->size, e->encoded_byte_size(),
+          e->size * storage::DataTypeSize(e->type));
+    };
+    switch (n.kind) {
+      case NodeKind::kMap:
+        add(n.map_a);
+        if (n.map_op == MapOp::kMul) add(n.map_b);
+        break;
+      case NodeKind::kFilterCompare:
+        add(n.cmp_lhs);
+        add(n.cmp_rhs);
+        break;
+      case NodeKind::kJoin:
+        add(n.join_build);
+        add(n.join_probe);
+        break;
+      case NodeKind::kUnique:
+      case NodeKind::kReduce:
+      case NodeKind::kSort:
+        add(n.unary_in);
+        break;
+      case NodeKind::kSortByKey:
+        add(n.sort_keys);
+        add(n.sort_values);
+        break;
+      case NodeKind::kGroupBy:
+        if (c != "Handwritten") add(n.group_keys);
+        add(n.group_values);
+        break;
+      default:
+        break;
+    }
+    return extra;
+  }
+
+  uint64_t OpBase(size_t i, const PlanNode& n, const std::string& c,
+                  JoinAlgo algo) const {
     const Plan& p = phys_.plan;
     switch (n.kind) {
       case NodeKind::kFilter: {
@@ -520,6 +578,11 @@ class Dispatcher {
         return est_.SelectCompare(c, Rows(n.cmp_lhs.node), phys_.est_rows[i],
                                   ScanElemBytes(p, n.cmp_lhs));
       case NodeKind::kGather:
+        if (IsEncodedScan(p, n.gather_src)) {
+          return est_.GatherDecode(c, phys_.est_rows[i],
+                                   ScanElemBytes(p, n.gather_src),
+                                   ElemBytes(p, n.gather_src));
+        }
         return est_.Gather(c, phys_.est_rows[i], ElemBytes(p, n.gather_src));
       case NodeKind::kMap:
         return est_.Map(c, phys_.est_rows[i], 8,
@@ -550,6 +613,10 @@ class Dispatcher {
         if (n.fused_has_b) bpr += ElemBytes(p, n.fused_value_b);
         return est_.FusedFilterSum(Rows(n.pred_cols[0].node), bpr);
       }
+      case NodeKind::kExchangeScatter:
+      case NodeKind::kExchangeGather:
+      case NodeKind::kExchangeBroadcast:
+        return est_.Exchange(c, n.exch_bytes);
       default:
         return 0;
     }

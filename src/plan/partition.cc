@@ -11,13 +11,14 @@
 #include "gpusim/trace.h"
 #include "plan/executor.h"
 #include "plan/optimizer.h"
+#include "plan/partition_detail.h"
 #include "plan/tpch_plans.h"
 #include "storage/device_column.h"
 #include "storage/encoded_column.h"
 #include "storage/encoding.h"
 
 namespace plan {
-namespace {
+namespace detail {
 
 bool NeedsOrders(TpchQuery q) {
   return q == TpchQuery::kQ3 || q == TpchQuery::kQ4;
@@ -56,6 +57,12 @@ QueryPlanBundle BuildBundle(TpchQuery q, const storage::DeviceTable& lineitem,
   }
   throw std::logic_error("unknown TpchQuery");
 }
+
+}  // namespace detail
+
+using namespace detail;  // the shared helpers read naturally unqualified
+
+namespace {
 
 /// A device table whose columns carry type and row count but no storage —
 /// enough for plan building and cost estimation, with zero device traffic.
@@ -123,6 +130,10 @@ storage::DeviceTable MetaTableEncoded(const storage::Table& table,
   return out;
 }
 
+}  // namespace
+
+namespace detail {
+
 /// Host-side row-range copy [lo, hi) of every column.
 storage::Table SliceTable(const storage::Table& table, size_t lo, size_t hi) {
   storage::Table out(table.name());
@@ -181,6 +192,10 @@ std::vector<size_t> PartitionBounds(const storage::Table& lineitem, size_t k,
   bounds.push_back(n);
   return bounds;
 }
+
+}  // namespace detail
+
+namespace {
 
 /// Worst-case device footprint of one pinned plan execution: upload bytes of
 /// every scanned column plus materialized intermediates with row counts
@@ -292,6 +307,18 @@ uint64_t FootprintOfPlan(const PhysicalPlan& phys) {
       case NodeKind::kFetchPair:
         rows[i] = in_rows(n.fetch_from);  // host download, no device bytes
         break;
+      case NodeKind::kExchangeScatter:
+      case NodeKind::kExchangeBroadcast:
+        // Shard/broadcast payload lands as device-resident input.
+        rows[i] = n.exch_rows;
+        width[i] = n.exch_rows > 0
+                       ? static_cast<size_t>(n.exch_bytes / n.exch_rows)
+                       : sizeof(int32_t);
+        intermediate_bytes += block(n.exch_bytes);
+        break;
+      case NodeKind::kExchangeGather:
+        rows[i] = n.exch_rows;  // host-bound download, no device bytes
+        break;
     }
   }
 
@@ -340,15 +367,9 @@ void Emit(const GovernedQueryOptions& options, gpusim::Stream& stream,
   options.on_event(event);
 }
 
-/// Mergeable per-partition state across the five queries.
-struct Partials {
-  Q1Partials q1;
-  std::vector<tpch::Q3Row> q3_groups;
-  std::map<int32_t, int64_t> q4_counts;
-  double q6_sum = 0;
-  double q14_total = 0;
-  double q14_promo = 0;
-};
+}  // namespace
+
+namespace detail {
 
 void Accumulate(TpchQuery q, const QueryPlanBundle& bundle,
                 const ExecutionResult& res, Partials& acc) {
@@ -376,6 +397,30 @@ void Accumulate(TpchQuery q, const QueryPlanBundle& bundle,
       if (promo.computed) acc.q14_promo += promo.scalar;
       break;
     }
+  }
+}
+
+void MergePartials(TpchQuery q, Partials& acc, const Partials& other) {
+  switch (q) {
+    case TpchQuery::kQ1:
+      acc.q1.Merge(other.q1);
+      break;
+    case TpchQuery::kQ3:
+      acc.q3_groups.insert(acc.q3_groups.end(), other.q3_groups.begin(),
+                           other.q3_groups.end());
+      break;
+    case TpchQuery::kQ4:
+      for (const auto& [prio, count] : other.q4_counts) {
+        acc.q4_counts[prio] += count;
+      }
+      break;
+    case TpchQuery::kQ6:
+      acc.q6_sum += other.q6_sum;
+      break;
+    case TpchQuery::kQ14:
+      acc.q14_total += other.q14_total;
+      acc.q14_promo += other.q14_promo;
+      break;
   }
 }
 
@@ -431,6 +476,10 @@ uint64_t HostTableBytes(const storage::Table& t) {
   }
   return bytes;
 }
+
+}  // namespace detail
+
+namespace {
 
 /// One execution attempt at a fixed partition count. Throws
 /// gpusim::OutOfDeviceMemory when K is still too coarse for the live memory

@@ -1,0 +1,473 @@
+// Multi-device sharded execution tests: DeviceGroup topology routing and
+// exchange accounting, Device::Current()/DeviceGuard thread binding, the
+// MultiGovernor's per-device no-overtake guarantee, differential correctness
+// of RunSharded (forced shard counts x all five queries vs the host
+// reference), the 1-device degenerate case's bit-identical simulated
+// timeline vs RunGoverned, and exchange-operator pricing in the plan IR.
+// Built into the concurrency_tests binary, which CI also runs under
+// ThreadSanitizer (the sharded runner spawns one host thread per device).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backends/backends.h"
+#include "core/governor.h"
+#include "core/registry.h"
+#include "gpusim/device.h"
+#include "gpusim/device_group.h"
+#include "gpusim/stream.h"
+#include "plan/exchange.h"
+#include "plan/ir.h"
+#include "plan/optimizer.h"
+#include "plan/partition.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+using plan::TpchQuery;
+
+// ---------------------------------------------------------------------------
+// DeviceGroup: topology, link routing, exchange accounting.
+
+TEST(DeviceGroupTest, PeerIslandsFollowIslandSize) {
+  gpusim::GroupTopology topo;
+  topo.peer_island_size = 4;
+  gpusim::DeviceGroup group(8, topo);
+  EXPECT_TRUE(group.IsPeer(0, 3));
+  EXPECT_TRUE(group.IsPeer(4, 7));
+  EXPECT_FALSE(group.IsPeer(3, 4));  // island boundary
+  EXPECT_FALSE(group.IsPeer(0, 0));  // same device is not a peer pair
+}
+
+TEST(DeviceGroupTest, LinkRoutesPeerAndViaHostDifferently) {
+  gpusim::GroupTopology topo;
+  topo.peer_island_size = 2;
+  gpusim::DeviceGroup group(4, topo);
+
+  const gpusim::LinkPath peer = group.Link(0, 1);
+  EXPECT_TRUE(peer.peer);
+  EXPECT_EQ(peer.hops, 1);
+  EXPECT_EQ(peer.bandwidth_bps, topo.p2p_bandwidth_bps);
+
+  const gpusim::LinkPath via_host = group.Link(0, 2);
+  EXPECT_FALSE(via_host.peer);
+  EXPECT_EQ(via_host.hops, 2);
+  // Store-and-forward over both PCIe links is slower than either hop alone.
+  EXPECT_LT(via_host.bandwidth_bps, peer.bandwidth_bps);
+
+  const gpusim::LinkPath self = group.Link(1, 1);
+  EXPECT_TRUE(self.same_device);
+  EXPECT_EQ(self.hops, 0);
+
+  // Pricing follows the route: cross-island transfers cost more.
+  const uint64_t bytes = 1 << 20;
+  EXPECT_LT(group.TransferNs(0, 1, bytes), group.TransferNs(0, 2, bytes));
+}
+
+TEST(DeviceGroupTest, ChargeExchangeAdvancesBothStreamsAndCounters) {
+  gpusim::GroupTopology topo;
+  topo.peer_island_size = 2;
+  gpusim::DeviceGroup group(4, topo);
+  gpusim::Stream s0(group.device(0));
+  gpusim::Stream s1(group.device(1));
+  gpusim::Stream s2(group.device(2));
+
+  const uint64_t bytes = 1 << 20;
+  const uint64_t t0 = s0.now_ns();
+  group.ChargeExchange(0, s0, 1, s1, bytes);  // peer: same island
+  const uint64_t peer_ns = s0.now_ns() - t0;
+  EXPECT_EQ(peer_ns, group.TransferNs(0, 1, bytes));
+  // The destination synchronized on the source's completion.
+  EXPECT_GE(s1.now_ns(), s0.now_ns());
+
+  group.ChargeExchange(0, s0, 2, s2, bytes);  // cross island: via host
+  EXPECT_EQ(group.ExchangedBytes(0, 1), bytes);
+  EXPECT_EQ(group.ExchangedBytes(0, 2), bytes);
+  EXPECT_EQ(group.ExchangedBytes(1, 0), 0u);
+
+  // Counters land on both ends, split by route.
+  EXPECT_EQ(group.device(0).counters().bytes_p2p.load(), bytes);
+  EXPECT_EQ(group.device(1).counters().bytes_p2p.load(), bytes);
+  EXPECT_EQ(group.device(0).counters().bytes_via_host.load(), bytes);
+  EXPECT_EQ(group.device(2).counters().bytes_via_host.load(), bytes);
+  EXPECT_EQ(group.device(0).counters().exchanges.load(), 2u);
+}
+
+TEST(DeviceGroupTest, ChargeExchangeRejectsForeignStreams) {
+  gpusim::DeviceGroup group(2);
+  gpusim::Stream s0(group.device(0));
+  gpusim::Stream s1(group.device(1));
+  EXPECT_THROW(group.ChargeExchange(0, s1, 1, s0, 64), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Device::Current() / DeviceGuard: thread-local binding.
+
+TEST(DeviceGuardTest, CurrentDefaultsToDefaultAndNests) {
+  EXPECT_EQ(&gpusim::Device::Current(), &gpusim::Device::Default());
+  gpusim::DeviceGroup group(2);
+  {
+    gpusim::Device::DeviceGuard outer(group.device(0));
+    EXPECT_EQ(&gpusim::Device::Current(), &group.device(0));
+    {
+      gpusim::Device::DeviceGuard inner(group.device(1));
+      EXPECT_EQ(&gpusim::Device::Current(), &group.device(1));
+    }
+    EXPECT_EQ(&gpusim::Device::Current(), &group.device(0));
+  }
+  EXPECT_EQ(&gpusim::Device::Current(), &gpusim::Device::Default());
+}
+
+TEST(DeviceGuardTest, BindingIsPerThread) {
+  gpusim::DeviceGroup group(2);
+  gpusim::Device::DeviceGuard guard(group.device(0));
+  gpusim::Device* seen = nullptr;
+  std::thread other([&] { seen = &gpusim::Device::Current(); });
+  other.join();
+  // The spawning thread's guard does not leak into the new thread.
+  EXPECT_EQ(seen, &gpusim::Device::Default());
+  EXPECT_EQ(&gpusim::Device::Current(), &group.device(0));
+}
+
+TEST(DeviceGuardTest, BackendsBindToCurrentDevice) {
+  core::RegisterBuiltinBackends();
+  gpusim::DeviceGroup group(2);
+  gpusim::Device::DeviceGuard guard(group.device(1));
+  const std::unique_ptr<core::Backend> backend =
+      core::BackendRegistry::Instance().Create(backends::kHandwritten);
+  EXPECT_EQ(&backend->stream().device(), &group.device(1));
+}
+
+// ---------------------------------------------------------------------------
+// MultiGovernor: per-device admission, no overtake within a device.
+
+TEST(MultiGovernorTest, DevicesAdmitIndependently) {
+  gpusim::DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;
+  gpusim::DeviceGroup group(2, gpusim::GroupTopology(), props);
+  core::MultiGovernor governor(group);
+  ASSERT_EQ(governor.size(), 2);
+
+  // Fill device 0; device 1 must still grant immediately.
+  const core::AdmissionTicket t0 = governor.Admit(0, 1, 1 << 20);
+  EXPECT_EQ(t0.decision, core::AdmissionDecision::kGranted);
+  const core::AdmissionTicket t1 = governor.Admit(1, 2, 1 << 20);
+  EXPECT_EQ(t1.decision, core::AdmissionDecision::kGranted);
+
+  // A second request on the full device 0 times out; device 1's grant was
+  // untouched by it.
+  const core::AdmissionTicket t2 =
+      governor.Admit(0, 3, 1 << 20, /*timeout_ms=*/50);
+  EXPECT_EQ(t2.decision, core::AdmissionDecision::kRejected);
+
+  governor.Release(0, 1);
+  governor.Release(1, 2);
+  const core::GovernorStats total = governor.Stats();
+  EXPECT_EQ(total.granted, 2u);
+  EXPECT_EQ(total.rejected, 1u);
+  EXPECT_EQ(total.released, 2u);
+  const std::vector<core::GovernorStats> per = governor.PerDeviceStats();
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_EQ(per[0].rejected, 1u);
+  EXPECT_EQ(per[1].rejected, 0u);
+}
+
+TEST(MultiGovernorTest, NoOvertakeWithinADevice) {
+  gpusim::DeviceProperties props;
+  props.global_memory_bytes = 1 << 20;
+  gpusim::DeviceGroup group(2, gpusim::GroupTopology(), props);
+  core::MultiGovernor governor(group);
+
+  // Device 0 is full; two waiters queue in order. When memory frees, the
+  // first-queued (large) waiter must win even though the small one would fit
+  // sooner — strict FIFO per device.
+  ASSERT_TRUE(governor.Admit(0, 1, 1 << 20).admitted());
+  std::atomic<int> order{0};
+  int large_pos = -1, small_pos = -1;
+  std::thread large([&] {
+    const core::AdmissionTicket t = governor.Admit(0, 2, 1 << 20);
+    if (t.admitted()) large_pos = ++order;
+    governor.Release(0, 2);
+  });
+  // Give the large waiter time to reach the head of the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread small([&] {
+    const core::AdmissionTicket t = governor.Admit(0, 3, 16);
+    if (t.admitted()) small_pos = ++order;
+    governor.Release(0, 3);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  governor.Release(0, 1);
+  large.join();
+  small.join();
+  EXPECT_EQ(large_pos, 1);
+  EXPECT_EQ(small_pos, 2);
+}
+
+// ---------------------------------------------------------------------------
+// RunSharded: differential correctness and the degenerate 1-device case.
+
+class MultiDeviceQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::RegisterBuiltinBackends();
+    tpch::Config config;
+    config.scale_factor = 0.002;
+    lineitem_ = new storage::Table(tpch::GenerateLineitem(config));
+    orders_ = new storage::Table(tpch::GenerateOrders(config));
+    customer_ = new storage::Table(tpch::GenerateCustomer(config));
+    part_ = new storage::Table(tpch::GeneratePart(config));
+  }
+  static void TearDownTestSuite() {
+    delete lineitem_;
+    delete orders_;
+    delete customer_;
+    delete part_;
+    lineitem_ = orders_ = customer_ = part_ = nullptr;
+  }
+
+  plan::TpchHostTables Tables() const {
+    plan::TpchHostTables t;
+    t.lineitem = lineitem_;
+    t.orders = orders_;
+    t.customer = customer_;
+    t.part = part_;
+    return t;
+  }
+
+  static void ExpectNear(double got, double want) {
+    EXPECT_NEAR(got, want, std::abs(want) * 1e-9 + 1e-6);
+  }
+
+  void VerifyAgainstReference(TpchQuery q,
+                              const plan::TpchQueryResult& got) const {
+    switch (q) {
+      case TpchQuery::kQ1: {
+        const std::vector<tpch::Q1Row> ref = tpch::ReferenceQ1(*lineitem_);
+        ASSERT_EQ(got.q1.size(), ref.size());
+        for (size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_EQ(got.q1[i].returnflag, ref[i].returnflag);
+          EXPECT_EQ(got.q1[i].linestatus, ref[i].linestatus);
+          EXPECT_EQ(got.q1[i].count_order, ref[i].count_order);
+          ExpectNear(got.q1[i].sum_qty, ref[i].sum_qty);
+          ExpectNear(got.q1[i].sum_charge, ref[i].sum_charge);
+        }
+        break;
+      }
+      case TpchQuery::kQ3: {
+        const std::vector<tpch::Q3Row> ref =
+            tpch::ReferenceQ3(*customer_, *orders_, *lineitem_);
+        ASSERT_EQ(got.q3.size(), ref.size());
+        for (size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_EQ(got.q3[i].orderkey, ref[i].orderkey);
+          ExpectNear(got.q3[i].revenue, ref[i].revenue);
+        }
+        break;
+      }
+      case TpchQuery::kQ4: {
+        const std::vector<tpch::Q4Row> ref =
+            tpch::ReferenceQ4(*orders_, *lineitem_);
+        ASSERT_EQ(got.q4.size(), ref.size());
+        for (size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_EQ(got.q4[i].orderpriority, ref[i].orderpriority);
+          EXPECT_EQ(got.q4[i].order_count, ref[i].order_count);
+        }
+        break;
+      }
+      case TpchQuery::kQ6:
+        ExpectNear(got.scalar, tpch::ReferenceQ6(*lineitem_));
+        break;
+      case TpchQuery::kQ14:
+        ExpectNear(got.scalar, tpch::ReferenceQ14(*part_, *lineitem_));
+        break;
+    }
+  }
+
+  static storage::Table* lineitem_;
+  static storage::Table* orders_;
+  static storage::Table* customer_;
+  static storage::Table* part_;
+};
+
+storage::Table* MultiDeviceQueryTest::lineitem_ = nullptr;
+storage::Table* MultiDeviceQueryTest::orders_ = nullptr;
+storage::Table* MultiDeviceQueryTest::customer_ = nullptr;
+storage::Table* MultiDeviceQueryTest::part_ = nullptr;
+
+constexpr TpchQuery kAllQueries[] = {TpchQuery::kQ1, TpchQuery::kQ3,
+                                     TpchQuery::kQ4, TpchQuery::kQ6,
+                                     TpchQuery::kQ14};
+
+TEST_F(MultiDeviceQueryTest, AllQueriesMatchReferenceAcrossDeviceCounts) {
+  for (const int nd : {1, 2, 4}) {
+    for (const TpchQuery q : kAllQueries) {
+      SCOPED_TRACE(std::string(plan::TpchQueryName(q)) + " on " +
+                   std::to_string(nd) + " device(s)");
+      gpusim::DeviceGroup group(nd);
+      plan::ShardedRunStats stats;
+      const plan::TpchQueryResult result = plan::RunSharded(
+          q, Tables(), group, backends::kHandwritten, {}, &stats);
+      VerifyAgainstReference(q, result);
+      EXPECT_EQ(stats.devices, nd);
+      EXPECT_GT(stats.simulated_ns, 0u);
+      if (nd > 1) {
+        EXPECT_GT(stats.exchange_bytes, 0u);
+        EXPECT_EQ(stats.exchange_bytes,
+                  stats.exchange_p2p_bytes + stats.exchange_via_host_bytes);
+      }
+    }
+  }
+}
+
+TEST_F(MultiDeviceQueryTest, ForcedShardCountsKeepAnswersCorrect) {
+  // More shards than devices: each device runs several slices in sequence.
+  for (const size_t shards : {3u, 8u}) {
+    for (const TpchQuery q : kAllQueries) {
+      SCOPED_TRACE(std::string(plan::TpchQueryName(q)) + " with " +
+                   std::to_string(shards) + " shards");
+      gpusim::DeviceGroup group(2);
+      plan::ShardedQueryOptions options;
+      options.force_shards = shards;
+      plan::ShardedRunStats stats;
+      const plan::TpchQueryResult result = plan::RunSharded(
+          q, Tables(), group, backends::kHandwritten, options, &stats);
+      VerifyAgainstReference(q, result);
+      EXPECT_EQ(stats.shards, shards);
+    }
+  }
+}
+
+TEST_F(MultiDeviceQueryTest, OneDeviceTimelineIsBitIdenticalToGoverned) {
+  for (const TpchQuery q : kAllQueries) {
+    SCOPED_TRACE(plan::TpchQueryName(q));
+    gpusim::DeviceGroup sharded_group(1);
+    plan::ShardedRunStats stats;
+    (void)plan::RunSharded(q, Tables(), sharded_group, backends::kHandwritten,
+                           {}, &stats);
+
+    gpusim::DeviceGroup governed_group(1);
+    gpusim::Device::DeviceGuard guard(governed_group.device(0));
+    const std::unique_ptr<core::Backend> backend =
+        core::BackendRegistry::Instance().Create(backends::kHandwritten);
+    plan::GovernedRunStats gstats;
+    (void)plan::RunGoverned(q, Tables(), *backend, {}, &gstats);
+
+    EXPECT_EQ(stats.simulated_ns, gstats.simulated_ns);
+  }
+}
+
+TEST_F(MultiDeviceQueryTest, ShardedTimelineIsDeterministic) {
+  // Same inputs, fresh groups: the multi-threaded run must charge the exact
+  // same simulated makespan both times.
+  uint64_t first = 0;
+  for (int round = 0; round < 2; ++round) {
+    gpusim::DeviceGroup group(4);
+    plan::ShardedRunStats stats;
+    (void)plan::RunSharded(TpchQuery::kQ1, Tables(), group,
+                           backends::kHandwritten, {}, &stats);
+    if (round == 0) {
+      first = stats.simulated_ns;
+    } else {
+      EXPECT_EQ(stats.simulated_ns, first);
+    }
+  }
+}
+
+TEST_F(MultiDeviceQueryTest, GovernedShardsRunUnderPerDeviceGrants) {
+  gpusim::DeviceGroup group(2);
+  core::MultiGovernor governor(group);
+  plan::ShardedQueryOptions options;
+  options.governor = &governor;
+  plan::ShardedRunStats stats;
+  const plan::TpchQueryResult result = plan::RunSharded(
+      TpchQuery::kQ6, Tables(), group, backends::kHandwritten, options,
+      &stats);
+  VerifyAgainstReference(TpchQuery::kQ6, result);
+  const core::GovernorStats gs = governor.Stats();
+  EXPECT_EQ(gs.granted + gs.queued, 2u);  // one admission per device
+  EXPECT_EQ(gs.released, 2u);
+  for (const plan::DeviceShardStats& d : stats.per_device) {
+    EXPECT_GT(d.granted_bytes, 0u);
+  }
+}
+
+TEST_F(MultiDeviceQueryTest, NonConcurrencySafeBackendIsRejected) {
+  gpusim::DeviceGroup group(2);
+  EXPECT_THROW(plan::RunSharded(TpchQuery::kQ6, Tables(), group,
+                                backends::kArrayFire, {}, nullptr),
+               std::invalid_argument);
+  // On a single device the same backend is fine (no device threads).
+  gpusim::DeviceGroup one(1);
+  plan::ShardedRunStats stats;
+  const plan::TpchQueryResult result = plan::RunSharded(
+      TpchQuery::kQ6, Tables(), one, backends::kArrayFire, {}, &stats);
+  VerifyAgainstReference(TpchQuery::kQ6, result);
+}
+
+TEST_F(MultiDeviceQueryTest, CrossIslandShardsRouteExchangesViaHost) {
+  gpusim::GroupTopology topo;
+  topo.peer_island_size = 2;  // devices {0,1} and {2,3} are separate islands
+  gpusim::DeviceGroup group(4, topo);
+  plan::ShardedRunStats stats;
+  (void)plan::RunSharded(TpchQuery::kQ1, Tables(), group,
+                         backends::kHandwritten, {}, &stats);
+  EXPECT_GT(stats.exchange_p2p_bytes, 0u);       // device 1 -> 0
+  EXPECT_GT(stats.exchange_via_host_bytes, 0u);  // devices 2,3 -> 0
+}
+
+// ---------------------------------------------------------------------------
+// Sharded planning and exchange-operator pricing.
+
+TEST_F(MultiDeviceQueryTest, PlanShardedExecutionPlacesAndPricesEdges) {
+  gpusim::GroupTopology topo;
+  topo.peer_island_size = 2;
+  gpusim::DeviceGroup group(4, topo);
+  const plan::ShardedPlanSpec spec = plan::PlanShardedExecution(
+      TpchQuery::kQ3, Tables(), group);
+  EXPECT_EQ(spec.devices, 4);
+  EXPECT_EQ(spec.shards, 4u);
+  ASSERT_EQ(spec.placements.size(), 4u);
+  for (size_t s = 0; s < spec.placements.size(); ++s) {
+    EXPECT_EQ(spec.placements[s].device, static_cast<int>(s));
+  }
+
+  size_t scatters = 0, broadcasts = 0, gathers = 0;
+  for (const plan::ExchangeEdge& e : spec.edges) {
+    switch (e.kind) {
+      case plan::ExchangeEdge::Kind::kScatter: ++scatters; break;
+      case plan::ExchangeEdge::Kind::kBroadcast: ++broadcasts; break;
+      case plan::ExchangeEdge::Kind::kGather: ++gathers; break;
+    }
+  }
+  EXPECT_EQ(scatters, 4u);
+  EXPECT_EQ(broadcasts, 8u);  // orders + customer to each of 4 devices
+  EXPECT_EQ(gathers, 3u);     // devices 1..3 into device 0
+  for (const plan::ExchangeEdge& e : spec.edges) {
+    if (e.kind != plan::ExchangeEdge::Kind::kGather) continue;
+    EXPECT_EQ(e.peer, e.device == 1);  // only device 1 shares island 0
+  }
+
+  // The IR realization prices every edge through the cost estimator.
+  plan::OptimizerOptions opt;
+  opt.pin_backend = backends::kHandwritten;
+  const plan::PhysicalPlan phys = plan::Optimize(spec.exchange_plan, opt);
+  ASSERT_EQ(phys.plan.nodes.size(), spec.edges.size());
+  for (size_t i = 0; i < phys.plan.nodes.size(); ++i) {
+    EXPECT_GT(phys.est_ns[i], 0u) << "edge " << i << " has no estimated cost";
+  }
+
+  const std::string text =
+      plan::ExplainSharded(spec, group, backends::kHandwritten);
+  EXPECT_NE(text.find("shard placement:"), std::string::npos);
+  EXPECT_NE(text.find("p2p link"), std::string::npos);
+  EXPECT_NE(text.find("via host"), std::string::npos);
+  EXPECT_NE(text.find("ExchangeScatter"), std::string::npos);
+}
+
+}  // namespace

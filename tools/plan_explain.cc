@@ -5,21 +5,31 @@
 // time.
 //
 //   build/tools/plan_explain [q1|q6|q3|q4|q14] [--pin=<backend>] [--sf=N]
-//                            [--encoded]
+//                            [--encoded] [--devices=N] [--shards=K]
 //
 // With --encoded the base tables upload compressed (storage/encoding.h) and
 // the scans section shows each scan's encoding, encoded vs raw bytes, and
 // the estimated transfer cost of the encoded upload.
+//
+// With --devices=N (N > 1) the per-node EXPLAIN is followed by the sharded
+// execution plan over an N-device gpusim::DeviceGroup: shard->device
+// placement with orderkey-snapped row ranges, every exchange edge (scatter,
+// broadcast, gather) with its payload and link route, and the cost-estimated
+// exchange operators. --shards overrides the one-shard-per-device default.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/registry.h"
+#include "gpusim/device_group.h"
+#include "plan/exchange.h"
 #include "plan/executor.h"
 #include "plan/explain.h"
 #include "plan/optimizer.h"
+#include "plan/partition.h"
 #include "plan/tpch_plans.h"
 #include "storage/encoded_column.h"
+#include "tpch/datagen.h"
 #include "tpch/queries.h"
 
 int main(int argc, char** argv) {
@@ -28,6 +38,8 @@ int main(int argc, char** argv) {
   std::string pin;
   double sf = 0.01;
   bool encoded = false;
+  int devices = 1;
+  size_t shards = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--pin=", 0) == 0) {
@@ -36,14 +48,22 @@ int main(int argc, char** argv) {
       sf = std::atof(arg.c_str() + 5);
     } else if (arg == "--encoded") {
       encoded = true;
+    } else if (arg.rfind("--devices=", 0) == 0) {
+      devices = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<size_t>(std::strtoul(arg.c_str() + 9, nullptr, 10));
     } else if (arg == "q1" || arg == "q6" || arg == "q3" || arg == "q4" ||
                arg == "q14") {
       query = arg;
     } else {
       std::cerr << "usage: plan_explain [q1|q6|q3|q4|q14] [--pin=<backend>] "
-                   "[--sf=N] [--encoded]\n";
+                   "[--sf=N] [--encoded] [--devices=N] [--shards=K]\n";
       return 2;
     }
+  }
+  if (devices < 1) {
+    std::cerr << "error: --devices must be >= 1\n";
+    return 2;
   }
 
   tpch::Config config;
@@ -56,10 +76,12 @@ int main(int argc, char** argv) {
     return encoded ? storage::UploadTableEncoded(up, t)
                    : storage::UploadTable(up, t);
   };
-  const storage::DeviceTable lineitem = upload(tpch::GenerateLineitem(config));
+  // Host tables stay alive for the whole run: the sharded planner reads them
+  // and plan scans hold pointers into their device uploads.
+  const storage::Table host_lineitem = tpch::GenerateLineitem(config);
+  storage::Table host_customer, host_orders, host_part;
+  const storage::DeviceTable lineitem = upload(host_lineitem);
 
-  // Keep every uploaded table alive for the whole run: plan scans hold
-  // pointers into these DeviceTables.
   storage::DeviceTable customer, orders, part;
   plan::QueryPlanBundle bundle;
   if (query == "q1") {
@@ -67,14 +89,18 @@ int main(int argc, char** argv) {
   } else if (query == "q6") {
     bundle = plan::BuildQ6Plan(lineitem);
   } else if (query == "q3") {
-    customer = upload(tpch::GenerateCustomer(config));
-    orders = upload(tpch::GenerateOrders(config));
+    host_customer = tpch::GenerateCustomer(config);
+    host_orders = tpch::GenerateOrders(config);
+    customer = upload(host_customer);
+    orders = upload(host_orders);
     bundle = plan::BuildQ3Plan(customer, orders, lineitem);
   } else if (query == "q4") {
-    orders = upload(tpch::GenerateOrders(config));
+    host_orders = tpch::GenerateOrders(config);
+    orders = upload(host_orders);
     bundle = plan::BuildQ4Plan(orders, lineitem);
   } else {  // q14
-    part = upload(tpch::GeneratePart(config));
+    host_part = tpch::GeneratePart(config);
+    part = upload(host_part);
     bundle = plan::BuildQ14Plan(part, lineitem);
   }
 
@@ -101,5 +127,18 @@ int main(int argc, char** argv) {
                             : "pinned to " + pin)
             << ")\n\n";
   std::cout << plan::Explain(phys, result);
+
+  if (devices > 1 || shards > 0) {
+    plan::TpchHostTables tables;
+    tables.lineitem = &host_lineitem;
+    tables.orders = host_orders.num_rows() > 0 ? &host_orders : nullptr;
+    tables.customer = host_customer.num_rows() > 0 ? &host_customer : nullptr;
+    tables.part = host_part.num_rows() > 0 ? &host_part : nullptr;
+    gpusim::DeviceGroup group(devices);
+    const plan::ShardedPlanSpec spec = plan::PlanShardedExecution(
+        plan::ParseTpchQuery(query), tables, group, shards);
+    const std::string explain_backend = pin.empty() ? "Handwritten" : pin;
+    std::cout << "\n" << plan::ExplainSharded(spec, group, explain_backend);
+  }
   return 0;
 }
