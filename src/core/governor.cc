@@ -2,20 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
+
+#include "core/metrics.h"
 
 namespace core {
-namespace {
-
-/// Nearest-rank percentile of a sorted sample (q in [0, 1]).
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const size_t rank =
-      static_cast<size_t>(std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
-}
-
-}  // namespace
 
 MemoryGovernor::MemoryGovernor(GovernorOptions options)
     : device_(options.device != nullptr ? options.device
@@ -59,6 +49,7 @@ AdmissionTicket MemoryGovernor::Admit(uint64_t stream_id,
 
   // Queue: strict FIFO — only the head waiter may try to reserve, so later
   // arrivals can never overtake an earlier one into a freshly-freed gap.
+  ticket.queued = true;
   const uint64_t my = next_ticket_++;
   const uint64_t budget_ms =
       timeout_ms != 0 ? timeout_ms : options_.queue_timeout_ms;
@@ -139,8 +130,8 @@ GovernorStats MemoryGovernor::Stats() const {
   s.released = released_;
   std::vector<double> sorted = wait_samples_ms_;
   std::sort(sorted.begin(), sorted.end());
-  s.wait_p50_ms = Percentile(sorted, 0.50);
-  s.wait_p95_ms = Percentile(sorted, 0.95);
+  s.wait_p50_ms = PercentileOfSorted(sorted, 0.50);
+  s.wait_p95_ms = PercentileOfSorted(sorted, 0.95);
   s.wait_max_ms = sorted.empty() ? 0 : sorted.back();
   return s;
 }

@@ -68,6 +68,10 @@ struct AdmissionTicket {
   /// grant (the query must partition to fit). 0 when rejected.
   uint64_t granted_bytes = 0;
   double wait_ms = 0;  ///< time spent queued (0 for immediate grants)
+  /// True whenever the request entered the FIFO queue — including requests
+  /// that were later rejected, so rejection reports can tell "queued then
+  /// timed out" from "refused at shutdown".
+  bool queued = false;
 
   bool admitted() const { return decision != AdmissionDecision::kRejected; }
   bool partial() const {

@@ -1,8 +1,27 @@
 #include "core/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 namespace core {
+
+double PercentileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t rank =
+      static_cast<size_t>(std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  LatencySummary s;
+  s.p50 = PercentileOfSorted(samples, 0.50);
+  s.p95 = PercentileOfSorted(samples, 0.95);
+  s.p99 = PercentileOfSorted(samples, 0.99);
+  s.max = samples.empty() ? 0 : samples.back();
+  return s;
+}
 
 void PrintMeasurement(std::ostream& os, const Measurement& m) {
   os << std::left << std::setw(32) << m.label << std::right << std::fixed

@@ -1,15 +1,31 @@
 // Measurement helpers: snapshot device counters and a stream timeline around
-// a region and report simulated time plus work counters.
+// a region and report simulated time plus work counters — and the one shared
+// latency-percentile implementation every report path uses.
 #ifndef CORE_METRICS_H_
 #define CORE_METRICS_H_
 
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "gpusim/stream.h"
 
 namespace core {
+
+/// Nearest-rank percentile of a sorted sample (q in [0, 1]); 0 when empty.
+/// The single implementation behind every p50/p95/p99 the repo reports
+/// (scheduler, governor, serving tier, benches) — keeping them all on the
+/// same nearest-rank convention so numbers compare across reports.
+double PercentileOfSorted(const std::vector<double>& sorted, double q);
+
+/// p50/p95/p99/max over a latency sample.
+struct LatencySummary {
+  double p50 = 0, p95 = 0, p99 = 0, max = 0;
+};
+
+/// Sorts the sample and summarizes it (nearest-rank percentiles).
+LatencySummary SummarizeLatencies(std::vector<double> samples);
 
 /// Deterministic measurement of one region on one stream.
 struct Measurement {

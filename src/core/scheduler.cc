@@ -5,30 +5,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/metrics.h"
 #include "core/registry.h"
 
 namespace core {
-namespace {
-
-/// Nearest-rank percentile of a sorted sample (q in [0, 1]).
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const size_t rank = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
-}
-
-LatencySummary Summarize(std::vector<double> samples) {
-  std::sort(samples.begin(), samples.end());
-  LatencySummary s;
-  s.p50 = Percentile(samples, 0.50);
-  s.p95 = Percentile(samples, 0.95);
-  s.p99 = Percentile(samples, 0.99);
-  s.max = samples.empty() ? 0 : samples.back();
-  return s;
-}
-
-}  // namespace
 
 QueryScheduler::QueryScheduler(SchedulerOptions options)
     : options_(std::move(options)) {
@@ -62,11 +42,19 @@ QueryScheduler::~QueryScheduler() { Shutdown(); }
 
 ScheduledQueryStatus QueryScheduler::Submit(std::string label, QueryFn query,
                                             uint64_t* id) {
-  return Submit(std::move(label), std::move(query), 0, id);
+  return Submit(std::move(label), std::move(query), SubmitOptions{}, id);
 }
 
 ScheduledQueryStatus QueryScheduler::Submit(std::string label, QueryFn query,
                                             uint64_t footprint_bytes,
+                                            uint64_t* id) {
+  SubmitOptions submit;
+  submit.footprint_bytes = footprint_bytes;
+  return Submit(std::move(label), std::move(query), std::move(submit), id);
+}
+
+ScheduledQueryStatus QueryScheduler::Submit(std::string label, QueryFn query,
+                                            SubmitOptions submit,
                                             uint64_t* id) {
   std::unique_lock<std::mutex> lock(mu_);
   queue_not_full_.wait(lock, [&] {
@@ -79,8 +67,29 @@ ScheduledQueryStatus QueryScheduler::Submit(std::string label, QueryFn query,
   }
   const uint64_t assigned = next_id_++;
   if (id != nullptr) *id = assigned;
-  queue_.push_back(
-      Item{assigned, std::move(label), std::move(query), footprint_bytes});
+  Item item;
+  item.id = assigned;
+  item.label = std::move(label);
+  item.fn = std::move(query);
+  item.footprint_bytes = submit.footprint_bytes;
+  item.deadline_ms = submit.deadline_ms;
+  item.tenant = std::move(submit.tenant);
+  item.on_complete = std::move(submit.on_complete);
+  item.enqueued = std::chrono::steady_clock::now();
+  if (item.tenant.id >= 0 && item.tenant.weight <= 0) item.tenant.weight = 1;
+  // A tenant entering (or re-entering) the backlog starts at the current
+  // virtual time: idle periods bank no credit with which to flood later. A
+  // tenant that already has queued work keeps its (lagging) service level —
+  // that lag is exactly its earned share.
+  if (item.tenant.id >= 0) {
+    auto [it, inserted] =
+        tenant_service_.try_emplace(item.tenant.id, virtual_time_);
+    if (!inserted && tenant_queued_[item.tenant.id] == 0) {
+      it->second = std::max(it->second, virtual_time_);
+    }
+    ++tenant_queued_[item.tenant.id];
+  }
+  queue_.push_back(std::move(item));
   queue_not_empty_.notify_one();
   return ScheduledQueryStatus::kAccepted;
 }
@@ -95,9 +104,52 @@ bool QueryScheduler::TrySubmit(std::string label, QueryFn query,
   }
   const uint64_t assigned = next_id_++;
   if (id != nullptr) *id = assigned;
-  queue_.push_back(Item{assigned, std::move(label), std::move(query), 0});
+  Item item;
+  item.id = assigned;
+  item.label = std::move(label);
+  item.fn = std::move(query);
+  item.enqueued = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(item));
   queue_not_empty_.notify_one();
   return true;
+}
+
+size_t QueryScheduler::PickIndexLocked(
+    std::chrono::steady_clock::time_point now) {
+  // Aging first: any tagged query past its starvation bound wins outright,
+  // oldest submission first, so a flood can delay a low-weight tenant by at
+  // most its aging horizon plus one in-flight query.
+  size_t aged = queue_.size();
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const Item& it = queue_[i];
+    if (it.tenant.id < 0 || it.tenant.starvation_bound_ms == 0) continue;
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(now - it.enqueued).count();
+    if (waited_ms <= static_cast<double>(it.tenant.starvation_bound_ms)) {
+      continue;
+    }
+    if (aged == queue_.size() || it.id < queue_[aged].id) aged = i;
+  }
+  if (aged < queue_.size()) return aged;
+
+  // Weighted fair share: the queued tenant with the least virtual service
+  // goes next; untagged queries ride along as a shared weight-1 tenant.
+  // Within a tenant — and on exact service ties — the lowest submission id
+  // wins, which degenerates to strict FIFO when everything is untagged.
+  size_t best = 0;
+  double best_service = 0;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const Item& it = queue_[i];
+    const auto found = tenant_service_.find(it.tenant.id);
+    const double service =
+        found != tenant_service_.end() ? found->second : virtual_time_;
+    if (i == 0 || service < best_service ||
+        (service == best_service && it.id < queue_[best].id)) {
+      best = i;
+      best_service = service;
+    }
+  }
+  return best;
 }
 
 void QueryScheduler::Drain() {
@@ -160,8 +212,8 @@ SchedulerReport QueryScheduler::Report() const {
   if (r.wall_seconds > 0) {
     r.queries_per_sec = static_cast<double>(r.completed) / r.wall_seconds;
   }
-  r.wall_ms = Summarize(std::move(wall));
-  r.simulated_ms = Summarize(std::move(sim));
+  r.wall_ms = SummarizeLatencies(std::move(wall));
+  r.simulated_ms = SummarizeLatencies(std::move(sim));
   r.client_simulated_ns.reserve(client_sim_ns_.size());
   for (const auto& c : client_sim_ns_) {
     r.client_simulated_ns.push_back(c->load());
@@ -186,12 +238,33 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
 
   for (;;) {
     Item item;
+    double queue_wait_ms = 0;
+    bool aged = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_not_empty_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to serve
-      item = std::move(queue_.front());
-      queue_.pop_front();
+      const auto now = std::chrono::steady_clock::now();
+      const size_t pick = PickIndexLocked(now);
+      item = std::move(queue_[pick]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+      queue_wait_ms =
+          std::chrono::duration<double, std::milli>(now - item.enqueued)
+              .count();
+      aged = item.tenant.id >= 0 && item.tenant.starvation_bound_ms > 0 &&
+             queue_wait_ms > static_cast<double>(item.tenant.starvation_bound_ms);
+      if (item.tenant.id >= 0) {
+        // Charge 1/weight of virtual service for this slot and advance the
+        // global virtual time to the service level being served (start-time
+        // fair queuing): newly backlogged tenants join at this level.
+        auto queued_it = tenant_queued_.find(item.tenant.id);
+        if (queued_it != tenant_queued_.end() && queued_it->second > 0) {
+          --queued_it->second;
+        }
+        double& service = tenant_service_[item.tenant.id];
+        virtual_time_ = std::max(virtual_time_, service);
+        service += 1.0 / item.tenant.weight;
+      }
       ++in_flight_;
       queue_not_full_.notify_one();
     }
@@ -200,6 +273,13 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
     record.id = item.id;
     record.label = std::move(item.label);
     record.client = client_index;
+    record.tenant_id = item.tenant.id;
+    record.tenant = item.tenant.name;
+    record.queue_wait_ms = queue_wait_ms;
+    record.aged = aged;
+    record.footprint_bytes = item.footprint_bytes;
+    const uint64_t deadline_ms =
+        item.deadline_ms != 0 ? item.deadline_ms : options_.deadline_ms;
     const RetryPolicy& retry = options_.retry;
     const uint64_t sim_start = backend->stream().now_ns();
     const auto wall_start = std::chrono::steady_clock::now();
@@ -213,12 +293,10 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
     bool admitted = true;
     if (governor != nullptr) {
       const AdmissionTicket ticket = governor->Admit(
-          backend->stream().id(), item.footprint_bytes, options_.deadline_ms);
-      record.footprint_bytes = item.footprint_bytes;
+          backend->stream().id(), item.footprint_bytes, deadline_ms);
       record.granted_bytes = ticket.granted_bytes;
       record.admission_wait_ms = ticket.wait_ms;
-      record.admission_queued =
-          ticket.decision == AdmissionDecision::kQueuedThenGranted;
+      record.admission_queued = ticket.queued;
       if (!ticket.admitted()) {
         admitted = false;
         record.ok = false;
@@ -251,8 +329,7 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
                                       wall_start)
                                       .count();
         const bool within_deadline =
-            options_.deadline_ms == 0 ||
-            elapsed_ms < static_cast<double>(options_.deadline_ms);
+            deadline_ms == 0 || elapsed_ms < static_cast<double>(deadline_ms);
         // A reclaim-then-retry only makes sense while reclaiming can change
         // the memory state: the first OOM always gets one (the pool may
         // hide exactly the bytes needed, and an injected one-shot OOM is
@@ -296,8 +373,8 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
     record.wall_ms =
         std::chrono::duration<double, std::milli>(wall_end - wall_start)
             .count();
-    if (record.ok && options_.deadline_ms != 0 &&
-        record.wall_ms > static_cast<double>(options_.deadline_ms)) {
+    if (record.ok && deadline_ms != 0 &&
+        record.wall_ms > static_cast<double>(deadline_ms)) {
       record.deadline_exceeded = true;
       resilience_->NoteDeadlineMiss();
     }
@@ -305,8 +382,9 @@ void QueryScheduler::ClientLoop(unsigned client_index) {
 
     {
       std::lock_guard<std::mutex> lock(records_mu_);
-      records_.push_back(std::move(record));
+      records_.push_back(record);
     }
+    if (item.on_complete) item.on_complete(record);
     {
       std::lock_guard<std::mutex> lock(mu_);
       last_complete_ = wall_end;

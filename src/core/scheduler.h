@@ -30,11 +30,13 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/backend.h"
 #include "core/error.h"
 #include "core/governor.h"
+#include "core/metrics.h"
 #include "core/resilience.h"
 #include "gpusim/counters.h"
 
@@ -70,6 +72,25 @@ enum class ScheduledQueryStatus : uint8_t {
   kShutDown = 1,  ///< scheduler stopped admitting; query was not enqueued
 };
 
+/// The tenant a query is submitted on behalf of (serving tier). Untagged
+/// queries (id < 0) keep the legacy strict-FIFO behavior; tagged queries are
+/// dequeued by weighted fair share: each tenant accrues 1/weight of virtual
+/// service per executed query and the tenant furthest behind goes next, so a
+/// weight-8 interactive tenant receives 4x the slots of a weight-2 batch
+/// tenant under contention while an uncontended queue drains FIFO.
+///
+/// Starvation is bounded by an aging rule: a query queued longer than
+/// `starvation_bound_ms` (when non-zero) jumps ahead of fair-share order —
+/// oldest aged query first — so even a weight-1 best-effort tenant's wait is
+/// bounded by its aging horizon, not by the flood's length.
+struct TenantSpec {
+  int id = -1;        ///< stable tenant key; < 0 = untagged (plain FIFO)
+  std::string name;   ///< label carried into QueryRecord for reporting
+  double weight = 1.0;             ///< fair-share weight, > 0
+  uint64_t starvation_bound_ms = 0;  ///< aging horizon; 0 = no aging boost
+};
+
+
 /// Outcome of one query.
 struct QueryRecord {
   uint64_t id = 0;           ///< submission order, starting at 0
@@ -89,11 +110,23 @@ struct QueryRecord {
   double admission_wait_ms = 0;    ///< time queued for admission
   bool admission_queued = false;   ///< waited in the governor's FIFO queue
   bool admission_rejected = false; ///< rejected: query never ran
+  int tenant_id = -1;              ///< TenantSpec::id (-1 = untagged)
+  std::string tenant;              ///< TenantSpec::name
+  double queue_wait_ms = 0;        ///< submit -> dequeue (scheduler queue)
+  bool aged = false;               ///< dequeued via the starvation aging rule
 };
 
-/// p50/p95/p99/max over completed queries.
-struct LatencySummary {
-  double p50 = 0, p95 = 0, p99 = 0, max = 0;
+/// Per-submission options (the richer Submit overload used by the serving
+/// tier). Zero-initialized fields reproduce the legacy overloads exactly.
+struct SubmitOptions {
+  uint64_t footprint_bytes = 0;  ///< memory-admission estimate; 0 = ungoverned
+  /// Per-query deadline override; 0 falls back to SchedulerOptions::deadline_ms.
+  uint64_t deadline_ms = 0;
+  TenantSpec tenant;
+  /// Invoked on the client thread with the finalized record — including
+  /// admission rejections, which never execute. Runs after the record is
+  /// visible in Records(). Must not call back into the scheduler.
+  std::function<void(const QueryRecord&)> on_complete;
 };
 
 struct SchedulerReport {
@@ -141,6 +174,12 @@ class QueryScheduler {
   ScheduledQueryStatus Submit(std::string label, QueryFn query,
                               uint64_t footprint_bytes, uint64_t* id);
 
+  /// Full-control Submit: memory footprint, per-query deadline, tenant
+  /// fair-share tag, and a completion callback (see SubmitOptions). Tagged
+  /// queries are dequeued by weighted fair share with aging instead of FIFO.
+  ScheduledQueryStatus Submit(std::string label, QueryFn query,
+                              SubmitOptions submit, uint64_t* id = nullptr);
+
   /// Non-blocking Submit: returns false (and does not enqueue) when the
   /// queue is full or the scheduler is shut down.
   bool TrySubmit(std::string label, QueryFn query, uint64_t* id = nullptr);
@@ -170,7 +209,16 @@ class QueryScheduler {
     std::string label;
     QueryFn fn;
     uint64_t footprint_bytes = 0;
+    uint64_t deadline_ms = 0;  ///< 0 = use options_.deadline_ms
+    TenantSpec tenant;
+    std::function<void(const QueryRecord&)> on_complete;
+    std::chrono::steady_clock::time_point enqueued;
   };
+
+  /// Picks the queue index to dequeue next (guarded by mu_): aged queries
+  /// first (oldest submission id), then the tagged/untagged item whose
+  /// tenant trails in virtual service, FIFO within a tenant and on ties.
+  size_t PickIndexLocked(std::chrono::steady_clock::time_point now);
 
   void ClientLoop(unsigned client_index);
 
@@ -186,6 +234,13 @@ class QueryScheduler {
   size_t in_flight_ = 0;
   bool stop_ = false;
   uint64_t next_id_ = 0;
+  /// Weighted fair share state (guarded by mu_): virtual service consumed
+  /// per tenant id, and the service level of the most recent dequeue. A
+  /// tenant going from idle to backlogged is clamped up to virtual_time_ so
+  /// idle periods bank no credit (start-time fair queuing).
+  std::unordered_map<int, double> tenant_service_;
+  std::unordered_map<int, size_t> tenant_queued_;  ///< queued items per tenant
+  double virtual_time_ = 0;
   bool saw_submit_ = false;
   std::chrono::steady_clock::time_point first_submit_;
   std::chrono::steady_clock::time_point last_complete_;

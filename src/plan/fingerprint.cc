@@ -1,0 +1,106 @@
+#include "plan/fingerprint.h"
+
+#include <cstring>
+
+#include "storage/encoded_column.h"
+
+namespace plan {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvU64(uint64_t h, uint64_t v) { return FnvBytes(h, &v, sizeof(v)); }
+
+uint64_t FnvI64(uint64_t h, int64_t v) { return FnvBytes(h, &v, sizeof(v)); }
+
+uint64_t FnvF64(uint64_t h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return FnvU64(h, bits);
+}
+
+uint64_t FnvStr(uint64_t h, const std::string& s) {
+  h = FnvU64(h, s.size());
+  return FnvBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t QueryShapeHash(const QueryShape& shape) {
+  uint64_t h = kFnvOffset;
+  h = FnvU64(h, static_cast<uint64_t>(shape.query));
+  h = FnvU64(h, shape.use_encoding ? 1 : 0);
+  switch (shape.query) {
+    case TpchQuery::kQ1:
+      h = FnvI64(h, shape.q1.delta_days);
+      break;
+    case TpchQuery::kQ3:
+      h = FnvI64(h, shape.q3.segment);
+      h = FnvI64(h, shape.q3.date);
+      h = FnvU64(h, shape.q3.limit);
+      break;
+    case TpchQuery::kQ4:
+      h = FnvI64(h, shape.q4.date_lo);
+      h = FnvI64(h, shape.q4.date_hi);
+      break;
+    case TpchQuery::kQ6:
+      h = FnvI64(h, shape.q6.date_lo);
+      h = FnvI64(h, shape.q6.date_hi);
+      h = FnvF64(h, shape.q6.discount_lo);
+      h = FnvF64(h, shape.q6.discount_hi);
+      h = FnvF64(h, shape.q6.quantity_hi);
+      break;
+    case TpchQuery::kQ14:
+      h = FnvI64(h, shape.q14.date_lo);
+      h = FnvI64(h, shape.q14.date_hi);
+      break;
+  }
+  return h;
+}
+
+uint64_t TableStatsFingerprint(const storage::Table& host,
+                               const storage::DeviceTable& resident) {
+  uint64_t h = kFnvOffset;
+  h = FnvStr(h, host.name());
+  h = FnvU64(h, host.num_rows());
+  for (const std::string& name : host.column_names()) {
+    h = FnvStr(h, name);
+    h = FnvU64(h, static_cast<uint64_t>(host.column(name).type()));
+    if (resident.HasEncoded(name)) {
+      const storage::EncodedDeviceColumn& enc = resident.encoded(name);
+      h = FnvU64(h, static_cast<uint64_t>(enc.encoding));
+      h = FnvU64(h, enc.bit_width);
+      h = FnvU64(h, enc.encoded_bytes);
+      h = FnvU64(h, enc.size);
+    } else if (resident.HasColumn(name)) {
+      h = FnvU64(h, 0);  // raw residency
+      h = FnvU64(h, resident.column(name).size());
+    }
+  }
+  return h;
+}
+
+uint64_t CombineFingerprint(uint64_t seed, uint64_t value) {
+  return FnvU64(seed == 0 ? kFnvOffset : seed, value);
+}
+
+size_t PlanCacheKeyHash::operator()(const PlanCacheKey& k) const {
+  uint64_t h = kFnvOffset;
+  h = FnvU64(h, k.shape_hash);
+  h = FnvU64(h, k.stats_fingerprint);
+  h = FnvStr(h, k.backend);
+  h = FnvI64(h, k.device_count);
+  return static_cast<size_t>(h);
+}
+
+}  // namespace plan

@@ -193,10 +193,6 @@ std::vector<size_t> PartitionBounds(const storage::Table& lineitem, size_t k,
   return bounds;
 }
 
-}  // namespace detail
-
-namespace {
-
 /// Worst-case device footprint of one pinned plan execution: upload bytes of
 /// every scanned column plus materialized intermediates with row counts
 /// propagated pessimistically (filters and joins pass every row), each
@@ -208,7 +204,11 @@ namespace {
 /// An encoded scan consumed by an operator with no encoded-domain
 /// realization additionally contributes one full raw decode as an
 /// intermediate, mirroring the executor's ColDecoded fallback.
-uint64_t FootprintOfPlan(const PhysicalPlan& phys) {
+///
+/// With include_scans false the base-table upload terms drop out — the
+/// admission footprint of a plan over *already-resident* tables (the serving
+/// tier's prepared queries), where only the intermediates are new bytes.
+uint64_t FootprintOfPlan(const PhysicalPlan& phys, bool include_scans) {
   const std::vector<PlanNode>& nodes = phys.plan.nodes;
   std::vector<size_t> rows(nodes.size(), 0);
   std::vector<size_t> width(nodes.size(), 0);
@@ -343,8 +343,12 @@ uint64_t FootprintOfPlan(const PhysicalPlan& phys) {
       }
     }
   }
-  return scan_bytes + 2 * intermediate_bytes;
+  return (include_scans ? scan_bytes : 0) + 2 * intermediate_bytes;
 }
+
+}  // namespace detail
+
+namespace {
 
 void Emit(const GovernedQueryOptions& options, gpusim::Stream& stream,
           PressureEvent::Kind kind, std::string detail, uint64_t bytes,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "plan/executor.h"
+#include "plan/optimizer.h"
 #include "plan/partition.h"
 #include "plan/tpch_plans.h"
 #include "storage/table.h"
@@ -71,6 +72,13 @@ TpchQueryResult Finalize(TpchQuery q, Partials acc);
 /// Host bytes the marked fetch/reduce nodes downloaded from the device.
 uint64_t DownloadedBytes(const QueryPlanBundle& bundle,
                          const ExecutionResult& res);
+
+/// Worst-case device footprint of executing `phys` once: base-table upload
+/// bytes (skipped with include_scans == false — the tables are already
+/// resident, as in the serving tier's prepared queries) plus 2x the
+/// materialized intermediates. See the definition in partition.cc for the
+/// full model.
+uint64_t FootprintOfPlan(const PhysicalPlan& phys, bool include_scans = true);
 
 uint64_t HostTableBytes(const storage::Table& t);
 

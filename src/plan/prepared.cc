@@ -1,0 +1,142 @@
+#include "plan/prepared.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "plan/executor.h"
+#include "plan/partition_detail.h"
+#include "storage/encoded_column.h"
+
+namespace plan {
+namespace {
+
+uint64_t ResidentBytes(const storage::Table& host,
+                       const storage::DeviceTable& resident) {
+  uint64_t bytes = 0;
+  for (const std::string& name : host.column_names()) {
+    if (resident.HasEncoded(name)) {
+      bytes += resident.encoded(name).encoded_byte_size();
+    } else if (resident.HasColumn(name)) {
+      bytes += resident.column(name).byte_size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::shared_ptr<const ResidentTpchTables> MakeResident(
+    gpusim::Stream& stream, const TpchHostTables& host, bool use_encoding) {
+  if (host.lineitem == nullptr) {
+    throw std::invalid_argument("MakeResident: lineitem table is required");
+  }
+  auto out = std::make_shared<ResidentTpchTables>();
+  out->encoded = use_encoding;
+
+  const auto upload = [&](const storage::Table& t) {
+    uint64_t bytes = 0;
+    storage::DeviceTable dev =
+        use_encoding ? storage::UploadTableEncoded(stream, t, &bytes)
+                     : storage::UploadTable(stream, t);
+    if (!use_encoding) bytes = detail::HostTableBytes(t);
+    out->uploaded_bytes += bytes;
+    out->resident_bytes += ResidentBytes(t, dev);
+    out->stats_fingerprint = CombineFingerprint(
+        out->stats_fingerprint, TableStatsFingerprint(t, dev));
+    return dev;
+  };
+
+  out->lineitem = upload(*host.lineitem);
+  if (host.orders != nullptr) {
+    out->orders = upload(*host.orders);
+    out->has_orders = true;
+  }
+  if (host.customer != nullptr) {
+    out->customer = upload(*host.customer);
+    out->has_customer = true;
+  }
+  if (host.part != nullptr) {
+    out->part = upload(*host.part);
+    out->has_part = true;
+  }
+  return out;
+}
+
+PreparedTpchQuery::PreparedTpchQuery(
+    QueryShape shape, std::shared_ptr<const ResidentTpchTables> tables,
+    QueryPlanBundle bundle, PhysicalPlan physical)
+    : shape_(shape),
+      tables_(std::move(tables)),
+      bundle_(std::move(bundle)),
+      physical_(std::move(physical)),
+      footprint_bytes_(
+          detail::FootprintOfPlan(physical_, /*include_scans=*/false)) {}
+
+TpchQueryResult PreparedTpchQuery::Run(core::Backend& backend) const {
+  const ExecutionResult res = RunPinned(physical_, backend);
+  TpchQueryResult r;
+  switch (shape_.query) {
+    case TpchQuery::kQ1:
+      r.q1 = ExtractQ1(bundle_, res);
+      break;
+    case TpchQuery::kQ3:
+      r.q3 = ExtractQ3(bundle_, res, shape_.q3);
+      break;
+    case TpchQuery::kQ4:
+      r.q4 = ExtractQ4(bundle_, res);
+      break;
+    case TpchQuery::kQ6:
+      r.scalar = ExtractQ6(bundle_, res);
+      break;
+    case TpchQuery::kQ14:
+      r.scalar = ExtractQ14(bundle_, res);
+      break;
+  }
+  return r;
+}
+
+std::shared_ptr<const PreparedTpchQuery> PrepareTpchQuery(
+    const QueryShape& shape,
+    std::shared_ptr<const ResidentTpchTables> tables,
+    const std::string& backend_name) {
+  if (tables == nullptr) {
+    throw std::invalid_argument("PrepareTpchQuery: null resident tables");
+  }
+  const TpchQuery q = shape.query;
+  const auto require = [&](bool present, const char* name) {
+    if (!present) {
+      throw std::invalid_argument(std::string(TpchQueryName(q)) +
+                                  " requires resident table " + name);
+    }
+  };
+  if (detail::NeedsOrders(q)) require(tables->has_orders, "orders");
+  if (detail::NeedsCustomer(q)) require(tables->has_customer, "customer");
+  if (detail::NeedsPart(q)) require(tables->has_part, "part");
+
+  QueryPlanBundle bundle;
+  switch (q) {
+    case TpchQuery::kQ1:
+      bundle = BuildQ1Plan(tables->lineitem, shape.q1);
+      break;
+    case TpchQuery::kQ3:
+      bundle = BuildQ3Plan(tables->customer, tables->orders,
+                           tables->lineitem, shape.q3);
+      break;
+    case TpchQuery::kQ4:
+      bundle = BuildQ4Plan(tables->orders, tables->lineitem, shape.q4);
+      break;
+    case TpchQuery::kQ6:
+      bundle = BuildQ6Plan(tables->lineitem, shape.q6);
+      break;
+    case TpchQuery::kQ14:
+      bundle = BuildQ14Plan(tables->part, tables->lineitem, shape.q14);
+      break;
+  }
+  OptimizerOptions opt;
+  opt.pin_backend = backend_name;
+  PhysicalPlan physical = Optimize(bundle.plan, opt);
+  return std::make_shared<const PreparedTpchQuery>(
+      shape, std::move(tables), std::move(bundle), std::move(physical));
+}
+
+}  // namespace plan

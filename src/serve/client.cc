@@ -1,0 +1,117 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace serve {
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error("serve client: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path, const std::string& tenant,
+               TenantClass cls) {
+  if (socket_path.size() + 1 > sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("serve client: socket path too long: " +
+                             socket_path);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ThrowErrno("connect(" + socket_path + ") failed");
+  }
+
+  HelloRequest req;
+  req.tenant = tenant;
+  req.cls = cls;
+  Writer w;
+  Encode(req, w);
+  WriteFrame(fd_, MsgType::kHello, w.bytes());
+
+  MsgType type;
+  std::vector<uint8_t> payload;
+  if (!ReadFrame(fd_, &type, &payload)) {
+    throw std::runtime_error("serve client: server hung up during hello");
+  }
+  Reader r(payload);
+  if (type == MsgType::kError) {
+    throw std::runtime_error("serve client: hello rejected: " +
+                             DecodeErrorReply(r).message);
+  }
+  if (type != MsgType::kHelloOk) {
+    throw std::runtime_error("serve client: unexpected hello reply type");
+  }
+  hello_ = DecodeHelloReply(r);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), hello_(std::move(other.hello_)) {
+  other.fd_ = -1;
+}
+
+QueryReply Client::Query(const std::string& query_name) {
+  QueryRequest req;
+  req.query = query_name;
+  Writer w;
+  Encode(req, w);
+  WriteFrame(fd_, MsgType::kQuery, w.bytes());
+
+  MsgType type;
+  std::vector<uint8_t> payload;
+  if (!ReadFrame(fd_, &type, &payload)) {
+    throw std::runtime_error("serve client: server hung up during query");
+  }
+  Reader r(payload);
+  if (type == MsgType::kError) {
+    throw std::runtime_error("serve client: " + DecodeErrorReply(r).message);
+  }
+  if (type != MsgType::kQueryOk) {
+    throw std::runtime_error("serve client: unexpected query reply type");
+  }
+  return DecodeQueryReply(r);
+}
+
+StatsReply Client::Stats() {
+  WriteFrame(fd_, MsgType::kStats, {});
+  MsgType type;
+  std::vector<uint8_t> payload;
+  if (!ReadFrame(fd_, &type, &payload)) {
+    throw std::runtime_error("serve client: server hung up during stats");
+  }
+  Reader r(payload);
+  if (type != MsgType::kStatsOk) {
+    throw std::runtime_error("serve client: unexpected stats reply type");
+  }
+  return DecodeStatsReply(r);
+}
+
+void Client::Shutdown() {
+  WriteFrame(fd_, MsgType::kShutdown, {});
+  MsgType type;
+  std::vector<uint8_t> payload;
+  if (ReadFrame(fd_, &type, &payload) && type != MsgType::kShutdownOk) {
+    throw std::runtime_error("serve client: unexpected shutdown reply type");
+  }
+}
+
+}  // namespace serve

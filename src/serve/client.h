@@ -1,0 +1,52 @@
+// Client library for the resident query server.
+//
+// One Client is one session: it connects to the server's UNIX socket, sends
+// Hello (tenant name + QoS class), and then issues synchronous Query/Stats
+// requests. Not thread-safe — the protocol is strict request/response per
+// connection; concurrency comes from opening more clients (bench_serving
+// opens one per simulated session).
+#ifndef SERVE_CLIENT_H_
+#define SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/tenant.h"
+
+namespace serve {
+
+class Client {
+ public:
+  /// Connects and performs the Hello handshake. Throws std::runtime_error
+  /// when the socket or handshake fails.
+  Client(const std::string& socket_path, const std::string& tenant,
+         TenantClass cls);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Dataset/backend description from the Hello handshake.
+  const HelloReply& hello() const { return hello_; }
+
+  /// Runs one query ("q1" | "q3" | "q4" | "q6" | "q14"). Throws
+  /// std::runtime_error on a server-side error reply or transport failure;
+  /// an admission rejection returns normally with reply.rejected == true.
+  QueryReply Query(const std::string& query_name);
+
+  /// Server counters snapshot.
+  StatsReply Stats();
+
+  /// Asks the server to shut down (acknowledged before it begins).
+  void Shutdown();
+
+ private:
+  int fd_ = -1;
+  HelloReply hello_;
+};
+
+}  // namespace serve
+
+#endif  // SERVE_CLIENT_H_

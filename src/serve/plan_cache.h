@@ -1,0 +1,76 @@
+// Plan cache: optimized physical plans keyed by shape x stats x layout.
+//
+// Modeled on gpusim's OpenCL-style program cache (bcsim caches compiled
+// kernels per source hash): the expensive artifact — here an optimized
+// physical plan bound to resident tables — is produced once per key and
+// reused for every later request with the same key. The key
+// (plan::PlanCacheKey) covers everything the optimizer consumed: query shape
+// hash (query + parameters + encoding mode), table-stats fingerprint, pinned
+// backend, and device count, so any change that could invalidate the plan
+// changes the key and misses. On top of that, Clear() drops every entry when
+// the catalog's residency is replaced (reload/regeneration) — cached plans
+// point into the old residency, which stays alive (and correct) for
+// in-flight runs via the PreparedTpchQuery's shared_ptr, but must not be
+// served to new requests.
+#ifndef SERVE_PLAN_CACHE_H_
+#define SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "plan/fingerprint.h"
+#include "plan/prepared.h"
+
+namespace serve {
+
+class PlanCache {
+ public:
+  /// `capacity` bounds the entry count; least-recently-used entries evict.
+  explicit PlanCache(size_t capacity = 64);
+
+  /// Returns the cached plan and refreshes its recency, or nullptr (a miss).
+  std::shared_ptr<const plan::PreparedTpchQuery> Lookup(
+      const plan::PlanCacheKey& key);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the LRU entry when
+  /// over capacity.
+  void Insert(const plan::PlanCacheKey& key,
+              std::shared_ptr<const plan::PreparedTpchQuery> plan);
+
+  /// Drops every entry (catalog residency replaced). In-flight executions of
+  /// dropped plans finish safely — they co-own their tables.
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    plan::PlanCacheKey key;
+    std::shared_ptr<const plan::PreparedTpchQuery> plan;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<plan::PlanCacheKey, std::list<Entry>::iterator,
+                     plan::PlanCacheKeyHash>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace serve
+
+#endif  // SERVE_PLAN_CACHE_H_

@@ -1,0 +1,291 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+namespace serve {
+namespace {
+
+int MakeListener(const std::string& path) {
+  if (path.size() + 1 > sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // a stale socket file from a dead server
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("serve: bind/listen on " + path + " failed: " +
+                             err);
+  }
+  return fd;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(ServerOptions options)
+    : options_(std::move(options)),
+      catalog_(std::make_unique<ResidentCatalog>(options_.catalog)),
+      plan_cache_(options_.plan_cache_capacity) {
+  if (options_.use_governor) {
+    core::GovernorOptions gov;
+    gov.max_grant_fraction = options_.max_grant_fraction;
+    governor_ = std::make_unique<core::MemoryGovernor>(gov);
+  }
+  core::SchedulerOptions sched;
+  sched.backend_name = options_.catalog.backend;
+  sched.num_clients = options_.num_clients;
+  sched.queue_capacity = options_.queue_capacity;
+  sched.governor = governor_.get();
+  scheduler_ = std::make_unique<core::QueryScheduler>(sched);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+void QueryServer::Start() {
+  if (options_.socket_path.empty()) return;  // in-process only
+  listen_fd_ = MakeListener(options_.socket_path);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void QueryServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) t.join();
+
+  if (scheduler_ != nullptr) scheduler_->Shutdown();
+  if (governor_ != nullptr) governor_->Shutdown();
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+}
+
+void QueryServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+}
+
+Session QueryServer::OpenSession(const std::string& tenant, TenantClass cls) {
+  Session s;
+  s.id = next_session_.fetch_add(1);
+  s.cls = cls;
+  s.tenant = tenants_.Register(tenant, cls);
+  return s;
+}
+
+QueryReply QueryServer::Execute(const Session& session,
+                                const std::string& query_name) {
+  plan::QueryShape shape;
+  shape.query = plan::ParseTpchQuery(query_name);
+  shape.use_encoding = options_.catalog.use_encoding;
+
+  // Plan-cache lookup under the current residency snapshot. The key carries
+  // the snapshot's stats fingerprint, so a reloaded catalog (new row counts
+  // or encodings) can never serve a plan prepared against the old one.
+  const std::shared_ptr<const plan::ResidentTpchTables> resident =
+      catalog_->resident();
+  plan::PlanCacheKey key;
+  key.shape_hash = plan::QueryShapeHash(shape);
+  key.stats_fingerprint = resident->stats_fingerprint;
+  key.backend = options_.catalog.backend;
+  key.device_count = options_.device_count;
+
+  std::shared_ptr<const plan::PreparedTpchQuery> prepared =
+      plan_cache_.Lookup(key);
+  const bool cache_hit = prepared != nullptr;
+  if (!cache_hit) {
+    prepared = plan::PrepareTpchQuery(shape, resident,
+                                      options_.catalog.backend);
+    plan_cache_.Insert(key, prepared);
+  }
+
+  auto result = std::make_shared<plan::TpchQueryResult>();
+  auto done = std::make_shared<std::promise<core::QueryRecord>>();
+  std::future<core::QueryRecord> record_future = done->get_future();
+
+  core::SubmitOptions submit;
+  submit.footprint_bytes = prepared->footprint_bytes();
+  submit.deadline_ms = PolicyFor(session.cls).deadline_ms;
+  submit.tenant = session.tenant;
+  submit.on_complete = [done](const core::QueryRecord& r) {
+    done->set_value(r);
+  };
+  const core::ScheduledQueryStatus status = scheduler_->Submit(
+      query_name,
+      [prepared, result](core::Backend& backend) {
+        *result = prepared->Run(backend);
+      },
+      std::move(submit));
+  if (status != core::ScheduledQueryStatus::kAccepted) {
+    throw std::runtime_error("serve: scheduler is shut down");
+  }
+  const core::QueryRecord record = record_future.get();
+
+  QueryReply reply;
+  reply.query = shape.query;
+  reply.cache_hit = cache_hit;
+  reply.aged = record.aged;
+  reply.simulated_ns = record.simulated_ns;
+  reply.wall_ms = record.wall_ms;
+  reply.queue_wait_ms = record.queue_wait_ms;
+  reply.admission_wait_ms = record.admission_wait_ms;
+  if (record.admission_rejected) {
+    reply.rejected = true;
+    rejected_.fetch_add(1);
+    return reply;
+  }
+  if (!record.ok) {
+    failed_.fetch_add(1);
+    throw std::runtime_error("serve: query failed: " + record.error);
+  }
+  reply.result = std::move(*result);
+  ok_queries_.fetch_add(1);
+  return reply;
+}
+
+void QueryServer::ReloadCatalog(double scale_factor) {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  // Drain first so no in-flight query straddles the swap, then replace the
+  // residency and drop every cached plan — they point into the old snapshot.
+  scheduler_->Drain();
+  catalog_->Reload(scale_factor);
+  plan_cache_.Clear();
+}
+
+StatsReply QueryServer::Stats() const {
+  StatsReply s;
+  s.queries = ok_queries_.load();
+  s.rejected = rejected_.load();
+  s.failed = failed_.load();
+  const PlanCache::Stats cache = plan_cache_.stats();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_size = cache.size;
+  s.cache_evictions = cache.evictions;
+  const std::shared_ptr<const plan::ResidentTpchTables> resident =
+      catalog_->resident();
+  s.resident_bytes = resident->resident_bytes;
+  s.uploaded_bytes = resident->uploaded_bytes;
+  s.catalog_generation = catalog_->generation();
+  return s;
+}
+
+void QueryServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void QueryServer::ServeConnection(int fd) {
+  Session session;
+  bool greeted = false;
+
+  const auto send = [&](MsgType type, const auto& msg) {
+    Writer w;
+    Encode(msg, w);
+    WriteFrame(fd, type, w.bytes());
+  };
+  const auto send_error = [&](const std::string& message) {
+    ErrorReply err;
+    err.message = message;
+    send(MsgType::kError, err);
+  };
+
+  try {
+    MsgType type;
+    std::vector<uint8_t> payload;
+    while (ReadFrame(fd, &type, &payload)) {
+      Reader r(payload);
+      switch (type) {
+        case MsgType::kHello: {
+          const HelloRequest req = DecodeHelloRequest(r);
+          session = OpenSession(req.tenant, req.cls);
+          greeted = true;
+          HelloReply reply;
+          reply.scale_factor = options_.catalog.scale_factor;
+          reply.seed = options_.catalog.seed;
+          reply.backend = options_.catalog.backend;
+          reply.encoded = options_.catalog.use_encoding;
+          reply.session_id = session.id;
+          send(MsgType::kHelloOk, reply);
+          break;
+        }
+        case MsgType::kQuery: {
+          if (!greeted) {
+            send_error("query before hello");
+            break;
+          }
+          const QueryRequest req = DecodeQueryRequest(r);
+          try {
+            send(MsgType::kQueryOk, Execute(session, req.query));
+          } catch (const std::exception& e) {
+            send_error(e.what());
+          }
+          break;
+        }
+        case MsgType::kStats:
+          send(MsgType::kStatsOk, Stats());
+          break;
+        case MsgType::kShutdown: {
+          WriteFrame(fd, MsgType::kShutdownOk, {});
+          std::lock_guard<std::mutex> lock(shutdown_mu_);
+          shutdown_requested_ = true;
+          shutdown_cv_.notify_all();
+          break;
+        }
+        default:
+          send_error("unexpected message type");
+          break;
+      }
+    }
+  } catch (const std::exception&) {
+    // Socket torn down mid-frame (client died or Stop() hung up) — nothing
+    // to report to; the connection just ends.
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+}
+
+}  // namespace serve

@@ -1,0 +1,125 @@
+// The resident query server.
+//
+// QueryServer ties the serving tier together: a ResidentCatalog (tables
+// uploaded once, device-resident across requests), a PlanCache (optimized
+// physical plans reused across same-shape requests), a TenantRegistry
+// (QoS-class -> fair-share weights and deadline classes), and a
+// core::QueryScheduler + core::MemoryGovernor (tenant-weighted dequeue with
+// aging; memory admission for the per-run intermediates). Requests arrive
+// over the length-prefixed protocol (serve/protocol.h) on a UNIX domain
+// socket; each connection is one session served by its own thread, and
+// concurrency across sessions comes from the scheduler's client pool.
+//
+// Execute() is also callable in-process (no socket), which is how the tests
+// and the local mode of bench_serving drive the server.
+#ifndef SERVE_SERVER_H_
+#define SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/governor.h"
+#include "core/scheduler.h"
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "serve/tenant.h"
+
+namespace serve {
+
+struct ServerOptions {
+  /// UNIX-domain socket path; empty = in-process only (Start() still builds
+  /// the catalog/scheduler but no listener).
+  std::string socket_path;
+  CatalogOptions catalog;
+  unsigned num_clients = 4;      ///< scheduler client threads
+  size_t queue_capacity = 64;    ///< scheduler submission queue bound
+  size_t plan_cache_capacity = 64;
+  bool use_governor = true;      ///< memory admission for intermediates
+  double max_grant_fraction = 0.5;
+  /// Device layout the cached plans are keyed under. Execution here is
+  /// single-device; the key component exists so a relayout (sharded
+  /// execution across N devices) can never reuse a single-device plan.
+  int device_count = 1;
+};
+
+class QueryServer {
+ public:
+  explicit QueryServer(ServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds + listens on the socket (when configured) and starts accepting.
+  /// Throws std::runtime_error on socket errors.
+  void Start();
+
+  /// Stops accepting, hangs up every connection, drains the scheduler, and
+  /// joins all threads. Idempotent; called by the destructor. Must not be
+  /// called from a connection thread (a Shutdown request instead signals
+  /// WaitForShutdown and lets the waiter call Stop).
+  void Stop();
+
+  /// Blocks until a client sends Shutdown or Stop() is called.
+  void WaitForShutdown();
+
+  /// Registers a session (the in-process analogue of Hello).
+  Session OpenSession(const std::string& tenant, TenantClass cls);
+
+  /// Runs one query for a session: plan-cache lookup (miss -> prepare +
+  /// insert), tenant-weighted scheduling, memory admission, execution
+  /// against the resident tables. Throws std::invalid_argument for a bad
+  /// query name and std::runtime_error when execution fails; an admission
+  /// rejection is NOT an error — the reply comes back with rejected = true.
+  QueryReply Execute(const Session& session, const std::string& query_name);
+
+  /// Replaces the catalog residency (regenerate at `scale_factor` +
+  /// re-upload) and clears the plan cache. Serialized internally.
+  void ReloadCatalog(double scale_factor);
+
+  StatsReply Stats() const;
+
+  ResidentCatalog& catalog() { return *catalog_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  core::QueryScheduler& scheduler() { return *scheduler_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  ServerOptions options_;
+  std::unique_ptr<ResidentCatalog> catalog_;
+  std::unique_ptr<core::MemoryGovernor> governor_;
+  std::unique_ptr<core::QueryScheduler> scheduler_;
+  PlanCache plan_cache_;
+  TenantRegistry tenants_;
+
+  std::mutex reload_mu_;  ///< serializes ReloadCatalog
+  std::atomic<uint64_t> next_session_{0};
+  std::atomic<uint64_t> ok_queries_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> failed_{0};
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;  ///< guards conn_fds_ and conn_threads_
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+
+#endif  // SERVE_SERVER_H_

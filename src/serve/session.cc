@@ -1,0 +1,61 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "core/registry.h"
+
+namespace serve {
+
+ResidentCatalog::ResidentCatalog(CatalogOptions options)
+    : options_(std::move(options)),
+      backend_(core::BackendRegistry::Instance().Create(options_.backend)) {
+  Generate();
+  Upload();
+}
+
+plan::TpchHostTables ResidentCatalog::host() const {
+  plan::TpchHostTables t;
+  t.lineitem = &lineitem_;
+  t.orders = &orders_;
+  t.customer = &customer_;
+  t.part = &part_;
+  return t;
+}
+
+std::shared_ptr<const plan::ResidentTpchTables> ResidentCatalog::resident()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+uint64_t ResidentCatalog::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+void ResidentCatalog::Reload(double scale_factor) {
+  options_.scale_factor = scale_factor;
+  Generate();
+  Upload();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+}
+
+void ResidentCatalog::Generate() {
+  tpch::Config config;
+  config.scale_factor = options_.scale_factor;
+  config.seed = options_.seed;
+  lineitem_ = tpch::GenerateLineitem(config);
+  orders_ = tpch::GenerateOrders(config);
+  customer_ = tpch::GenerateCustomer(config);
+  part_ = tpch::GeneratePart(config);
+}
+
+void ResidentCatalog::Upload() {
+  std::shared_ptr<const plan::ResidentTpchTables> fresh =
+      plan::MakeResident(backend_->stream(), host(), options_.use_encoding);
+  std::lock_guard<std::mutex> lock(mu_);
+  resident_ = std::move(fresh);
+}
+
+}  // namespace serve

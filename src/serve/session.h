@@ -1,0 +1,94 @@
+// The server's resident catalog: host tables plus their device residency.
+//
+// A serving process generates (or, in a real system, loads) its tables once
+// and keeps them device-resident across every request — the coordinator/
+// long-lived-GPU-worker shape of "Accelerating Presto with GPUs" (PAPERS.md).
+// The catalog owns the host source of truth, the resident upload
+// (plan::ResidentTpchTables), and a generation counter: Reload() replaces
+// both and bumps the generation, which is the server's signal to clear the
+// plan cache. Residency snapshots are handed out as shared_ptr<const>, so
+// queries prepared against an old generation keep computing against their
+// own (consistent) snapshot while new requests see the new one.
+#ifndef SERVE_SESSION_H_
+#define SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/backend.h"
+#include "core/scheduler.h"
+#include "plan/prepared.h"
+#include "serve/tenant.h"
+#include "storage/table.h"
+#include "tpch/datagen.h"
+
+namespace serve {
+
+struct CatalogOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+  /// Upload via storage::UploadTableEncoded (encoded residency).
+  bool use_encoding = true;
+  /// Backend whose stream carries the uploads; also the backend every
+  /// cached plan is pinned to (must match the scheduler's backend).
+  std::string backend = "Handwritten";
+};
+
+/// Owns the TPC-H tables — host and device-resident — the server queries.
+/// Thread-safe for resident()/generation() against a concurrent Reload();
+/// the host-table accessors are only safe while no Reload is in flight (the
+/// server serializes reloads behind its own lock).
+class ResidentCatalog {
+ public:
+  explicit ResidentCatalog(CatalogOptions options);
+
+  const CatalogOptions& options() const { return options_; }
+
+  const storage::Table& lineitem() const { return lineitem_; }
+  const storage::Table& orders() const { return orders_; }
+  const storage::Table& customer() const { return customer_; }
+  const storage::Table& part() const { return part_; }
+  plan::TpchHostTables host() const;
+
+  /// Current residency snapshot (never null).
+  std::shared_ptr<const plan::ResidentTpchTables> resident() const;
+
+  /// Bumps on every Reload; generation 0 is the construction upload.
+  uint64_t generation() const;
+
+  /// Regenerates the tables at `scale_factor` (same seed) and replaces the
+  /// residency. Old snapshots stay alive as long as prepared plans hold
+  /// them. The caller must clear any plan cache keyed on the old stats.
+  void Reload(double scale_factor);
+
+  /// The stream the residency lives on (uploads are charged here).
+  gpusim::Stream& stream() { return backend_->stream(); }
+
+ private:
+  void Generate();  ///< fills host tables from options_.scale_factor
+  void Upload();    ///< replaces resident_ from the host tables
+
+  CatalogOptions options_;
+  std::unique_ptr<core::Backend> backend_;  ///< owns the upload stream
+  storage::Table lineitem_;
+  storage::Table orders_;
+  storage::Table customer_;
+  storage::Table part_;
+
+  mutable std::mutex mu_;  ///< guards resident_ and generation_
+  std::shared_ptr<const plan::ResidentTpchTables> resident_;
+  uint64_t generation_ = 0;
+};
+
+/// One client connection's registered identity.
+struct Session {
+  uint64_t id = 0;
+  core::TenantSpec tenant;
+  TenantClass cls = TenantClass::kBestEffort;
+};
+
+}  // namespace serve
+
+#endif  // SERVE_SESSION_H_

@@ -1,0 +1,61 @@
+#include "serve/tenant.h"
+
+#include <stdexcept>
+
+namespace serve {
+
+const char* TenantClassName(TenantClass cls) {
+  switch (cls) {
+    case TenantClass::kInteractive: return "interactive";
+    case TenantClass::kBatch: return "batch";
+    case TenantClass::kBestEffort: return "besteffort";
+  }
+  return "?";
+}
+
+TenantClass ParseTenantClass(const std::string& name) {
+  if (name == "interactive") return TenantClass::kInteractive;
+  if (name == "batch") return TenantClass::kBatch;
+  if (name == "besteffort" || name == "best-effort") {
+    return TenantClass::kBestEffort;
+  }
+  throw std::invalid_argument(
+      "unknown tenant class '" + name +
+      "' (expected interactive|batch|besteffort)");
+}
+
+TenantPolicy PolicyFor(TenantClass cls) {
+  TenantPolicy p;
+  switch (cls) {
+    case TenantClass::kInteractive:
+      p.weight = 8.0;
+      p.starvation_bound_ms = 250;
+      p.deadline_ms = 30'000;
+      break;
+    case TenantClass::kBatch:
+      p.weight = 2.0;
+      p.starvation_bound_ms = 2'000;
+      p.deadline_ms = 120'000;
+      break;
+    case TenantClass::kBestEffort:
+      p.weight = 1.0;
+      p.starvation_bound_ms = 5'000;
+      p.deadline_ms = 0;
+      break;
+  }
+  return p;
+}
+
+core::TenantSpec TenantRegistry::Register(const std::string& name,
+                                          TenantClass cls) {
+  const TenantPolicy policy = PolicyFor(cls);
+  core::TenantSpec spec;
+  spec.name = name;
+  spec.weight = policy.weight;
+  spec.starvation_bound_ms = policy.starvation_bound_ms;
+  std::lock_guard<std::mutex> lock(mu_);
+  spec.id = ids_.emplace(name, static_cast<int>(ids_.size())).first->second;
+  return spec;
+}
+
+}  // namespace serve

@@ -1,0 +1,59 @@
+// Per-tenant QoS policy of the serving tier.
+//
+// Tenants declare a priority class at Hello time; the class maps to a
+// core::TenantSpec (fair-share weight + starvation bound) and a deadline
+// class that the server attaches to every query the session submits. The
+// weights give an interactive tenant 4x a batch tenant's slots and 8x a
+// best-effort tenant's under contention, while the aging bounds guarantee
+// even the weight-1 class is served within its horizon of a flood
+// (core/scheduler.h documents the dequeue rule).
+#ifndef SERVE_TENANT_H_
+#define SERVE_TENANT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/scheduler.h"
+
+namespace serve {
+
+enum class TenantClass : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+  kBestEffort = 2,
+};
+
+const char* TenantClassName(TenantClass cls);
+
+/// Parses "interactive" | "batch" | "besteffort"/"best-effort" (throws
+/// std::invalid_argument).
+TenantClass ParseTenantClass(const std::string& name);
+
+/// The scheduling contract of one QoS class.
+struct TenantPolicy {
+  double weight = 1.0;               ///< fair-share weight
+  uint64_t starvation_bound_ms = 0;  ///< aging horizon (0 = none)
+  uint64_t deadline_ms = 0;          ///< per-query deadline class (0 = none)
+};
+
+/// Fixed class -> policy mapping (documented in DESIGN.md §12).
+TenantPolicy PolicyFor(TenantClass cls);
+
+/// Assigns stable small ids to tenant names and builds the TenantSpec a
+/// session submits under. Thread-safe (sessions register concurrently).
+class TenantRegistry {
+ public:
+  /// Returns the spec for (name, cls); the same name always maps to the
+  /// same id, so all of a tenant's sessions share one fair-share account.
+  core::TenantSpec Register(const std::string& name, TenantClass cls);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace serve
+
+#endif  // SERVE_TENANT_H_

@@ -1,0 +1,563 @@
+// Serving-tier tests: the shared percentile helper, plan fingerprints, the
+// LRU plan cache and its invalidation rules (changed table stats, device
+// count, backend, catalog reload), stale-plan lifetime safety, tenant QoS
+// dequeue (weighted fair share + aging) on the scheduler, admission fields
+// on rejected records, and the socket server end to end. Built into the
+// concurrency_tests binary, which CI also runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backends/backends.h"
+#include "core/governor.h"
+#include "core/metrics.h"
+#include "core/registry.h"
+#include "core/scheduler.h"
+#include "gpusim/device.h"
+#include "plan/fingerprint.h"
+#include "plan/prepared.h"
+#include "serve/client.h"
+#include "serve/plan_cache.h"
+#include "serve/server.h"
+#include "serve/tenant.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace serve {
+namespace {
+
+constexpr uint64_t kMiB = uint64_t{1} << 20;
+
+bool Near(double got, double want) {
+  return std::abs(got - want) <= std::abs(want) * 1e-9 + 1e-6;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { core::RegisterBuiltinBackends(); }
+};
+
+// --------------------------------------------------------------------------
+// core/metrics.h: the shared nearest-rank percentile helper
+// --------------------------------------------------------------------------
+
+TEST(MetricsTest, NearestRankPercentiles) {
+  EXPECT_EQ(core::PercentileOfSorted({}, 0.5), 0.0);
+  EXPECT_EQ(core::PercentileOfSorted({7.0}, 0.5), 7.0);
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(core::PercentileOfSorted(v, 0.0), 1.0);
+  EXPECT_EQ(core::PercentileOfSorted(v, 0.50), 2.0);  // ceil(.5*4) = rank 2
+  EXPECT_EQ(core::PercentileOfSorted(v, 0.75), 3.0);
+  EXPECT_EQ(core::PercentileOfSorted(v, 0.99), 4.0);
+  EXPECT_EQ(core::PercentileOfSorted(v, 1.0), 4.0);
+}
+
+TEST(MetricsTest, SummarizeLatenciesSortsItsInput) {
+  const core::LatencySummary s = core::SummarizeLatencies({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.p50, 2.0);
+  EXPECT_EQ(s.p95, 4.0);
+  EXPECT_EQ(s.p99, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+}
+
+// --------------------------------------------------------------------------
+// plan/fingerprint.h: shape hashes and table-stats fingerprints
+// --------------------------------------------------------------------------
+
+TEST(FingerprintTest, ShapeHashDiscriminatesQueryParamsAndEncoding) {
+  plan::QueryShape a;
+  a.query = plan::TpchQuery::kQ6;
+  plan::QueryShape same = a;
+  EXPECT_EQ(plan::QueryShapeHash(a), plan::QueryShapeHash(same));
+
+  plan::QueryShape params = a;
+  params.q6.quantity_hi += 1.0;
+  EXPECT_NE(plan::QueryShapeHash(a), plan::QueryShapeHash(params));
+
+  plan::QueryShape other_query = a;
+  other_query.query = plan::TpchQuery::kQ1;
+  EXPECT_NE(plan::QueryShapeHash(a), plan::QueryShapeHash(other_query));
+
+  plan::QueryShape encoded = a;
+  encoded.use_encoding = true;
+  EXPECT_NE(plan::QueryShapeHash(a), plan::QueryShapeHash(encoded));
+
+  // Only the active query's parameters discriminate: a q6 shape with
+  // different q1 parameters is still the same plan.
+  plan::QueryShape inactive = a;
+  inactive.q1.delta_days += 30;
+  EXPECT_EQ(plan::QueryShapeHash(a), plan::QueryShapeHash(inactive));
+}
+
+TEST_F(ServeTest, StatsFingerprintTracksRowCountAndEncoding) {
+  auto backend = core::BackendRegistry::Instance().Create(
+      backends::kHandwritten);
+  tpch::Config small;
+  small.scale_factor = 0.002;
+  tpch::Config big;
+  big.scale_factor = 0.004;
+  const storage::Table li_small = tpch::GenerateLineitem(small);
+  const storage::Table li_big = tpch::GenerateLineitem(big);
+  plan::TpchHostTables host_small;
+  host_small.lineitem = &li_small;
+  plan::TpchHostTables host_big;
+  host_big.lineitem = &li_big;
+
+  const auto small_raw =
+      plan::MakeResident(backend->stream(), host_small, false);
+  const auto small_raw_again =
+      plan::MakeResident(backend->stream(), host_small, false);
+  const auto small_encoded =
+      plan::MakeResident(backend->stream(), host_small, true);
+  const auto big_raw = plan::MakeResident(backend->stream(), host_big, false);
+
+  // Same upload -> same fingerprint; changed row count or encoding -> new.
+  EXPECT_EQ(small_raw->stats_fingerprint, small_raw_again->stats_fingerprint);
+  EXPECT_NE(small_raw->stats_fingerprint, big_raw->stats_fingerprint);
+  EXPECT_NE(small_raw->stats_fingerprint, small_encoded->stats_fingerprint);
+}
+
+// --------------------------------------------------------------------------
+// serve/plan_cache.h: LRU behavior and key sensitivity
+// --------------------------------------------------------------------------
+
+/// One real prepared plan to store under synthetic keys.
+std::shared_ptr<const plan::PreparedTpchQuery> MakeAnyPlan(
+    core::Backend& backend, const storage::Table& lineitem) {
+  plan::TpchHostTables host;
+  host.lineitem = &lineitem;
+  plan::QueryShape shape;
+  shape.query = plan::TpchQuery::kQ6;
+  return plan::PrepareTpchQuery(shape,
+                                plan::MakeResident(backend.stream(), host,
+                                                   /*use_encoding=*/false),
+                                backends::kHandwritten);
+}
+
+TEST_F(ServeTest, PlanCacheLruEvictsLeastRecentlyUsed) {
+  auto backend = core::BackendRegistry::Instance().Create(
+      backends::kHandwritten);
+  tpch::Config config;
+  config.scale_factor = 0.002;
+  const storage::Table lineitem = tpch::GenerateLineitem(config);
+  const auto plan = MakeAnyPlan(*backend, lineitem);
+
+  PlanCache cache(/*capacity=*/2);
+  const plan::PlanCacheKey k1{1, 10, "Handwritten", 1};
+  const plan::PlanCacheKey k2{2, 10, "Handwritten", 1};
+  const plan::PlanCacheKey k3{3, 10, "Handwritten", 1};
+
+  EXPECT_EQ(cache.Lookup(k1), nullptr);
+  cache.Insert(k1, plan);
+  cache.Insert(k2, plan);
+  EXPECT_NE(cache.Lookup(k1), nullptr);  // refreshes k1; k2 is now LRU
+  cache.Insert(k3, plan);                // evicts k2
+  EXPECT_EQ(cache.Lookup(k2), nullptr);
+  EXPECT_NE(cache.Lookup(k3), nullptr);
+
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.Lookup(k1), nullptr);
+}
+
+TEST_F(ServeTest, AnyKeyComponentChangeMissesTheCache) {
+  auto backend = core::BackendRegistry::Instance().Create(
+      backends::kHandwritten);
+  tpch::Config config;
+  config.scale_factor = 0.002;
+  const storage::Table lineitem = tpch::GenerateLineitem(config);
+
+  PlanCache cache(4);
+  const plan::PlanCacheKey key{7, 9, "Handwritten", 1};
+  cache.Insert(key, MakeAnyPlan(*backend, lineitem));
+
+  plan::PlanCacheKey stats = key;
+  stats.stats_fingerprint += 1;  // e.g. reloaded tables, new row count
+  plan::PlanCacheKey devices = key;
+  devices.device_count = 2;  // relayout across more devices
+  plan::PlanCacheKey other_backend = key;
+  other_backend.backend = "Thrust";
+  plan::PlanCacheKey shape = key;
+  shape.shape_hash += 1;
+
+  EXPECT_FALSE(key == stats);
+  EXPECT_FALSE(key == devices);
+  EXPECT_EQ(cache.Lookup(stats), nullptr);
+  EXPECT_EQ(cache.Lookup(devices), nullptr);
+  EXPECT_EQ(cache.Lookup(other_backend), nullptr);
+  EXPECT_EQ(cache.Lookup(shape), nullptr);
+  EXPECT_NE(cache.Lookup(key), nullptr);
+}
+
+// --------------------------------------------------------------------------
+// The server: reload invalidation, stale-plan safety, socket end to end
+// --------------------------------------------------------------------------
+
+TEST_F(ServeTest, ReloadInvalidatesPlanCacheAndServesNewData) {
+  ServerOptions options;  // empty socket path: in-process only
+  options.catalog.scale_factor = 0.004;
+  options.num_clients = 2;
+  QueryServer server(options);
+  server.Start();
+  const Session session =
+      server.OpenSession("tenant-a", TenantClass::kInteractive);
+
+  const QueryReply first = server.Execute(session, "q6");
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(first.rejected);
+  const double ref_small = tpch::ReferenceQ6(server.catalog().lineitem());
+  EXPECT_TRUE(Near(first.result.scalar, ref_small));
+
+  const QueryReply second = server.Execute(session, "q6");
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.scalar, first.result.scalar);
+  // Timing determinism: replaying the cached plan charges the same
+  // simulated work, so the simulated latency is bit-identical.
+  EXPECT_EQ(second.simulated_ns, first.simulated_ns);
+
+  // Reload at a different scale factor: new row counts -> new stats
+  // fingerprint -> the cached plan can never be served again.
+  server.ReloadCatalog(0.008);
+  const QueryReply third = server.Execute(session, "q6");
+  EXPECT_FALSE(third.cache_hit) << "changed table stats must miss";
+  const double ref_big = tpch::ReferenceQ6(server.catalog().lineitem());
+  EXPECT_TRUE(Near(third.result.scalar, ref_big));
+  EXPECT_NE(third.result.scalar, first.result.scalar)
+      << "reloaded catalog should produce a different answer";
+
+  const StatsReply stats = server.Stats();
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.catalog_generation, 1u);
+}
+
+TEST_F(ServeTest, StalePreparedPlanKeepsItsResidencySnapshotAlive) {
+  ServerOptions options;
+  options.catalog.scale_factor = 0.004;
+  QueryServer server(options);
+  server.Start();
+
+  // Prepare a plan against the current residency, then reload the catalog
+  // out from under it. The plan co-owns its snapshot, so running it is safe
+  // by construction and still answers from the OLD data.
+  plan::QueryShape shape;
+  shape.query = plan::TpchQuery::kQ6;
+  shape.use_encoding = options.catalog.use_encoding;
+  auto stale = plan::PrepareTpchQuery(shape, server.catalog().resident(),
+                                      backends::kHandwritten);
+  const double old_ref = tpch::ReferenceQ6(server.catalog().lineitem());
+
+  server.ReloadCatalog(0.008);
+  const double new_ref = tpch::ReferenceQ6(server.catalog().lineitem());
+  ASSERT_FALSE(Near(old_ref, new_ref));
+
+  auto backend = core::BackendRegistry::Instance().Create(
+      backends::kHandwritten);
+  const plan::TpchQueryResult result = stale->Run(*backend);
+  EXPECT_TRUE(Near(result.scalar, old_ref));
+}
+
+TEST_F(ServeTest, SocketServerEndToEnd) {
+  ServerOptions options;
+  options.socket_path =
+      "/tmp/serve_test_" + std::to_string(::getpid()) + ".sock";
+  options.catalog.scale_factor = 0.004;
+  options.num_clients = 2;
+  QueryServer server(options);
+  server.Start();
+
+  Client client(options.socket_path, "socket-tenant",
+                TenantClass::kInteractive);
+  EXPECT_EQ(client.hello().scale_factor, 0.004);
+  EXPECT_EQ(client.hello().backend, backends::kHandwritten);
+  EXPECT_TRUE(client.hello().encoded);
+
+  const QueryReply first = client.Query("q6");
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(
+      Near(first.result.scalar,
+           tpch::ReferenceQ6(server.catalog().lineitem())));
+  const QueryReply second = client.Query("q6");
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.scalar, first.result.scalar);
+
+  // A bad query name comes back as an error reply; the connection (and the
+  // session) keep working afterwards.
+  EXPECT_THROW(client.Query("q99"), std::runtime_error);
+  const QueryReply q1 = client.Query("q1");
+  const std::vector<tpch::Q1Row> ref_q1 =
+      tpch::ReferenceQ1(server.catalog().lineitem());
+  ASSERT_EQ(q1.result.q1.size(), ref_q1.size());
+  for (size_t i = 0; i < ref_q1.size(); ++i) {
+    EXPECT_EQ(q1.result.q1[i].count_order, ref_q1[i].count_order);
+    EXPECT_TRUE(Near(q1.result.q1[i].sum_qty, ref_q1[i].sum_qty));
+  }
+
+  const StatsReply stats = client.Stats();
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+
+  client.Shutdown();
+  server.WaitForShutdown();
+  server.Stop();
+}
+
+// --------------------------------------------------------------------------
+// Tenant policy and registry
+// --------------------------------------------------------------------------
+
+TEST(TenantTest, PolicyOrdersClassesAndParsesNames) {
+  const TenantPolicy interactive = PolicyFor(TenantClass::kInteractive);
+  const TenantPolicy batch = PolicyFor(TenantClass::kBatch);
+  const TenantPolicy best_effort = PolicyFor(TenantClass::kBestEffort);
+  EXPECT_GT(interactive.weight, batch.weight);
+  EXPECT_GT(batch.weight, best_effort.weight);
+  // Lower-priority classes tolerate longer waits before the aging boost.
+  EXPECT_LT(interactive.starvation_bound_ms, batch.starvation_bound_ms);
+  EXPECT_LT(batch.starvation_bound_ms, best_effort.starvation_bound_ms);
+
+  EXPECT_EQ(ParseTenantClass("interactive"), TenantClass::kInteractive);
+  EXPECT_EQ(ParseTenantClass("batch"), TenantClass::kBatch);
+  EXPECT_EQ(ParseTenantClass("besteffort"), TenantClass::kBestEffort);
+  EXPECT_EQ(ParseTenantClass("best-effort"), TenantClass::kBestEffort);
+  EXPECT_THROW(ParseTenantClass("realtime"), std::invalid_argument);
+}
+
+TEST(TenantTest, RegistryAssignsStableIdsPerName) {
+  TenantRegistry registry;
+  const core::TenantSpec a1 =
+      registry.Register("alice", TenantClass::kInteractive);
+  const core::TenantSpec a2 =
+      registry.Register("alice", TenantClass::kInteractive);
+  const core::TenantSpec b = registry.Register("bob", TenantClass::kBatch);
+  EXPECT_EQ(a1.id, a2.id) << "sessions of one tenant share an account";
+  EXPECT_NE(a1.id, b.id);
+  EXPECT_GT(a1.weight, b.weight);
+  EXPECT_EQ(a1.name, "alice");
+}
+
+// --------------------------------------------------------------------------
+// core/scheduler.h: tenant-weighted dequeue, aging, rejected-record fields
+// --------------------------------------------------------------------------
+
+class QosSchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { core::RegisterBuiltinBackends(); }
+
+  core::SchedulerOptions Opts(unsigned clients, size_t capacity = 32) {
+    core::SchedulerOptions o;
+    o.backend_name = backends::kHandwritten;
+    o.num_clients = clients;
+    o.queue_capacity = capacity;
+    return o;
+  }
+
+  /// Blocks the (single) client until Release(), so a batch of submissions
+  /// queues up and the dequeue order is decided in one deterministic pass.
+  core::QueryFn Gate() {
+    return [this](core::Backend&) {
+      std::unique_lock<std::mutex> lock(gate_mu_);
+      gate_running_ = true;
+      gate_cv_.notify_all();
+      gate_cv_.wait(lock, [&] { return gate_open_; });
+    };
+  }
+  void AwaitGateRunning() {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    gate_cv_.wait(lock, [&] { return gate_running_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    gate_open_ = true;
+    gate_cv_.notify_all();
+  }
+
+  /// Query fn that appends its label to the shared execution-order log.
+  core::QueryFn Logged(const std::string& label) {
+    return [this, label](core::Backend&) {
+      std::lock_guard<std::mutex> lock(order_mu_);
+      order_.push_back(label);
+    };
+  }
+  std::vector<std::string> Order() {
+    std::lock_guard<std::mutex> lock(order_mu_);
+    return order_;
+  }
+
+ private:
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  bool gate_running_ = false;
+  bool gate_open_ = false;
+  std::mutex order_mu_;
+  std::vector<std::string> order_;
+};
+
+TEST_F(QosSchedulerTest, WeightedFairShareInterleavesByWeight) {
+  core::QueryScheduler scheduler(Opts(1));
+  scheduler.Submit("gate", Gate());
+  AwaitGateRunning();
+
+  core::TenantSpec heavy{0, "heavy", 4.0, 0};
+  core::TenantSpec light{1, "light", 1.0, 0};
+  const auto submit = [&](const std::string& label,
+                          const core::TenantSpec& tenant) {
+    core::SubmitOptions submit_opts;
+    submit_opts.tenant = tenant;
+    scheduler.Submit(label, Logged(label), submit_opts);
+  };
+  // Interleaved submission order; fair share must reorder it 4:1.
+  submit("A0", heavy);
+  submit("B0", light);
+  submit("A1", heavy);
+  submit("B1", light);
+  submit("A2", heavy);
+  submit("B2", light);
+  submit("A3", heavy);
+  submit("B3", light);
+  Release();
+  scheduler.Drain();
+
+  // Start-time fair queuing with weights 4:1: A pays 0.25 virtual service
+  // per query, B pays 1.0, ties go to the earlier submission.
+  const std::vector<std::string> expected = {"A0", "B0", "A1", "A2",
+                                             "A3", "B1", "B2", "B3"};
+  EXPECT_EQ(Order(), expected);
+
+  // Tenant identity lands on the records.
+  for (const core::QueryRecord& r : scheduler.Records()) {
+    if (r.label == "gate") continue;
+    EXPECT_EQ(r.tenant, r.label[0] == 'A' ? "heavy" : "light");
+    EXPECT_GE(r.queue_wait_ms, 0.0);
+  }
+}
+
+TEST_F(QosSchedulerTest, AgingBoundsStarvationOfALowWeightTenant) {
+  core::QueryScheduler scheduler(Opts(1));
+
+  // Phase 1: the starved tenant runs once at a tiny weight, pushing its
+  // virtual service far ahead — pure fair share would now park it behind
+  // any fresh tenant for a long time.
+  core::TenantSpec starved{7, "starved", 0.001, 60};
+  {
+    core::SubmitOptions submit_opts;
+    submit_opts.tenant = starved;
+    scheduler.Submit("warmup", Logged("warmup"), submit_opts);
+  }
+  scheduler.Drain();
+
+  // Phase 2: queue one starved-tenant query behind a fresh tenant's burst
+  // and let it sit past its starvation bound before the queue drains.
+  scheduler.Submit("gate", Gate());
+  AwaitGateRunning();
+  core::TenantSpec fresh{8, "fresh", 1.0, 0};
+  {
+    core::SubmitOptions submit_opts;
+    submit_opts.tenant = starved;
+    scheduler.Submit("L", Logged("L"), submit_opts);
+  }
+  for (int i = 0; i < 4; ++i) {
+    core::SubmitOptions submit_opts;
+    submit_opts.tenant = fresh;
+    scheduler.Submit("H" + std::to_string(i), Logged("H" + std::to_string(i)),
+                     submit_opts);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  Release();
+  scheduler.Drain();
+
+  // The aging rule must pull L to the very front despite its huge virtual
+  // service debt.
+  const std::vector<std::string> order = Order();
+  ASSERT_EQ(order.size(), 6u);  // warmup + L + 4x H
+  EXPECT_EQ(order[1], "L") << "aged query must preempt fair-share order";
+
+  for (const core::QueryRecord& r : scheduler.Records()) {
+    if (r.label == "L") {
+      EXPECT_TRUE(r.aged);
+      EXPECT_GT(r.queue_wait_ms, 60.0);
+    } else {
+      EXPECT_FALSE(r.aged);
+    }
+  }
+}
+
+TEST_F(QosSchedulerTest, RejectedAdmissionPopulatesRecordAndCallback) {
+  // Private governed device so this test cannot disturb (or be disturbed
+  // by) the default device other tests upload to.
+  gpusim::DeviceProperties props;
+  props.global_memory_bytes = kMiB;
+  gpusim::Device device(props);
+  core::GovernorOptions governor_opts;
+  governor_opts.device = &device;
+  governor_opts.queue_timeout_ms = 50;
+  core::MemoryGovernor governor(governor_opts);
+
+  core::SchedulerOptions opts = Opts(2);
+  opts.governor = &governor;
+  opts.retry.max_attempts = 1;
+  core::QueryScheduler scheduler(opts);
+
+  // The hog is granted the whole device and sits on it past the victim's
+  // admission timeout.
+  std::atomic<bool> hog_running{false};
+  core::SubmitOptions hog_submit;
+  hog_submit.footprint_bytes = kMiB;
+  scheduler.Submit(
+      "hog",
+      [&](core::Backend&) {
+        hog_running.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      },
+      hog_submit);
+  while (!hog_running.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::promise<core::QueryRecord> done;
+  std::atomic<bool> victim_ran{false};
+  core::SubmitOptions victim_submit;
+  victim_submit.footprint_bytes = kMiB;
+  victim_submit.tenant = core::TenantSpec{3, "victim-tenant", 2.0, 0};
+  victim_submit.on_complete = [&](const core::QueryRecord& r) {
+    done.set_value(r);
+  };
+  scheduler.Submit("victim", [&](core::Backend&) { victim_ran.store(true); },
+                   victim_submit);
+
+  // The completion callback fires even though the query never executed, and
+  // the record carries the full admission/governor story.
+  const core::QueryRecord record = done.get_future().get();
+  EXPECT_FALSE(record.ok);
+  EXPECT_TRUE(record.admission_rejected);
+  EXPECT_TRUE(record.admission_queued)
+      << "a queued-then-timed-out rejection must report that it waited";
+  EXPECT_EQ(record.footprint_bytes, kMiB);
+  EXPECT_EQ(record.granted_bytes, 0u);
+  EXPECT_GT(record.admission_wait_ms, 0.0);
+  EXPECT_EQ(record.tenant_id, 3);
+  EXPECT_EQ(record.tenant, "victim-tenant");
+  EXPECT_FALSE(victim_ran.load()) << "rejected query must never execute";
+  scheduler.Drain();
+}
+
+}  // namespace
+}  // namespace serve
