@@ -1,0 +1,584 @@
+// Chaos acceptance gate for device-loss-tolerant sharded execution and the
+// hardened serving tier.
+//
+// Phase A — degraded-mode sweep: for every seed x query, a 4-device
+// gpusim::DeviceGroup runs the query sharded while one victim device takes a
+// sticky DeviceLost mid-run (per-device injector, seeded) and every device
+// carries a low-probability transient TransferFault rule. The run must
+// complete in degraded mode on the survivors, every answer must match the
+// host reference, and no run may fail permanently while at least one device
+// survives. A zero-fault gate then re-runs each query with armed but
+// rule-less injectors and demands a simulated timeline bit-identical to the
+// bare group — the fault plumbing must be timing-invisible when silent.
+//
+// Phase B — serving tier under attack: a QueryServer takes a connection
+// flood past its cap (typed kOverloaded with retry-after), a stream of
+// malformed/truncated/oversized frames (typed kError, counted, never fatal),
+// and a tripped per-device breaker (queries shed until the half-open probe
+// heals it). The server must never crash and must still answer correctly
+// afterwards.
+//
+// Exit codes: 0 ok, 2 permanent query failure, 3 wrong answer, 4 zero-fault
+// timeline drift, 5 serving-tier failure, 64 usage.
+//
+// Usage:
+//   bench_chaos_multidevice [--seeds=1,2,3,4,5] [--sf=0.02]
+//                           [--queries=q1,q3,q4,q6,q14] [--shards=8]
+//                           [--skip-server] [--json=FILE]
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backends/backends.h"
+#include "core/registry.h"
+#include "core/resilience.h"
+#include "gpusim/device_group.h"
+#include "gpusim/fault.h"
+#include "plan/exchange.h"
+#include "plan/partition.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "tpch/datagen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+constexpr int kExitPermanentFailure = 2;
+constexpr int kExitWrongAnswer = 3;
+constexpr int kExitTimelineDrift = 4;
+constexpr int kExitServerFailure = 5;
+
+struct Options {
+  std::vector<uint64_t> seeds = {1, 2, 3, 4, 5};
+  double scale_factor = 0.02;
+  std::vector<std::string> queries = {"q1", "q3", "q4", "q6", "q14"};
+  size_t force_shards = 8;
+  bool skip_server = false;
+  std::string json_path;
+};
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    const size_t comma = s.find(',', pos);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--seeds=")) {
+      opts->seeds.clear();
+      for (const auto& s : SplitCsv(v)) opts->seeds.push_back(std::stoull(s));
+    } else if (const char* v = value("--sf=")) {
+      opts->scale_factor = std::stod(v);
+    } else if (const char* v = value("--queries=")) {
+      opts->queries = SplitCsv(v);
+    } else if (const char* v = value("--shards=")) {
+      opts->force_shards = std::stoul(v);
+    } else if (arg == "--skip-server") {
+      opts->skip_server = true;
+    } else if (const char* v = value("--json=")) {
+      opts->json_path = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opts->seeds.empty() && !opts->queries.empty();
+}
+
+struct References {
+  std::vector<tpch::Q1Row> q1;
+  std::vector<tpch::Q3Row> q3;
+  std::vector<tpch::Q4Row> q4;
+  double q6 = 0;
+  double q14 = 0;
+};
+
+bool Near(double got, double want) {
+  return std::abs(got - want) <= std::abs(want) * 1e-9 + 1e-6;
+}
+
+bool Verify(plan::TpchQuery q, const plan::TpchQueryResult& got,
+            const References& ref, std::string* why) {
+  switch (q) {
+    case plan::TpchQuery::kQ1: {
+      if (got.q1.size() != ref.q1.size()) {
+        *why = "q1 row count mismatch";
+        return false;
+      }
+      for (size_t i = 0; i < ref.q1.size(); ++i) {
+        const tpch::Q1Row& g = got.q1[i];
+        const tpch::Q1Row& w = ref.q1[i];
+        if (g.returnflag != w.returnflag || g.linestatus != w.linestatus ||
+            g.count_order != w.count_order || !Near(g.sum_qty, w.sum_qty) ||
+            !Near(g.sum_charge, w.sum_charge) ||
+            !Near(g.avg_price, w.avg_price)) {
+          *why = "q1 row " + std::to_string(i) + " mismatch";
+          return false;
+        }
+      }
+      return true;
+    }
+    case plan::TpchQuery::kQ3: {
+      if (got.q3.size() != ref.q3.size()) {
+        *why = "q3 row count mismatch";
+        return false;
+      }
+      for (size_t i = 0; i < ref.q3.size(); ++i) {
+        if (got.q3[i].orderkey != ref.q3[i].orderkey ||
+            !Near(got.q3[i].revenue, ref.q3[i].revenue)) {
+          *why = "q3 row " + std::to_string(i) + " mismatch";
+          return false;
+        }
+      }
+      return true;
+    }
+    case plan::TpchQuery::kQ4: {
+      if (got.q4.size() != ref.q4.size()) {
+        *why = "q4 row count mismatch";
+        return false;
+      }
+      for (size_t i = 0; i < ref.q4.size(); ++i) {
+        if (got.q4[i].orderpriority != ref.q4[i].orderpriority ||
+            got.q4[i].order_count != ref.q4[i].order_count) {
+          *why = "q4 row " + std::to_string(i) + " mismatch";
+          return false;
+        }
+      }
+      return true;
+    }
+    case plan::TpchQuery::kQ6:
+      if (!Near(got.scalar, ref.q6)) {
+        *why = "q6 scalar mismatch";
+        return false;
+      }
+      return true;
+    case plan::TpchQuery::kQ14:
+      if (!Near(got.scalar, ref.q14)) {
+        *why = "q14 scalar mismatch";
+        return false;
+      }
+      return true;
+  }
+  *why = "unknown query";
+  return false;
+}
+
+struct ChaosPoint {
+  uint64_t seed = 0;
+  std::string query;
+  int victim = 0;
+  int devices_lost = 0;
+  int recovery_rounds = 0;
+  size_t replaced_shards = 0;
+  uint64_t transfer_retries = 0;
+  uint64_t sim_ns = 0;
+  bool ok = true;
+};
+
+/// Arms the per-seed fault schedule on a fresh 4-device group: a sticky
+/// DeviceLost on the victim's kernel stream plus low-probability transient
+/// TransferFaults on every device.
+int ArmChaos(gpusim::DeviceGroup& group, uint64_t seed) {
+  const int victim = static_cast<int>(seed % 4);
+  for (int d = 0; d < group.size(); ++d) {
+    gpusim::FaultInjector& inj = group.ArmFaultInjector(d, seed);
+    gpusim::FaultRule transient;
+    transient.site = gpusim::FaultSite::kTransfer;
+    transient.kind = gpusim::FaultKind::kTransfer;
+    transient.probability = 0.03;
+    transient.max_fires = 2;
+    inj.AddRule(transient);
+    if (d == victim) {
+      gpusim::FaultRule kill;
+      kill.site = gpusim::FaultSite::kKernel;
+      kill.kind = gpusim::FaultKind::kDeviceLost;
+      kill.at_call = 2 + seed % 7;
+      inj.AddRule(kill);
+    }
+  }
+  return victim;
+}
+
+int RunChaosSweep(const Options& opts, const plan::TpchHostTables& tables,
+                  const References& ref, std::vector<ChaosPoint>* points) {
+  std::printf("%6s %5s %7s %5s %7s %9s %8s %11s %5s\n", "seed", "query",
+              "victim", "lost", "rounds", "replaced", "retries", "sim_ms",
+              "ok");
+  for (const uint64_t seed : opts.seeds) {
+    for (const std::string& qname : opts.queries) {
+      const plan::TpchQuery q = plan::ParseTpchQuery(qname);
+      gpusim::DeviceGroup group(4);
+      ChaosPoint p;
+      p.seed = seed;
+      p.query = qname;
+      p.victim = ArmChaos(group, seed);
+
+      plan::ShardedQueryOptions sq;
+      sq.force_shards = opts.force_shards;
+      plan::ShardedRunStats stats;
+      plan::TpchQueryResult result;
+      try {
+        result = plan::RunSharded(q, tables, group, backends::kHandwritten,
+                                  sq, &stats);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "  PERMANENT seed=%llu %s: %s (alive=%d of 4)\n",
+                     static_cast<unsigned long long>(seed), qname.c_str(),
+                     e.what(), group.AliveCount());
+        return kExitPermanentFailure;
+      }
+
+      p.devices_lost = stats.devices_lost;
+      p.recovery_rounds = stats.recovery_rounds;
+      p.replaced_shards = stats.replaced_shards;
+      p.transfer_retries = stats.transfer_retries;
+      p.sim_ns = stats.simulated_ns;
+
+      std::string why;
+      if (!Verify(q, result, ref, &why)) {
+        std::fprintf(stderr, "  WRONG seed=%llu %s: %s\n",
+                     static_cast<unsigned long long>(seed), qname.c_str(),
+                     why.c_str());
+        p.ok = false;
+      }
+      if (group.IsAlive(p.victim)) {
+        std::fprintf(stderr,
+                     "  seed=%llu %s: victim %d survived — fault schedule "
+                     "never fired\n",
+                     static_cast<unsigned long long>(seed), qname.c_str(),
+                     p.victim);
+        p.ok = false;
+      }
+
+      std::printf("%6llu %5s %7d %5d %7d %9zu %8llu %11.3f %5s\n",
+                  static_cast<unsigned long long>(seed), qname.c_str(),
+                  p.victim, p.devices_lost, p.recovery_rounds,
+                  p.replaced_shards,
+                  static_cast<unsigned long long>(p.transfer_retries),
+                  p.sim_ns / 1e6, p.ok ? "OK" : "WRONG");
+      const bool ok = p.ok;
+      points->push_back(std::move(p));
+      if (!ok) return kExitWrongAnswer;
+    }
+  }
+  return 0;
+}
+
+/// Zero-fault gate: armed but rule-less injectors must not move the
+/// simulated timeline by a single nanosecond versus a bare group.
+int RunZeroFaultGate(const Options& opts, const plan::TpchHostTables& tables) {
+  for (const std::string& qname : opts.queries) {
+    const plan::TpchQuery q = plan::ParseTpchQuery(qname);
+    plan::ShardedQueryOptions sq;
+    sq.force_shards = opts.force_shards;
+
+    gpusim::DeviceGroup bare(4);
+    plan::ShardedRunStats bare_stats;
+    (void)plan::RunSharded(q, tables, bare, backends::kHandwritten, sq,
+                           &bare_stats);
+
+    gpusim::DeviceGroup armed(4);
+    for (int d = 0; d < armed.size(); ++d) armed.ArmFaultInjector(d, 7);
+    plan::ShardedRunStats armed_stats;
+    (void)plan::RunSharded(q, tables, armed, backends::kHandwritten, sq,
+                           &armed_stats);
+
+    if (armed_stats.simulated_ns != bare_stats.simulated_ns) {
+      std::fprintf(stderr,
+                   "  DRIFT %s: armed %llu ns != bare %llu ns\n",
+                   qname.c_str(),
+                   static_cast<unsigned long long>(armed_stats.simulated_ns),
+                   static_cast<unsigned long long>(bare_stats.simulated_ns));
+      return kExitTimelineDrift;
+    }
+    std::printf("  zero-fault %-4s %llu ns (bit-identical)\n", qname.c_str(),
+                static_cast<unsigned long long>(bare_stats.simulated_ns));
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: the serving tier under flood, garbage, and a tripped breaker.
+
+int RawConnect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SendRaw(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: the server may hang up mid-blob; that is the scenario
+    // under test, not a reason to die of SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+struct ServerOutcome {
+  uint64_t shed = 0;
+  uint64_t malformed = 0;
+  bool healed = false;
+  bool ok = false;
+};
+
+int RunServerPhase(ServerOutcome* outcome) {
+  core::ResilienceManager& rm = core::ResilienceManager::Global();
+  rm.Reset();
+
+  serve::ServerOptions options;
+  options.socket_path =
+      "/tmp/bench_chaos_srv_" + std::to_string(::getpid()) + ".sock";
+  options.catalog.scale_factor = 0.004;
+  options.max_connections = 4;
+  serve::QueryServer server(options);
+  server.Start();
+  const double ref_q6 = tpch::ReferenceQ6(server.catalog().lineitem());
+
+  serve::Client client(options.socket_path, "chaos", serve::TenantClass::kInteractive);
+  if (!Near(client.Query("q6").result.scalar, ref_q6)) {
+    std::fprintf(stderr, "  server: wrong q6 before any chaos\n");
+    return kExitServerFailure;
+  }
+
+  // Connection flood past the cap: the shed reply must be typed.
+  {
+    std::vector<serve::Client> holders;
+    for (size_t i = 1; i < options.max_connections; ++i) {
+      holders.emplace_back(options.socket_path, "holder",
+                           serve::TenantClass::kBatch);
+    }
+    const int fd = RawConnect(options.socket_path);
+    if (fd < 0) {
+      std::fprintf(stderr, "  server: flood connect failed\n");
+      return kExitServerFailure;
+    }
+    serve::MsgType type;
+    std::vector<uint8_t> payload;
+    bool got = false;
+    try {
+      got = serve::ReadFrame(fd, &type, &payload);
+    } catch (const std::exception&) {
+    }
+    ::close(fd);
+    if (!got || type != serve::MsgType::kOverloaded) {
+      std::fprintf(stderr,
+                   "  server: flood got no typed kOverloaded reply\n");
+      return kExitServerFailure;
+    }
+  }
+
+  // Malformed-frame storm: oversized length prefix, truncated header, and
+  // seeded random blobs. None may kill the server.
+  {
+    const int fd = RawConnect(options.socket_path);
+    serve::Writer w;
+    w.U32(serve::kMaxFrameBytes + 1);
+    w.U8(static_cast<uint8_t>(serve::MsgType::kQuery));
+    SendRaw(fd, w.bytes());
+    ::close(fd);
+  }
+  {
+    const int fd = RawConnect(options.socket_path);
+    SendRaw(fd, {0xba, 0xad});
+    ::close(fd);
+  }
+  std::mt19937_64 rng(4242);
+  for (int i = 0; i < 16; ++i) {
+    const int fd = RawConnect(options.socket_path);
+    if (fd < 0) continue;
+    std::vector<uint8_t> blob(1 + rng() % 48);
+    for (uint8_t& b : blob) b = static_cast<uint8_t>(rng());
+    if (blob.size() >= 5 &&
+        blob[4] == static_cast<uint8_t>(serve::MsgType::kShutdown)) {
+      blob[4] = 0x7f;
+    }
+    SendRaw(fd, blob);
+    ::close(fd);
+  }
+
+  // Sticky device loss behind the serving backend: the per-device breaker
+  // opens, admission sheds with retry-after, and the half-open probe heals.
+  rm.RecordFailure(options.catalog.backend, 0);
+  rm.RecordFailure(options.catalog.backend, 0);
+  rm.RecordFailure(options.catalog.backend, 0);
+  const serve::QueryReply shed = client.Query("q6");
+  if (!shed.overloaded || shed.retry_after_ms == 0) {
+    std::fprintf(stderr, "  server: open breaker did not shed\n");
+    return kExitServerFailure;
+  }
+  for (int i = 0; i < 64 && !outcome->healed; ++i) {
+    const serve::QueryReply reply = client.Query("q6");
+    if (!reply.overloaded) {
+      outcome->healed = true;
+      if (!Near(reply.result.scalar, ref_q6)) {
+        std::fprintf(stderr, "  server: wrong q6 after breaker heal\n");
+        return kExitServerFailure;
+      }
+    }
+  }
+  if (!outcome->healed) {
+    std::fprintf(stderr, "  server: breaker probe never admitted\n");
+    return kExitServerFailure;
+  }
+
+  // The garbage senders hung up without reading replies, so their
+  // connection threads may still be draining; poll until the counters
+  // catch up.
+  serve::StatsReply stats = client.Stats();
+  for (int i = 0; i < 500 && stats.malformed < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stats = client.Stats();
+  }
+  outcome->shed = stats.overloaded;
+  outcome->malformed = stats.malformed;
+  if (stats.malformed < 2) {
+    std::fprintf(stderr, "  server: malformed frames not counted\n");
+    return kExitServerFailure;
+  }
+
+  client.Shutdown();
+  server.WaitForShutdown();
+  server.Stop();
+  rm.Reset();
+  outcome->ok = true;
+  std::printf("  server: shed=%llu malformed=%llu healed=yes\n",
+              static_cast<unsigned long long>(outcome->shed),
+              static_cast<unsigned long long>(outcome->malformed));
+  return 0;
+}
+
+int Run(const Options& opts) {
+  core::RegisterBuiltinBackends();
+
+  tpch::Config config;
+  config.scale_factor = opts.scale_factor;
+  const storage::Table lineitem = tpch::GenerateLineitem(config);
+  const storage::Table orders = tpch::GenerateOrders(config);
+  const storage::Table customer = tpch::GenerateCustomer(config);
+  const storage::Table part = tpch::GeneratePart(config);
+
+  plan::TpchHostTables tables;
+  tables.lineitem = &lineitem;
+  tables.orders = &orders;
+  tables.customer = &customer;
+  tables.part = &part;
+
+  References ref;
+  ref.q1 = tpch::ReferenceQ1(lineitem);
+  ref.q3 = tpch::ReferenceQ3(customer, orders, lineitem);
+  ref.q4 = tpch::ReferenceQ4(orders, lineitem);
+  ref.q6 = tpch::ReferenceQ6(lineitem);
+  ref.q14 = tpch::ReferenceQ14(part, lineitem);
+
+  std::printf("bench_chaos_multidevice: sf=%g rows(lineitem)=%zu seeds=%zu "
+              "shards=%zu\n\n",
+              opts.scale_factor, lineitem.num_rows(), opts.seeds.size(),
+              opts.force_shards);
+
+  std::printf("phase A: device-loss chaos sweep (4 devices, one victim per "
+              "seed)\n");
+  std::vector<ChaosPoint> points;
+  int rc = RunChaosSweep(opts, tables, ref, &points);
+  if (rc != 0) return rc;
+
+  std::printf("\nphase A gate: zero-fault timeline\n");
+  rc = RunZeroFaultGate(opts, tables);
+  if (rc != 0) return rc;
+
+  ServerOutcome server_outcome;
+  if (!opts.skip_server) {
+    std::printf("\nphase B: serving tier under flood + garbage + breaker\n");
+    rc = RunServerPhase(&server_outcome);
+    if (rc != 0) return rc;
+  }
+
+  std::printf("\nall degraded runs correct, zero-fault timeline identical%s: "
+              "OK\n",
+              opts.skip_server ? "" : ", server hardened");
+
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path);
+    out << "{\n  \"scale_factor\": " << opts.scale_factor << ",\n"
+        << "  \"force_shards\": " << opts.force_shards << ",\n"
+        << "  \"all_ok\": true,\n"
+        << "  \"server\": {\"ran\": " << (opts.skip_server ? "false" : "true")
+        << ", \"shed\": " << server_outcome.shed
+        << ", \"malformed\": " << server_outcome.malformed
+        << ", \"breaker_healed\": "
+        << (server_outcome.healed ? "true" : "false") << "},\n"
+        << "  \"chaos\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ChaosPoint& p = points[i];
+      out << "    {\"seed\": " << p.seed << ", \"query\": \"" << p.query
+          << "\", \"victim\": " << p.victim
+          << ", \"devices_lost\": " << p.devices_lost
+          << ", \"recovery_rounds\": " << p.recovery_rounds
+          << ", \"replaced_shards\": " << p.replaced_shards
+          << ", \"transfer_retries\": " << p.transfer_retries
+          << ", \"sim_ns\": " << p.sim_ns
+          << ", \"ok\": " << (p.ok ? "true" : "false") << "}"
+          << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", opts.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    std::fprintf(stderr,
+                 "usage: %s [--seeds=1,2,3] [--sf=F] "
+                 "[--queries=q1,q3,q4,q6,q14] [--shards=N] [--skip-server] "
+                 "[--json=FILE]\n",
+                 argv[0]);
+    return 64;
+  }
+  try {
+    return Run(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_chaos_multidevice: %s\n", e.what());
+    return kExitPermanentFailure;
+  }
+}

@@ -27,16 +27,25 @@
 // smoke job does this); dataset parameters then come from the handshake.
 //
 // Usage:
+// --probe-malformed additionally throws a burst of garbage frames
+// (truncated headers, oversized length prefixes, random blobs) at the
+// socket before the steady phase and gates on the server answering them
+// with typed errors, counting them, and staying fully functional.
+//
+// Usage:
 //   bench_serving [--sessions=1200] [--per-session=2] [--drivers=16]
 //                 [--queries=q1,q3,q4,q6,q14] [--flood-conns=6]
 //                 [--probe-queries=120] [--min-hit-rate=0.9]
 //                 [--sf=0.01] [--seed=42] [--backend=Handwritten]
 //                 [--clients=4] [--no-encoding] [--connect=SOCKET]
-//                 [--json=FILE]
+//                 [--probe-malformed] [--json=FILE]
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -73,6 +82,7 @@ struct Options {
   unsigned server_clients = 4;
   bool use_encoding = true;
   std::string connect_path;  ///< non-empty: drive an external server
+  bool probe_malformed = false;  ///< garbage-frame probe before steady phase
   std::string json_path;
 };
 
@@ -122,6 +132,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->use_encoding = false;
     } else if (const char* v = value("--connect=")) {
       opts->connect_path = v;
+    } else if (arg == "--probe-malformed") {
+      opts->probe_malformed = true;
     } else if (const char* v = value("--json=")) {
       opts->json_path = v;
     } else {
@@ -287,6 +299,118 @@ constexpr serve::TenantClass kClasses[] = {serve::TenantClass::kInteractive,
                                            serve::TenantClass::kBestEffort};
 constexpr size_t kNumClasses = 3;
 
+int RawConnect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SendRaw(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: the server may hang up mid-blob; that is the scenario
+    // under test, not a reason to die of SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// The adversarial warm-up: garbage frames that the server must answer with
+/// typed errors (or hang up on) without crashing or losing the socket.
+/// Returns false when the server misbehaves.
+bool RunMalformedProbe(const std::string& socket_path) {
+  // Oversized length prefix: must be rejected before any allocation and
+  // answered with a typed kError.
+  {
+    const int fd = RawConnect(socket_path);
+    if (fd < 0) {
+      std::fprintf(stderr, "malformed probe: connect failed\n");
+      return false;
+    }
+    serve::Writer w;
+    w.U32(serve::kMaxFrameBytes + 1);
+    w.U8(static_cast<uint8_t>(serve::MsgType::kQuery));
+    SendRaw(fd, w.bytes());
+    serve::MsgType type;
+    std::vector<uint8_t> payload;
+    bool got = false;
+    try {
+      got = serve::ReadFrame(fd, &type, &payload);
+    } catch (const std::exception&) {
+    }
+    ::close(fd);
+    if (!got || type != serve::MsgType::kError) {
+      std::fprintf(stderr,
+                   "malformed probe: oversized frame got no typed error\n");
+      return false;
+    }
+  }
+  // Truncated header, then random blobs (type byte steered away from
+  // kShutdown so a lucky frame cannot legitimately stop the server).
+  {
+    const int fd = RawConnect(socket_path);
+    if (fd < 0) return false;
+    SendRaw(fd, {0xfe, 0xed});
+    ::close(fd);
+  }
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 12; ++i) {
+    const int fd = RawConnect(socket_path);
+    if (fd < 0) return false;
+    std::vector<uint8_t> blob(1 + next() % 40);
+    for (uint8_t& b : blob) b = static_cast<uint8_t>(next());
+    if (blob.size() >= 5 &&
+        blob[4] == static_cast<uint8_t>(serve::MsgType::kShutdown)) {
+      blob[4] = 0x7f;
+    }
+    SendRaw(fd, blob);
+    ::close(fd);
+  }
+  // The server must still greet, answer, and have counted the garbage.
+  try {
+    serve::Client client(socket_path, "malformed-probe",
+                         serve::TenantClass::kBestEffort);
+    // The blob senders hung up without reading replies, so their connection
+    // threads may still be draining; poll until the counters catch up.
+    serve::StatsReply stats = client.Stats();
+    for (int i = 0; i < 500 && stats.malformed < 2; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      stats = client.Stats();
+    }
+    if (stats.malformed < 2) {
+      std::fprintf(stderr,
+                   "malformed probe: server counted %llu malformed frames, "
+                   "expected >= 2\n",
+                   static_cast<unsigned long long>(stats.malformed));
+      return false;
+    }
+    std::printf("malformed probe: server survived, counted %llu garbage "
+                "frames\n",
+                static_cast<unsigned long long>(stats.malformed));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "malformed probe: server unusable after: %s\n",
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
 /// Phase 1: `sessions` short sessions round-robin across the three classes,
 /// driven by a pool of threads. Session i gets class i % 3 and runs
 /// per_session queries from the mix, so every class sees every shape.
@@ -448,6 +572,12 @@ int Run(const Options& opts) {
       sf, static_cast<unsigned long long>(seed), backend.c_str(),
       encoded ? "on" : "off", opts.sessions, opts.per_session, opts.drivers);
   const References ref = ComputeReferences(sf, seed);
+
+  if (opts.probe_malformed && !RunMalformedProbe(socket_path)) {
+    if (server != nullptr) server->Stop();
+    std::printf("bench_serving: FAIL\n");
+    return 1;
+  }
 
   const std::vector<Samples> steady =
       RunSteadyPhase(opts, socket_path, ref);

@@ -1,5 +1,7 @@
 #include "core/resilience.h"
 
+#include "gpusim/device.h"
+
 namespace core {
 
 const char* CircuitStateName(CircuitBreaker::State state) {
@@ -88,27 +90,53 @@ ResilienceManager& ResilienceManager::Global() {
   return *manager;
 }
 
-CircuitBreaker& ResilienceManager::BreakerFor(const std::string& backend) {
+std::string ResilienceManager::Key(const std::string& backend, int device) {
+  return backend + "@" + std::to_string(device);
+}
+
+int ResilienceManager::CurrentDevice() {
+  return gpusim::Device::Current().ordinal();
+}
+
+CircuitBreaker& ResilienceManager::BreakerFor(const std::string& backend,
+                                              int device) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = breakers_[backend];
+  auto& slot = breakers_[Key(backend, device)];
   if (!slot) slot = std::make_unique<CircuitBreaker>(breaker_options_);
   return *slot;
 }
 
 bool ResilienceManager::Allow(const std::string& backend) {
-  return BreakerFor(backend).Allow();
+  return Allow(backend, CurrentDevice());
 }
 
 void ResilienceManager::RecordSuccess(const std::string& backend) {
-  BreakerFor(backend).RecordSuccess();
+  RecordSuccess(backend, CurrentDevice());
 }
 
 void ResilienceManager::RecordFailure(const std::string& backend) {
-  BreakerFor(backend).RecordFailure();
+  RecordFailure(backend, CurrentDevice());
 }
 
 CircuitBreaker::State ResilienceManager::StateOf(const std::string& backend) {
-  return BreakerFor(backend).state();
+  return StateOf(backend, CurrentDevice());
+}
+
+bool ResilienceManager::Allow(const std::string& backend, int device) {
+  return BreakerFor(backend, device).Allow();
+}
+
+void ResilienceManager::RecordSuccess(const std::string& backend, int device) {
+  BreakerFor(backend, device).RecordSuccess();
+}
+
+void ResilienceManager::RecordFailure(const std::string& backend, int device) {
+  BreakerFor(backend, device).RecordFailure();
+}
+
+CircuitBreaker::State ResilienceManager::StateOf(const std::string& backend,
+                                                 int device) {
+  return BreakerFor(backend, device).state();
 }
 
 ResilienceStats ResilienceManager::Snapshot() const {

@@ -8,13 +8,21 @@
 //                  wall time, so runs stay deterministic) one half-open
 //                  probe is admitted, and its outcome closes or re-opens
 //                  the circuit.
-// ResilienceManager one breaker per backend name plus process-wide
-//                  ResilienceStats counters. The Hybrid dispatcher and the
-//                  plan optimizer consult it to route cost dispatch around
-//                  unhealthy backends; the scheduler feeds it per-query
-//                  outcomes. A process-wide instance (Global()) is the
-//                  default so breaker state opened by a running query is
-//                  visible to the next plan optimization.
+// ResilienceManager one breaker per (backend name, device ordinal) plus
+//                  process-wide ResilienceStats counters. The Hybrid
+//                  dispatcher and the plan optimizer consult it to route
+//                  cost dispatch around unhealthy backends; the scheduler
+//                  feeds it per-query outcomes. A process-wide instance
+//                  (Global()) is the default so breaker state opened by a
+//                  running query is visible to the next plan optimization.
+//                  Keying by device ordinal too means one device's sticky
+//                  DeviceLost opens only that device's breaker — the same
+//                  backend on healthy siblings of a DeviceGroup keeps
+//                  serving. The single-string overloads resolve the ordinal
+//                  from the calling thread's gpusim::Device::Current(), so
+//                  sharded workers (which run under a DeviceGuard) are
+//                  scoped automatically and single-device callers keep the
+//                  exact behaviour they had (everything lands on ordinal 0).
 #ifndef CORE_RESILIENCE_H_
 #define CORE_RESILIENCE_H_
 
@@ -104,11 +112,13 @@ struct ResilienceStats {
   uint64_t breaker_opens = 0;
   uint64_t breaker_half_opens = 0;
   uint64_t breaker_closes = 0;
-  std::vector<std::string> open_backends;  ///< circuits not closed right now
+  /// Circuits not closed right now, as "backend@ordinal" keys.
+  std::vector<std::string> open_backends;
 };
 
-/// One CircuitBreaker per backend name + shared ResilienceStats counters.
-/// Thread-safe; breakers are created on first touch.
+/// One CircuitBreaker per (backend name, device ordinal) + shared
+/// ResilienceStats counters. Thread-safe; breakers are created on first
+/// touch.
 class ResilienceManager {
  public:
   explicit ResilienceManager(CircuitBreakerOptions breaker_options = {})
@@ -117,10 +127,20 @@ class ResilienceManager {
   /// Process-wide instance used by default everywhere.
   static ResilienceManager& Global();
 
+  /// Single-string overloads resolve the device ordinal from the calling
+  /// thread's current gpusim device (0 outside any DeviceGuard).
   bool Allow(const std::string& backend);
   void RecordSuccess(const std::string& backend);
   void RecordFailure(const std::string& backend);
   CircuitBreaker::State StateOf(const std::string& backend);
+
+  /// Explicit-ordinal overloads for callers that track fleet health for a
+  /// device other than the thread's current one (the serving tier's
+  /// admission gate, tests).
+  bool Allow(const std::string& backend, int device);
+  void RecordSuccess(const std::string& backend, int device);
+  void RecordFailure(const std::string& backend, int device);
+  CircuitBreaker::State StateOf(const std::string& backend, int device);
 
   void NoteFaultSeen() { faults_seen_.fetch_add(1, relaxed); }
   void NoteRetry(uint64_t backoff_ns) {
@@ -141,7 +161,12 @@ class ResilienceManager {
  private:
   static constexpr std::memory_order relaxed = std::memory_order_relaxed;
 
-  CircuitBreaker& BreakerFor(const std::string& backend);
+  /// Composes the breaker key "backend@ordinal".
+  static std::string Key(const std::string& backend, int device);
+  /// The calling thread's device ordinal (Current device, 0 by default).
+  static int CurrentDevice();
+
+  CircuitBreaker& BreakerFor(const std::string& backend, int device);
 
   CircuitBreakerOptions breaker_options_;
   mutable std::mutex mu_;  // guards breakers_ (map shape only)

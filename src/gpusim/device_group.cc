@@ -20,14 +20,53 @@ DeviceGroup::DeviceGroup(int num_devices, const GroupTopology& topology,
     throw std::invalid_argument("DeviceGroup needs at least one device");
   }
   devices_.reserve(static_cast<size_t>(num_devices));
+  lost_.reserve(static_cast<size_t>(num_devices));
+  injectors_.resize(static_cast<size_t>(num_devices));
   for (int i = 0; i < num_devices; ++i) {
     devices_.push_back(
         std::make_unique<Device>(props, host_threads_per_device));
+    devices_.back()->set_ordinal(i);
+    lost_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
   exchanged_.reserve(static_cast<size_t>(num_devices) * num_devices);
   for (int i = 0; i < num_devices * num_devices; ++i) {
     exchanged_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
+}
+
+FaultInjector& DeviceGroup::ArmFaultInjector(int i, uint64_t seed) {
+  auto& slot = injectors_[static_cast<size_t>(i)];
+  if (slot == nullptr) {
+    // Mix the device index into the seed (SplitMix64 finalizer) so sibling
+    // devices armed from one base seed draw independent schedules.
+    uint64_t mixed = seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1);
+    mixed = (mixed ^ (mixed >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    mixed = (mixed ^ (mixed >> 27)) * 0x94d049bb133111ebULL;
+    mixed ^= mixed >> 31;
+    slot = std::make_unique<FaultInjector>(mixed);
+    device(i).set_fault_injector(slot.get());
+  }
+  return *slot;
+}
+
+void DeviceGroup::MarkLost(int i) {
+  lost_[static_cast<size_t>(i)]->store(true, std::memory_order_release);
+}
+
+bool DeviceGroup::IsAlive(int i) const {
+  return !lost_[static_cast<size_t>(i)]->load(std::memory_order_acquire);
+}
+
+std::vector<int> DeviceGroup::AliveDevices() const {
+  std::vector<int> alive;
+  for (int i = 0; i < size(); ++i) {
+    if (IsAlive(i)) alive.push_back(i);
+  }
+  return alive;
+}
+
+int DeviceGroup::AliveCount() const {
+  return static_cast<int>(AliveDevices().size());
 }
 
 bool DeviceGroup::IsPeer(int src, int dst) const {
@@ -82,6 +121,14 @@ void DeviceGroup::ChargeExchange(int src, Stream& src_stream, int dst,
   if (src == dst) {
     src_stream.ChargeTransfer(Stream::TransferKind::kDeviceToDevice, bytes);
     return;
+  }
+  // Consult the source device's fault plan BEFORE pricing anything: a faulted
+  // exchange leaves both timelines untouched, so a replay charges exactly
+  // once. (ChargeOverhead below has no fault hook of its own.)
+  if (FaultInjector* inj = device(src).fault_injector()) {
+    const FaultKind kind =
+        inj->Check(FaultSite::kTransfer, src_stream.id(), src_stream.label());
+    if (kind != FaultKind::kNone) ThrowFault(kind, FaultSite::kTransfer);
   }
   const LinkPath path = Link(src, dst);
   const uint64_t t = TransferNs(src, dst, bytes);

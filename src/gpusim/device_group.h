@@ -13,6 +13,15 @@
 // completion (Record/Wait) and is then charged nothing extra — matching how
 // cudaMemcpyPeerAsync serializes against both streams. Per-pair byte totals
 // and per-device p2p/via-host counters feed the multi-device benches.
+//
+// Fleet health is first-class: each device can carry its own seeded
+// FaultInjector (ArmFaultInjector), so fault rules — a sticky DeviceLost, a
+// transient p2p-link TransferFault — are scoped to one device of the group.
+// ChargeExchange consults the source device's injector at the transfer site
+// BEFORE pricing anything, so a faulted exchange leaves both timelines
+// untouched and a replay charges exactly once. MarkLost/IsAlive track which
+// devices a sharded run may still place work on (plan::RunSharded drives
+// this during shard-level recovery).
 #ifndef GPUSIM_DEVICE_GROUP_H_
 #define GPUSIM_DEVICE_GROUP_H_
 
@@ -21,6 +30,7 @@
 #include <vector>
 
 #include "gpusim/device.h"
+#include "gpusim/fault.h"
 #include "gpusim/stream.h"
 
 namespace gpusim {
@@ -90,6 +100,31 @@ class DeviceGroup {
   /// Sum of committed peak bytes across devices, and the per-device peaks.
   std::vector<uint64_t> PerDevicePeakBytes() const;
 
+  // -- Fleet health ---------------------------------------------------------
+
+  /// Creates (or returns) a group-owned FaultInjector for device `i`, seeded
+  /// from `seed` mixed with the device index, and attaches it to the device.
+  /// Rules added to it are scoped to that device alone. The injector lives
+  /// as long as the group.
+  FaultInjector& ArmFaultInjector(int i, uint64_t seed);
+
+  /// The injector attached to device `i` (owned or external), or nullptr.
+  FaultInjector* fault_injector(int i) const {
+    return device(i).fault_injector();
+  }
+
+  /// Marks a device as permanently gone for placement purposes. Sticky:
+  /// there is no way back (a lost CUDA context never returns). Idempotent.
+  void MarkLost(int i);
+
+  /// True while MarkLost has not been called for the device.
+  bool IsAlive(int i) const;
+
+  /// Devices still alive, in ascending order (possibly empty).
+  std::vector<int> AliveDevices() const;
+
+  int AliveCount() const;
+
  private:
   size_t PairIndex(int src, int dst) const {
     return static_cast<size_t>(src) * devices_.size() +
@@ -100,6 +135,9 @@ class DeviceGroup {
   std::vector<std::unique_ptr<Device>> devices_;
   /// Flat [src][dst] matrix of exchanged bytes.
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> exchanged_;
+  /// Per-device liveness (true = lost); owned injectors parallel devices_.
+  std::vector<std::unique_ptr<std::atomic<bool>>> lost_;
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
 };
 
 }  // namespace gpusim

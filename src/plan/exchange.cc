@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "core/registry.h"
+#include "core/resilience.h"
+#include "gpusim/fault.h"
 #include "plan/explain.h"
 #include "plan/optimizer.h"
 #include "plan/partition_detail.h"
@@ -56,7 +58,10 @@ uint64_t EstimatePartialBytes(TpchQuery q, size_t shard_rows) {
 }
 
 /// Per-device state of one sharded run; the backend outlives the worker
-/// thread so the coordinator can charge exchanges against its stream.
+/// thread so the coordinator can charge exchanges against its stream. The
+/// state persists across recovery rounds: a surviving device that takes
+/// replacement slices keeps its backend, stream timeline, and accumulated
+/// partials.
 struct WorkerState {
   std::unique_ptr<core::Backend> backend;
   detail::Partials partials;
@@ -64,12 +69,21 @@ struct WorkerState {
   uint64_t broadcast_bytes = 0;
   uint64_t start_ns = 0;
   std::exception_ptr error;
+  /// The device fired a sticky DeviceLost during this round. Unlike `error`
+  /// this is recoverable: `unfinished` holds the slices that still need a
+  /// home, and `partials` keeps everything the device finished before dying.
+  bool device_lost = false;
+  std::vector<std::pair<size_t, size_t>> unfinished;
 };
 
-/// Runs one device's shard list: bind the device, build a private backend,
-/// admit against the device's governor, broadcast the build-side tables,
-/// then execute each slice exactly as the single-device partitioned path
-/// does (upload, pinned plan, accumulate).
+/// Runs one device's shard list: bind the device, build a private backend
+/// (or reuse the round-1 backend on a recovery round), admit against the
+/// device's governor, broadcast the build-side tables, then execute each
+/// slice exactly as the single-device partitioned path does (upload, pinned
+/// plan, accumulate). A sticky DeviceLost is caught here: the device is
+/// marked dead in the group, its per-device breaker records the failure, the
+/// governor grant is returned, and the slices that did not finish are
+/// reported for re-placement.
 void RunDeviceShards(TpchQuery q, const TpchHostTables& tables,
                      gpusim::DeviceGroup& group, int d,
                      const std::string& backend_name,
@@ -78,13 +92,18 @@ void RunDeviceShards(TpchQuery q, const TpchHostTables& tables,
                      WorkerState& ws) {
   bool admitted = false;
   uint64_t stream_id = 0;
+  size_t next_range = 0;  // first range not yet accumulated
+  ws.device_lost = false;
+  ws.unfinished.clear();
   try {
     gpusim::Device& dev = group.device(d);
     gpusim::Device::DeviceGuard guard(dev);
-    ws.backend = core::BackendRegistry::Instance().Create(backend_name);
+    if (ws.backend == nullptr) {
+      ws.backend = core::BackendRegistry::Instance().Create(backend_name);
+      ws.start_ns = ws.backend->stream().now_ns();
+    }
     gpusim::Stream& stream = ws.backend->stream();
     stream_id = stream.id();
-    ws.start_ns = stream.now_ns();
 
     if (options.governor != nullptr) {
       const core::AdmissionTicket ticket = options.governor->Admit(
@@ -100,32 +119,46 @@ void RunDeviceShards(TpchQuery q, const TpchHostTables& tables,
     {
       gpusim::Device::ReservationScope scope(dev, stream_id);
       const auto upload = [&](const storage::Table& t, uint64_t* bytes) {
-        if (options.use_encoding) {
-          return storage::UploadTableEncoded(stream, t, bytes);
+        // Transient wire faults replay the upload, mirroring the executor's
+        // node-replay policy; simulated time of failed attempts stays
+        // charged. DeviceLost is sticky and escapes to the recovery path.
+        for (int attempt = 1;; ++attempt) {
+          try {
+            if (options.use_encoding) {
+              return storage::UploadTableEncoded(stream, t, bytes);
+            }
+            if (bytes != nullptr) *bytes = detail::HostTableBytes(t);
+            return storage::UploadTable(stream, t);
+          } catch (const gpusim::TransferFault&) {
+            core::ResilienceManager::Global().NoteFaultSeen();
+            if (attempt >= 4) throw;
+            core::ResilienceManager::Global().NoteRetry(0);
+          }
         }
-        if (bytes != nullptr) *bytes = detail::HostTableBytes(t);
-        return storage::UploadTable(stream, t);
       };
 
       storage::DeviceTable orders, customer, part;
+      uint64_t bcast = 0;
       uint64_t b = 0;
       if (detail::NeedsOrders(q)) {
         orders = upload(*tables.orders, &b);
-        ws.broadcast_bytes += b;
+        bcast += b;
       }
       if (detail::NeedsCustomer(q)) {
         customer = upload(*tables.customer, &b);
-        ws.broadcast_bytes += b;
+        bcast += b;
       }
       if (detail::NeedsPart(q)) {
         part = upload(*tables.part, &b);
-        ws.broadcast_bytes += b;
+        bcast += b;
       }
-      ws.stats.upload_bytes += ws.broadcast_bytes;
+      ws.broadcast_bytes += bcast;
+      ws.stats.upload_bytes += bcast;
 
       OptimizerOptions opt;
       opt.pin_backend = ws.backend->name();
-      for (const auto& [lo, hi] : ranges) {
+      for (; next_range < ranges.size(); ++next_range) {
+        const auto& [lo, hi] = ranges[next_range];
         if (lo >= hi) continue;  // orderkey alignment emptied this range
         const storage::Table slice = detail::SliceTable(*tables.lineitem, lo, hi);
         uint64_t slice_bytes = 0;
@@ -143,6 +176,20 @@ void RunDeviceShards(TpchQuery q, const TpchHostTables& tables,
     }
     ws.stats.busy_ns = ws.backend->stream().now_ns() - ws.start_ns;
     if (admitted) options.governor->Release(d, stream_id);
+  } catch (const gpusim::DeviceLost&) {
+    if (admitted) options.governor->Release(d, stream_id);
+    group.MarkLost(d);
+    core::ResilienceManager::Global().RecordFailure(backend_name, d);
+    ws.device_lost = true;
+    ws.stats.lost = true;
+    // The slice in flight (nothing of it was accumulated) and everything
+    // after it still need a home; finished slices stay in ws.partials.
+    for (size_t i = next_range; i < ranges.size(); ++i) {
+      ws.unfinished.push_back(ranges[i]);
+    }
+    if (ws.backend != nullptr) {
+      ws.stats.busy_ns = ws.backend->stream().now_ns() - ws.start_ns;
+    }
   } catch (...) {
     if (admitted) options.governor->Release(d, stream_id);
     ws.error = std::current_exception();
@@ -357,11 +404,20 @@ TpchQueryResult RunSharded(TpchQuery query, const TpchHostTables& tables,
   const bool align = detail::NeedsOrders(query);
   const std::vector<size_t> bounds =
       detail::PartitionBounds(*tables.lineitem, shards, align);
+  // Shards are dealt round-robin over the devices alive at planning time —
+  // with every device healthy this is exactly `s % nd`, so the healthy-path
+  // placement (and therefore the simulated timeline) is unchanged.
   std::vector<std::vector<std::pair<size_t, size_t>>> assigned(
       static_cast<size_t>(nd));
-  for (size_t s = 0; s + 1 < bounds.size(); ++s) {
-    assigned[s % static_cast<size_t>(nd)].emplace_back(bounds[s],
-                                                       bounds[s + 1]);
+  {
+    const std::vector<int> alive = group.AliveDevices();
+    if (alive.empty()) {
+      throw gpusim::DeviceLost("sharded run: no live device in the group");
+    }
+    for (size_t s = 0; s + 1 < bounds.size(); ++s) {
+      const int d = alive[s % alive.size()];
+      assigned[static_cast<size_t>(d)].emplace_back(bounds[s], bounds[s + 1]);
+    }
   }
   // Each device's grant covers its largest single slice plus the broadcast
   // tables — the same per-slice footprint the governed ladder would size.
@@ -369,37 +425,114 @@ TpchQueryResult RunSharded(TpchQuery query, const TpchHostTables& tables,
       query, tables, backend_name, shards, options.use_encoding);
 
   std::vector<WorkerState> workers(static_cast<size_t>(nd));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(nd));
-  for (int d = 0; d < nd; ++d) {
-    if (assigned[static_cast<size_t>(d)].empty()) continue;
-    threads.emplace_back([&, d] {
-      RunDeviceShards(query, tables, group, d, backend_name,
-                      assigned[static_cast<size_t>(d)], options, footprint,
-                      workers[static_cast<size_t>(d)]);
-    });
-  }
-  for (std::thread& t : threads) t.join();
-  for (const WorkerState& ws : workers) {
-    if (ws.error != nullptr) std::rethrow_exception(ws.error);
+  // Run rounds until every slice has executed somewhere. Round 1 is the
+  // normal sharded run; a round ends by collecting the unfinished slices of
+  // workers that lost their device and dealing them — sorted by row_begin,
+  // round-robin in ascending device order — onto the survivors. Placement
+  // depends only on which devices died, never on host thread timing, so a
+  // given fault schedule always yields the same degraded placement.
+  while (true) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(nd));
+    for (int d = 0; d < nd; ++d) {
+      if (assigned[static_cast<size_t>(d)].empty()) continue;
+      threads.emplace_back([&, d] {
+        RunDeviceShards(query, tables, group, d, backend_name,
+                        assigned[static_cast<size_t>(d)], options, footprint,
+                        workers[static_cast<size_t>(d)]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const WorkerState& ws : workers) {
+      if (ws.error != nullptr) std::rethrow_exception(ws.error);
+    }
+
+    std::vector<std::pair<size_t, size_t>> unfinished;
+    for (int d = 0; d < nd; ++d) {
+      WorkerState& ws = workers[static_cast<size_t>(d)];
+      assigned[static_cast<size_t>(d)].clear();
+      if (!ws.device_lost) continue;
+      ws.device_lost = false;
+      ++st.devices_lost;
+      unfinished.insert(unfinished.end(), ws.unfinished.begin(),
+                        ws.unfinished.end());
+      ws.unfinished.clear();
+    }
+    if (unfinished.empty()) break;
+
+    const std::vector<int> alive = group.AliveDevices();
+    if (alive.empty()) {
+      throw gpusim::DeviceLost(
+          "sharded run: every device of the group was lost; " +
+          std::to_string(unfinished.size()) + " slice(s) of " +
+          std::string(TpchQueryName(query)) + " never ran");
+    }
+    std::sort(unfinished.begin(), unfinished.end());
+    for (size_t i = 0; i < unfinished.size(); ++i) {
+      const int d = alive[i % alive.size()];
+      assigned[static_cast<size_t>(d)].push_back(unfinished[i]);
+    }
+    ++st.recovery_rounds;
+    st.replaced_shards += unfinished.size();
   }
 
-  // Gather: every non-coordinator device ships its partials to device 0 over
-  // the fabric (in fixed device order, so the coordinator stream's timeline
-  // is deterministic); the host merge itself is free.
-  detail::Partials acc = std::move(workers[0].partials);
-  gpusim::Stream& dst = workers[0].backend->stream();
-  for (int d = 1; d < nd; ++d) {
+  // Gather: every non-coordinator device ships its partials to the
+  // coordinator — the lowest live device that ran work; device 0 on the
+  // healthy path — over the fabric (in fixed device order, so the
+  // coordinator stream's timeline is deterministic); the host merge itself
+  // is free. Dead devices cannot touch the fabric: their partials are
+  // already host-resident (Accumulate downloads every slice result), so
+  // they are drained from host staging without an exchange charge.
+  int coord = -1;
+  for (int d = 0; d < nd; ++d) {
+    if (workers[static_cast<size_t>(d)].backend != nullptr &&
+        group.IsAlive(d)) {
+      coord = d;
+      break;
+    }
+  }
+  if (coord < 0) {
+    throw gpusim::DeviceLost(
+        "sharded run: no live device left to coordinate the gather");
+  }
+  detail::Partials acc = std::move(workers[static_cast<size_t>(coord)].partials);
+  gpusim::Stream& dst = workers[static_cast<size_t>(coord)].backend->stream();
+  for (int d = 0; d < nd; ++d) {
+    if (d == coord) continue;
     WorkerState& ws = workers[static_cast<size_t>(d)];
     if (ws.backend == nullptr) continue;  // no shards landed on this device
     const uint64_t bytes = std::max<uint64_t>(PartialBytes(query, ws.partials),
                                               sizeof(double));
-    group.ChargeExchange(d, ws.backend->stream(), 0, dst, bytes);
-    st.exchange_bytes += bytes;
-    if (group.IsPeer(d, 0)) {
-      st.exchange_p2p_bytes += bytes;
-    } else {
-      st.exchange_via_host_bytes += bytes;
+    bool charged = false;
+    if (group.IsAlive(d)) {
+      // A transient TransferFault on the gather edge replays the exchange (a
+      // fault fires before any pricing, so the successful attempt charges
+      // exactly once). After the retry budget — or a DeviceLost on the edge
+      // — fall back to draining the host-resident partials uncharged.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        try {
+          group.ChargeExchange(d, ws.backend->stream(), coord, dst, bytes);
+          charged = true;
+          break;
+        } catch (const gpusim::TransferFault&) {
+          ++st.transfer_retries;
+          core::ResilienceManager::Global().NoteFaultSeen();
+        } catch (const gpusim::DeviceLost&) {
+          group.MarkLost(d);
+          core::ResilienceManager::Global().RecordFailure(backend_name, d);
+          ws.stats.lost = true;
+          ++st.devices_lost;
+          break;
+        }
+      }
+    }
+    if (charged) {
+      st.exchange_bytes += bytes;
+      if (group.IsPeer(d, coord)) {
+        st.exchange_p2p_bytes += bytes;
+      } else {
+        st.exchange_via_host_bytes += bytes;
+      }
     }
     detail::MergePartials(query, acc, ws.partials);
   }

@@ -18,6 +18,22 @@
 // charges happen in fixed device order, and the reported makespan is the
 // maximum per-device timeline delta — independent of host thread scheduling.
 // A 1-device group degenerates to RunGoverned and is bit-identical to it.
+//
+// Device loss degrades the run instead of failing it. A worker whose device
+// fires a sticky gpusim::DeviceLost marks the device dead in the group,
+// keeps the partials of the slices it already finished (they are in host
+// memory after Accumulate), and reports its unfinished slices. RunSharded
+// then re-places those slices deterministically — sorted by row_begin,
+// round-robin over the surviving devices in ascending order — re-uploading
+// the broadcast tables once on each device that takes replacement work, and
+// repeats until every slice has run somewhere or no device survives
+// (DeviceLost is rethrown only then). The gather re-routes around dead
+// devices: a dead device's partials are drained from host staging without a
+// fabric charge, the coordinator moves to the lowest surviving device, and
+// transient TransferFaults on a gather edge retry a bounded number of times
+// before falling back to a host-staged drain. When no fault fires, none of
+// this machinery charges anything, so the healthy-path simulated timeline
+// is bit-identical to the fault-free build.
 #ifndef PLAN_EXCHANGE_H_
 #define PLAN_EXCHANGE_H_
 
@@ -109,6 +125,7 @@ struct DeviceShardStats {
   uint64_t busy_ns = 0;       ///< stream delta of the device's own work
   uint64_t granted_bytes = 0; ///< admission grant (0 = ungoverned)
   uint64_t peak_bytes = 0;    ///< device allocator high-water over the run
+  bool lost = false;          ///< device died (sticky DeviceLost) this run
 };
 
 /// Accounting of one sharded run.
@@ -123,16 +140,25 @@ struct ShardedRunStats {
   uint64_t exchange_p2p_bytes = 0;       ///< share over direct peer links
   uint64_t exchange_via_host_bytes = 0;  ///< share routed through the host
   uint64_t broadcast_bytes = 0;  ///< build-side tables replicated per device
+  // Degraded-mode accounting (all zero on a healthy run).
+  int devices_lost = 0;          ///< devices that died during this run
+  int recovery_rounds = 0;       ///< re-placement passes after a loss
+  size_t replaced_shards = 0;    ///< slices re-run on a surviving device
+  uint64_t transfer_retries = 0; ///< gather exchanges replayed after a
+                                 ///< transient TransferFault
   std::vector<DeviceShardStats> per_device;
 };
 
-/// Runs `query` sharded across every device of `group` on `backend_name`
-/// instances (one per device, each on its own host thread). Throws
-/// std::invalid_argument when the backend is not concurrency-safe and the
-/// group has more than one device, and std::runtime_error when a device's
-/// admission is rejected. A 1-device group delegates to RunGoverned
+/// Runs `query` sharded across every live device of `group` on
+/// `backend_name` instances (one per device, each on its own host thread).
+/// Throws std::invalid_argument when the backend is not concurrency-safe and
+/// the group has more than one device, and std::runtime_error when a
+/// device's admission is rejected. A 1-device group delegates to RunGoverned
 /// (force_shards becomes force_partitions), so its simulated timeline is
-/// bit-identical to the governed single-device path.
+/// bit-identical to the governed single-device path. A device lost mid-run
+/// is marked dead in the group and its unfinished slices complete on the
+/// survivors (see the file comment); gpusim::DeviceLost escapes only when
+/// every device of the group is dead.
 TpchQueryResult RunSharded(TpchQuery query, const TpchHostTables& tables,
                            gpusim::DeviceGroup& group,
                            const std::string& backend_name,

@@ -54,6 +54,10 @@ Client::Client(const std::string& socket_path, const std::string& tenant,
     throw std::runtime_error("serve client: hello rejected: " +
                              DecodeErrorReply(r).message);
   }
+  if (type == MsgType::kOverloaded) {
+    throw std::runtime_error("serve client: server overloaded: " +
+                             DecodeOverloadReply(r).reason);
+  }
   if (type != MsgType::kHelloOk) {
     throw std::runtime_error("serve client: unexpected hello reply type");
   }
@@ -84,6 +88,13 @@ QueryReply Client::Query(const std::string& query_name) {
   Reader r(payload);
   if (type == MsgType::kError) {
     throw std::runtime_error("serve client: " + DecodeErrorReply(r).message);
+  }
+  if (type == MsgType::kOverloaded) {
+    const OverloadReply shed = DecodeOverloadReply(r);
+    QueryReply reply;
+    reply.overloaded = true;
+    reply.retry_after_ms = shed.retry_after_ms;
+    return reply;
   }
   if (type != MsgType::kQueryOk) {
     throw std::runtime_error("serve client: unexpected query reply type");

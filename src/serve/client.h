@@ -33,7 +33,9 @@ class Client {
 
   /// Runs one query ("q1" | "q3" | "q4" | "q6" | "q14"). Throws
   /// std::runtime_error on a server-side error reply or transport failure;
-  /// an admission rejection returns normally with reply.rejected == true.
+  /// an admission rejection returns normally with reply.rejected == true,
+  /// and a load shed returns normally with reply.overloaded == true plus
+  /// the server's retry-after hint.
   QueryReply Query(const std::string& query_name);
 
   /// Server counters snapshot.

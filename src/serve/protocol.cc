@@ -155,19 +155,19 @@ void Writer::Str(const std::string& s) {
 }
 
 uint8_t Reader::U8() {
-  if (pos_ + 1 > buf_.size()) throw std::runtime_error("serve: short payload");
+  if (pos_ + 1 > buf_.size()) throw ProtocolError("serve: short payload");
   return buf_[pos_++];
 }
 
 uint32_t Reader::U32() {
-  if (pos_ + 4 > buf_.size()) throw std::runtime_error("serve: short payload");
+  if (pos_ + 4 > buf_.size()) throw ProtocolError("serve: short payload");
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_++]) << (8 * i);
   return v;
 }
 
 uint64_t Reader::U64() {
-  if (pos_ + 8 > buf_.size()) throw std::runtime_error("serve: short payload");
+  if (pos_ + 8 > buf_.size()) throw ProtocolError("serve: short payload");
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_++]) << (8 * i);
   return v;
@@ -182,7 +182,9 @@ double Reader::F64() {
 
 std::string Reader::Str() {
   const uint32_t n = U32();
-  if (pos_ + n > buf_.size()) throw std::runtime_error("serve: short payload");
+  if (n > buf_.size() || pos_ + n > buf_.size()) {
+    throw ProtocolError("serve: short payload");
+  }
   std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
@@ -227,9 +229,16 @@ void Encode(const StatsReply& m, Writer& w) {
   w.U64(m.resident_bytes);
   w.U64(m.uploaded_bytes);
   w.U64(m.catalog_generation);
+  w.U64(m.overloaded);
+  w.U64(m.malformed);
 }
 
 void Encode(const ErrorReply& m, Writer& w) { w.Str(m.message); }
+
+void Encode(const OverloadReply& m, Writer& w) {
+  w.U64(m.retry_after_ms);
+  w.Str(m.reason);
+}
 
 HelloRequest DecodeHelloRequest(Reader& r) {
   HelloRequest m;
@@ -280,12 +289,21 @@ StatsReply DecodeStatsReply(Reader& r) {
   m.resident_bytes = r.U64();
   m.uploaded_bytes = r.U64();
   m.catalog_generation = r.U64();
+  m.overloaded = r.U64();
+  m.malformed = r.U64();
   return m;
 }
 
 ErrorReply DecodeErrorReply(Reader& r) {
   ErrorReply m;
   m.message = r.Str();
+  return m;
+}
+
+OverloadReply DecodeOverloadReply(Reader& r) {
+  OverloadReply m;
+  m.retry_after_ms = r.U64();
+  m.reason = r.Str();
   return m;
 }
 
@@ -305,17 +323,18 @@ bool ReadFrame(int fd, MsgType* type, std::vector<uint8_t>* payload) {
   const size_t got = ReadUpTo(fd, header, sizeof(header));
   if (got == 0) return false;  // clean EOF between frames
   if (got < sizeof(header)) {
-    throw std::runtime_error("serve: truncated frame header");
+    throw ProtocolError("serve: truncated frame header");
   }
   uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  // Reject before resize(): a corrupt length prefix must never allocate.
   if (len > kMaxFrameBytes) {
-    throw std::runtime_error("serve: frame length exceeds limit");
+    throw ProtocolError("serve: frame length exceeds limit");
   }
   *type = static_cast<MsgType>(header[4]);
   payload->resize(len);
   if (len > 0 && ReadUpTo(fd, payload->data(), len) < len) {
-    throw std::runtime_error("serve: truncated frame payload");
+    throw ProtocolError("serve: truncated frame payload");
   }
   return true;
 }

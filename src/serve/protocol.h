@@ -26,8 +26,20 @@
 namespace serve {
 
 /// Frame payloads are capped to keep a corrupt length prefix from driving a
-/// giant allocation; generously above any real result at bench scale.
+/// giant allocation; generously above any real result at bench scale. The
+/// cap is checked before any buffer is sized, so an adversarial length
+/// prefix never allocates.
 constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Malformed bytes from the peer: truncated payload, oversized length
+/// prefix, a frame cut off mid-read. Distinct from the std::runtime_error
+/// used for genuine socket failures so the server can answer a garbage
+/// frame with a typed kError reply and keep the connection (and the accept
+/// loop) alive instead of tearing the session down.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
 
 enum class MsgType : uint8_t {
   kHello = 1,       ///< client -> server: tenant name + QoS class
@@ -39,6 +51,7 @@ enum class MsgType : uint8_t {
   kStatsOk = 7,     ///< server -> client: counters
   kShutdownOk = 8,  ///< server -> client: shutdown acknowledged
   kError = 9,       ///< server -> client: request failed
+  kOverloaded = 10, ///< server -> client: load shed; retry after a delay
 };
 
 struct HelloRequest {
@@ -69,6 +82,10 @@ struct QueryReply {
   double wall_ms = 0;            ///< server-side execution wall time
   double queue_wait_ms = 0;      ///< scheduler-queue wait
   double admission_wait_ms = 0;  ///< governor-queue wait
+  // Client-side only (never encoded): the server shed this request with
+  // kOverloaded; retry after the hinted delay.
+  bool overloaded = false;
+  uint64_t retry_after_ms = 0;
 };
 
 struct StatsReply {
@@ -82,10 +99,19 @@ struct StatsReply {
   uint64_t resident_bytes = 0;   ///< device bytes of the resident tables
   uint64_t uploaded_bytes = 0;   ///< link bytes spent making them resident
   uint64_t catalog_generation = 0;  ///< bumps on every Reload
+  uint64_t overloaded = 0;       ///< requests shed with kOverloaded
+  uint64_t malformed = 0;        ///< garbage frames answered with kError
 };
 
 struct ErrorReply {
   std::string message;
+};
+
+/// Load-shed notice: the server refused the request (queue depth, breaker,
+/// or connection cap) and suggests when to retry.
+struct OverloadReply {
+  uint64_t retry_after_ms = 0;
+  std::string reason;
 };
 
 /// Little-endian payload builder.
@@ -104,7 +130,7 @@ class Writer {
   std::vector<uint8_t> buf_;
 };
 
-/// Little-endian payload parser; throws std::runtime_error on truncation.
+/// Little-endian payload parser; throws ProtocolError on truncation.
 class Reader {
  public:
   explicit Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
@@ -129,18 +155,22 @@ void Encode(const QueryRequest& m, Writer& w);
 void Encode(const QueryReply& m, Writer& w);
 void Encode(const StatsReply& m, Writer& w);
 void Encode(const ErrorReply& m, Writer& w);
+void Encode(const OverloadReply& m, Writer& w);
 HelloRequest DecodeHelloRequest(Reader& r);
 HelloReply DecodeHelloReply(Reader& r);
 QueryRequest DecodeQueryRequest(Reader& r);
 QueryReply DecodeQueryReply(Reader& r);
 StatsReply DecodeStatsReply(Reader& r);
 ErrorReply DecodeErrorReply(Reader& r);
+OverloadReply DecodeOverloadReply(Reader& r);
 
 /// Writes one frame; throws std::runtime_error on socket error.
 void WriteFrame(int fd, MsgType type, const std::vector<uint8_t>& payload);
 
 /// Reads one frame. Returns false on clean EOF before any header byte;
-/// throws std::runtime_error on mid-frame truncation or oversized length.
+/// throws ProtocolError on mid-frame truncation or an oversized length
+/// prefix (checked before any allocation), std::runtime_error on socket
+/// failure.
 bool ReadFrame(int fd, MsgType* type, std::vector<uint8_t>* payload);
 
 }  // namespace serve

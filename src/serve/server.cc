@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/resilience.h"
+
 namespace serve {
 namespace {
 
@@ -80,13 +82,18 @@ void QueryServer::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  std::vector<std::thread> threads;
+  std::vector<std::unique_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    threads.swap(conn_threads_);
+    // Sessions only read/write their fd; the owner closes it after the
+    // join, so a shutdown() here can never hit a recycled descriptor.
+    for (const auto& c : conns_) ::shutdown(c->fd, SHUT_RDWR);
+    conns.swap(conns_);
   }
-  for (auto& t : threads) t.join();
+  for (auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+    ::close(c->fd);
+  }
 
   if (scheduler_ != nullptr) scheduler_->Shutdown();
   if (governor_ != nullptr) governor_->Shutdown();
@@ -106,10 +113,37 @@ Session QueryServer::OpenSession(const std::string& tenant, TenantClass cls) {
   return s;
 }
 
+void QueryServer::CheckAdmission() {
+  // Per-device backend health first: a sticky DeviceLost on the serving
+  // device opens its breaker after failure_threshold query failures, and
+  // Allow() both gates admission and advances the open-state cooldown so a
+  // half-open probe eventually tests recovery.
+  if (!core::ResilienceManager::Global().Allow(options_.catalog.backend, 0)) {
+    overloaded_.fetch_add(1);
+    throw Overloaded("backend '" + options_.catalog.backend +
+                         "' breaker open on device 0",
+                     options_.retry_after_ms);
+  }
+  const size_t queue_bound = options_.shed_queue_depth > 0
+                                 ? options_.shed_queue_depth
+                                 : options_.queue_capacity;
+  if (queue_bound > 0 && scheduler_->queue_depth() >= queue_bound) {
+    overloaded_.fetch_add(1);
+    throw Overloaded("scheduler queue at bound", options_.retry_after_ms);
+  }
+  if (governor_ != nullptr && options_.shed_governor_depth > 0 &&
+      governor_->queue_depth() >= options_.shed_governor_depth) {
+    overloaded_.fetch_add(1);
+    throw Overloaded("governor admission queue at bound",
+                     options_.retry_after_ms);
+  }
+}
+
 QueryReply QueryServer::Execute(const Session& session,
                                 const std::string& query_name) {
   plan::QueryShape shape;
   shape.query = plan::ParseTpchQuery(query_name);
+  CheckAdmission();
   shape.use_encoding = options_.catalog.use_encoding;
 
   // Plan-cache lookup under the current residency snapshot. The key carries
@@ -169,11 +203,25 @@ QueryReply QueryServer::Execute(const Session& session,
   }
   if (!record.ok) {
     failed_.fetch_add(1);
+    // Feed the serving device's breaker so repeated failures (a sticky
+    // DeviceLost) trip it and CheckAdmission starts shedding.
+    core::ResilienceManager::Global().RecordFailure(options_.catalog.backend,
+                                                    0);
     throw std::runtime_error("serve: query failed: " + record.error);
   }
+  core::ResilienceManager::Global().RecordSuccess(options_.catalog.backend, 0);
   reply.result = std::move(*result);
   ok_queries_.fetch_add(1);
   return reply;
+}
+
+size_t QueryServer::ActiveConnections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  size_t live = 0;
+  for (const auto& c : conns_) {
+    if (!c->done.load()) ++live;
+  }
+  return live;
 }
 
 void QueryServer::ReloadCatalog(double scale_factor) {
@@ -200,7 +248,22 @@ StatsReply QueryServer::Stats() const {
   s.resident_bytes = resident->resident_bytes;
   s.uploaded_bytes = resident->uploaded_bytes;
   s.catalog_generation = catalog_->generation();
+  s.overloaded = overloaded_.load();
+  s.malformed = malformed_.load();
   return s;
+}
+
+void QueryServer::ReapFinishedLocked() {
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void QueryServer::AcceptLoop() {
@@ -211,12 +274,34 @@ void QueryServer::AcceptLoop() {
       return;  // listener closed by Stop()
     }
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    // Reap sessions that ended since the last accept: their threads join
+    // here, so a connect-and-die client costs one bounded slot, not a
+    // thread leaked until Stop().
+    ReapFinishedLocked();
+    if (conns_.size() >= options_.max_connections) {
+      overloaded_.fetch_add(1);
+      OverloadReply shed;
+      shed.retry_after_ms = options_.retry_after_ms;
+      shed.reason = "connection limit";
+      Writer w;
+      Encode(shed, w);
+      try {
+        WriteFrame(fd, MsgType::kOverloaded, w.bytes());
+      } catch (const std::exception&) {
+        // Peer already gone; nothing to tell it.
+      }
+      ::close(fd);
+      continue;
+    }
+    conns_.push_back(std::make_unique<Connection>());
+    Connection& conn = *conns_.back();
+    conn.fd = fd;
+    conn.thread = std::thread([this, &conn] { ServeConnection(conn); });
   }
 }
 
-void QueryServer::ServeConnection(int fd) {
+void QueryServer::ServeConnection(Connection& conn) {
+  const int fd = conn.fd;
   Session session;
   bool greeted = false;
 
@@ -234,58 +319,86 @@ void QueryServer::ServeConnection(int fd) {
   try {
     MsgType type;
     std::vector<uint8_t> payload;
-    while (ReadFrame(fd, &type, &payload)) {
-      Reader r(payload);
-      switch (type) {
-        case MsgType::kHello: {
-          const HelloRequest req = DecodeHelloRequest(r);
-          session = OpenSession(req.tenant, req.cls);
-          greeted = true;
-          HelloReply reply;
-          reply.scale_factor = options_.catalog.scale_factor;
-          reply.seed = options_.catalog.seed;
-          reply.backend = options_.catalog.backend;
-          reply.encoded = options_.catalog.use_encoding;
-          reply.session_id = session.id;
-          send(MsgType::kHelloOk, reply);
-          break;
+    for (;;) {
+      try {
+        if (!ReadFrame(fd, &type, &payload)) break;  // clean EOF
+      } catch (const ProtocolError& e) {
+        // Garbage framing (truncated header/payload, oversized length). The
+        // byte stream is desynchronized past recovery, so answer with a
+        // typed error and end this session — the accept loop and every
+        // other session keep running.
+        malformed_.fetch_add(1);
+        try {
+          send_error(e.what());
+        } catch (const std::exception&) {
         }
-        case MsgType::kQuery: {
-          if (!greeted) {
-            send_error("query before hello");
+        break;
+      }
+      Reader r(payload);
+      try {
+        switch (type) {
+          case MsgType::kHello: {
+            const HelloRequest req = DecodeHelloRequest(r);
+            session = OpenSession(req.tenant, req.cls);
+            greeted = true;
+            HelloReply reply;
+            reply.scale_factor = options_.catalog.scale_factor;
+            reply.seed = options_.catalog.seed;
+            reply.backend = options_.catalog.backend;
+            reply.encoded = options_.catalog.use_encoding;
+            reply.session_id = session.id;
+            send(MsgType::kHelloOk, reply);
             break;
           }
-          const QueryRequest req = DecodeQueryRequest(r);
-          try {
-            send(MsgType::kQueryOk, Execute(session, req.query));
-          } catch (const std::exception& e) {
-            send_error(e.what());
+          case MsgType::kQuery: {
+            if (!greeted) {
+              send_error("query before hello");
+              break;
+            }
+            const QueryRequest req = DecodeQueryRequest(r);
+            try {
+              send(MsgType::kQueryOk, Execute(session, req.query));
+            } catch (const Overloaded& e) {
+              OverloadReply shed;
+              shed.retry_after_ms = e.retry_after_ms;
+              shed.reason = e.what();
+              send(MsgType::kOverloaded, shed);
+            } catch (const std::exception& e) {
+              send_error(e.what());
+            }
+            break;
           }
-          break;
+          case MsgType::kStats:
+            send(MsgType::kStatsOk, Stats());
+            break;
+          case MsgType::kShutdown: {
+            WriteFrame(fd, MsgType::kShutdownOk, {});
+            std::lock_guard<std::mutex> lock(shutdown_mu_);
+            shutdown_requested_ = true;
+            shutdown_cv_.notify_all();
+            break;
+          }
+          default:
+            // Unknown message type: typed reply, connection stays up — a
+            // well-framed but unrecognized request is not a reason to hang
+            // up on the client.
+            malformed_.fetch_add(1);
+            send_error("unexpected message type");
+            break;
         }
-        case MsgType::kStats:
-          send(MsgType::kStatsOk, Stats());
-          break;
-        case MsgType::kShutdown: {
-          WriteFrame(fd, MsgType::kShutdownOk, {});
-          std::lock_guard<std::mutex> lock(shutdown_mu_);
-          shutdown_requested_ = true;
-          shutdown_cv_.notify_all();
-          break;
-        }
-        default:
-          send_error("unexpected message type");
-          break;
+      } catch (const ProtocolError& e) {
+        // Frame was well-formed, payload was short for its message type.
+        // The stream itself is still framed, so reply and keep serving.
+        malformed_.fetch_add(1);
+        send_error(e.what());
       }
     }
   } catch (const std::exception&) {
     // Socket torn down mid-frame (client died or Stop() hung up) — nothing
-    // to report to; the connection just ends.
+    // to report to; the connection just ends. The fd is closed by whoever
+    // reaps this Connection (AcceptLoop or Stop), after joining the thread.
   }
-  ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
-                  conn_fds_.end());
+  conn.done.store(true);
 }
 
 }  // namespace serve

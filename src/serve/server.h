@@ -12,12 +12,24 @@
 //
 // Execute() is also callable in-process (no socket), which is how the tests
 // and the local mode of bench_serving drive the server.
+//
+// The server protects itself instead of trusting its clients. Admission
+// consults the per-device circuit breaker for the serving backend and sheds
+// with a typed kOverloaded reply (carrying a retry-after hint) when the
+// scheduler queue or the governor queue crosses its bound — rather than
+// stacking unbounded work behind a sick device. The accept loop caps live
+// connections (excess connects get kOverloaded and a clean close) and reaps
+// finished connection threads as it goes, so a client that connects and
+// dies mid-query leaks neither a thread nor an fd. Malformed frames —
+// truncated, oversized, unknown type — are answered with a typed kError
+// and never tear down the accept loop.
 #ifndef SERVE_SERVER_H_
 #define SERVE_SERVER_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <stdexcept>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +59,26 @@ struct ServerOptions {
   /// single-device; the key component exists so a relayout (sharded
   /// execution across N devices) can never reuse a single-device plan.
   int device_count = 1;
+  /// Live-connection cap: further connects are answered kOverloaded and
+  /// closed instead of spawning yet another thread.
+  size_t max_connections = 64;
+  /// Shed when the scheduler queue reaches this depth (0 = queue_capacity).
+  size_t shed_queue_depth = 0;
+  /// Shed when the governor's admission queue reaches this depth.
+  size_t shed_governor_depth = 32;
+  /// Retry-after hint carried in kOverloaded replies.
+  uint64_t retry_after_ms = 50;
+};
+
+/// Thrown by Execute when the request is shed instead of queued: the
+/// scheduler or governor queue is past its bound, or the serving backend's
+/// per-device circuit breaker is open. Socket sessions see it as a typed
+/// kOverloaded reply with the retry-after hint.
+class Overloaded : public std::runtime_error {
+ public:
+  Overloaded(const std::string& why, uint64_t retry_after_ms)
+      : std::runtime_error(why), retry_after_ms(retry_after_ms) {}
+  uint64_t retry_after_ms = 0;
 };
 
 class QueryServer {
@@ -76,9 +108,13 @@ class QueryServer {
   /// Runs one query for a session: plan-cache lookup (miss -> prepare +
   /// insert), tenant-weighted scheduling, memory admission, execution
   /// against the resident tables. Throws std::invalid_argument for a bad
-  /// query name and std::runtime_error when execution fails; an admission
+  /// query name, Overloaded when the request is shed (queue bound or open
+  /// breaker), and std::runtime_error when execution fails; an admission
   /// rejection is NOT an error — the reply comes back with rejected = true.
   QueryReply Execute(const Session& session, const std::string& query_name);
+
+  /// Live (not yet reaped) socket connections right now.
+  size_t ActiveConnections() const;
 
   /// Replaces the catalog residency (regenerate at `scale_factor` +
   /// re-upload) and clears the plan cache. Serialized internally.
@@ -92,8 +128,20 @@ class QueryServer {
   const ServerOptions& options() const { return options_; }
 
  private:
+  /// One socket session: its fd, its thread, and a done flag the accept
+  /// loop uses to reap the thread without blocking on it.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(Connection& conn);
+  /// Joins and erases finished connections. Caller must hold conn_mu_.
+  void ReapFinishedLocked();
+  /// Throws Overloaded when the request should be shed right now.
+  void CheckAdmission();
 
   ServerOptions options_;
   std::unique_ptr<ResidentCatalog> catalog_;
@@ -107,12 +155,13 @@ class QueryServer {
   std::atomic<uint64_t> ok_queries_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> overloaded_{0};
+  std::atomic<uint64_t> malformed_{0};
 
   int listen_fd_ = -1;
   std::thread accept_thread_;
-  std::mutex conn_mu_;  ///< guards conn_fds_ and conn_threads_
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conn_mu_;  ///< guards conns_
+  std::vector<std::unique_ptr<Connection>> conns_;
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

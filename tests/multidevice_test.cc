@@ -20,6 +20,7 @@
 #include "core/registry.h"
 #include "gpusim/device.h"
 #include "gpusim/device_group.h"
+#include "gpusim/fault.h"
 #include "gpusim/stream.h"
 #include "plan/exchange.h"
 #include "plan/ir.h"
@@ -468,6 +469,203 @@ TEST_F(MultiDeviceQueryTest, PlanShardedExecutionPlacesAndPricesEdges) {
   EXPECT_NE(text.find("p2p link"), std::string::npos);
   EXPECT_NE(text.find("via host"), std::string::npos);
   EXPECT_NE(text.find("ExchangeScatter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Device-loss recovery: per-device fault scoping, shard re-placement,
+// gather re-routing, and the zero-fault timeline guarantee.
+
+/// Arms a sticky DeviceLost on device `victim` that fires on the Nth kernel
+/// launch of any of its streams.
+void KillDeviceAtKernel(gpusim::DeviceGroup& group, int victim,
+                        uint64_t at_call, uint64_t seed = 17) {
+  gpusim::FaultRule rule;
+  rule.site = gpusim::FaultSite::kKernel;
+  rule.kind = gpusim::FaultKind::kDeviceLost;
+  rule.at_call = at_call;
+  group.ArmFaultInjector(victim, seed).AddRule(rule);
+}
+
+TEST_F(MultiDeviceQueryTest, DeviceLostMidQueryRecoversOnSurvivors) {
+  for (const TpchQuery q : kAllQueries) {
+    SCOPED_TRACE(plan::TpchQueryName(q));
+    gpusim::DeviceGroup group(4);
+    KillDeviceAtKernel(group, /*victim=*/2, /*at_call=*/2);
+    plan::ShardedQueryOptions options;
+    options.force_shards = 8;  // every device owns several slices
+    plan::ShardedRunStats stats;
+    const plan::TpchQueryResult result = plan::RunSharded(
+        q, Tables(), group, backends::kHandwritten, options, &stats);
+    VerifyAgainstReference(q, result);
+    EXPECT_FALSE(group.IsAlive(2));
+    EXPECT_EQ(group.AliveCount(), 3);
+    EXPECT_EQ(stats.devices_lost, 1);
+    EXPECT_GE(stats.recovery_rounds, 1);
+    EXPECT_GT(stats.replaced_shards, 0u);
+    bool saw_lost = false;
+    for (const plan::DeviceShardStats& d : stats.per_device) {
+      if (d.device == 2) saw_lost = d.lost;
+    }
+    EXPECT_TRUE(saw_lost) << "per-device stats must flag the dead device";
+  }
+}
+
+TEST_F(MultiDeviceQueryTest, CoordinatorLossMovesGatherToLowestSurvivor) {
+  // Killing device 0 forces both the re-placement AND a new gather
+  // coordinator (the lowest surviving device).
+  gpusim::DeviceGroup group(4);
+  KillDeviceAtKernel(group, /*victim=*/0, /*at_call=*/2);
+  plan::ShardedQueryOptions options;
+  options.force_shards = 8;
+  plan::ShardedRunStats stats;
+  const plan::TpchQueryResult result = plan::RunSharded(
+      TpchQuery::kQ1, Tables(), group, backends::kHandwritten, options,
+      &stats);
+  VerifyAgainstReference(TpchQuery::kQ1, result);
+  EXPECT_FALSE(group.IsAlive(0));
+  EXPECT_EQ(stats.devices_lost, 1);
+  EXPECT_GT(stats.exchange_bytes, 0u) << "survivors still gather partials";
+}
+
+TEST_F(MultiDeviceQueryTest, SuccessiveLossesDegradeToASingleDevice) {
+  // Devices 0 and 1 both die; device 2 finishes the whole query alone.
+  gpusim::DeviceGroup group(3);
+  KillDeviceAtKernel(group, 0, /*at_call=*/2);
+  KillDeviceAtKernel(group, 1, /*at_call=*/4);
+  plan::ShardedQueryOptions options;
+  options.force_shards = 6;
+  plan::ShardedRunStats stats;
+  const plan::TpchQueryResult result = plan::RunSharded(
+      TpchQuery::kQ6, Tables(), group, backends::kHandwritten, options,
+      &stats);
+  VerifyAgainstReference(TpchQuery::kQ6, result);
+  EXPECT_EQ(stats.devices_lost, 2);
+  EXPECT_EQ(group.AliveCount(), 1);
+  EXPECT_TRUE(group.IsAlive(2));
+}
+
+TEST_F(MultiDeviceQueryTest, AllDevicesLostThrowsDeviceLost) {
+  gpusim::DeviceGroup group(2);
+  KillDeviceAtKernel(group, 0, /*at_call=*/1);
+  KillDeviceAtKernel(group, 1, /*at_call=*/1);
+  EXPECT_THROW(plan::RunSharded(TpchQuery::kQ6, Tables(), group,
+                                backends::kHandwritten, {}, nullptr),
+               gpusim::DeviceLost);
+  EXPECT_EQ(group.AliveCount(), 0);
+}
+
+TEST_F(MultiDeviceQueryTest, PreLostDevicesAreNeverPlacedOn) {
+  // A device already dead when the query arrives gets no shards at all —
+  // the run starts degraded instead of discovering the corpse mid-flight.
+  gpusim::DeviceGroup group(3);
+  group.MarkLost(1);
+  plan::ShardedRunStats stats;
+  const plan::TpchQueryResult result = plan::RunSharded(
+      TpchQuery::kQ1, Tables(), group, backends::kHandwritten, {}, &stats);
+  VerifyAgainstReference(TpchQuery::kQ1, result);
+  EXPECT_EQ(stats.devices_lost, 0) << "nothing died during the run itself";
+  for (const plan::DeviceShardStats& d : stats.per_device) {
+    EXPECT_NE(d.device, 1) << "dead device must not appear in the run";
+  }
+}
+
+TEST(DeviceGroupFaultTest, ExchangeFaultFiresBeforeAnyPricing) {
+  gpusim::DeviceGroup group(2);
+  gpusim::Stream src(group.device(0));
+  gpusim::Stream dst(group.device(1));
+
+  gpusim::FaultRule rule;
+  rule.site = gpusim::FaultSite::kTransfer;
+  rule.kind = gpusim::FaultKind::kTransfer;
+  rule.at_call = 1;
+  rule.max_fires = 2;
+  group.ArmFaultInjector(0, 5).AddRule(rule);
+
+  const uint64_t bytes = 1 << 20;
+  const uint64_t src_before = src.now_ns();
+  const uint64_t dst_before = dst.now_ns();
+  EXPECT_THROW(group.ChargeExchange(0, src, 1, dst, bytes),
+               gpusim::TransferFault);
+  // A faulted exchange must leave both timelines and all counters untouched.
+  EXPECT_EQ(src.now_ns(), src_before);
+  EXPECT_EQ(dst.now_ns(), dst_before);
+  EXPECT_EQ(group.ExchangedBytes(0, 1), 0u);
+  EXPECT_EQ(group.device(0).counters().exchanges.load(), 0u);
+
+  // The replay charges exactly once (max_fires exhausted the transient).
+  EXPECT_NO_THROW(group.ChargeExchange(0, src, 1, dst, bytes));
+  EXPECT_EQ(src.now_ns() - src_before, group.TransferNs(0, 1, bytes));
+  EXPECT_EQ(group.ExchangedBytes(0, 1), bytes);
+}
+
+TEST_F(MultiDeviceQueryTest, TransientTransferChaosStillAnswersCorrectly) {
+  // Seeded transient TransferFaults on every device, far below the retry
+  // budget: the run must recover every fault (executor retry for uploads,
+  // gather retry for exchanges) and the answer must stay exact.
+  gpusim::DeviceGroup group(4);
+  for (int d = 0; d < group.size(); ++d) {
+    gpusim::FaultRule rule;
+    rule.site = gpusim::FaultSite::kTransfer;
+    rule.kind = gpusim::FaultKind::kTransfer;
+    rule.probability = 0.05;
+    rule.max_fires = 2;
+    group.ArmFaultInjector(d, 1234).AddRule(rule);
+  }
+  plan::ShardedQueryOptions options;
+  options.force_shards = 8;
+  plan::ShardedRunStats stats;
+  const plan::TpchQueryResult result = plan::RunSharded(
+      TpchQuery::kQ1, Tables(), group, backends::kHandwritten, options,
+      &stats);
+  VerifyAgainstReference(TpchQuery::kQ1, result);
+  EXPECT_EQ(stats.devices_lost, 0);
+  EXPECT_EQ(group.AliveCount(), 4);
+}
+
+TEST_F(MultiDeviceQueryTest, ArmedRulelessInjectorsKeepTimelineBitIdentical) {
+  // The zero-fault gate: attaching per-device injectors with no rules must
+  // not move the simulated timeline by a single nanosecond.
+  for (const TpchQuery q : kAllQueries) {
+    SCOPED_TRACE(plan::TpchQueryName(q));
+    gpusim::DeviceGroup bare(4);
+    plan::ShardedRunStats bare_stats;
+    (void)plan::RunSharded(q, Tables(), bare, backends::kHandwritten, {},
+                           &bare_stats);
+
+    gpusim::DeviceGroup armed(4);
+    for (int d = 0; d < armed.size(); ++d) armed.ArmFaultInjector(d, 99);
+    plan::ShardedRunStats armed_stats;
+    (void)plan::RunSharded(q, Tables(), armed, backends::kHandwritten, {},
+                           &armed_stats);
+
+    EXPECT_EQ(armed_stats.simulated_ns, bare_stats.simulated_ns);
+    EXPECT_EQ(armed_stats.devices_lost, 0);
+    EXPECT_EQ(armed_stats.recovery_rounds, 0);
+    EXPECT_GT(armed.fault_injector(0)->stats().checks, 0u);
+  }
+}
+
+TEST_F(MultiDeviceQueryTest, DegradedRunsAreDeterministic) {
+  // Same fault schedule, fresh groups: identical degraded placement and
+  // identical simulated makespan.
+  uint64_t first_ns = 0;
+  size_t first_replaced = 0;
+  for (int round = 0; round < 2; ++round) {
+    gpusim::DeviceGroup group(4);
+    KillDeviceAtKernel(group, 1, /*at_call=*/3);
+    plan::ShardedQueryOptions options;
+    options.force_shards = 8;
+    plan::ShardedRunStats stats;
+    (void)plan::RunSharded(TpchQuery::kQ6, Tables(), group,
+                           backends::kHandwritten, options, &stats);
+    if (round == 0) {
+      first_ns = stats.simulated_ns;
+      first_replaced = stats.replaced_shards;
+    } else {
+      EXPECT_EQ(stats.simulated_ns, first_ns);
+      EXPECT_EQ(stats.replaced_shards, first_replaced);
+    }
+  }
 }
 
 }  // namespace

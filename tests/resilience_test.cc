@@ -23,6 +23,7 @@
 #include "core/resilience.h"
 #include "core/scheduler.h"
 #include "gpusim/device.h"
+#include "gpusim/device_group.h"
 #include "gpusim/fault.h"
 #include "gpusim/stream.h"
 #include "storage/device_column.h"
@@ -115,6 +116,36 @@ TEST_F(ResilienceTest, SuccessResetsConsecutiveFailureCount) {
   }
   EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(b.opens(), 0u);
+}
+
+TEST_F(ResilienceTest, BreakersAreScopedPerBackendAndDevice) {
+  // Tripping the breaker for (Handwritten, device 1) must not gate the same
+  // backend on device 0: a sharded run that loses one device keeps routing
+  // work to the survivors.
+  gpusim::DeviceGroup group(2);
+  ResilienceManager& rm = ResilienceManager::Global();
+
+  {
+    gpusim::Device::DeviceGuard on1(group.device(1));
+    rm.RecordFailure("Handwritten");
+    rm.RecordFailure("Handwritten");
+    rm.RecordFailure("Handwritten");
+    EXPECT_EQ(rm.StateOf("Handwritten"), CircuitBreaker::State::kOpen);
+    EXPECT_FALSE(rm.Allow("Handwritten"));
+  }
+  {
+    gpusim::Device::DeviceGuard on0(group.device(0));
+    EXPECT_EQ(rm.StateOf("Handwritten"), CircuitBreaker::State::kClosed);
+    EXPECT_TRUE(rm.Allow("Handwritten"));
+  }
+  // The explicit-ordinal overloads address the same breakers without a
+  // DeviceGuard — what the serving tier uses at admission.
+  EXPECT_EQ(rm.StateOf("Handwritten", 1), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(rm.StateOf("Handwritten", 0), CircuitBreaker::State::kClosed);
+
+  const ResilienceStats stats = rm.Snapshot();
+  ASSERT_EQ(stats.open_backends.size(), 1u);
+  EXPECT_EQ(stats.open_backends[0], "Handwritten@1");
 }
 
 TEST_F(ResilienceTest, ClassifyMapsTheFaultTaxonomy) {
@@ -470,9 +501,11 @@ TEST_F(SchedulerRecoveryTest, HybridRoutesAroundAStickyDeviceLoss) {
   EXPECT_EQ(rm.StateOf(backends::kHandwritten), CircuitBreaker::State::kOpen);
   EXPECT_GE(inj.stats().injected_device_lost +
                 inj.stats().sticky_replays, 3u);
-  // The breaker list in the snapshot names the open backend.
+  // The breaker list in the snapshot names the open backend, keyed by
+  // (backend, device ordinal) — this all ran on the default device.
   ASSERT_EQ(stats.open_backends.size(), 1u);
-  EXPECT_EQ(stats.open_backends[0], backends::kHandwritten);
+  EXPECT_EQ(stats.open_backends[0],
+            std::string(backends::kHandwritten) + "@0");
 }
 
 TEST_F(SchedulerRecoveryTest, AttachedInjectorWithoutRulesIsTimingInvisible) {

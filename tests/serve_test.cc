@@ -4,21 +4,27 @@
 // dequeue (weighted fair share + aging) on the scheduler, admission fields
 // on rejected records, and the socket server end to end. Built into the
 // concurrency_tests binary, which CI also runs under ThreadSanitizer.
+#include <dirent.h>
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstring>
 #include <future>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "backends/backends.h"
 #include "core/governor.h"
+#include "core/resilience.h"
 #include "core/metrics.h"
 #include "core/registry.h"
 #include "core/scheduler.h"
@@ -557,6 +563,288 @@ TEST_F(QosSchedulerTest, RejectedAdmissionPopulatesRecordAndCallback) {
   EXPECT_EQ(record.tenant, "victim-tenant");
   EXPECT_FALSE(victim_ran.load()) << "rejected query must never execute";
   scheduler.Drain();
+}
+
+// --------------------------------------------------------------------------
+// Server hardening: malformed frames, client disconnects, load shedding
+// --------------------------------------------------------------------------
+
+std::string TestSocketPath(const std::string& tag) {
+  return "/tmp/serve_test_" + tag + "_" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+/// Connects to the server socket without speaking the protocol — the
+/// adversarial client's entry point.
+int RawConnect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SendRaw(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: the peer may hang up first; the test only cares the
+    // bytes were offered, not that anyone read them.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+size_t OpenFdCount() {
+  size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+bool WaitForActiveConnections(const QueryServer& server, size_t want) {
+  for (int i = 0; i < 2000; ++i) {
+    if (server.ActiveConnections() == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+TEST_F(ServeTest, MalformedFramesGetTypedErrorsAndNeverKillTheServer) {
+  ServerOptions options;
+  options.socket_path = TestSocketPath("malformed");
+  options.catalog.scale_factor = 0.002;
+  QueryServer server(options);
+  server.Start();
+
+  // Oversized length prefix: rejected before any allocation, answered with
+  // a typed error, session ended (the stream is desynchronized).
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    Writer w;
+    w.U32(kMaxFrameBytes + 1);
+    w.U8(static_cast<uint8_t>(MsgType::kHello));
+    SendRaw(fd, w.bytes());
+    MsgType type;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(ReadFrame(fd, &type, &payload));
+    EXPECT_EQ(type, MsgType::kError);
+    ::close(fd);
+  }
+
+  // Truncated header: two bytes then EOF. Nothing to reply to; the server
+  // counts it and moves on.
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    SendRaw(fd, {0xde, 0xad});
+    ::close(fd);
+  }
+
+  // Well-framed but short payload for its type: typed error, and the
+  // connection KEEPS WORKING — a proper hello on the same socket succeeds.
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    WriteFrame(fd, MsgType::kHello, {0x01, 0x02});
+    MsgType type;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(ReadFrame(fd, &type, &payload));
+    EXPECT_EQ(type, MsgType::kError);
+
+    HelloRequest req;
+    req.tenant = "recovered";
+    Writer w;
+    Encode(req, w);
+    WriteFrame(fd, MsgType::kHello, w.bytes());
+    ASSERT_TRUE(ReadFrame(fd, &type, &payload));
+    EXPECT_EQ(type, MsgType::kHelloOk);
+    ::close(fd);
+  }
+
+  // Unknown message type: typed error, connection stays up.
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    WriteFrame(fd, static_cast<MsgType>(0x7f), {});
+    MsgType type;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(ReadFrame(fd, &type, &payload));
+    EXPECT_EQ(type, MsgType::kError);
+    ::close(fd);
+  }
+
+  // Seeded fuzz: random byte blobs. The server may answer or hang up, but
+  // it must never crash and must keep accepting real clients.
+  std::mt19937_64 rng(20260808);
+  for (int i = 0; i < 32; ++i) {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> blob(1 + rng() % 64);
+    for (uint8_t& b : blob) b = static_cast<uint8_t>(rng());
+    // Keep a random frame from spelling a legitimate kShutdown request.
+    if (blob.size() >= 5 &&
+        blob[4] == static_cast<uint8_t>(MsgType::kShutdown)) {
+      blob[4] = 0x7f;
+    }
+    SendRaw(fd, blob);
+    ::close(fd);
+  }
+
+  // The server survived all of it: a fresh session still gets answers.
+  Client client(options.socket_path, "survivor", TenantClass::kInteractive);
+  const QueryReply reply = client.Query("q6");
+  EXPECT_TRUE(Near(reply.result.scalar,
+                   tpch::ReferenceQ6(server.catalog().lineitem())));
+  const StatsReply stats = client.Stats();
+  EXPECT_GE(stats.malformed, 4u);
+
+  client.Shutdown();
+  server.WaitForShutdown();
+  server.Stop();
+}
+
+TEST_F(ServeTest, ClientDisconnectMidQueryLeaksNothing) {
+  ServerOptions options;
+  options.socket_path = TestSocketPath("disconnect");
+  options.catalog.scale_factor = 0.002;
+  QueryServer server(options);
+  server.Start();
+
+  const size_t fds_before = OpenFdCount();
+
+  // 100 connect-kill cycles: handshake, fire a query, vanish without
+  // reading the reply. Every cycle's thread and fd must be reclaimed by the
+  // accept loop's reaping, not pile up until Stop().
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0) << "cycle " << cycle;
+    HelloRequest hello;
+    hello.tenant = "ghost";
+    Writer w;
+    Encode(hello, w);
+    WriteFrame(fd, MsgType::kHello, w.bytes());
+    MsgType type;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(ReadFrame(fd, &type, &payload));
+    ASSERT_EQ(type, MsgType::kHelloOk);
+
+    QueryRequest q;
+    q.query = "q6";
+    Writer qw;
+    Encode(q, qw);
+    WriteFrame(fd, MsgType::kQuery, qw.bytes());
+    ::close(fd);  // gone before the reply
+  }
+
+  // A well-behaved session still works afterwards, and once its accept has
+  // reaped the corpses it is the only live connection.
+  {
+    Client client(options.socket_path, "alive", TenantClass::kInteractive);
+    const QueryReply reply = client.Query("q6");
+    EXPECT_TRUE(Near(reply.result.scalar,
+                     tpch::ReferenceQ6(server.catalog().lineitem())));
+    EXPECT_TRUE(WaitForActiveConnections(server, 1))
+        << "ghost connections never drained; active="
+        << server.ActiveConnections();
+    client.Shutdown();
+  }
+  server.WaitForShutdown();
+  server.Stop();
+  EXPECT_TRUE(WaitForActiveConnections(server, 0));
+
+  // All sockets handed back: within a small slack of the baseline (the
+  // listener itself is gone after Stop()).
+  const size_t fds_after = OpenFdCount();
+  EXPECT_LE(fds_after, fds_before + 2)
+      << "fd leak across connect-kill cycles";
+}
+
+TEST_F(ServeTest, ConnectionCapShedsWithTypedOverloadReply) {
+  ServerOptions options;
+  options.socket_path = TestSocketPath("cap");
+  options.catalog.scale_factor = 0.002;
+  options.max_connections = 1;
+  options.retry_after_ms = 75;
+  QueryServer server(options);
+  server.Start();
+
+  Client first(options.socket_path, "holder", TenantClass::kInteractive);
+
+  // The second connection is shed at accept with the typed reply and the
+  // server's retry-after hint — visible on a raw socket...
+  {
+    const int fd = RawConnect(options.socket_path);
+    ASSERT_GE(fd, 0);
+    MsgType type;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(ReadFrame(fd, &type, &payload));
+    ASSERT_EQ(type, MsgType::kOverloaded);
+    Reader r(payload);
+    const OverloadReply shed = DecodeOverloadReply(r);
+    EXPECT_EQ(shed.retry_after_ms, 75u);
+    EXPECT_NE(shed.reason.find("connection limit"), std::string::npos);
+    ::close(fd);
+  }
+  // ...and surfaced as a typed throw through the client library.
+  EXPECT_THROW(Client(options.socket_path, "late", TenantClass::kBatch),
+               std::runtime_error);
+
+  const StatsReply stats = first.Stats();
+  EXPECT_GE(stats.overloaded, 2u);
+
+  first.Shutdown();
+  server.WaitForShutdown();
+  server.Stop();
+}
+
+TEST_F(ServeTest, OpenBreakerShedsQueriesUntilTheProbeHeals) {
+  core::ResilienceManager& rm = core::ResilienceManager::Global();
+  rm.Reset();
+  ServerOptions options;
+  options.socket_path = TestSocketPath("breaker");
+  options.catalog.scale_factor = 0.002;
+  QueryServer server(options);
+  server.Start();
+
+  Client client(options.socket_path, "tenant", TenantClass::kInteractive);
+  EXPECT_FALSE(client.Query("q6").overloaded);
+
+  // Trip the breaker for the serving backend on device 0 — what a run of
+  // real execution failures would do — and watch admission shed.
+  rm.RecordFailure(options.catalog.backend, 0);
+  rm.RecordFailure(options.catalog.backend, 0);
+  rm.RecordFailure(options.catalog.backend, 0);
+  const QueryReply shed = client.Query("q6");
+  EXPECT_TRUE(shed.overloaded);
+  EXPECT_EQ(shed.retry_after_ms, options.retry_after_ms);
+
+  // Each shed admission advances the breaker cooldown; eventually one query
+  // is admitted as the half-open probe, succeeds, and closes the breaker.
+  bool healed = false;
+  for (int i = 0; i < 64 && !healed; ++i) {
+    healed = !client.Query("q6").overloaded;
+  }
+  EXPECT_TRUE(healed) << "probe never admitted";
+  EXPECT_FALSE(client.Query("q6").overloaded) << "breaker should be closed";
+
+  const StatsReply stats = client.Stats();
+  EXPECT_GT(stats.overloaded, 0u);
+
+  client.Shutdown();
+  server.WaitForShutdown();
+  server.Stop();
+  rm.Reset();
 }
 
 }  // namespace
