@@ -18,13 +18,26 @@
 // heals it). The server must never crash and must still answer correctly
 // afterwards.
 //
+// Phase C — kill -> degrade -> reset -> re-admit -> re-converge: for every
+// seed x query, a one-shot DeviceLost kills the victim mid-run (the run
+// degrades onto the survivors, reusing the victim's host-checkpointed
+// slices), the operator resets the victim (MarkReset), and the SAME group
+// runs the query again: the run-start half-open probe re-admits the victim,
+// the answer must match the host reference, the recovered run must land
+// within 5% of a never-killed baseline, and replaying the whole sequence on
+// a second identical group must reproduce the placement and the simulated
+// timeline exactly. Across the whole matrix at least one checkpointed slice
+// must have been reused (otherwise the kill schedule proved nothing).
+//
 // Exit codes: 0 ok, 2 permanent query failure, 3 wrong answer, 4 zero-fault
-// timeline drift, 5 serving-tier failure, 64 usage.
+// timeline drift, 5 serving-tier failure, 6 no checkpointed slice reused,
+// 7 readmission failure (probe refused / non-deterministic replay / >5%
+// throughput regression after re-admission), 64 usage.
 //
 // Usage:
 //   bench_chaos_multidevice [--seeds=1,2,3,4,5] [--sf=0.02]
 //                           [--queries=q1,q3,q4,q6,q14] [--shards=8]
-//                           [--skip-server] [--json=FILE]
+//                           [--skip-server] [--skip-readmit] [--json=FILE]
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -60,6 +73,8 @@ constexpr int kExitPermanentFailure = 2;
 constexpr int kExitWrongAnswer = 3;
 constexpr int kExitTimelineDrift = 4;
 constexpr int kExitServerFailure = 5;
+constexpr int kExitNoCheckpointReuse = 6;
+constexpr int kExitReadmissionFailure = 7;
 
 struct Options {
   std::vector<uint64_t> seeds = {1, 2, 3, 4, 5};
@@ -67,6 +82,7 @@ struct Options {
   std::vector<std::string> queries = {"q1", "q3", "q4", "q6", "q14"};
   size_t force_shards = 8;
   bool skip_server = false;
+  bool skip_readmit = false;
   std::string json_path;
 };
 
@@ -101,6 +117,8 @@ bool ParseArgs(int argc, char** argv, Options* opts) {
       opts->force_shards = std::stoul(v);
     } else if (arg == "--skip-server") {
       opts->skip_server = true;
+    } else if (arg == "--skip-readmit") {
+      opts->skip_readmit = true;
     } else if (const char* v = value("--json=")) {
       opts->json_path = v;
     } else {
@@ -324,6 +342,184 @@ int RunZeroFaultGate(const Options& opts, const plan::TpchHostTables& tables) {
 }
 
 // ---------------------------------------------------------------------------
+// Phase C: kill -> degrade -> reset -> re-admit -> re-converge.
+
+struct ReadmitPoint {
+  uint64_t seed = 0;
+  std::string query;
+  int victim = 0;
+  uint64_t degraded_ns = 0;   ///< sim makespan of the run the kill hit
+  uint64_t recovered_ns = 0;  ///< sim makespan after reset + readmission
+  uint64_t baseline_ns = 0;   ///< never-killed fresh-group reference
+  size_t checkpoints_reused = 0;
+  int readmitted = 0;
+  bool deterministic = false;
+};
+
+/// One kill -> degrade -> reset -> rerun sequence on a fresh group. The kill
+/// is a one-shot (max_fires = 1) so it cannot re-fire on the rerun's fresh
+/// streams after the sticky loss is cleared by the reset.
+struct SequenceOutcome {
+  plan::ShardedRunStats degraded;
+  plan::ShardedRunStats recovered;
+  plan::TpchQueryResult degraded_result;
+  plan::TpchQueryResult recovered_result;
+  std::vector<size_t> placement;  ///< per-device shard counts of the rerun
+  bool victim_died = false;
+  bool victim_back = false;
+};
+
+SequenceOutcome RunKillResetSequence(plan::TpchQuery q,
+                                     const plan::TpchHostTables& tables,
+                                     const Options& opts, uint64_t seed,
+                                     int victim) {
+  core::ResilienceManager::Global().Reset();
+  gpusim::DeviceGroup group(4);
+  gpusim::FaultInjector& inj = group.ArmFaultInjector(victim, seed);
+  // Later than phase A's kill so the victim finishes at least one slice
+  // first — that checkpointed slice is what the degraded run must reuse.
+  gpusim::FaultRule kill;
+  kill.site = gpusim::FaultSite::kKernel;
+  kill.kind = gpusim::FaultKind::kDeviceLost;
+  kill.at_call = 6 + seed % 7;
+  kill.max_fires = 1;
+  inj.AddRule(kill);
+
+  plan::ShardedQueryOptions sq;
+  sq.force_shards = opts.force_shards;
+
+  SequenceOutcome out;
+  out.degraded_result =
+      plan::RunSharded(q, tables, group, backends::kHandwritten, sq,
+                       &out.degraded);
+  out.victim_died = !group.IsAlive(victim);
+
+  group.MarkReset(victim);  // operator resets the lost device
+  out.recovered_result =
+      plan::RunSharded(q, tables, group, backends::kHandwritten, sq,
+                       &out.recovered);
+  out.victim_back = group.IsAlive(victim);
+  for (const plan::DeviceShardStats& ds : out.recovered.per_device) {
+    out.placement.push_back(ds.shards);
+  }
+  core::ResilienceManager::Global().Reset();
+  return out;
+}
+
+int RunReadmissionPhase(const Options& opts, const plan::TpchHostTables& tables,
+                        const References& ref,
+                        std::vector<ReadmitPoint>* points,
+                        size_t* total_reuse) {
+  std::printf("%6s %5s %7s %6s %8s %12s %12s %12s %5s\n", "seed", "query",
+              "victim", "readm", "ckpt", "degraded_ms", "recover_ms",
+              "baseline_ms", "ok");
+  for (const uint64_t seed : opts.seeds) {
+    for (const std::string& qname : opts.queries) {
+      const plan::TpchQuery q = plan::ParseTpchQuery(qname);
+      const int victim = static_cast<int>(seed % 4);
+
+      // Never-killed reference on a bare group: the recovered run must get
+      // back within 5% of this (in practice it is bit-identical — same
+      // four-alive placement, no fault charges).
+      plan::ShardedQueryOptions sq;
+      sq.force_shards = opts.force_shards;
+      gpusim::DeviceGroup bare(4);
+      plan::ShardedRunStats baseline;
+      (void)plan::RunSharded(q, tables, bare, backends::kHandwritten, sq,
+                             &baseline);
+
+      SequenceOutcome first;
+      try {
+        first = RunKillResetSequence(q, tables, opts, seed, victim);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "  PERMANENT seed=%llu %s: %s\n",
+                     static_cast<unsigned long long>(seed), qname.c_str(),
+                     e.what());
+        return kExitPermanentFailure;
+      }
+
+      ReadmitPoint p;
+      p.seed = seed;
+      p.query = qname;
+      p.victim = victim;
+      p.degraded_ns = first.degraded.simulated_ns;
+      p.recovered_ns = first.recovered.simulated_ns;
+      p.baseline_ns = baseline.simulated_ns;
+      p.checkpoints_reused = first.degraded.checkpointed_slices_reused;
+      p.readmitted = first.recovered.devices_readmitted;
+      *total_reuse += p.checkpoints_reused;
+
+      std::string why;
+      bool ok = true;
+      if (!first.victim_died) {
+        std::fprintf(stderr, "  seed=%llu %s: kill never fired\n",
+                     static_cast<unsigned long long>(seed), qname.c_str());
+        ok = false;
+      }
+      if (ok && (!Verify(q, first.degraded_result, ref, &why) ||
+                 !Verify(q, first.recovered_result, ref, &why))) {
+        std::fprintf(stderr, "  WRONG seed=%llu %s: %s\n",
+                     static_cast<unsigned long long>(seed), qname.c_str(),
+                     why.c_str());
+        return kExitWrongAnswer;
+      }
+      if (ok && (!first.victim_back || first.recovered.devices_readmitted < 1)) {
+        std::fprintf(stderr, "  seed=%llu %s: victim never readmitted\n",
+                     static_cast<unsigned long long>(seed), qname.c_str());
+        ok = false;
+      }
+      // Re-converge: the recovered run must be within 5% of never-killed.
+      if (ok && p.recovered_ns >
+                    baseline.simulated_ns + baseline.simulated_ns / 20) {
+        std::fprintf(stderr,
+                     "  seed=%llu %s: recovered %llu ns > baseline %llu ns "
+                     "+5%%\n",
+                     static_cast<unsigned long long>(seed), qname.c_str(),
+                     static_cast<unsigned long long>(p.recovered_ns),
+                     static_cast<unsigned long long>(baseline.simulated_ns));
+        ok = false;
+      }
+      // Determinism: the identical sequence on a second identical group must
+      // reproduce the placement and the simulated timeline exactly.
+      if (ok) {
+        const SequenceOutcome second =
+            RunKillResetSequence(q, tables, opts, seed, victim);
+        p.deterministic =
+            second.degraded.simulated_ns == first.degraded.simulated_ns &&
+            second.recovered.simulated_ns == first.recovered.simulated_ns &&
+            second.placement == first.placement &&
+            second.recovered.devices_readmitted ==
+                first.recovered.devices_readmitted &&
+            second.degraded.checkpointed_slices_reused ==
+                first.degraded.checkpointed_slices_reused;
+        if (!p.deterministic) {
+          std::fprintf(stderr, "  seed=%llu %s: replay diverged\n",
+                       static_cast<unsigned long long>(seed), qname.c_str());
+          ok = false;
+        }
+      }
+
+      std::printf("%6llu %5s %7d %6d %8zu %12.3f %12.3f %12.3f %5s\n",
+                  static_cast<unsigned long long>(seed), qname.c_str(), victim,
+                  p.readmitted, p.checkpoints_reused, p.degraded_ns / 1e6,
+                  p.recovered_ns / 1e6, p.baseline_ns / 1e6,
+                  ok ? "OK" : "FAIL");
+      points->push_back(std::move(p));
+      if (!ok) return kExitReadmissionFailure;
+    }
+  }
+  if (*total_reuse == 0) {
+    std::fprintf(stderr,
+                 "  no checkpointed slice was ever reused — the kill "
+                 "schedule proved nothing\n");
+    return kExitNoCheckpointReuse;
+  }
+  std::printf("  checkpointed slices reused across the matrix: %zu\n",
+              *total_reuse);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // Phase B: the serving tier under flood, garbage, and a tripped breaker.
 
 int RawConnect(const std::string& path) {
@@ -403,6 +599,13 @@ int RunServerPhase(ServerOutcome* outcome) {
                    "  server: flood got no typed kOverloaded reply\n");
       return kExitServerFailure;
     }
+  }
+
+  // The holders hung up, but their sessions finish asynchronously and are
+  // reaped at the next accept; wait for the slots to actually free so the
+  // garbage connections below are read, not shed at the connection cap.
+  while (server.ActiveConnections() > 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
   // Malformed-frame storm: oversized length prefix, truncated header, and
@@ -530,9 +733,20 @@ int Run(const Options& opts) {
     if (rc != 0) return rc;
   }
 
-  std::printf("\nall degraded runs correct, zero-fault timeline identical%s: "
-              "OK\n",
-              opts.skip_server ? "" : ", server hardened");
+  std::vector<ReadmitPoint> readmit_points;
+  size_t checkpoint_reuse_total = 0;
+  if (!opts.skip_readmit) {
+    std::printf("\nphase C: kill -> degrade -> reset -> re-admit -> "
+                "re-converge\n");
+    rc = RunReadmissionPhase(opts, tables, ref, &readmit_points,
+                             &checkpoint_reuse_total);
+    if (rc != 0) return rc;
+  }
+
+  std::printf("\nall degraded runs correct, zero-fault timeline identical%s%s"
+              ": OK\n",
+              opts.skip_server ? "" : ", server hardened",
+              opts.skip_readmit ? "" : ", fleet self-healed");
 
   if (!opts.json_path.empty()) {
     std::ofstream out(opts.json_path);
@@ -557,7 +771,24 @@ int Run(const Options& opts) {
           << ", \"ok\": " << (p.ok ? "true" : "false") << "}"
           << (i + 1 < points.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n"
+        << "  \"readmission\": {\"ran\": "
+        << (opts.skip_readmit ? "false" : "true")
+        << ", \"checkpoint_reuse_total\": " << checkpoint_reuse_total
+        << ", \"points\": [\n";
+    for (size_t i = 0; i < readmit_points.size(); ++i) {
+      const ReadmitPoint& p = readmit_points[i];
+      out << "    {\"seed\": " << p.seed << ", \"query\": \"" << p.query
+          << "\", \"victim\": " << p.victim
+          << ", \"readmitted\": " << p.readmitted
+          << ", \"checkpoints_reused\": " << p.checkpoints_reused
+          << ", \"degraded_ns\": " << p.degraded_ns
+          << ", \"recovered_ns\": " << p.recovered_ns
+          << ", \"baseline_ns\": " << p.baseline_ns
+          << ", \"deterministic\": " << (p.deterministic ? "true" : "false")
+          << "}" << (i + 1 < readmit_points.size() ? "," : "") << "\n";
+    }
+    out << "  ]}\n}\n";
     std::printf("wrote %s\n", opts.json_path.c_str());
   }
   return 0;
@@ -571,7 +802,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--seeds=1,2,3] [--sf=F] "
                  "[--queries=q1,q3,q4,q6,q14] [--shards=N] [--skip-server] "
-                 "[--json=FILE]\n",
+                 "[--skip-readmit] [--json=FILE]\n",
                  argv[0]);
     return 64;
   }

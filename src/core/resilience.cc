@@ -65,6 +65,24 @@ void CircuitBreaker::RecordFailure() {
   }
 }
 
+void CircuitBreaker::OnProbe(bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (success) {
+    if (state_ != State::kClosed) {
+      // Count the external probe like the breaker's own half-open cycle so
+      // Snapshot()'s half_opens/closes stay an honest probe ledger.
+      if (state_ == State::kOpen) ++half_opens_;
+      state_ = State::kClosed;
+      ++closes_;
+    }
+    consecutive_failures_ = 0;
+  } else if (state_ != State::kOpen) {
+    state_ = State::kOpen;
+    denied_ = 0;
+    ++opens_;
+  }
+}
+
 CircuitBreaker::State CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mu_);
   return state_;
@@ -137,6 +155,24 @@ void ResilienceManager::RecordFailure(const std::string& backend, int device) {
 CircuitBreaker::State ResilienceManager::StateOf(const std::string& backend,
                                                  int device) {
   return BreakerFor(backend, device).state();
+}
+
+size_t ResilienceManager::SyncDeviceProbe(int device, bool success) {
+  std::string suffix = "@";
+  suffix += std::to_string(device);
+  std::vector<CircuitBreaker*> matched;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, breaker] : breakers_) {
+      if (key.size() > suffix.size() &&
+          key.compare(key.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        matched.push_back(breaker.get());
+      }
+    }
+  }
+  for (CircuitBreaker* breaker : matched) breaker->OnProbe(success);
+  return matched.size();
 }
 
 ResilienceStats ResilienceManager::Snapshot() const {

@@ -82,6 +82,14 @@ class CircuitBreaker {
   void RecordSuccess();
   void RecordFailure();
 
+  /// Applies the outcome of an *external* health probe (the DeviceGroup's
+  /// Probe kernel) as if it were this breaker's own half-open probe: success
+  /// closes the circuit from any non-closed state (counted as a half-open
+  /// then a close, so the stats read like the breaker's own probe cycle);
+  /// failure re-opens it with a fresh cooldown. Closed circuits are
+  /// untouched on success.
+  void OnProbe(bool success);
+
   State state() const;
   uint64_t opens() const;
   uint64_t half_opens() const;
@@ -141,6 +149,13 @@ class ResilienceManager {
   void RecordSuccess(const std::string& backend, int device);
   void RecordFailure(const std::string& backend, int device);
   CircuitBreaker::State StateOf(const std::string& backend, int device);
+
+  /// Propagates a DeviceGroup probe outcome to EVERY breaker keyed to that
+  /// ordinal ("*@device"): a healed device heals all its backends' breakers
+  /// at once, a failed probe re-opens them. Returns the number of breakers
+  /// touched. Breakers are only created by traffic, so a device nobody has
+  /// used has none to sync — that is fine.
+  size_t SyncDeviceProbe(int device, bool success);
 
   void NoteFaultSeen() { faults_seen_.fetch_add(1, relaxed); }
   void NoteRetry(uint64_t backoff_ns) {

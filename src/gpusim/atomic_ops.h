@@ -18,6 +18,15 @@ inline T AtomicAdd(T* address, T val) {
                                                 std::memory_order_relaxed);
 }
 
+/// Word load of a slot other grid threads may CAS concurrently (hash-table
+/// probe loops). On a real GPU any aligned word load is atomic; on host
+/// threads the plain read would be a data race, so route it through
+/// atomic_ref (free on x86, pairs with AtomicCas's release).
+template <typename T>
+inline T AtomicLoad(T* address) {
+  return std::atomic_ref<T>(*address).load(std::memory_order_acquire);
+}
+
 /// atomicCAS(address, compare, val): returns the old value.
 template <typename T>
 inline T AtomicCas(T* address, T compare, T val) {

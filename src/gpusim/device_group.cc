@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gpusim/trace.h"
+
 namespace gpusim {
 
 namespace {
@@ -10,7 +12,44 @@ namespace {
 /// CUDA-profile transfer latency so a via-host exchange prices exactly like
 /// the two explicit cudaMemcpy calls it stands in for.
 constexpr uint64_t kHostHopLatencyNs = 10'000;
+
+/// SplitMix64 finalizer shared by the injector-seed and auto-reset draws.
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
+
+const char* DeviceStateName(DeviceState state) {
+  switch (state) {
+    case DeviceState::kAlive:
+      return "alive";
+    case DeviceState::kLost:
+      return "lost";
+    case DeviceState::kProbing:
+      return "probing";
+    case DeviceState::kReadmitting:
+      return "readmitting";
+  }
+  return "unknown";
+}
+
+const char* LifecycleEventName(LifecycleEvent::Kind kind) {
+  switch (kind) {
+    case LifecycleEvent::Kind::kLost:
+      return "device_lost";
+    case LifecycleEvent::Kind::kReset:
+      return "device_reset";
+    case LifecycleEvent::Kind::kProbeOk:
+      return "probe_ok";
+    case LifecycleEvent::Kind::kProbeFailed:
+      return "probe_failed";
+    case LifecycleEvent::Kind::kReadmitted:
+      return "device_readmitted";
+  }
+  return "unknown";
+}
 
 DeviceGroup::DeviceGroup(int num_devices, const GroupTopology& topology,
                          const DeviceProperties& props,
@@ -20,13 +59,14 @@ DeviceGroup::DeviceGroup(int num_devices, const GroupTopology& topology,
     throw std::invalid_argument("DeviceGroup needs at least one device");
   }
   devices_.reserve(static_cast<size_t>(num_devices));
-  lost_.reserve(static_cast<size_t>(num_devices));
+  state_.reserve(static_cast<size_t>(num_devices));
   injectors_.resize(static_cast<size_t>(num_devices));
   for (int i = 0; i < num_devices; ++i) {
     devices_.push_back(
         std::make_unique<Device>(props, host_threads_per_device));
     devices_.back()->set_ordinal(i);
-    lost_.push_back(std::make_unique<std::atomic<bool>>(false));
+    state_.push_back(std::make_unique<std::atomic<uint8_t>>(
+        static_cast<uint8_t>(DeviceState::kAlive)));
   }
   exchanged_.reserve(static_cast<size_t>(num_devices) * num_devices);
   for (int i = 0; i < num_devices * num_devices; ++i) {
@@ -39,22 +79,138 @@ FaultInjector& DeviceGroup::ArmFaultInjector(int i, uint64_t seed) {
   if (slot == nullptr) {
     // Mix the device index into the seed (SplitMix64 finalizer) so sibling
     // devices armed from one base seed draw independent schedules.
-    uint64_t mixed = seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1);
-    mixed = (mixed ^ (mixed >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    mixed = (mixed ^ (mixed >> 27)) * 0x94d049bb133111ebULL;
-    mixed ^= mixed >> 31;
+    const uint64_t mixed = Mix64(
+        seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1));
     slot = std::make_unique<FaultInjector>(mixed);
     device(i).set_fault_injector(slot.get());
   }
   return *slot;
 }
 
+void DeviceGroup::Transition(int i, DeviceState next,
+                             LifecycleEvent::Kind kind) {
+  // Caller holds lifecycle_mu_.
+  state_[static_cast<size_t>(i)]->store(static_cast<uint8_t>(next),
+                                        std::memory_order_release);
+  LifecycleEvent event;
+  event.kind = kind;
+  event.device = i;
+  event.sequence = lifecycle_sequence_++;
+  lifecycle_log_.push_back(event);
+  // Lifecycle transitions show up on the device's trace in the fault
+  // category (zero duration), next to the injected faults that caused them.
+  if (Tracer* tracer = device(i).tracer()) {
+    tracer->Record(TraceEvent{LifecycleEventName(kind), "fault", 0, 0, 0});
+  }
+}
+
 void DeviceGroup::MarkLost(int i) {
-  lost_[static_cast<size_t>(i)]->store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (state(i) == DeviceState::kLost) return;  // idempotent
+  Transition(i, DeviceState::kLost, LifecycleEvent::Kind::kLost);
+  ++fleet_stats_.losses;
+  if (auto_reset_armed_) lost_ticks_[static_cast<size_t>(i)] = 0;
+}
+
+bool DeviceGroup::MarkReset(int i) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (state(i) != DeviceState::kLost) return false;
+  // The reset brings the context back: clear the injector's sticky loss but
+  // keep its rules and per-stream call counts — an at_call kill that already
+  // fired stays fired, while probability rules keep drawing.
+  if (FaultInjector* inj = device(i).fault_injector()) inj->ClearStickyLoss();
+  Transition(i, DeviceState::kProbing, LifecycleEvent::Kind::kReset);
+  ++fleet_stats_.resets;
+  return true;
+}
+
+bool DeviceGroup::Probe(int i) {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (state(i) != DeviceState::kProbing) return false;
+    ++fleet_stats_.probes;
+  }
+  // Charge a real (small, fixed-size) probe kernel on a fresh stream labelled
+  // "probe": fault rules see the launch like any other, so a rule scoped to
+  // the probe can fail it, and a re-armed DeviceLost sends the device back to
+  // Lost — the half-open-probe contract.
+  Stream probe_stream(device(i));
+  probe_stream.set_label("probe");
+  KernelStats probe;
+  probe.name = "fleet_probe";
+  probe.bytes_read = 1u << 20;
+  probe.ops = 1u << 20;
+  try {
+    probe_stream.ChargeKernel(probe);
+  } catch (const DeviceLost&) {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    ++fleet_stats_.probe_failures;
+    Transition(i, DeviceState::kLost, LifecycleEvent::Kind::kProbeFailed);
+    if (auto_reset_armed_) lost_ticks_[static_cast<size_t>(i)] = 0;
+    return false;
+  } catch (const std::exception&) {
+    // Transient probe failure: stay Probing, retry on a later round.
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    ++fleet_stats_.probe_failures;
+    LifecycleEvent event;
+    event.kind = LifecycleEvent::Kind::kProbeFailed;
+    event.device = i;
+    event.sequence = lifecycle_sequence_++;
+    lifecycle_log_.push_back(event);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  Transition(i, DeviceState::kReadmitting, LifecycleEvent::Kind::kProbeOk);
+  return true;
+}
+
+bool DeviceGroup::CompleteReadmission(int i) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (state(i) != DeviceState::kReadmitting) return false;
+  Transition(i, DeviceState::kAlive, LifecycleEvent::Kind::kReadmitted);
+  ++fleet_stats_.readmissions;
+  return true;
+}
+
+void DeviceGroup::ArmAutoReset(uint64_t seed, int min_ticks, int max_ticks) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (min_ticks < 1) min_ticks = 1;
+  if (max_ticks < min_ticks) max_ticks = min_ticks;
+  auto_reset_armed_ = true;
+  auto_reset_after_.assign(static_cast<size_t>(size()), 0);
+  lost_ticks_.assign(static_cast<size_t>(size()), 0);
+  const uint64_t span = static_cast<uint64_t>(max_ticks - min_ticks + 1);
+  for (int i = 0; i < size(); ++i) {
+    const uint64_t draw = Mix64(
+        seed ^ (0xda942042e4dd58b5ULL * (static_cast<uint64_t>(i) + 1)));
+    auto_reset_after_[static_cast<size_t>(i)] =
+        min_ticks + static_cast<int>(draw % span);
+  }
+}
+
+std::vector<int> DeviceGroup::TickLostDevices() {
+  std::vector<int> reset_now;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!auto_reset_armed_) return reset_now;
+    for (int i = 0; i < size(); ++i) {
+      if (state(i) != DeviceState::kLost) continue;
+      if (++lost_ticks_[static_cast<size_t>(i)] >=
+          auto_reset_after_[static_cast<size_t>(i)]) {
+        reset_now.push_back(i);
+      }
+    }
+  }
+  // MarkReset re-takes the lock per device (it also talks to the injector).
+  std::vector<int> reset_ok;
+  for (int i : reset_now) {
+    if (MarkReset(i)) reset_ok.push_back(i);
+  }
+  return reset_ok;
 }
 
 bool DeviceGroup::IsAlive(int i) const {
-  return !lost_[static_cast<size_t>(i)]->load(std::memory_order_acquire);
+  return state(i) == DeviceState::kAlive;
 }
 
 std::vector<int> DeviceGroup::AliveDevices() const {
@@ -67,6 +223,24 @@ std::vector<int> DeviceGroup::AliveDevices() const {
 
 int DeviceGroup::AliveCount() const {
   return static_cast<int>(AliveDevices().size());
+}
+
+std::vector<int> DeviceGroup::ProbingDevices() const {
+  std::vector<int> probing;
+  for (int i = 0; i < size(); ++i) {
+    if (state(i) == DeviceState::kProbing) probing.push_back(i);
+  }
+  return probing;
+}
+
+FleetStats DeviceGroup::fleet_stats() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return fleet_stats_;
+}
+
+std::vector<LifecycleEvent> DeviceGroup::lifecycle_log() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return lifecycle_log_;
 }
 
 bool DeviceGroup::IsPeer(int src, int dst) const {

@@ -19,14 +19,32 @@
 // transient p2p-link TransferFault — are scoped to one device of the group.
 // ChargeExchange consults the source device's injector at the transfer site
 // BEFORE pricing anything, so a faulted exchange leaves both timelines
-// untouched and a replay charges exactly once. MarkLost/IsAlive track which
-// devices a sharded run may still place work on (plan::RunSharded drives
-// this during shard-level recovery).
+// untouched and a replay charges exactly once.
+//
+// Device lifecycle is a four-state machine:
+//
+//       MarkLost            MarkReset           Probe ok
+//   Alive ------> Lost ---------------> Probing ---------> Readmitting
+//     ^             ^                    |    ^                |
+//     |             '---- Probe fires ---'    |                |
+//     |                   DeviceLost      transient probe      |
+//     '------------------- CompleteReadmission ----------------'
+//
+// MarkLost is what the executor calls when a sticky DeviceLost surfaces;
+// MarkReset models the operator (or a seeded auto-reset policy, see
+// ArmAutoReset) power-cycling the device: the injector's sticky loss is
+// cleared but its rules and call counts survive. Probe charges a real probe
+// kernel on a fresh "probe"-labelled stream, so fault rules can kill or
+// transiently fail the probe itself — a half-open check, exactly like the
+// circuit breaker's. Only CompleteReadmission puts the ordinal back into
+// AliveDevices(); plan::RunSharded calls it after broadcast state has been
+// re-uploaded, so a readmitted device is never handed work it cannot serve.
 #ifndef GPUSIM_DEVICE_GROUP_H_
 #define GPUSIM_DEVICE_GROUP_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -54,6 +72,41 @@ struct LinkPath {
   double bandwidth_bps = 0;   ///< effective end-to-end bandwidth
   uint64_t latency_ns = 0;    ///< end-to-end latency per exchange
   int hops = 0;               ///< 0 local, 1 peer, 2 via host
+};
+
+/// Where a device sits in its lifecycle. Only kAlive devices take work.
+enum class DeviceState : uint8_t {
+  kAlive = 0,        ///< healthy, eligible for placement
+  kLost = 1,         ///< sticky DeviceLost surfaced; no work placed
+  kProbing = 2,      ///< reset issued, awaiting a successful probe
+  kReadmitting = 3,  ///< probe passed; state re-upload in flight
+};
+
+const char* DeviceStateName(DeviceState state);
+
+/// One lifecycle transition (the group's audit log, in transition order).
+struct LifecycleEvent {
+  enum class Kind : uint8_t {
+    kLost = 0,
+    kReset,        ///< Lost -> Probing (sticky loss cleared)
+    kProbeOk,      ///< Probing -> Readmitting
+    kProbeFailed,  ///< probe faulted; Probing or back to Lost
+    kReadmitted,   ///< Readmitting -> Alive
+  };
+  Kind kind = Kind::kLost;
+  int device = -1;
+  uint64_t sequence = 0;  ///< monotone across the group
+};
+
+const char* LifecycleEventName(LifecycleEvent::Kind kind);
+
+/// Plain-value counters of lifecycle activity across the fleet.
+struct FleetStats {
+  uint64_t losses = 0;
+  uint64_t resets = 0;
+  uint64_t probes = 0;
+  uint64_t probe_failures = 0;
+  uint64_t readmissions = 0;
 };
 
 /// N simulated devices plus the links between them. Thread-safe after
@@ -113,19 +166,59 @@ class DeviceGroup {
     return device(i).fault_injector();
   }
 
-  /// Marks a device as permanently gone for placement purposes. Sticky:
-  /// there is no way back (a lost CUDA context never returns). Idempotent.
+  /// Takes the device out of placement (any state -> Lost). Called when a
+  /// sticky DeviceLost surfaces. Idempotent; the only way back to Alive is
+  /// MarkReset -> Probe -> CompleteReadmission.
   void MarkLost(int i);
 
-  /// True while MarkLost has not been called for the device.
+  /// Models a device reset (Lost -> Probing): clears the attached injector's
+  /// sticky loss so the next probe has a chance, but leaves rules and call
+  /// counts in place. Returns false (no-op) unless the device is Lost.
+  bool MarkReset(int i);
+
+  /// Half-open probe of a Probing device: charges a real probe kernel on a
+  /// fresh stream labelled "probe" so fault rules apply to the probe itself.
+  /// Success moves the device to Readmitting and returns true. A DeviceLost
+  /// during the probe sends it back to Lost; a transient fault leaves it
+  /// Probing for a later retry; both return false.
+  bool Probe(int i);
+
+  /// Readmitting -> Alive, after the caller has restored any device-resident
+  /// state (broadcast tables, residency). Returns false unless Readmitting.
+  bool CompleteReadmission(int i);
+
+  DeviceState state(int i) const {
+    return static_cast<DeviceState>(
+        state_[static_cast<size_t>(i)]->load(std::memory_order_acquire));
+  }
+
+  /// Arms a deterministic auto-reset policy: a device that has been Lost for
+  /// a per-device number of TickLostDevices calls (drawn from `seed` in
+  /// [min_ticks, max_ticks]) is MarkReset automatically on that tick.
+  /// plan::RunSharded ticks once per recovery round, so "ticks" are rounds.
+  void ArmAutoReset(uint64_t seed, int min_ticks = 1, int max_ticks = 3);
+
+  /// Advances the auto-reset clock for every Lost device; returns devices
+  /// that moved to Probing this tick (ascending). No-op unless ArmAutoReset
+  /// was called.
+  std::vector<int> TickLostDevices();
+
+  /// True while the device is in the Alive state.
   bool IsAlive(int i) const;
 
-  /// Devices still alive, in ascending order (possibly empty).
+  /// Devices in the Alive state, in ascending order (possibly empty).
   std::vector<int> AliveDevices() const;
 
   int AliveCount() const;
 
+  /// Devices currently in the Probing state, ascending.
+  std::vector<int> ProbingDevices() const;
+
+  FleetStats fleet_stats() const;
+  std::vector<LifecycleEvent> lifecycle_log() const;
+
  private:
+  void Transition(int i, DeviceState next, LifecycleEvent::Kind kind);
   size_t PairIndex(int src, int dst) const {
     return static_cast<size_t>(src) * devices_.size() +
            static_cast<size_t>(dst);
@@ -135,9 +228,19 @@ class DeviceGroup {
   std::vector<std::unique_ptr<Device>> devices_;
   /// Flat [src][dst] matrix of exchanged bytes.
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> exchanged_;
-  /// Per-device liveness (true = lost); owned injectors parallel devices_.
-  std::vector<std::unique_ptr<std::atomic<bool>>> lost_;
+  /// Per-device lifecycle state (DeviceState as uint8_t). Reads are lock-free
+  /// (IsAlive sits on hot paths); transitions serialize on lifecycle_mu_.
+  std::vector<std::unique_ptr<std::atomic<uint8_t>>> state_;
   std::vector<std::unique_ptr<FaultInjector>> injectors_;
+
+  mutable std::mutex lifecycle_mu_;
+  std::vector<LifecycleEvent> lifecycle_log_;
+  FleetStats fleet_stats_;
+  uint64_t lifecycle_sequence_ = 0;
+  /// Auto-reset policy: ticks a device must stay Lost before MarkReset.
+  bool auto_reset_armed_ = false;
+  std::vector<int> auto_reset_after_;  ///< per-device threshold, in ticks
+  std::vector<int> lost_ticks_;        ///< ticks spent Lost since last loss
 };
 
 }  // namespace gpusim

@@ -163,6 +163,12 @@ std::vector<InjectedFault> FaultInjector::log() const {
   return log_;
 }
 
+void FaultInjector::ClearStickyLoss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lost_labels_.clear();
+  device_lost_ = false;
+}
+
 void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (uint64_t& fires : rule_fires_) fires = 0;

@@ -142,6 +142,13 @@ class FaultInjector {
   /// Clears trigger state, sticky losses, stats, and the log; keeps rules.
   void Reset();
 
+  /// Clears only the sticky DeviceLost state (device-wide and per-label) —
+  /// the model of a device reset: the context comes back, but per-stream
+  /// call counts, rules, stats, and the log all survive, so an `at_call`
+  /// rule that already fired does not fire again while `every_calls` /
+  /// `probability` rules keep drawing from the same schedule.
+  void ClearStickyLoss();
+
  private:
   struct StreamState {
     uint64_t rng = 0;

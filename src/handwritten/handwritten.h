@@ -242,7 +242,7 @@ GroupedSums<K, V> HashGroupBySum(gpusim::Stream& stream, const K* keys,
       const K key = keys[i];
       size_t slot = detail::MixHash(static_cast<uint64_t>(key)) & mask;
       while (true) {
-        const K stored = tk[slot];
+        const K stored = gpusim::AtomicLoad(&tk[slot]);
         if (stored == key) break;
         if (stored == kEmpty) {
           if (gpusim::AtomicCas(&tk[slot], kEmpty, key) == kEmpty) break;
@@ -340,7 +340,7 @@ GroupedSums<K, V> HashGroupByReduce(gpusim::Stream& stream, const K* keys,
       const K key = keys[i];
       size_t slot = detail::MixHash(static_cast<uint64_t>(key)) & mask;
       while (true) {
-        const K stored = tk[slot];
+        const K stored = gpusim::AtomicLoad(&tk[slot]);
         if (stored == key) break;
         if (stored == kEmpty) {
           if (gpusim::AtomicCas(&tk[slot], kEmpty, key) == kEmpty) break;

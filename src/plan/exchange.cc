@@ -74,6 +74,13 @@ struct WorkerState {
   /// home, and `partials` keeps everything the device finished before dying.
   bool device_lost = false;
   std::vector<std::pair<size_t, size_t>> unfinished;
+  /// Checkpoint ledger: row ranges whose results have been accumulated into
+  /// `partials` (host memory). A loss reuses these instead of recomputing;
+  /// `checkpoints_counted` marks how many have already been credited to
+  /// ShardedRunStats::checkpointed_slices_reused, so a device that dies,
+  /// readmits, and dies again never double-counts.
+  std::vector<std::pair<size_t, size_t>> checkpoints;
+  size_t checkpoints_counted = 0;
 };
 
 /// Runs one device's shard list: bind the device, build a private backend
@@ -168,6 +175,7 @@ void RunDeviceShards(TpchQuery q, const TpchHostTables& tables,
         const PhysicalPlan phys = Optimize(bundle.plan, opt);
         const ExecutionResult res = RunPinned(phys, *ws.backend);
         detail::Accumulate(q, bundle, res, ws.partials);
+        ws.checkpoints.emplace_back(lo, hi);  // host partials now cover [lo,hi)
         ws.stats.upload_bytes += slice_bytes;
         ws.stats.download_bytes += detail::DownloadedBytes(bundle, res);
         ws.stats.rows += hi - lo;
@@ -193,6 +201,33 @@ void RunDeviceShards(TpchQuery q, const TpchHostTables& tables,
   } catch (...) {
     if (admitted) options.governor->Release(d, stream_id);
     ws.error = std::current_exception();
+  }
+}
+
+/// Drives the group's lifecycle machine at a round boundary. When `tick` is
+/// set the armed auto-reset policy advances first (Lost devices that have
+/// waited their drawn number of rounds move to Probing); then every Probing
+/// device gets its half-open probe, and the outcome is mirrored into every
+/// backend@ordinal breaker at that ordinal (SyncDeviceProbe). A device that
+/// passes is readmitted on the spot: its worker keeps its backend (the
+/// stream is just a timeline; nothing device-resident survives a round) and
+/// its checkpointed host partials, and the next round's broadcast upload
+/// restores build-side state before any slice runs on it. On a healthy run
+/// no device is ever Probing, so nothing here executes or charges.
+void ProbeAndReadmit(gpusim::DeviceGroup& group,
+                     std::vector<WorkerState>& workers, bool tick,
+                     ShardedRunStats& st) {
+  if (tick) group.TickLostDevices();
+  for (int d : group.ProbingDevices()) {
+    const bool ok = group.Probe(d);
+    core::ResilienceManager::Global().SyncDeviceProbe(d, ok);
+    if (!ok) {
+      ++st.probe_failures;
+      continue;
+    }
+    workers[static_cast<size_t>(d)].stats.readmitted = true;
+    group.CompleteReadmission(d);
+    ++st.devices_readmitted;
   }
 }
 
@@ -398,6 +433,12 @@ TpchQueryResult RunSharded(TpchQuery query, const TpchHostTables& tables,
     }
   }
 
+  std::vector<WorkerState> workers(static_cast<size_t>(nd));
+  // A group whose operator reset a lost device between runs (MarkReset)
+  // re-admits here, before placement, so this run plans onto the recovered
+  // ordinal. No-op — and charge-free — unless some device is Probing.
+  ProbeAndReadmit(group, workers, /*tick=*/false, st);
+
   const size_t shards =
       options.force_shards > 0 ? options.force_shards : static_cast<size_t>(nd);
   st.shards = shards;
@@ -424,7 +465,6 @@ TpchQueryResult RunSharded(TpchQuery query, const TpchHostTables& tables,
   const uint64_t footprint = EstimateQueryFootprint(
       query, tables, backend_name, shards, options.use_encoding);
 
-  std::vector<WorkerState> workers(static_cast<size_t>(nd));
   // Run rounds until every slice has executed somewhere. Round 1 is the
   // normal sharded run; a round ends by collecting the unfinished slices of
   // workers that lost their device and dealing them — sorted by row_begin,
@@ -454,11 +494,23 @@ TpchQueryResult RunSharded(TpchQuery query, const TpchHostTables& tables,
       if (!ws.device_lost) continue;
       ws.device_lost = false;
       ++st.devices_lost;
+      // Everything the dead device had finished is checkpointed in host
+      // memory (ws.partials); those slices merge into the answer without
+      // ever re-running. Credit each checkpoint at most once across
+      // repeated losses of the same device.
+      st.checkpointed_slices_reused +=
+          ws.checkpoints.size() - ws.checkpoints_counted;
+      ws.checkpoints_counted = ws.checkpoints.size();
       unfinished.insert(unfinished.end(), ws.unfinished.begin(),
                         ws.unfinished.end());
       ws.unfinished.clear();
     }
     if (unfinished.empty()) break;
+
+    // Round boundary: advance the lifecycle machine before re-dealing, so a
+    // device whose reset came through in time takes replacement slices
+    // itself instead of leaving the survivors to absorb them.
+    ProbeAndReadmit(group, workers, /*tick=*/true, st);
 
     const std::vector<int> alive = group.AliveDevices();
     if (alive.empty()) {

@@ -31,7 +31,22 @@
 // devices: a dead device's partials are drained from host staging without a
 // fabric charge, the coordinator moves to the lowest surviving device, and
 // transient TransferFaults on a gather edge retry a bounded number of times
-// before falling back to a host-staged drain. When no fault fires, none of
+// before falling back to a host-staged drain.
+//
+// Loss is no longer forever. Completed slices checkpoint to host memory as
+// they finish (each worker records the ranges it has accumulated), so when a
+// device dies only its *unfinished* slices re-deal — the checkpointed ones
+// merge into the final answer without recompute (counted in
+// checkpointed_slices_reused). Between recovery rounds RunSharded drives the
+// group's lifecycle machine: an armed auto-reset policy ticks Lost devices
+// back to Probing (DeviceGroup::ArmAutoReset), every Probing device gets a
+// half-open probe kernel, and a device that passes is readmitted — its
+// breakers healed via ResilienceManager::SyncDeviceProbe, its worker (and
+// the host checkpoints of the slices it finished before dying) retained,
+// broadcast tables re-uploaded when the next round hands it slices. Probing
+// also runs
+// once before initial placement, so a group whose operator called MarkReset
+// between queries re-admits on the next run. When no fault fires, none of
 // this machinery charges anything, so the healthy-path simulated timeline
 // is bit-identical to the fault-free build.
 #ifndef PLAN_EXCHANGE_H_
@@ -126,6 +141,7 @@ struct DeviceShardStats {
   uint64_t granted_bytes = 0; ///< admission grant (0 = ungoverned)
   uint64_t peak_bytes = 0;    ///< device allocator high-water over the run
   bool lost = false;          ///< device died (sticky DeviceLost) this run
+  bool readmitted = false;    ///< device re-joined after a reset + probe
 };
 
 /// Accounting of one sharded run.
@@ -146,6 +162,11 @@ struct ShardedRunStats {
   size_t replaced_shards = 0;    ///< slices re-run on a surviving device
   uint64_t transfer_retries = 0; ///< gather exchanges replayed after a
                                  ///< transient TransferFault
+  int devices_readmitted = 0;    ///< devices probed healthy and re-placed
+  /// Slices a dying device had already finished whose host-checkpointed
+  /// partials merged into the answer without recompute.
+  size_t checkpointed_slices_reused = 0;
+  uint64_t probe_failures = 0;   ///< readmission probes that faulted
   std::vector<DeviceShardStats> per_device;
 };
 

@@ -4,9 +4,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace serve {
 namespace {
@@ -14,6 +17,16 @@ namespace {
 [[noreturn]] void ThrowErrno(const std::string& what) {
   throw std::runtime_error("serve client: " + what + ": " +
                            std::strerror(errno));
+}
+
+// SplitMix64 step for the retry jitter — the same generator the fault
+// injectors use, so a fixed seed gives a fixed sleep schedule.
+uint64_t NextRandom(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
 }
 
 }  // namespace
@@ -100,6 +113,28 @@ QueryReply Client::Query(const std::string& query_name) {
     throw std::runtime_error("serve client: unexpected query reply type");
   }
   return DecodeQueryReply(r);
+}
+
+QueryReply Client::QueryWithRetry(const std::string& query_name,
+                                  const RetryOptions& retry) {
+  uint64_t rng = retry.seed;
+  QueryReply reply;
+  for (int attempt = 1;; ++attempt) {
+    reply = Query(query_name);
+    if (!reply.overloaded || attempt >= retry.max_attempts) return reply;
+    ++retries_;
+    // Honor the server's hint, then add exponential headroom with seeded
+    // jitter (up to half the base on top), capped per sleep.
+    uint64_t base = reply.retry_after_ms > 0 ? reply.retry_after_ms : 1;
+    for (int i = 1; i < attempt && base < retry.max_backoff_ms; ++i) {
+      base <<= 1;
+    }
+    base = std::min(base, retry.max_backoff_ms);
+    const uint64_t jitter = NextRandom(rng) % (base / 2 + 1);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(base + jitter,
+                                           retry.max_backoff_ms)));
+  }
 }
 
 StatsReply Client::Stats() {

@@ -8,12 +8,21 @@
 #ifndef SERVE_CLIENT_H_
 #define SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "serve/protocol.h"
 #include "serve/tenant.h"
 
 namespace serve {
+
+/// Budget + backoff curve for QueryWithRetry. The backoff is seeded, so a
+/// bench that replays the same seed replays the same sleep schedule.
+struct RetryOptions {
+  int max_attempts = 5;            ///< total tries including the first
+  uint64_t seed = 0;               ///< jitter seed (deterministic schedule)
+  uint64_t max_backoff_ms = 1000;  ///< cap on any single sleep
+};
 
 class Client {
  public:
@@ -38,6 +47,18 @@ class Client {
   /// the server's retry-after hint.
   QueryReply Query(const std::string& query_name);
 
+  /// Query with retry-on-shed: a kOverloaded reply sleeps for the server's
+  /// retry_after_ms hint plus seeded exponential jitter (capped by
+  /// max_backoff_ms) and tries again, up to max_attempts. Returns the final
+  /// reply — overloaded still true when the budget ran out — so tools and
+  /// benches stop hand-rolling this loop. Errors still throw, exactly as
+  /// Query does.
+  QueryReply QueryWithRetry(const std::string& query_name,
+                            const RetryOptions& retry = {});
+
+  /// Shed replies QueryWithRetry slept through since construction.
+  uint64_t retries() const { return retries_; }
+
   /// Server counters snapshot.
   StatsReply Stats();
 
@@ -47,6 +68,7 @@ class Client {
  private:
   int fd_ = -1;
   HelloReply hello_;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace serve

@@ -98,9 +98,13 @@ struct StatsReply {
   uint64_t cache_evictions = 0;
   uint64_t resident_bytes = 0;   ///< device bytes of the resident tables
   uint64_t uploaded_bytes = 0;   ///< link bytes spent making them resident
-  uint64_t catalog_generation = 0;  ///< bumps on every Reload
+  uint64_t catalog_generation = 0;  ///< bumps on every Reload/Rebalance
   uint64_t overloaded = 0;       ///< requests shed with kOverloaded
   uint64_t malformed = 0;        ///< garbage frames answered with kError
+  // Fleet lifecycle (appended fields; decoders tolerate their absence so an
+  // old server's stats frame still parses).
+  uint64_t devices_readmitted = 0;  ///< devices probed healthy + readmitted
+  uint64_t catalog_rebalances = 0;  ///< background residency re-uploads
 };
 
 struct ErrorReply {

@@ -75,12 +75,16 @@ void QueryServer::Stop() {
   }
   shutdown_cv_.notify_all();
 
+  // Wake the accept loop with shutdown() but close the listener only
+  // after the join: the loop re-reads listen_fd_ between accepts, so the
+  // close and the -1 store must happen-after it exits (and the fd number
+  // can't be recycled into a connection the loop would then accept on).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
 
   std::vector<std::unique_ptr<Connection>> conns;
   {
@@ -95,6 +99,10 @@ void QueryServer::Stop() {
     ::close(c->fd);
   }
 
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mu_);
+    if (rebalance_thread_.joinable()) rebalance_thread_.join();
+  }
   if (scheduler_ != nullptr) scheduler_->Shutdown();
   if (governor_ != nullptr) governor_->Shutdown();
   if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
@@ -113,7 +121,10 @@ Session QueryServer::OpenSession(const std::string& tenant, TenantClass cls) {
   return s;
 }
 
-void QueryServer::CheckAdmission() {
+void QueryServer::CheckAdmission(TenantClass cls) {
+  const TenantPolicy policy = PolicyFor(cls);
+  const uint64_t retry_after =
+      options_.retry_after_ms * policy.retry_after_multiplier;
   // Per-device backend health first: a sticky DeviceLost on the serving
   // device opens its breaker after failure_threshold query failures, and
   // Allow() both gates admission and advances the open-state cooldown so a
@@ -122,20 +133,33 @@ void QueryServer::CheckAdmission() {
     overloaded_.fetch_add(1);
     throw Overloaded("backend '" + options_.catalog.backend +
                          "' breaker open on device 0",
-                     options_.retry_after_ms);
+                     retry_after);
   }
+  // Queue bounds scale by the class's shed fraction, so as depth grows the
+  // classes shed in priority order: best-effort at half the bound, batch at
+  // three quarters, interactive only at the full bound.
+  const auto class_bound = [&](size_t bound) {
+    const auto scaled =
+        static_cast<size_t>(static_cast<double>(bound) *
+                            policy.shed_depth_fraction);
+    return scaled > 0 ? scaled : size_t{1};
+  };
   const size_t queue_bound = options_.shed_queue_depth > 0
                                  ? options_.shed_queue_depth
                                  : options_.queue_capacity;
-  if (queue_bound > 0 && scheduler_->queue_depth() >= queue_bound) {
+  if (queue_bound > 0 &&
+      scheduler_->queue_depth() >= class_bound(queue_bound)) {
     overloaded_.fetch_add(1);
-    throw Overloaded("scheduler queue at bound", options_.retry_after_ms);
+    throw Overloaded(std::string("scheduler queue at ") +
+                         TenantClassName(cls) + " bound",
+                     retry_after);
   }
   if (governor_ != nullptr && options_.shed_governor_depth > 0 &&
-      governor_->queue_depth() >= options_.shed_governor_depth) {
+      governor_->queue_depth() >= class_bound(options_.shed_governor_depth)) {
     overloaded_.fetch_add(1);
-    throw Overloaded("governor admission queue at bound",
-                     options_.retry_after_ms);
+    throw Overloaded(std::string("governor admission queue at ") +
+                         TenantClassName(cls) + " bound",
+                     retry_after);
   }
 }
 
@@ -143,7 +167,7 @@ QueryReply QueryServer::Execute(const Session& session,
                                 const std::string& query_name) {
   plan::QueryShape shape;
   shape.query = plan::ParseTpchQuery(query_name);
-  CheckAdmission();
+  CheckAdmission(session.cls);
   shape.use_encoding = options_.catalog.use_encoding;
 
   // Plan-cache lookup under the current residency snapshot. The key carries
@@ -233,6 +257,44 @@ void QueryServer::ReloadCatalog(double scale_factor) {
   plan_cache_.Clear();
 }
 
+bool QueryServer::ReadmitDevice(int ordinal) {
+  gpusim::DeviceGroup* fleet = options_.fleet;
+  if (fleet == nullptr || ordinal < 0 || ordinal >= fleet->size()) {
+    return false;
+  }
+  if (fleet->state(ordinal) == gpusim::DeviceState::kLost) {
+    fleet->MarkReset(ordinal);
+  }
+  if (fleet->state(ordinal) != gpusim::DeviceState::kProbing) {
+    return fleet->IsAlive(ordinal);  // already healthy (or mid-readmission)
+  }
+  const bool ok = fleet->Probe(ordinal);
+  core::ResilienceManager::Global().SyncDeviceProbe(ordinal, ok);
+  if (!ok) return false;
+  // Drain-aware rebalance: unlike ReloadCatalog nothing here drains the
+  // scheduler — the host tables are untouched and the residency snapshot is
+  // refcounted, so queries keep running on the survivors while the new
+  // snapshot uploads to the readmitted ordinal in the background. The
+  // generation bump redirects new prepares; in-flight prepared plans keep
+  // their old snapshot alive. Only then does the ordinal complete
+  // readmission, so it is never considered alive before its state is back.
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  if (rebalance_thread_.joinable()) rebalance_thread_.join();
+  rebalance_thread_ = std::thread([this, fleet, ordinal] {
+    catalog_->Rebalance(&fleet->device(ordinal));
+    plan_cache_.Clear();
+    fleet->CompleteReadmission(ordinal);
+    catalog_rebalances_.fetch_add(1);
+    devices_readmitted_.fetch_add(1);
+  });
+  return true;
+}
+
+void QueryServer::WaitForRebalance() {
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  if (rebalance_thread_.joinable()) rebalance_thread_.join();
+}
+
 StatsReply QueryServer::Stats() const {
   StatsReply s;
   s.queries = ok_queries_.load();
@@ -250,6 +312,8 @@ StatsReply QueryServer::Stats() const {
   s.catalog_generation = catalog_->generation();
   s.overloaded = overloaded_.load();
   s.malformed = malformed_.load();
+  s.devices_readmitted = devices_readmitted_.load();
+  s.catalog_rebalances = catalog_rebalances_.load();
   return s;
 }
 

@@ -38,6 +38,7 @@
 
 #include "core/governor.h"
 #include "core/scheduler.h"
+#include "gpusim/device_group.h"
 #include "serve/plan_cache.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
@@ -66,8 +67,13 @@ struct ServerOptions {
   size_t shed_queue_depth = 0;
   /// Shed when the governor's admission queue reaches this depth.
   size_t shed_governor_depth = 32;
-  /// Retry-after hint carried in kOverloaded replies.
+  /// Base retry-after hint carried in kOverloaded replies; each tenant
+  /// class scales it by its TenantPolicy::retry_after_multiplier.
   uint64_t retry_after_ms = 50;
+  /// The device fleet this server runs over (not owned; must outlive the
+  /// server). Optional: with no fleet attached, ReadmitDevice is a no-op
+  /// and everything else behaves exactly as before.
+  gpusim::DeviceGroup* fleet = nullptr;
 };
 
 /// Thrown by Execute when the request is shed instead of queued: the
@@ -120,6 +126,21 @@ class QueryServer {
   /// re-upload) and clears the plan cache. Serialized internally.
   void ReloadCatalog(double scale_factor);
 
+  /// Drain-aware re-admission of a reset fleet device: resets it if still
+  /// Lost, runs the half-open probe, and mirrors the outcome into every
+  /// backend@ordinal breaker. On a passing probe the catalog residency is
+  /// re-uploaded to the ordinal on a background thread while queries keep
+  /// running (no Drain — only the refcounted residency snapshot changes),
+  /// the generation bumps, the plan cache clears, and the device completes
+  /// readmission. Returns true when the probe passed and the rebalance was
+  /// started (or the device was already alive); false on probe failure or
+  /// when no fleet is attached.
+  bool ReadmitDevice(int ordinal);
+
+  /// Joins an in-flight background rebalance (tests/benches; Stop() also
+  /// joins it).
+  void WaitForRebalance();
+
   StatsReply Stats() const;
 
   ResidentCatalog& catalog() { return *catalog_; }
@@ -140,8 +161,11 @@ class QueryServer {
   void ServeConnection(Connection& conn);
   /// Joins and erases finished connections. Caller must hold conn_mu_.
   void ReapFinishedLocked();
-  /// Throws Overloaded when the request should be shed right now.
-  void CheckAdmission();
+  /// Throws Overloaded when the request should be shed right now. The
+  /// session's tenant class scales both the shed bound (best-effort sheds
+  /// before batch before interactive at the same queue depth) and the
+  /// retry-after hint.
+  void CheckAdmission(TenantClass cls);
 
   ServerOptions options_;
   std::unique_ptr<ResidentCatalog> catalog_;
@@ -157,6 +181,11 @@ class QueryServer {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> overloaded_{0};
   std::atomic<uint64_t> malformed_{0};
+  std::atomic<uint64_t> devices_readmitted_{0};
+  std::atomic<uint64_t> catalog_rebalances_{0};
+
+  std::mutex rebalance_mu_;  ///< serializes ReadmitDevice's background work
+  std::thread rebalance_thread_;
 
   int listen_fd_ = -1;
   std::thread accept_thread_;

@@ -41,6 +41,27 @@ void ResidentCatalog::Reload(double scale_factor) {
   ++generation_;
 }
 
+void ResidentCatalog::Rebalance(gpusim::Device* device) {
+  // Build the new upload backend on the target device (the backend's stream
+  // binds to the thread's current device at construction).
+  std::unique_ptr<core::Backend> fresh;
+  if (device != nullptr) {
+    gpusim::Device::DeviceGuard guard(*device);
+    fresh = core::BackendRegistry::Instance().Create(options_.backend);
+  } else {
+    fresh = core::BackendRegistry::Instance().Create(options_.backend);
+  }
+  // Upload outside the lock: queries read resident() throughout, and the
+  // host tables are untouched, so nothing here needs the server to drain.
+  std::shared_ptr<const plan::ResidentTpchTables> snapshot =
+      plan::MakeResident(fresh->stream(), host(), options_.use_encoding);
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_backends_.push_back(std::move(backend_));
+  backend_ = std::move(fresh);
+  resident_ = std::move(snapshot);
+  ++generation_;
+}
+
 void ResidentCatalog::Generate() {
   tpch::Config config;
   config.scale_factor = options_.scale_factor;

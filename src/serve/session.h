@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/backend.h"
 #include "core/scheduler.h"
@@ -63,6 +64,16 @@ class ResidentCatalog {
   /// them. The caller must clear any plan cache keyed on the old stats.
   void Reload(double scale_factor);
 
+  /// Re-uploads the *same* host tables as a fresh residency snapshot,
+  /// optionally onto `device` (a readmitted ordinal of a fleet) — the
+  /// drain-free half of recovery. Unlike Reload the host source of truth
+  /// never changes, so queries keep running throughout: in-flight prepared
+  /// plans hold the old snapshot by shared_ptr (its upload stream is
+  /// retired, not destroyed), new prepares see the new one, and the bumped
+  /// generation tells the server to clear its plan cache. Safe to call from
+  /// a background thread concurrently with resident()/generation().
+  void Rebalance(gpusim::Device* device = nullptr);
+
   /// The stream the residency lives on (uploads are charged here).
   gpusim::Stream& stream() { return backend_->stream(); }
 
@@ -77,9 +88,14 @@ class ResidentCatalog {
   storage::Table customer_;
   storage::Table part_;
 
-  mutable std::mutex mu_;  ///< guards resident_ and generation_
+  mutable std::mutex mu_;  ///< guards resident_, generation_, backends
   std::shared_ptr<const plan::ResidentTpchTables> resident_;
   uint64_t generation_ = 0;
+  /// Upload streams of superseded residencies: a snapshot an in-flight
+  /// prepared plan still holds must outlive neither its stream nor its
+  /// device, so Rebalance retires the old backend here instead of
+  /// destroying it.
+  std::vector<std::unique_ptr<core::Backend>> retired_backends_;
 };
 
 /// One client connection's registered identity.

@@ -31,16 +31,22 @@ TenantPolicy PolicyFor(TenantClass cls) {
       p.weight = 8.0;
       p.starvation_bound_ms = 250;
       p.deadline_ms = 30'000;
+      p.shed_depth_fraction = 1.0;
+      p.retry_after_multiplier = 1;
       break;
     case TenantClass::kBatch:
       p.weight = 2.0;
       p.starvation_bound_ms = 2'000;
       p.deadline_ms = 120'000;
+      p.shed_depth_fraction = 0.75;
+      p.retry_after_multiplier = 2;
       break;
     case TenantClass::kBestEffort:
       p.weight = 1.0;
       p.starvation_bound_ms = 5'000;
       p.deadline_ms = 0;
+      p.shed_depth_fraction = 0.5;
+      p.retry_after_multiplier = 5;
       break;
   }
   return p;

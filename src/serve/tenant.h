@@ -36,6 +36,15 @@ struct TenantPolicy {
   double weight = 1.0;               ///< fair-share weight
   uint64_t starvation_bound_ms = 0;  ///< aging horizon (0 = none)
   uint64_t deadline_ms = 0;          ///< per-query deadline class (0 = none)
+  /// Fraction of the server's queue-depth shed bound this class may fill
+  /// before its requests are shed. At one and the same queue depth the
+  /// classes therefore shed in priority order: best-effort first (half the
+  /// bound), batch next (three quarters), interactive last (the full bound).
+  double shed_depth_fraction = 1.0;
+  /// Multiplier on the server's base retry_after_ms in this class's
+  /// kOverloaded replies — lower classes are told to stay away longer, so
+  /// retrying interactive traffic reclaims headroom first.
+  uint64_t retry_after_multiplier = 1;
 };
 
 /// Fixed class -> policy mapping (documented in DESIGN.md §12).

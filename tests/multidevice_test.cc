@@ -22,6 +22,7 @@
 #include "gpusim/device_group.h"
 #include "gpusim/fault.h"
 #include "gpusim/stream.h"
+#include "gpusim/trace.h"
 #include "plan/exchange.h"
 #include "plan/ir.h"
 #include "plan/optimizer.h"
@@ -665,6 +666,314 @@ TEST_F(MultiDeviceQueryTest, DegradedRunsAreDeterministic) {
       EXPECT_EQ(stats.simulated_ns, first_ns);
       EXPECT_EQ(stats.replaced_shards, first_replaced);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Device lifecycle: the Lost -> Probing -> Readmitting -> Alive machine.
+
+TEST(DeviceLifecycleTest, StateMachineWalksLostResetProbeReadmit) {
+  gpusim::DeviceGroup group(2);
+  EXPECT_EQ(group.state(1), gpusim::DeviceState::kAlive);
+
+  group.MarkLost(1);
+  EXPECT_EQ(group.state(1), gpusim::DeviceState::kLost);
+  EXPECT_FALSE(group.IsAlive(1));
+
+  EXPECT_TRUE(group.MarkReset(1));
+  EXPECT_EQ(group.state(1), gpusim::DeviceState::kProbing);
+  EXPECT_FALSE(group.IsAlive(1)) << "probing devices are not schedulable yet";
+  ASSERT_EQ(group.ProbingDevices(), std::vector<int>{1});
+
+  EXPECT_TRUE(group.Probe(1));
+  EXPECT_EQ(group.state(1), gpusim::DeviceState::kReadmitting);
+
+  EXPECT_TRUE(group.CompleteReadmission(1));
+  EXPECT_EQ(group.state(1), gpusim::DeviceState::kAlive);
+  EXPECT_TRUE(group.IsAlive(1));
+  EXPECT_EQ(group.AliveCount(), 2);
+
+  const gpusim::FleetStats fs = group.fleet_stats();
+  EXPECT_EQ(fs.losses, 1u);
+  EXPECT_EQ(fs.resets, 1u);
+  EXPECT_EQ(fs.probes, 1u);
+  EXPECT_EQ(fs.probe_failures, 0u);
+  EXPECT_EQ(fs.readmissions, 1u);
+
+  const std::vector<gpusim::LifecycleEvent> log = group.lifecycle_log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].kind, gpusim::LifecycleEvent::Kind::kLost);
+  EXPECT_EQ(log[1].kind, gpusim::LifecycleEvent::Kind::kReset);
+  EXPECT_EQ(log[2].kind, gpusim::LifecycleEvent::Kind::kProbeOk);
+  EXPECT_EQ(log[3].kind, gpusim::LifecycleEvent::Kind::kReadmitted);
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].device, 1);
+    EXPECT_EQ(log[i].sequence, i);
+  }
+  EXPECT_STREQ(gpusim::DeviceStateName(gpusim::DeviceState::kProbing),
+               "probing");
+  EXPECT_STREQ(
+      gpusim::LifecycleEventName(gpusim::LifecycleEvent::Kind::kReadmitted),
+      "device_readmitted");
+}
+
+TEST(DeviceLifecycleTest, TransitionsRejectWrongSourceStates) {
+  gpusim::DeviceGroup group(2);
+  EXPECT_FALSE(group.MarkReset(0)) << "only a Lost device can reset";
+  EXPECT_FALSE(group.Probe(0)) << "only a Probing device can probe";
+  EXPECT_FALSE(group.CompleteReadmission(0))
+      << "only a Readmitting device can rejoin";
+  EXPECT_EQ(group.state(0), gpusim::DeviceState::kAlive);
+
+  group.MarkLost(0);
+  group.MarkLost(0);  // idempotent
+  EXPECT_EQ(group.fleet_stats().losses, 1u);
+  EXPECT_FALSE(group.CompleteReadmission(0)) << "Lost cannot skip the probe";
+  EXPECT_EQ(group.state(0), gpusim::DeviceState::kLost);
+}
+
+TEST(DeviceLifecycleTest, ProbeFailsThenSucceedsAfterSecondReset) {
+  // A one-shot DeviceLost scoped to the probe stream: the first half-open
+  // probe fires it and throws the device back to Lost; after a second reset
+  // the probe passes and the device readmits.
+  gpusim::DeviceGroup group(2);
+  gpusim::FaultRule rule;
+  rule.site = gpusim::FaultSite::kKernel;
+  rule.kind = gpusim::FaultKind::kDeviceLost;
+  rule.stream_label = "probe";
+  rule.at_call = 1;
+  rule.max_fires = 1;
+  group.ArmFaultInjector(1, 7).AddRule(rule);
+
+  group.MarkLost(1);
+  ASSERT_TRUE(group.MarkReset(1));
+  EXPECT_FALSE(group.Probe(1)) << "the armed probe-scoped kill must fire";
+  EXPECT_EQ(group.state(1), gpusim::DeviceState::kLost);
+  EXPECT_EQ(group.fleet_stats().probe_failures, 1u);
+
+  ASSERT_TRUE(group.MarkReset(1));
+  EXPECT_TRUE(group.Probe(1)) << "the kill was one-shot; the retry passes";
+  EXPECT_TRUE(group.CompleteReadmission(1));
+  EXPECT_TRUE(group.IsAlive(1));
+  EXPECT_EQ(group.fleet_stats().probes, 2u);
+  EXPECT_EQ(group.fleet_stats().readmissions, 1u);
+}
+
+TEST(DeviceLifecycleTest, ArmAutoResetTicksLostDevicesBackDeterministically) {
+  // The auto-reset policy is a pure function of the seed: two groups armed
+  // identically tick their lost device back on the same round.
+  int first_ticks = -1;
+  for (int round = 0; round < 2; ++round) {
+    gpusim::DeviceGroup group(4);
+    group.ArmAutoReset(/*seed=*/21, /*min_ticks=*/1, /*max_ticks=*/3);
+    group.MarkLost(2);
+    int ticks = 0;
+    for (; ticks < 4; ++ticks) {
+      const std::vector<int> reset = group.TickLostDevices();
+      if (!reset.empty()) {
+        EXPECT_EQ(reset, std::vector<int>{2});
+        break;
+      }
+    }
+    EXPECT_LT(ticks, 4) << "the device must reset within max_ticks";
+    EXPECT_EQ(group.state(2), gpusim::DeviceState::kProbing);
+    if (round == 0) {
+      first_ticks = ticks;
+    } else {
+      EXPECT_EQ(ticks, first_ticks);
+    }
+  }
+}
+
+TEST(DeviceLifecycleTest, TransitionsLandInFaultTraceCategory) {
+  gpusim::DeviceGroup group(2);
+  gpusim::Tracer tracer;
+  group.device(1).set_tracer(&tracer);
+  group.MarkLost(1);
+  group.MarkReset(1);
+  ASSERT_TRUE(group.Probe(1));
+  group.CompleteReadmission(1);
+  group.device(1).set_tracer(nullptr);
+
+  std::vector<std::string> fault_events;
+  bool saw_probe_kernel = false;
+  for (const gpusim::TraceEvent& ev : tracer.events()) {
+    if (ev.category == "fault") fault_events.push_back(ev.name);
+    if (ev.category == "kernel" && ev.name == "fleet_probe") {
+      saw_probe_kernel = true;
+    }
+  }
+  const std::vector<std::string> want = {"device_lost", "device_reset",
+                                         "probe_ok", "device_readmitted"};
+  EXPECT_EQ(fault_events, want);
+  EXPECT_TRUE(saw_probe_kernel) << "the half-open probe charges a kernel";
+}
+
+// ---------------------------------------------------------------------------
+// Readmission through RunSharded: checkpoint reuse, re-placement onto the
+// recovered device, and the determinism goldens.
+
+/// One-shot variant of KillDeviceAtKernel for readmission sequences: the
+/// rule cannot re-fire on the rerun's fresh streams after the reset clears
+/// the sticky loss.
+void KillDeviceOnceAtKernel(gpusim::DeviceGroup& group, int victim,
+                            uint64_t at_call, uint64_t seed = 17) {
+  gpusim::FaultRule rule;
+  rule.site = gpusim::FaultSite::kKernel;
+  rule.kind = gpusim::FaultKind::kDeviceLost;
+  rule.at_call = at_call;
+  rule.max_fires = 1;
+  group.ArmFaultInjector(victim, seed).AddRule(rule);
+}
+
+TEST_F(MultiDeviceQueryTest, ResetDeviceReadmitsOnNextRun) {
+  gpusim::DeviceGroup group(4);
+  KillDeviceOnceAtKernel(group, /*victim=*/2, /*at_call=*/2);
+  plan::ShardedQueryOptions options;
+  options.force_shards = 8;
+
+  plan::ShardedRunStats degraded;
+  VerifyAgainstReference(
+      TpchQuery::kQ6, plan::RunSharded(TpchQuery::kQ6, Tables(), group,
+                                       backends::kHandwritten, options,
+                                       &degraded));
+  ASSERT_FALSE(group.IsAlive(2));
+  EXPECT_EQ(degraded.devices_readmitted, 0);
+
+  ASSERT_TRUE(group.MarkReset(2));
+  plan::ShardedRunStats recovered;
+  VerifyAgainstReference(
+      TpchQuery::kQ6, plan::RunSharded(TpchQuery::kQ6, Tables(), group,
+                                       backends::kHandwritten, options,
+                                       &recovered));
+  EXPECT_TRUE(group.IsAlive(2)) << "the run-start probe must readmit";
+  EXPECT_EQ(recovered.devices_readmitted, 1);
+  EXPECT_EQ(recovered.devices_lost, 0);
+  bool victim_flagged = false;
+  for (const plan::DeviceShardStats& d : recovered.per_device) {
+    if (d.device == 2) {
+      victim_flagged = d.readmitted;
+      EXPECT_GT(d.shards, 0u) << "the readmitted device must take work";
+    }
+  }
+  EXPECT_TRUE(victim_flagged);
+}
+
+TEST_F(MultiDeviceQueryTest, ReadmittedRunMatchesNeverKilledTimeline) {
+  // After readmission the group is whole again: the rerun places exactly
+  // like a never-killed group and its simulated makespan is bit-identical.
+  plan::ShardedQueryOptions options;
+  options.force_shards = 8;
+  gpusim::DeviceGroup bare(4);
+  plan::ShardedRunStats baseline;
+  (void)plan::RunSharded(TpchQuery::kQ1, Tables(), bare,
+                         backends::kHandwritten, options, &baseline);
+
+  gpusim::DeviceGroup group(4);
+  KillDeviceOnceAtKernel(group, /*victim=*/1, /*at_call=*/2);
+  (void)plan::RunSharded(TpchQuery::kQ1, Tables(), group,
+                         backends::kHandwritten, options, nullptr);
+  ASSERT_TRUE(group.MarkReset(1));
+  plan::ShardedRunStats recovered;
+  (void)plan::RunSharded(TpchQuery::kQ1, Tables(), group,
+                         backends::kHandwritten, options, &recovered);
+  EXPECT_EQ(recovered.devices_readmitted, 1);
+  EXPECT_EQ(recovered.simulated_ns, baseline.simulated_ns);
+}
+
+TEST_F(MultiDeviceQueryTest, ReadmissionSequenceIsDeterministic) {
+  // The whole kill -> reset -> readmit -> rerun sequence on two identical
+  // groups: same degraded makespan, same recovered makespan, same placement.
+  uint64_t first_degraded = 0;
+  uint64_t first_recovered = 0;
+  std::vector<size_t> first_placement;
+  for (int round = 0; round < 2; ++round) {
+    gpusim::DeviceGroup group(4);
+    KillDeviceOnceAtKernel(group, /*victim=*/3, /*at_call=*/4);
+    plan::ShardedQueryOptions options;
+    options.force_shards = 8;
+    plan::ShardedRunStats degraded;
+    (void)plan::RunSharded(TpchQuery::kQ3, Tables(), group,
+                           backends::kHandwritten, options, &degraded);
+    ASSERT_TRUE(group.MarkReset(3));
+    plan::ShardedRunStats recovered;
+    (void)plan::RunSharded(TpchQuery::kQ3, Tables(), group,
+                           backends::kHandwritten, options, &recovered);
+    std::vector<size_t> placement;
+    for (const plan::DeviceShardStats& d : recovered.per_device) {
+      placement.push_back(d.shards);
+    }
+    if (round == 0) {
+      first_degraded = degraded.simulated_ns;
+      first_recovered = recovered.simulated_ns;
+      first_placement = placement;
+    } else {
+      EXPECT_EQ(degraded.simulated_ns, first_degraded);
+      EXPECT_EQ(recovered.simulated_ns, first_recovered);
+      EXPECT_EQ(placement, first_placement);
+    }
+  }
+}
+
+TEST_F(MultiDeviceQueryTest, CheckpointedSlicesAreReusedNotRecomputed) {
+  // Kill late enough that the victim finished a slice first: that slice's
+  // host-checkpointed partial merges into the answer, and only the
+  // unfinished remainder re-deals.
+  gpusim::DeviceGroup group(4);
+  KillDeviceOnceAtKernel(group, /*victim=*/1, /*at_call=*/7);
+  plan::ShardedQueryOptions options;
+  options.force_shards = 8;  // two slices per device
+  plan::ShardedRunStats stats;
+  VerifyAgainstReference(
+      TpchQuery::kQ6, plan::RunSharded(TpchQuery::kQ6, Tables(), group,
+                                       backends::kHandwritten, options,
+                                       &stats));
+  ASSERT_FALSE(group.IsAlive(1));
+  EXPECT_GE(stats.checkpointed_slices_reused, 1u);
+  // Checkpointed + re-dealt covers exactly the victim's two slices.
+  EXPECT_EQ(stats.checkpointed_slices_reused + stats.replaced_shards, 2u);
+}
+
+TEST_F(MultiDeviceQueryTest, AutoResetReadmitsTheVictimMidRun) {
+  // With the auto-reset policy armed and an immediate threshold, the victim
+  // resets at the first round boundary, passes its probe, and takes
+  // replacement slices itself — all inside one RunSharded call.
+  gpusim::DeviceGroup group(4);
+  group.ArmAutoReset(/*seed=*/5, /*min_ticks=*/1, /*max_ticks=*/1);
+  KillDeviceOnceAtKernel(group, /*victim=*/2, /*at_call=*/2);
+  plan::ShardedQueryOptions options;
+  options.force_shards = 8;
+  plan::ShardedRunStats stats;
+  VerifyAgainstReference(
+      TpchQuery::kQ1, plan::RunSharded(TpchQuery::kQ1, Tables(), group,
+                                       backends::kHandwritten, options,
+                                       &stats));
+  EXPECT_EQ(stats.devices_lost, 1);
+  EXPECT_EQ(stats.devices_readmitted, 1);
+  EXPECT_TRUE(group.IsAlive(2));
+  EXPECT_EQ(group.AliveCount(), 4);
+}
+
+TEST_F(MultiDeviceQueryTest, ArmedAutoResetKeepsZeroFaultTimelineIdentical) {
+  // The lifecycle machinery joins the zero-fault gate: armed injectors plus
+  // an armed auto-reset policy must not move a healthy run's timeline.
+  for (const TpchQuery q : {TpchQuery::kQ6, TpchQuery::kQ3}) {
+    SCOPED_TRACE(plan::TpchQueryName(q));
+    gpusim::DeviceGroup bare(4);
+    plan::ShardedRunStats bare_stats;
+    (void)plan::RunSharded(q, Tables(), bare, backends::kHandwritten, {},
+                           &bare_stats);
+
+    gpusim::DeviceGroup armed(4);
+    armed.ArmAutoReset(/*seed=*/3);
+    for (int d = 0; d < armed.size(); ++d) armed.ArmFaultInjector(d, 99);
+    plan::ShardedRunStats armed_stats;
+    (void)plan::RunSharded(q, Tables(), armed, backends::kHandwritten, {},
+                           &armed_stats);
+
+    EXPECT_EQ(armed_stats.simulated_ns, bare_stats.simulated_ns);
+    EXPECT_EQ(armed_stats.devices_readmitted, 0);
+    EXPECT_EQ(armed.fleet_stats().probes, 0u);
   }
 }
 

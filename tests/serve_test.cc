@@ -29,6 +29,8 @@
 #include "core/registry.h"
 #include "core/scheduler.h"
 #include "gpusim/device.h"
+#include "gpusim/device_group.h"
+#include "gpusim/fault.h"
 #include "plan/fingerprint.h"
 #include "plan/prepared.h"
 #include "serve/client.h"
@@ -840,6 +842,200 @@ TEST_F(ServeTest, OpenBreakerShedsQueriesUntilTheProbeHeals) {
 
   const StatsReply stats = client.Stats();
   EXPECT_GT(stats.overloaded, 0u);
+
+  client.Shutdown();
+  server.WaitForShutdown();
+  server.Stop();
+  rm.Reset();
+}
+
+// --------------------------------------------------------------------------
+// Self-healing fleet: drain-aware readmission, per-tenant shed priorities,
+// and the client's seeded retry helper.
+// --------------------------------------------------------------------------
+
+TEST_F(ServeTest, ReadmitDeviceRebalancesWithoutDrainAndHealsBreakers) {
+  core::ResilienceManager& rm = core::ResilienceManager::Global();
+  rm.Reset();
+  gpusim::DeviceGroup fleet(2);
+  ServerOptions options;  // in-process only
+  options.catalog.scale_factor = 0.004;
+  options.fleet = &fleet;
+  QueryServer server(options);
+  server.Start();
+  const Session session =
+      server.OpenSession("tenant-a", TenantClass::kInteractive);
+
+  const QueryReply miss = server.Execute(session, "q6");
+  const QueryReply hit = server.Execute(session, "q6");
+  ASSERT_TRUE(hit.cache_hit);
+  const double ref = tpch::ReferenceQ6(server.catalog().lineitem());
+  ASSERT_TRUE(Near(hit.result.scalar, ref));
+
+  // The serving ordinal dies and its breaker opens.
+  fleet.MarkLost(0);
+  rm.RecordFailure(options.catalog.backend, 0);
+  rm.RecordFailure(options.catalog.backend, 0);
+  rm.RecordFailure(options.catalog.backend, 0);
+  ASSERT_EQ(rm.StateOf(options.catalog.backend, 0),
+            core::CircuitBreaker::State::kOpen);
+
+  ASSERT_TRUE(server.ReadmitDevice(0));
+  server.WaitForRebalance();
+
+  EXPECT_TRUE(fleet.IsAlive(0));
+  EXPECT_EQ(fleet.fleet_stats().readmissions, 1u);
+  EXPECT_EQ(rm.StateOf(options.catalog.backend, 0),
+            core::CircuitBreaker::State::kClosed)
+      << "the passing probe must heal the breaker, not just the fleet state";
+  EXPECT_EQ(server.catalog().generation(), 1u)
+      << "the rebalance bumps the residency generation";
+
+  // The plan cache was cleared (new residency), but the answer and the
+  // cache-hit simulated latency are unchanged: the host tables never moved.
+  const QueryReply remiss = server.Execute(session, "q6");
+  EXPECT_FALSE(remiss.cache_hit);
+  EXPECT_TRUE(Near(remiss.result.scalar, ref));
+  const QueryReply rehit = server.Execute(session, "q6");
+  EXPECT_TRUE(rehit.cache_hit);
+  EXPECT_EQ(rehit.simulated_ns, hit.simulated_ns)
+      << "drain-free rebalance must not move the simulated query cost";
+  EXPECT_EQ(rehit.result.scalar, hit.result.scalar);
+
+  const StatsReply stats = server.Stats();
+  EXPECT_EQ(stats.devices_readmitted, 1u);
+  EXPECT_EQ(stats.catalog_rebalances, 1u);
+  (void)miss;
+  rm.Reset();
+}
+
+TEST_F(ServeTest, ReadmitDeviceRejectsBadOrdinalsAndFailedProbes) {
+  core::ResilienceManager& rm = core::ResilienceManager::Global();
+  rm.Reset();
+  {
+    ServerOptions options;  // no fleet attached
+    options.catalog.scale_factor = 0.002;
+    QueryServer server(options);
+    server.Start();
+    EXPECT_FALSE(server.ReadmitDevice(0)) << "no fleet -> nothing to readmit";
+  }
+
+  gpusim::DeviceGroup fleet(2);
+  // One-shot kill scoped to the probe stream: the first readmission attempt
+  // must fail and report false; the second passes.
+  gpusim::FaultRule rule;
+  rule.site = gpusim::FaultSite::kKernel;
+  rule.kind = gpusim::FaultKind::kDeviceLost;
+  rule.stream_label = "probe";
+  rule.at_call = 1;
+  rule.max_fires = 1;
+  fleet.ArmFaultInjector(1, 11).AddRule(rule);
+
+  ServerOptions options;
+  options.catalog.scale_factor = 0.002;
+  options.fleet = &fleet;
+  QueryServer server(options);
+  server.Start();
+
+  EXPECT_FALSE(server.ReadmitDevice(-1));
+  EXPECT_FALSE(server.ReadmitDevice(2));
+  EXPECT_TRUE(server.ReadmitDevice(0)) << "an alive ordinal is a no-op true";
+
+  fleet.MarkLost(1);
+  EXPECT_FALSE(server.ReadmitDevice(1)) << "the armed probe kill must fail";
+  EXPECT_EQ(fleet.state(1), gpusim::DeviceState::kLost);
+  EXPECT_TRUE(server.ReadmitDevice(1)) << "the retry probe passes";
+  server.WaitForRebalance();
+  EXPECT_TRUE(fleet.IsAlive(1));
+  EXPECT_EQ(server.Stats().devices_readmitted, 1u);
+  rm.Reset();
+}
+
+TEST_F(ServeTest, TenantClassesShedInPriorityOrderWithScaledRetryAfter) {
+  core::ResilienceManager::Global().Reset();
+  ServerOptions options;  // in-process only
+  options.catalog.scale_factor = 0.002;
+  options.num_clients = 1;
+  options.shed_queue_depth = 2;  // besteffort+batch shed at depth 1 of 2
+  QueryServer server(options);
+  server.Start();
+
+  // Pin the scheduler at queue depth 1: the lone client thread parks on the
+  // blocker while one no-op waits in the queue.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::promise<void> started;
+  server.scheduler().Submit("blocker", [&started, released](core::Backend&) {
+    started.set_value();
+    released.wait();
+  });
+  started.get_future().wait();  // the client thread holds the blocker...
+  server.scheduler().Submit("noop", [](core::Backend&) {});
+  while (server.scheduler().queue_depth() != 1) {  // ...and the noop queues
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const Session be = server.OpenSession("t-be", TenantClass::kBestEffort);
+  const Session batch = server.OpenSession("t-b", TenantClass::kBatch);
+  const Session inter = server.OpenSession("t-i", TenantClass::kInteractive);
+
+  // At the same depth, best-effort and batch shed — with their own scaled
+  // retry-after hints — while interactive is still admitted.
+  try {
+    server.Execute(be, "q6");
+    FAIL() << "best-effort must shed at half the bound";
+  } catch (const Overloaded& e) {
+    EXPECT_EQ(e.retry_after_ms, options.retry_after_ms * 5);
+    EXPECT_NE(std::string(e.what()).find("besteffort"), std::string::npos);
+  }
+  try {
+    server.Execute(batch, "q6");
+    FAIL() << "batch must shed at three quarters of the bound";
+  } catch (const Overloaded& e) {
+    EXPECT_EQ(e.retry_after_ms, options.retry_after_ms * 2);
+    EXPECT_NE(std::string(e.what()).find("batch"), std::string::npos);
+  }
+
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release.set_value();
+  });
+  const QueryReply reply = server.Execute(inter, "q6");
+  releaser.join();
+  EXPECT_FALSE(reply.rejected);
+  EXPECT_TRUE(Near(reply.result.scalar,
+                   tpch::ReferenceQ6(server.catalog().lineitem())));
+  EXPECT_EQ(server.Stats().overloaded, 2u);
+}
+
+TEST_F(ServeTest, QueryWithRetrySleepsThroughShedsUntilTheBreakerHeals) {
+  core::ResilienceManager& rm = core::ResilienceManager::Global();
+  rm.Reset();
+  ServerOptions options;
+  options.socket_path = TestSocketPath("retry");
+  options.catalog.scale_factor = 0.002;
+  options.retry_after_ms = 1;  // keep the test's real sleeps tiny
+  QueryServer server(options);
+  server.Start();
+
+  Client client(options.socket_path, "tenant", TenantClass::kInteractive);
+  const double ref = tpch::ReferenceQ6(server.catalog().lineitem());
+
+  rm.RecordFailure(options.catalog.backend, 0);
+  rm.RecordFailure(options.catalog.backend, 0);
+  rm.RecordFailure(options.catalog.backend, 0);
+
+  // Each shed attempt advances the breaker cooldown, so a generous budget
+  // always reaches the half-open probe; the helper sleeps the hints out
+  // instead of surfacing every shed to the caller.
+  RetryOptions retry;
+  retry.max_attempts = 64;
+  retry.seed = 9;
+  retry.max_backoff_ms = 4;
+  const QueryReply reply = client.QueryWithRetry("q6", retry);
+  EXPECT_FALSE(reply.overloaded) << "the budget must outlast the cooldown";
+  EXPECT_TRUE(Near(reply.result.scalar, ref));
+  EXPECT_GT(client.retries(), 0u);
 
   client.Shutdown();
   server.WaitForShutdown();

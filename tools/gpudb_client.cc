@@ -5,7 +5,9 @@
 //   gpudb_client --socket=/tmp/gpudb.sock --shutdown   # stop the server
 //
 // Options: --tenant=NAME (default "cli"), --class=interactive|batch|besteffort
-// (default interactive), --repeat=N (run the query list N times).
+// (default interactive), --repeat=N (run the query list N times),
+// --retry[=SEED] (sleep out kOverloaded sheds per the server's retry-after
+// hint with seeded capped backoff instead of reporting them).
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,13 +23,19 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--tenant=NAME] [--class=CLASS]\n"
-               "          [--repeat=N] [--stats] [--shutdown] [QUERY...]\n"
+               "          [--repeat=N] [--retry[=SEED]] [--stats]\n"
+               "          [--shutdown] [QUERY...]\n"
                "       QUERY: q1 | q3 | q4 | q6 | q14\n",
                argv0);
   return 64;
 }
 
 void PrintReply(const std::string& query, const serve::QueryReply& reply) {
+  if (reply.overloaded) {
+    std::printf("%-4s OVERLOADED (shed)  retry after %llu ms\n", query.c_str(),
+                static_cast<unsigned long long>(reply.retry_after_ms));
+    return;
+  }
   if (reply.rejected) {
     std::printf("%-4s REJECTED (admission)  queue_wait %.3f ms\n",
                 query.c_str(), reply.queue_wait_ms);
@@ -70,6 +78,8 @@ int main(int argc, char** argv) {
   std::string tenant = "cli";
   std::string cls_name = "interactive";
   int repeat = 1;
+  bool retry = false;
+  serve::RetryOptions retry_options;
   bool want_stats = false;
   bool want_shutdown = false;
   std::vector<std::string> queries;
@@ -88,6 +98,11 @@ int main(int argc, char** argv) {
       cls_name = v;
     } else if (const char* v = value("--repeat=")) {
       repeat = std::atoi(v);
+    } else if (const char* v = value("--retry=")) {
+      retry = true;
+      retry_options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--retry") {
+      retry = true;
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg == "--shutdown") {
@@ -114,24 +129,33 @@ int main(int argc, char** argv) {
                  hello.backend.c_str(), hello.encoded ? "on" : "off");
     for (int round = 0; round < repeat; ++round) {
       for (const std::string& q : queries) {
-        PrintReply(q, client.Query(q));
+        PrintReply(q, retry ? client.QueryWithRetry(q, retry_options)
+                            : client.Query(q));
       }
+    }
+    if (retry && client.retries() > 0) {
+      std::fprintf(stderr, "retried through %llu shed(s)\n",
+                   static_cast<unsigned long long>(client.retries()));
     }
     if (want_stats) {
       const serve::StatsReply s = client.Stats();
       std::printf(
-          "queries=%llu rejected=%llu failed=%llu cache_hits=%llu "
-          "cache_misses=%llu cache_size=%llu evictions=%llu "
-          "resident_bytes=%llu generation=%llu\n",
+          "queries=%llu rejected=%llu failed=%llu overloaded=%llu "
+          "cache_hits=%llu cache_misses=%llu cache_size=%llu evictions=%llu "
+          "resident_bytes=%llu generation=%llu readmitted=%llu "
+          "rebalances=%llu\n",
           static_cast<unsigned long long>(s.queries),
           static_cast<unsigned long long>(s.rejected),
           static_cast<unsigned long long>(s.failed),
+          static_cast<unsigned long long>(s.overloaded),
           static_cast<unsigned long long>(s.cache_hits),
           static_cast<unsigned long long>(s.cache_misses),
           static_cast<unsigned long long>(s.cache_size),
           static_cast<unsigned long long>(s.cache_evictions),
           static_cast<unsigned long long>(s.resident_bytes),
-          static_cast<unsigned long long>(s.catalog_generation));
+          static_cast<unsigned long long>(s.catalog_generation),
+          static_cast<unsigned long long>(s.devices_readmitted),
+          static_cast<unsigned long long>(s.catalog_rebalances));
     }
     if (want_shutdown) client.Shutdown();
     return 0;

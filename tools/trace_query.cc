@@ -19,8 +19,15 @@
 // encoded-transfer counters (bytes moved encoded / bytes saved vs raw)
 // print after the run.
 //
+// With --fleet-readmit=N a fleet of N simulated devices runs the full
+// device-lifecycle sequence (lost -> reset -> half-open probe -> readmit)
+// after the query, with the same tracer attached: the probe kernel and
+// every state transition print inline and land in the exported trace
+// under the "fault" category, next to any injected faults.
+//
 //   build/tools/trace_query [backend] [q1|q6|q3|q4|q14] [out.json]
 //                           [--chaos-seed=N] [--capacity-bytes=N] [--encoded]
+//                           [--fleet-readmit=N]
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -29,6 +36,7 @@
 #include "core/governor.h"
 #include "core/registry.h"
 #include "core/resilience.h"
+#include "gpusim/device_group.h"
 #include "gpusim/fault.h"
 #include "gpusim/trace.h"
 #include "plan/partition.h"
@@ -45,6 +53,7 @@ int main(int argc, char** argv) {
   bool governed = false;
   uint64_t capacity_bytes = 0;
   bool encoded = false;
+  int fleet_readmit = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -62,6 +71,10 @@ int main(int argc, char** argv) {
       encoded = true;
       continue;
     }
+    if (arg.rfind("--fleet-readmit=", 0) == 0) {
+      fleet_readmit = std::stoi(arg.substr(16));
+      continue;
+    }
     switch (positional++) {
       case 0: backend_name = arg; break;
       case 1: query = arg; break;
@@ -71,10 +84,12 @@ int main(int argc, char** argv) {
         return 2;
     }
   }
-  if (query != "q1" && query != "q6" && query != "q3" && query != "q4" &&
-      query != "q14") {
+  if ((query != "q1" && query != "q6" && query != "q3" && query != "q4" &&
+       query != "q14") ||
+      fleet_readmit < 0) {
     std::cerr << "usage: trace_query [backend] [q1|q6|q3|q4|q14] [out.json] "
-                 "[--chaos-seed=N] [--capacity-bytes=N] [--encoded]\n";
+                 "[--chaos-seed=N] [--capacity-bytes=N] [--encoded] "
+                 "[--fleet-readmit=N]\n";
     return 2;
   }
 
@@ -230,6 +245,33 @@ int main(int argc, char** argv) {
   }
   gpusim::Device::Default().set_tracer(nullptr);
   gpusim::Device::Default().set_fault_injector(nullptr);
+
+  if (fleet_readmit > 0) {
+    // Device-lifecycle demo: lose device 0, reset it, run the half-open
+    // probe, and readmit. Every transition plus the probe kernel records
+    // against the shared tracer, so the exported trace shows the
+    // fault-category timeline next to any injected faults above.
+    gpusim::DeviceGroup fleet(fleet_readmit);
+    for (int d = 0; d < fleet.size(); ++d) fleet.device(d).set_tracer(&tracer);
+    fleet.MarkLost(0);
+    fleet.MarkReset(0);
+    const bool probe_ok = fleet.Probe(0);
+    if (probe_ok) fleet.CompleteReadmission(0);
+    for (int d = 0; d < fleet.size(); ++d) fleet.device(d).set_tracer(nullptr);
+    std::cout << "fleet: device 0 of " << fleet.size()
+              << " lost -> reset -> probe "
+              << (probe_ok ? "passed -> readmitted" : "FAILED") << "\n";
+    for (const gpusim::LifecycleEvent& ev : fleet.lifecycle_log()) {
+      std::cout << "  lifecycle[" << ev.sequence << "] device " << ev.device
+                << " " << gpusim::LifecycleEventName(ev.kind) << "\n";
+    }
+    for (const gpusim::TraceEvent& ev : tracer.events()) {
+      if (ev.category != "fault") continue;
+      std::cout << "  fault-event \"" << ev.name << "\" stream "
+                << ev.stream_id << " @ " << ev.start_ns << " ns ("
+                << ev.duration_ns << " ns)\n";
+    }
+  }
 
   if (encoded) {
     const gpusim::CounterSnapshot counters = device.Snapshot();
